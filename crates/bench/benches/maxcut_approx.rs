@@ -1,0 +1,48 @@
+//! E7 (Theorem 2.9): the `(1-ε)` max-cut approximation in the CONGEST
+//! simulator — wall time of the full distributed execution as `n` grows,
+//! plus the sequential sampling estimator of \[51\] in isolation.
+
+use congest_graph::generators;
+use congest_sim::algorithms::{LocalCutSolver, SampledMaxCut};
+use congest_sim::Simulator;
+use congest_solvers::approx::sampled_max_cut;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_distributed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem_2_9_distributed");
+    group.sample_size(10);
+    for n in [12usize, 16, 20, 24] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = generators::connected_gnp(n, 0.35, &mut rng);
+        group.bench_with_input(BenchmarkId::new("simulated_run", n), &n, |b, &n| {
+            b.iter(|| {
+                let sim = Simulator::with_bandwidth(&g, 96).stop_on_quiescence(false);
+                let mut alg = SampledMaxCut::new(n, 0.5, LocalCutSolver::Exact, 42);
+                black_box(sim.run(&mut alg, 1_000_000))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_estimator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem_2_9_estimator");
+    group.sample_size(10);
+    for n in [14usize, 18, 22] {
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = generators::connected_gnp(n, 0.4, &mut rng);
+        group.bench_with_input(BenchmarkId::new("sampled_exact", n), &n, |b, _| {
+            b.iter(|| {
+                let mut r = StdRng::seed_from_u64(1);
+                black_box(sampled_max_cut(&g, 0.5, &mut r))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distributed, bench_estimator);
+criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! E18–E21: Section 5 machinery — the limitation protocols of Claims
+//! 5.1–5.9, the nondeterministic certificates of Claim 5.11, and the
+//! proof labeling schemes of Claims 5.12–5.13 / Lemma 5.1.
+
+use congest_comm::Channel;
+use congest_graph::generators;
+use congest_limits::nondet::{propose_cut_witness, verify_flow_less_than};
+use congest_limits::pls::{
+    accepts_everywhere, ConnectivityScheme, MarkedGraph, MatchingScheme, ProofLabelingScheme,
+    SpanningTreeScheme,
+};
+use congest_limits::protocols::{
+    maxcut_2_3_approx, maxis_half_approx, mds_2_approx, mvc_3_2_approx,
+};
+use congest_limits::SplitGraph;
+use congest_solvers::flow::max_flow_undirected;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn split(n: usize, seed: u64) -> SplitGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = generators::connected_gnp(n, 0.3, &mut rng);
+    for v in 0..n {
+        g.set_node_weight(v, rng.gen_range(1..8));
+    }
+    let alice: Vec<usize> = (0..n / 2).collect();
+    SplitGraph::new(g, &alice)
+}
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut group = c.benchmark_group("limitation_protocols");
+    group.sample_size(10);
+    for n in [12usize, 16] {
+        let s = split(n, 5);
+        group.bench_with_input(BenchmarkId::new("mds_2_approx", n), &n, |b, _| {
+            b.iter(|| {
+                let mut ch = Channel::new();
+                black_box(mds_2_approx(&s, &mut ch))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("mvc_3_2_approx", n), &n, |b, _| {
+            b.iter(|| {
+                let mut ch = Channel::new();
+                black_box(mvc_3_2_approx(&s, &mut ch))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("maxis_half", n), &n, |b, _| {
+            b.iter(|| {
+                let mut ch = Channel::new();
+                black_box(maxis_half_approx(&s, &mut ch))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("maxcut_2_3", n), &n, |b, _| {
+            b.iter(|| {
+                let mut ch = Channel::new();
+                black_box(maxcut_2_3_approx(&s, &mut ch))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_certificates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flow_certificates");
+    group.sample_size(10);
+    let s = split(14, 9);
+    let mf = max_flow_undirected(s.graph(), 0, 13);
+    group.bench_function("propose_and_verify_cut", |b| {
+        b.iter(|| {
+            let (_, w) = propose_cut_witness(&s, 0, 13);
+            let mut ch = Channel::new();
+            black_box(verify_flow_less_than(&s, 0, 13, mf + 1, &w, &mut ch))
+        })
+    });
+    group.finish();
+}
+
+fn bench_pls(c: &mut Criterion) {
+    let mut group = c.benchmark_group("proof_labeling_schemes");
+    let mut rng = StdRng::seed_from_u64(3);
+    let g = generators::connected_gnp(20, 0.25, &mut rng);
+    let all: Vec<(usize, usize)> = g.edges().map(|(u, v, _)| (u, v)).collect();
+    let inst = MarkedGraph::new(g.clone(), &all);
+
+    let conn = ConnectivityScheme;
+    let labels = conn.prove(&inst).expect("connected");
+    group.bench_function("connectivity_prove", |b| {
+        b.iter(|| black_box(conn.prove(&inst)))
+    });
+    group.bench_function("connectivity_verify", |b| {
+        b.iter(|| black_box(accepts_everywhere(&conn, &inst, &labels)))
+    });
+
+    // Spanning tree scheme on a BFS tree of G.
+    let dist = g.bfs_distances(0);
+    let tree: Vec<(usize, usize)> = (1..g.num_nodes())
+        .map(|v| {
+            let d = dist[v].expect("connected");
+            let p = *g
+                .neighbors(v)
+                .iter()
+                .find(|&&u| dist[u] == Some(d - 1))
+                .expect("parent");
+            (v, p)
+        })
+        .collect();
+    let tinst = MarkedGraph::new(g.clone(), &tree);
+    let st = SpanningTreeScheme;
+    let tlabels = st.prove(&tinst).expect("spanning tree");
+    group.bench_function("spanning_tree_verify", |b| {
+        b.iter(|| black_box(accepts_everywhere(&st, &tinst, &tlabels)))
+    });
+
+    let msc = MatchingScheme { k: 6 };
+    let minst = MarkedGraph::new(g, &[]);
+    group.bench_function("matching_prove", |b| {
+        b.iter(|| black_box(msc.prove(&minst)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocols, bench_certificates, bench_pls);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Benchmark harness for the `congest-hardness` workspace.
+//!
+//! Each Criterion bench target regenerates one cluster of the paper's
+//! experiments (see `EXPERIMENTS.md` for the index):
+//!
+//! * `families` — E1–E6: building and deciding the Section 2 families,
+//! * `maxcut_approx` — E7: the Theorem 2.9 algorithm in the simulator,
+//! * `approx_gaps` — E10–E16: the Section 4 gap families,
+//! * `pipeline` — E22: Theorem 1.1's Alice–Bob simulation,
+//! * `protocols_pls` — E18–E21: Section 5 protocols and PLS,
+//! * `solvers` — oracle baselines.
+//!
+//! The numeric *tables* (parameters, gaps, implied bounds) are produced
+//! by the `experiments` binary of the root crate:
+//! `cargo run --release --bin experiments`.
+
+/// Shared bench inputs: a deterministic intersecting pair at index (0, 0).
+pub fn intersecting_pair(k: usize) -> (congest_comm::BitString, congest_comm::BitString) {
+    let mut x = congest_comm::BitString::zeros(k * k);
+    x.set_pair(k, 0, 0, true);
+    (x.clone(), x)
+}
+
+/// Shared bench inputs: a deterministic disjoint pair.
+pub fn disjoint_pair(k: usize) -> (congest_comm::BitString, congest_comm::BitString) {
+    let mut x = congest_comm::BitString::zeros(k * k);
+    let mut y = congest_comm::BitString::zeros(k * k);
+    x.set_pair(k, 0, 0, true);
+    y.set_pair(k, 0, k - 1, true);
+    (x, y)
+}

@@ -1,0 +1,205 @@
+//! `r`-covering set collections (Lemma 4.2 of the paper, after \[40\]).
+//!
+//! A collection `C = {S_1, …, S_T}` of subsets of `U = {0, …, ℓ-1}` has the
+//! *`r`-covering property* if any choice of at most `r` sets from
+//! `{S_1, …, S_T, S̄_1, …, S̄_T}` that contains no complementary pair
+//! `{S_i, S̄_i}` leaves at least one element of `U` uncovered.
+//!
+//! The paper (and \[40\]) establish existence probabilistically for
+//! `T = e^{ℓ/r · 2^{-r}}`; we mirror that: sample random sets and verify the
+//! property exhaustively, retrying until success. For the instance sizes in
+//! this workspace the verification is exact, so every collection handed to
+//! a construction provably has the property.
+
+use rand::Rng;
+
+/// A verified `r`-covering collection.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use congest_codes::CoveringCollection;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let c = CoveringCollection::random_verified(5, 8, 2, 0.25, 5_000, &mut rng)
+///     .expect("collection exists at these parameters");
+/// assert!(c.verify_r_covering());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoveringCollection {
+    sets: Vec<Vec<bool>>,
+    universe: usize,
+    r: usize,
+}
+
+impl CoveringCollection {
+    /// Wraps explicit sets (membership vectors over `universe`) with
+    /// covering parameter `r`, without verification.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any membership vector has the wrong length.
+    pub fn from_sets(sets: Vec<Vec<bool>>, universe: usize, r: usize) -> Self {
+        for s in &sets {
+            assert_eq!(s.len(), universe, "membership vector length mismatch");
+        }
+        CoveringCollection { sets, universe, r }
+    }
+
+    /// Samples random collections (each element in each set independently
+    /// with probability `density`) until one satisfies the `r`-covering
+    /// property, up to `max_tries` attempts.
+    pub fn random_verified<R: Rng>(
+        t: usize,
+        universe: usize,
+        r: usize,
+        density: f64,
+        max_tries: usize,
+        rng: &mut R,
+    ) -> Option<Self> {
+        for _ in 0..max_tries {
+            let sets: Vec<Vec<bool>> = (0..t)
+                .map(|_| (0..universe).map(|_| rng.gen_bool(density)).collect())
+                .collect();
+            let c = CoveringCollection { sets, universe, r };
+            if c.verify_r_covering() {
+                return Some(c);
+            }
+        }
+        None
+    }
+
+    /// Number of sets `T`.
+    pub fn num_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Universe size `ℓ`.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// The covering parameter `r`.
+    pub fn r(&self) -> usize {
+        self.r
+    }
+
+    /// Whether element `j` belongs to `S_i`.
+    pub fn contains(&self, i: usize, j: usize) -> bool {
+        self.sets[i][j]
+    }
+
+    /// Whether element `j` belongs to the complement `S̄_i`.
+    pub fn complement_contains(&self, i: usize, j: usize) -> bool {
+        !self.sets[i][j]
+    }
+
+    /// Exhaustively verifies the `r`-covering property.
+    ///
+    /// Enumerates every selection of at most `r` signed sets with no
+    /// complementary pair and checks that its union misses some element.
+    /// Exponential in `r` (fine: the paper uses `r = c·log ℓ`).
+    pub fn verify_r_covering(&self) -> bool {
+        let _t = self.sets.len();
+        // signs: for each chosen index, +1 = S_i, -1 = complement.
+        // DFS over index choices.
+        fn rec(c: &CoveringCollection, start: usize, left: usize, covered: &mut Vec<bool>) -> bool {
+            // Property requires: current selection leaves something
+            // uncovered. (Supersets of a covering selection also cover, so
+            // checking every partial selection up to size r is equivalent
+            // to checking every selection of exactly r where possible, and
+            // strictly stronger where T < r.)
+            if covered.iter().all(|&b| b) {
+                return false;
+            }
+            if left == 0 || start == c.sets.len() {
+                return true;
+            }
+            for i in start..c.sets.len() {
+                for sign in [true, false] {
+                    let mut newly = Vec::new();
+                    for j in 0..c.universe {
+                        let member = if sign { c.sets[i][j] } else { !c.sets[i][j] };
+                        if member && !covered[j] {
+                            covered[j] = true;
+                            newly.push(j);
+                        }
+                    }
+                    let ok = rec(c, i + 1, left - 1, covered);
+                    for j in newly {
+                        covered[j] = false;
+                    }
+                    if !ok {
+                        return false;
+                    }
+                }
+            }
+            true
+        }
+        let mut covered = vec![false; self.universe];
+        rec(self, 0, self.r, &mut covered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn hand_built_positive_example() {
+        // Universe {0,1,2,3}; singletons {0} and {1}. Any 2 sets drawn
+        // from them / their complements without complementary pairs:
+        // worst case is the two complements {1,2,3} ∪ {0,2,3} = U? That
+        // covers everything -> property FAILS for r=2. Use r=1 instead:
+        // every single set / complement misses an element.
+        let sets = vec![
+            vec![true, false, false, false],
+            vec![false, true, false, false],
+        ];
+        let c = CoveringCollection::from_sets(sets, 4, 1);
+        assert!(c.verify_r_covering());
+    }
+
+    #[test]
+    fn hand_built_negative_example() {
+        // {0,1} and {2,3} in universe {0,1,2,3}: taking both covers U, so
+        // the 2-covering property fails.
+        let sets = vec![
+            vec![true, true, false, false],
+            vec![false, false, true, true],
+        ];
+        let c = CoveringCollection::from_sets(sets, 4, 2);
+        assert!(!c.verify_r_covering());
+    }
+
+    #[test]
+    fn complement_pair_is_exempt() {
+        // A single set: {S, S̄} would cover U but is an excluded pair, so
+        // with r = 2 the property must consider only size-1 unions.
+        let sets = vec![vec![true, true, false, false]];
+        let c = CoveringCollection::from_sets(sets, 4, 2);
+        assert!(c.verify_r_covering());
+    }
+
+    #[test]
+    fn random_collection_exists_at_lemma_parameters() {
+        // ℓ = 10, r = 2, density tuned low so pairwise unions stay small.
+        let mut rng = StdRng::seed_from_u64(2024);
+        let c = CoveringCollection::random_verified(6, 10, 2, 0.2, 20_000, &mut rng)
+            .expect("should find a 2-covering collection");
+        assert_eq!(c.num_sets(), 6);
+        assert!(c.verify_r_covering());
+    }
+
+    #[test]
+    fn membership_accessors() {
+        let sets = vec![vec![true, false]];
+        let c = CoveringCollection::from_sets(sets, 2, 1);
+        assert!(c.contains(0, 0));
+        assert!(!c.contains(0, 1));
+        assert!(c.complement_contains(0, 1));
+    }
+}

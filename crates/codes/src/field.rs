@@ -1,0 +1,168 @@
+//! Prime-field arithmetic `GF(p)` for the Reed–Solomon codes of
+//! Section 4.1 of the paper.
+//!
+//! The paper uses a field of size `q = ℓ + t + 1` where `q` is "any prime
+//! power that is larger than N"; we restrict to prime `q` (always available
+//! by Bertrand's postulate, and sufficient for Reed–Solomon).
+
+/// Deterministic primality test by trial division (inputs in this
+/// workspace are tiny — field sizes are `O(log² n)`).
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    if n.is_multiple_of(2) {
+        return n == 2;
+    }
+    let mut d = 3u64;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            return false;
+        }
+        d += 2;
+    }
+    true
+}
+
+/// The smallest prime `≥ n`.
+///
+/// # Panics
+///
+/// Panics if `n` overflows during the search (unreachable for the sizes
+/// used in this workspace).
+pub fn next_prime(n: u64) -> u64 {
+    let mut p = n.max(2);
+    while !is_prime(p) {
+        p = p.checked_add(1).expect("prime search overflow");
+    }
+    p
+}
+
+/// The prime field `GF(p)` with elements `0..p`.
+///
+/// # Examples
+///
+/// ```
+/// use congest_codes::PrimeField;
+///
+/// let f = PrimeField::new(7);
+/// assert_eq!(f.add(5, 4), 2);
+/// assert_eq!(f.mul(3, 5), 1);
+/// assert_eq!(f.inv(3), 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrimeField {
+    p: u64,
+}
+
+impl PrimeField {
+    /// Constructs `GF(p)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not prime.
+    pub fn new(p: u64) -> Self {
+        assert!(is_prime(p), "{p} is not prime");
+        PrimeField { p }
+    }
+
+    /// The field size `p`.
+    pub fn size(&self) -> u64 {
+        self.p
+    }
+
+    /// Reduces an integer into the field.
+    pub fn reduce(&self, a: u64) -> u64 {
+        a % self.p
+    }
+
+    /// Addition mod `p`.
+    pub fn add(&self, a: u64, b: u64) -> u64 {
+        (a + b) % self.p
+    }
+
+    /// Subtraction mod `p`.
+    pub fn sub(&self, a: u64, b: u64) -> u64 {
+        (a + self.p - b % self.p) % self.p
+    }
+
+    /// Multiplication mod `p`.
+    pub fn mul(&self, a: u64, b: u64) -> u64 {
+        (a % self.p) * (b % self.p) % self.p
+    }
+
+    /// Exponentiation mod `p` by repeated squaring.
+    pub fn pow(&self, mut base: u64, mut exp: u64) -> u64 {
+        base %= self.p;
+        let mut acc = 1u64;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = acc * base % self.p;
+            }
+            base = base * base % self.p;
+            exp >>= 1;
+        }
+        acc
+    }
+
+    /// Multiplicative inverse by Fermat's little theorem.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a ≡ 0 (mod p)`.
+    pub fn inv(&self, a: u64) -> u64 {
+        assert!(!a.is_multiple_of(self.p), "zero has no inverse");
+        self.pow(a, self.p - 2)
+    }
+
+    /// Evaluates the polynomial with coefficients `coeffs` (low degree
+    /// first) at point `x`, by Horner's rule.
+    pub fn eval_poly(&self, coeffs: &[u64], x: u64) -> u64 {
+        let mut acc = 0u64;
+        for &c in coeffs.iter().rev() {
+            acc = self.add(self.mul(acc, x), c);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primality() {
+        let primes = [2u64, 3, 5, 7, 11, 13, 17, 19, 23];
+        for p in primes {
+            assert!(is_prime(p), "{p}");
+        }
+        for c in [0u64, 1, 4, 6, 9, 15, 21, 25, 49] {
+            assert!(!is_prime(c), "{c}");
+        }
+        assert_eq!(next_prime(8), 11);
+        assert_eq!(next_prime(11), 11);
+        assert_eq!(next_prime(0), 2);
+    }
+
+    #[test]
+    fn field_ops() {
+        let f = PrimeField::new(13);
+        assert_eq!(f.add(10, 5), 2);
+        assert_eq!(f.sub(3, 7), 9);
+        assert_eq!(f.mul(6, 6), 10);
+        assert_eq!(f.pow(2, 12), 1); // Fermat
+        for a in 1..13 {
+            assert_eq!(f.mul(a, f.inv(a)), 1);
+        }
+    }
+
+    #[test]
+    fn horner_matches_naive() {
+        let f = PrimeField::new(17);
+        let coeffs = [3u64, 0, 5, 2]; // 3 + 5x² + 2x³
+        for x in 0..17 {
+            let naive = (3 + 5 * x * x + 2 * x * x * x) % 17;
+            assert_eq!(f.eval_poly(&coeffs, x), naive);
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Reed–Solomon codes for the MaxIS hardness-of-approximation gadget
+//! (Section 4.1 of the paper).
+//!
+//! The paper uses a linear code `C` with parameters `(ℓ+t, t, ℓ+1, q)`:
+//! length `N = ℓ+t`, dimension `κ = t`, distance `N - κ + 1 = ℓ + 1`, over
+//! `GF(q)` with `q > N`. Reed–Solomon codes achieve exactly these (MDS)
+//! parameters: codewords are evaluations of polynomials of degree `< κ` at
+//! `N` distinct field points.
+
+use crate::field::PrimeField;
+
+/// A Reed–Solomon code over a prime field.
+///
+/// # Examples
+///
+/// ```
+/// use congest_codes::ReedSolomon;
+///
+/// // Length 4, dimension 1, distance 4 over GF(5).
+/// let code = ReedSolomon::new(4, 1, 5);
+/// assert_eq!(code.distance(), 4);
+/// let c0 = code.encode(&[2]);
+/// let c1 = code.encode(&[3]);
+/// assert!(ReedSolomon::hamming_distance(&c0, &c1) >= 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReedSolomon {
+    field: PrimeField,
+    length: usize,
+    dimension: usize,
+}
+
+impl ReedSolomon {
+    /// Creates the `(length, dimension, length-dimension+1, q)` code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not a prime `> length`, or `dimension > length`,
+    /// or `dimension == 0`.
+    pub fn new(length: usize, dimension: usize, q: u64) -> Self {
+        assert!(dimension >= 1, "dimension must be positive");
+        assert!(dimension <= length, "dimension exceeds length");
+        assert!(
+            q > length as u64,
+            "field size {q} must exceed code length {length}"
+        );
+        ReedSolomon {
+            field: PrimeField::new(q),
+            length,
+            dimension,
+        }
+    }
+
+    /// Code length `N`.
+    pub fn length(&self) -> usize {
+        self.length
+    }
+
+    /// Code dimension `κ`.
+    pub fn dimension(&self) -> usize {
+        self.dimension
+    }
+
+    /// The field size `q`.
+    pub fn field_size(&self) -> u64 {
+        self.field.size()
+    }
+
+    /// The minimum distance `N - κ + 1` (MDS / Singleton-achieving).
+    pub fn distance(&self) -> usize {
+        self.length - self.dimension + 1
+    }
+
+    /// Number of codewords `q^κ`.
+    pub fn num_codewords(&self) -> u64 {
+        self.field.size().pow(self.dimension as u32)
+    }
+
+    /// Encodes a message (`κ` field elements = polynomial coefficients)
+    /// into a codeword (`N` evaluations at points `0, 1, …, N-1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `msg.len() != dimension`.
+    pub fn encode(&self, msg: &[u64]) -> Vec<u64> {
+        assert_eq!(msg.len(), self.dimension, "message length mismatch");
+        (0..self.length as u64)
+            .map(|x| self.field.eval_poly(msg, x))
+            .collect()
+    }
+
+    /// The codeword of message index `m ∈ [q^κ]`, interpreting `m` in base
+    /// `q` as coefficients. This is the injection `g : [k] → C` of the
+    /// paper (Section 4.1), defined for any `k ≤ q^κ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m ≥ q^κ`.
+    pub fn codeword(&self, m: u64) -> Vec<u64> {
+        assert!(m < self.num_codewords(), "message index out of range");
+        let q = self.field.size();
+        let mut msg = Vec::with_capacity(self.dimension);
+        let mut rest = m;
+        for _ in 0..self.dimension {
+            msg.push(rest % q);
+            rest /= q;
+        }
+        self.encode(&msg)
+    }
+
+    /// Hamming distance between two equal-length words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn hamming_distance(a: &[u64], b: &[u64]) -> usize {
+        assert_eq!(a.len(), b.len(), "length mismatch");
+        a.iter().zip(b).filter(|(x, y)| x != y).count()
+    }
+
+    /// Exhaustively verifies the distance property over the first
+    /// `limit` codewords (the gadget only uses `k ≤ limit` of them).
+    pub fn verify_distance_on_first(&self, limit: u64) -> bool {
+        let limit = limit.min(self.num_codewords());
+        let words: Vec<Vec<u64>> = (0..limit).map(|m| self.codeword(m)).collect();
+        for i in 0..words.len() {
+            for j in (i + 1)..words.len() {
+                if Self::hamming_distance(&words[i], &words[j]) < self.distance() {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameters() {
+        let c = ReedSolomon::new(6, 2, 7);
+        assert_eq!(c.distance(), 5);
+        assert_eq!(c.num_codewords(), 49);
+    }
+
+    #[test]
+    fn full_distance_check_small_code() {
+        // All 49 codewords of the (6,2,5,7) code pairwise at distance >= 5.
+        let c = ReedSolomon::new(6, 2, 7);
+        assert!(c.verify_distance_on_first(49));
+    }
+
+    #[test]
+    fn paper_parameters_distance() {
+        // Paper-style parameters for k = 4: t = log k = 2, ℓ = c·log²k,
+        // take ℓ = 8 so N = 10, need q > 10 prime: q = 11, and the
+        // distance is ℓ + 1 = 9.
+        let c = ReedSolomon::new(10, 2, 11);
+        assert_eq!(c.distance(), 9);
+        assert!(c.verify_distance_on_first(16));
+    }
+
+    #[test]
+    fn codeword_injection_distinct() {
+        let c = ReedSolomon::new(4, 1, 5);
+        let words: Vec<_> = (0..5).map(|m| c.codeword(m)).collect();
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                assert_ne!(words[i], words[j]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "field size")]
+    fn field_must_exceed_length() {
+        let _ = ReedSolomon::new(7, 2, 7);
+    }
+}

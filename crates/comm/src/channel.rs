@@ -1,0 +1,121 @@
+/// Direction of a transmission over the Alice–Bob channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Alice → Bob.
+    AliceToBob,
+    /// Bob → Alice.
+    BobToAlice,
+}
+
+/// A metered channel between Alice and Bob.
+///
+/// Protocols in this workspace are simulated in a single process, so the
+/// channel does not carry payloads; it *accounts* for every bit a real
+/// protocol would transmit. Theorem 1.1's simulation argument and all of
+/// Section 5's limitation protocols are measured through this type.
+///
+/// # Examples
+///
+/// ```
+/// use congest_comm::{Channel, Direction};
+///
+/// let mut ch = Channel::new();
+/// ch.send(Direction::AliceToBob, 10);
+/// ch.send(Direction::BobToAlice, 3);
+/// assert_eq!(ch.total_bits(), 13);
+/// assert_eq!(ch.bits(Direction::AliceToBob), 10);
+/// assert_eq!(ch.messages(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Channel {
+    a2b: u64,
+    b2a: u64,
+    messages: u64,
+    rounds: u64,
+}
+
+impl Channel {
+    /// A fresh channel with zero traffic.
+    pub fn new() -> Self {
+        Channel::default()
+    }
+
+    /// Records a transmission of `bits` bits in the given direction.
+    pub fn send(&mut self, dir: Direction, bits: u64) {
+        match dir {
+            Direction::AliceToBob => self.a2b += bits,
+            Direction::BobToAlice => self.b2a += bits,
+        }
+        self.messages += 1;
+    }
+
+    /// Records the end of a synchronous communication round (used when
+    /// simulating CONGEST algorithms round-by-round).
+    pub fn end_round(&mut self) {
+        self.rounds += 1;
+    }
+
+    /// Bits sent in a single direction.
+    pub fn bits(&self, dir: Direction) -> u64 {
+        match dir {
+            Direction::AliceToBob => self.a2b,
+            Direction::BobToAlice => self.b2a,
+        }
+    }
+
+    /// Total bits exchanged in both directions.
+    pub fn total_bits(&self) -> u64 {
+        self.a2b + self.b2a
+    }
+
+    /// Number of individual transmissions recorded.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Number of synchronous rounds recorded via [`Channel::end_round`].
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+}
+
+/// The number of bits needed to transmit one value from a domain of the
+/// given size: `⌈log₂(domain_size)⌉`, and at least 1 for non-trivial
+/// domains. This is the paper's "`O(log n)` bits per identifier" accounting.
+pub fn bits_for_domain(domain_size: u64) -> u64 {
+    if domain_size <= 1 {
+        0
+    } else {
+        64 - (domain_size - 1).leading_zeros() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting() {
+        let mut ch = Channel::new();
+        ch.send(Direction::AliceToBob, 5);
+        ch.send(Direction::AliceToBob, 5);
+        ch.send(Direction::BobToAlice, 1);
+        ch.end_round();
+        assert_eq!(ch.total_bits(), 11);
+        assert_eq!(ch.bits(Direction::BobToAlice), 1);
+        assert_eq!(ch.messages(), 3);
+        assert_eq!(ch.rounds(), 1);
+    }
+
+    #[test]
+    fn domain_bits() {
+        assert_eq!(bits_for_domain(0), 0);
+        assert_eq!(bits_for_domain(1), 0);
+        assert_eq!(bits_for_domain(2), 1);
+        assert_eq!(bits_for_domain(3), 2);
+        assert_eq!(bits_for_domain(4), 2);
+        assert_eq!(bits_for_domain(5), 3);
+        assert_eq!(bits_for_domain(1024), 10);
+        assert_eq!(bits_for_domain(1025), 11);
+    }
+}

@@ -1,0 +1,299 @@
+use std::fmt;
+
+use rand::Rng;
+
+/// A `K`-bit input string for one of the two players.
+///
+/// The paper frequently indexes `x ∈ {0,1}^{k²}` by pairs `(i, j)` with
+/// `0 ≤ i, j ≤ k-1`; [`BitString::pair`] and [`BitString::set_pair`] expose
+/// that convention (row-major: index `i·k + j`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct BitString {
+    bits: Vec<bool>,
+}
+
+impl BitString {
+    /// The all-zeros string of length `k`.
+    pub fn zeros(k: usize) -> Self {
+        BitString {
+            bits: vec![false; k],
+        }
+    }
+
+    /// The all-ones string of length `k`.
+    pub fn ones(k: usize) -> Self {
+        BitString {
+            bits: vec![true; k],
+        }
+    }
+
+    /// Builds a string from explicit bits.
+    pub fn from_bits(bits: &[bool]) -> Self {
+        BitString {
+            bits: bits.to_vec(),
+        }
+    }
+
+    /// Builds the length-`k` string whose set positions are `indices`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is `≥ k`.
+    pub fn from_indices(k: usize, indices: &[usize]) -> Self {
+        let mut s = Self::zeros(k);
+        for &i in indices {
+            s.set(i, true);
+        }
+        s
+    }
+
+    /// A uniformly random string of length `k`.
+    pub fn random<R: Rng>(k: usize, rng: &mut R) -> Self {
+        BitString {
+            bits: (0..k).map(|_| rng.gen_bool(0.5)).collect(),
+        }
+    }
+
+    /// A random string where each bit is 1 with probability `p`.
+    pub fn random_with_density<R: Rng>(k: usize, p: f64, rng: &mut R) -> Self {
+        BitString {
+            bits: (0..k).map(|_| rng.gen_bool(p)).collect(),
+        }
+    }
+
+    /// Length of the string.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the string has length zero.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// The bit at position `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn get(&self, i: usize) -> bool {
+        self.bits[i]
+    }
+
+    /// Sets the bit at position `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set(&mut self, i: usize, v: bool) {
+        self.bits[i] = v;
+    }
+
+    /// Pair-indexed access `x_{(i,j)}` for strings of length `k²`
+    /// (row-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not `k²` for the implied `k`, or indices are
+    /// out of range.
+    pub fn pair(&self, k: usize, i: usize, j: usize) -> bool {
+        assert_eq!(self.bits.len(), k * k, "string is not of length k²");
+        assert!(i < k && j < k, "pair index out of range");
+        self.bits[i * k + j]
+    }
+
+    /// Pair-indexed mutation; see [`BitString::pair`].
+    ///
+    /// # Panics
+    ///
+    /// As for [`BitString::pair`].
+    pub fn set_pair(&mut self, k: usize, i: usize, j: usize, v: bool) {
+        assert_eq!(self.bits.len(), k * k, "string is not of length k²");
+        assert!(i < k && j < k, "pair index out of range");
+        self.bits[i * k + j] = v;
+    }
+
+    /// The number of 1-bits.
+    pub fn count_ones(&self) -> usize {
+        self.bits.iter().filter(|&&b| b).count()
+    }
+
+    /// Iterator over bits.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        self.bits.iter().copied()
+    }
+
+    /// All `2^k` strings of length `k` (for exhaustive verification; only
+    /// sensible for small `k`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > 20` to guard against accidental blowups.
+    pub fn enumerate_all(k: usize) -> Vec<BitString> {
+        assert!(k <= 20, "refusing to enumerate 2^{k} strings");
+        (0..(1u64 << k))
+            .map(|mask| BitString {
+                bits: (0..k).map(|i| (mask >> i) & 1 == 1).collect(),
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for BitString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &b in &self.bits {
+            write!(f, "{}", if b { '1' } else { '0' })?;
+        }
+        Ok(())
+    }
+}
+
+/// A two-party Boolean function `f : {0,1}^K × {0,1}^K → {TRUE, FALSE}`.
+pub trait BooleanFunction {
+    /// The input length `K` of each player's string.
+    fn input_len(&self) -> usize;
+
+    /// Evaluates `f(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `x` or `y` do not have length
+    /// [`BooleanFunction::input_len`].
+    fn eval(&self, x: &BitString, y: &BitString) -> bool;
+
+    /// A short human-readable name ("DISJ_16" etc.).
+    fn name(&self) -> String;
+}
+
+/// Set disjointness `DISJ_K`: `FALSE` iff there is an index `i` with
+/// `x_i = y_i = 1` (Section 1.3 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Disjointness {
+    k: usize,
+}
+
+impl Disjointness {
+    /// Disjointness on `K`-bit inputs.
+    pub fn new(k: usize) -> Self {
+        Disjointness { k }
+    }
+}
+
+impl BooleanFunction for Disjointness {
+    fn input_len(&self) -> usize {
+        self.k
+    }
+
+    fn eval(&self, x: &BitString, y: &BitString) -> bool {
+        assert_eq!(x.len(), self.k, "x has wrong length");
+        assert_eq!(y.len(), self.k, "y has wrong length");
+        !x.iter().zip(y.iter()).any(|(a, b)| a && b)
+    }
+
+    fn name(&self) -> String {
+        format!("DISJ_{}", self.k)
+    }
+}
+
+/// Equality `EQ_K`: `TRUE` iff `x = y` (used in Section 5.2 to discuss the
+/// limits of the framework).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Equality {
+    k: usize,
+}
+
+impl Equality {
+    /// Equality on `K`-bit inputs.
+    pub fn new(k: usize) -> Self {
+        Equality { k }
+    }
+}
+
+impl BooleanFunction for Equality {
+    fn input_len(&self) -> usize {
+        self.k
+    }
+
+    fn eval(&self, x: &BitString, y: &BitString) -> bool {
+        assert_eq!(x.len(), self.k, "x has wrong length");
+        assert_eq!(y.len(), self.k, "y has wrong length");
+        x == y
+    }
+
+    fn name(&self) -> String {
+        format!("EQ_{}", self.k)
+    }
+}
+
+/// The complement `¬f` of a function, needed for co-nondeterministic
+/// complexity (`CC^N(¬f)`, Section 5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Complement<F>(pub F);
+
+impl<F: BooleanFunction> BooleanFunction for Complement<F> {
+    fn input_len(&self) -> usize {
+        self.0.input_len()
+    }
+
+    fn eval(&self, x: &BitString, y: &BitString) -> bool {
+        !self.0.eval(x, y)
+    }
+
+    fn name(&self) -> String {
+        format!("NOT({})", self.0.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjointness_semantics() {
+        let f = Disjointness::new(3);
+        let x = BitString::from_indices(3, &[0, 2]);
+        assert!(f.eval(&x, &BitString::from_indices(3, &[1])));
+        assert!(!f.eval(&x, &BitString::from_indices(3, &[2])));
+        assert!(f.eval(&BitString::zeros(3), &BitString::ones(3)));
+    }
+
+    #[test]
+    fn equality_and_complement() {
+        let f = Equality::new(4);
+        let x = BitString::from_indices(4, &[1, 3]);
+        assert!(f.eval(&x, &x.clone()));
+        assert!(!f.eval(&x, &BitString::zeros(4)));
+        let g = Complement(f);
+        assert!(!g.eval(&x, &x.clone()));
+        assert_eq!(g.name(), "NOT(EQ_4)");
+    }
+
+    #[test]
+    fn pair_indexing_is_row_major() {
+        let mut x = BitString::zeros(9);
+        x.set_pair(3, 1, 2, true);
+        assert!(x.get(5));
+        assert!(x.pair(3, 1, 2));
+        assert!(!x.pair(3, 2, 1));
+    }
+
+    #[test]
+    fn enumerate_all_has_full_count() {
+        let all = BitString::enumerate_all(4);
+        assert_eq!(all.len(), 16);
+        let distinct: std::collections::HashSet<_> = all.into_iter().collect();
+        assert_eq!(distinct.len(), 16);
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let x = BitString::from_bits(&[true, false, true]);
+        assert_eq!(x.to_string(), "101");
+    }
+
+    #[test]
+    fn counts() {
+        assert_eq!(BitString::ones(5).count_ones(), 5);
+        assert_eq!(BitString::zeros(5).count_ones(), 0);
+    }
+}

@@ -1,0 +1,45 @@
+//! Two-party communication complexity, as used by the lower-bound framework
+//! of the paper (Section 1.3).
+//!
+//! Alice holds `x ∈ {0,1}^K`, Bob holds `y ∈ {0,1}^K`, and together they
+//! compute a Boolean function `f(x, y)`. The paper reduces CONGEST round
+//! lower bounds to communication lower bounds for such functions — chiefly
+//! set disjointness [`Disjointness`], for which `CC(DISJ_K) = Ω(K)` even for
+//! randomized protocols.
+//!
+//! This crate provides:
+//!
+//! * [`BitString`] inputs with the paper's pair indexing `x_{(i,j)}`,
+//! * the [`BooleanFunction`] trait with [`Disjointness`] and [`Equality`],
+//! * [`Channel`]s that meter exactly how many bits cross between the
+//!   players, and runnable [`protocols`],
+//! * known asymptotic bounds and the `Γ(f)` measure of Section 5.2
+//!   ([`bounds`]),
+//! * an exact brute-force protocol-tree solver for tiny `K`
+//!   ([`exact::deterministic_cc`]) so the cited bounds are *measured*, not
+//!   just quoted.
+//!
+//! # Examples
+//!
+//! ```
+//! use congest_comm::{BitString, BooleanFunction, Disjointness};
+//!
+//! let f = Disjointness::new(4);
+//! let x = BitString::from_bits(&[true, false, false, false]);
+//! let y = BitString::from_bits(&[false, false, false, true]);
+//! assert!(f.eval(&x, &y)); // disjoint -> TRUE
+//! let y2 = BitString::from_bits(&[true, false, false, false]);
+//! assert!(!f.eval(&x, &y2)); // intersecting -> FALSE
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+mod channel;
+pub mod exact;
+mod function;
+pub mod protocols;
+
+pub use channel::{Channel, Direction};
+pub use function::{BitString, BooleanFunction, Complement, Disjointness, Equality};

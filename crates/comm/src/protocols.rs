@@ -1,0 +1,261 @@
+//! Runnable two-party protocols with exact bit metering.
+//!
+//! These realize the upper bounds quoted in [`crate::bounds`] and the
+//! nondeterministic certificates of Section 5.2 of the paper. Every
+//! protocol takes a [`Channel`] and records precisely the bits a real
+//! execution would transmit.
+
+use rand::Rng;
+
+use crate::channel::bits_for_domain;
+use crate::{BitString, BooleanFunction, Channel, Direction};
+
+/// The trivial deterministic protocol: Alice sends her whole input
+/// (`K` bits), Bob computes `f(x, y)` and announces the answer (1 bit).
+/// Total: `K + 1` bits — matching the exact value of `CC(DISJ_K)` and
+/// `CC(EQ_K)`.
+pub fn trivial_full_exchange<F: BooleanFunction>(
+    f: &F,
+    x: &BitString,
+    y: &BitString,
+    channel: &mut Channel,
+) -> bool {
+    channel.send(Direction::AliceToBob, x.len() as u64);
+    let out = f.eval(x, y);
+    channel.send(Direction::BobToAlice, 1);
+    out
+}
+
+/// A nondeterministic protocol: a prover supplies a witness, the players
+/// verify it with metered communication.
+///
+/// *Completeness*: when `f(x,y)` is `TRUE`, [`propose`](Self::propose)
+/// returns a witness that [`verify`](Self::verify) accepts. *Soundness*:
+/// when `f(x,y)` is `FALSE`, **no** witness is accepted — the test-suite
+/// checks this by enumerating [`all_witnesses`](Self::all_witnesses) on
+/// small inputs.
+pub trait NondeterministicProtocol {
+    /// The witness type.
+    type Witness: Clone;
+
+    /// The function this protocol certifies (TRUE instances).
+    fn certifies(&self) -> String;
+
+    /// The honest prover: a witness for a TRUE instance, if one exists.
+    fn propose(&self, x: &BitString, y: &BitString) -> Option<Self::Witness>;
+
+    /// Verifies a witness, metering all communicated bits.
+    fn verify(&self, x: &BitString, y: &BitString, w: &Self::Witness, ch: &mut Channel) -> bool;
+
+    /// Enumerates the full witness space (for soundness testing on small
+    /// inputs).
+    fn all_witnesses(&self) -> Vec<Self::Witness>;
+}
+
+/// Certificate for `¬DISJ_K` ("the sets intersect"): the witness is an
+/// index `i`; Alice confirms `x_i = 1`, Bob confirms `y_i = 1`.
+/// Cost: `⌈log K⌉` bits to name the index plus two confirmation bits,
+/// matching `CC^N(¬DISJ_K) = O(log K)` from Section 5.2.
+#[derive(Debug, Clone, Copy)]
+pub struct NonDisjointnessCertificate {
+    k: usize,
+}
+
+impl NonDisjointnessCertificate {
+    /// Certificate system for input length `k`.
+    pub fn new(k: usize) -> Self {
+        NonDisjointnessCertificate { k }
+    }
+}
+
+impl NondeterministicProtocol for NonDisjointnessCertificate {
+    type Witness = usize;
+
+    fn certifies(&self) -> String {
+        format!("NOT(DISJ_{})", self.k)
+    }
+
+    fn propose(&self, x: &BitString, y: &BitString) -> Option<usize> {
+        (0..self.k).find(|&i| x.get(i) && y.get(i))
+    }
+
+    fn verify(&self, x: &BitString, y: &BitString, &w: &usize, ch: &mut Channel) -> bool {
+        if w >= self.k {
+            return false;
+        }
+        // The witness index is delivered to Alice, who forwards it to Bob
+        // (nondeterministic string is private to Alice in the paper's
+        // convention, Section 5.2).
+        ch.send(Direction::AliceToBob, bits_for_domain(self.k as u64));
+        // Each side confirms its bit.
+        ch.send(Direction::AliceToBob, 1);
+        ch.send(Direction::BobToAlice, 1);
+        x.get(w) && y.get(w)
+    }
+
+    fn all_witnesses(&self) -> Vec<usize> {
+        (0..self.k).collect()
+    }
+}
+
+/// Certificate for `¬EQ_K` ("the strings differ"): witness is an index
+/// where they differ plus Alice's bit there. Cost `⌈log K⌉ + 2`.
+#[derive(Debug, Clone, Copy)]
+pub struct NonEqualityCertificate {
+    k: usize,
+}
+
+impl NonEqualityCertificate {
+    /// Certificate system for input length `k`.
+    pub fn new(k: usize) -> Self {
+        NonEqualityCertificate { k }
+    }
+}
+
+impl NondeterministicProtocol for NonEqualityCertificate {
+    type Witness = usize;
+
+    fn certifies(&self) -> String {
+        format!("NOT(EQ_{})", self.k)
+    }
+
+    fn propose(&self, x: &BitString, y: &BitString) -> Option<usize> {
+        (0..self.k).find(|&i| x.get(i) != y.get(i))
+    }
+
+    fn verify(&self, x: &BitString, y: &BitString, &w: &usize, ch: &mut Channel) -> bool {
+        if w >= self.k {
+            return false;
+        }
+        ch.send(Direction::AliceToBob, bits_for_domain(self.k as u64));
+        // Alice announces her bit at w; Bob compares and announces verdict.
+        ch.send(Direction::AliceToBob, 1);
+        ch.send(Direction::BobToAlice, 1);
+        x.get(w) != y.get(w)
+    }
+
+    fn all_witnesses(&self) -> Vec<usize> {
+        (0..self.k).collect()
+    }
+}
+
+/// Public-coin randomized equality: the players compare `trials` random
+/// parity fingerprints. Cost: `trials + 1` bits (shared randomness is
+/// free, as in the paper's model where "Alice and Bob are allowed to
+/// generate shared truly random bits", Section 1.3).
+///
+/// One-sided error: unequal strings are (incorrectly) declared equal with
+/// probability `2^-trials`.
+pub fn randomized_equality<R: Rng>(
+    x: &BitString,
+    y: &BitString,
+    trials: u32,
+    rng: &mut R,
+    ch: &mut Channel,
+) -> bool {
+    assert_eq!(x.len(), y.len(), "input length mismatch");
+    let mut equal = true;
+    for _ in 0..trials {
+        // Shared random subset; compare parities.
+        let mut pa = false;
+        let mut pb = false;
+        for i in 0..x.len() {
+            if rng.gen_bool(0.5) {
+                pa ^= x.get(i);
+                pb ^= y.get(i);
+            }
+        }
+        ch.send(Direction::AliceToBob, 1);
+        if pa != pb {
+            equal = false;
+            break;
+        }
+    }
+    ch.send(Direction::BobToAlice, 1);
+    equal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Disjointness, Equality};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn trivial_protocol_costs_k_plus_one() {
+        let f = Disjointness::new(8);
+        let x = BitString::from_indices(8, &[2]);
+        let y = BitString::from_indices(8, &[2]);
+        let mut ch = Channel::new();
+        assert!(!trivial_full_exchange(&f, &x, &y, &mut ch));
+        assert_eq!(ch.total_bits(), 9);
+    }
+
+    #[test]
+    fn non_disjointness_certificate_complete_and_sound() {
+        let k = 6;
+        let p = NonDisjointnessCertificate::new(k);
+        let f = Disjointness::new(k);
+        // Exhaustive completeness + soundness over all input pairs.
+        for x in BitString::enumerate_all(k) {
+            for y in BitString::enumerate_all(k) {
+                let not_disj = !f.eval(&x, &y);
+                let honest = p.propose(&x, &y);
+                assert_eq!(honest.is_some(), not_disj);
+                if let Some(w) = honest {
+                    let mut ch = Channel::new();
+                    assert!(p.verify(&x, &y, &w, &mut ch));
+                    assert_eq!(ch.total_bits(), bits_for_domain(k as u64) + 2);
+                }
+                if !not_disj {
+                    for w in p.all_witnesses() {
+                        let mut ch = Channel::new();
+                        assert!(!p.verify(&x, &y, &w, &mut ch), "unsound witness {w}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn non_equality_certificate_complete_and_sound() {
+        let k = 5;
+        let p = NonEqualityCertificate::new(k);
+        let f = Equality::new(k);
+        for x in BitString::enumerate_all(k) {
+            for y in BitString::enumerate_all(k) {
+                let differ = !f.eval(&x, &y);
+                assert_eq!(p.propose(&x, &y).is_some(), differ);
+                if !differ {
+                    for w in p.all_witnesses() {
+                        let mut ch = Channel::new();
+                        assert!(!p.verify(&x, &y, &w, &mut ch));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn randomized_equality_correct_on_equal_and_usually_on_unequal() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let x = BitString::random(64, &mut rng);
+        let mut ch = Channel::new();
+        assert!(randomized_equality(&x, &x.clone(), 20, &mut rng, &mut ch));
+        // Cost is tiny compared to K = 64.
+        assert!(ch.total_bits() <= 21);
+
+        let mut errors = 0;
+        for _ in 0..100 {
+            let a = BitString::random(64, &mut rng);
+            let mut b = a.clone();
+            b.set(13, !b.get(13));
+            let mut ch = Channel::new();
+            if randomized_equality(&a, &b, 20, &mut rng, &mut ch) {
+                errors += 1;
+            }
+        }
+        assert_eq!(errors, 0, "2^-20 error should not occur in 100 trials");
+    }
+}

@@ -1,0 +1,513 @@
+//! Definition 1.1 (family of lower bound graphs) and its verifier.
+
+use std::collections::{BTreeSet, HashSet};
+
+use congest_comm::bounds::theorem_1_1_round_bound;
+use congest_comm::BitString;
+use congest_graph::{DiGraph, Graph, NodeId, Weight};
+use rand::Rng;
+
+/// Graphs (directed or undirected) that can expose a canonical edge list,
+/// so the Definition 1.1 side-dependence conditions can be checked
+/// generically. Undirected edges are normalized to `u < v`; directed edges
+/// keep their orientation.
+pub trait EdgeListGraph {
+    /// Number of nodes.
+    fn num_nodes(&self) -> usize;
+    /// Canonical `(u, v, weight)` list, sorted.
+    fn edge_list(&self) -> Vec<(NodeId, NodeId, Weight)>;
+    /// Node weights (all `1` when unused).
+    fn node_weight_list(&self) -> Vec<Weight>;
+}
+
+impl EdgeListGraph for Graph {
+    fn num_nodes(&self) -> usize {
+        Graph::num_nodes(self)
+    }
+    fn edge_list(&self) -> Vec<(NodeId, NodeId, Weight)> {
+        let mut e: Vec<_> = self.edges().collect();
+        e.sort_unstable();
+        e
+    }
+    fn node_weight_list(&self) -> Vec<Weight> {
+        (0..Graph::num_nodes(self))
+            .map(|v| self.node_weight(v))
+            .collect()
+    }
+}
+
+impl EdgeListGraph for DiGraph {
+    fn num_nodes(&self) -> usize {
+        DiGraph::num_nodes(self)
+    }
+    fn edge_list(&self) -> Vec<(NodeId, NodeId, Weight)> {
+        let mut e: Vec<_> = self.edges().collect();
+        e.sort_unstable();
+        e
+    }
+    fn node_weight_list(&self) -> Vec<Weight> {
+        (0..DiGraph::num_nodes(self))
+            .map(|v| self.node_weight(v))
+            .collect()
+    }
+}
+
+/// A family of lower bound graphs with respect to a two-party function
+/// `f` and a graph predicate `P` (Definition 1.1 of the paper).
+///
+/// By the paper's convention all our families use the *intersection*
+/// function `f(x, y) = ¬DISJ(x, y)` (TRUE iff some index has
+/// `x_i = y_i = 1`), whose communication complexity equals disjointness's.
+pub trait LowerBoundFamily {
+    /// The graph type the family produces.
+    type GraphType: EdgeListGraph;
+
+    /// Human-readable name, e.g. `"MDS (Theorem 2.1)"`.
+    fn name(&self) -> String;
+
+    /// The input length `K` of each player's string.
+    fn input_len(&self) -> usize;
+
+    /// Number of vertices of every graph in the family.
+    fn num_vertices(&self) -> usize;
+
+    /// Alice's side `V_A` of the fixed partition.
+    fn alice_vertices(&self) -> Vec<NodeId>;
+
+    /// Builds `G_{x,y}`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `x` or `y` have length ≠ `input_len()`.
+    fn build(&self, x: &BitString, y: &BitString) -> Self::GraphType;
+
+    /// Decides the predicate `P` on a built graph, using an exact solver.
+    fn predicate(&self, g: &Self::GraphType) -> bool;
+
+    /// The reference function: `TRUE` iff the inputs intersect
+    /// (`¬DISJ`). Kept overridable for families over other functions.
+    fn f(&self, x: &BitString, y: &BitString) -> bool {
+        (0..self.input_len()).any(|i| x.get(i) && y.get(i))
+    }
+}
+
+/// A violation of one of Definition 1.1's conditions, found by
+/// [`verify_family`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FamilyViolation {
+    /// The vertex count changed between inputs.
+    VertexSetChanged {
+        /// Expected vertex count.
+        expected: usize,
+        /// Observed vertex count.
+        observed: usize,
+    },
+    /// An `x`-dependent difference outside `G[V_A]` (edge or node weight).
+    AliceLeak(String),
+    /// A `y`-dependent difference outside `G[V_B]`.
+    BobLeak(String),
+    /// The cut `E(V_A, V_B)` differed between two inputs.
+    CutChanged(String),
+    /// `P(G_{x,y}) ≠ f(x, y)` on some input pair.
+    PredicateMismatch {
+        /// `f(x, y)`.
+        f_value: bool,
+        /// `P(G_{x,y})`.
+        p_value: bool,
+        /// Rendering of the offending `(x, y)`.
+        inputs: String,
+    },
+}
+
+impl std::fmt::Display for FamilyViolation {
+    fn fmt(&self, fm: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FamilyViolation::VertexSetChanged { expected, observed } => {
+                write!(fm, "vertex set changed: {expected} vs {observed}")
+            }
+            FamilyViolation::AliceLeak(s) => write!(fm, "x-dependence outside G[V_A]: {s}"),
+            FamilyViolation::BobLeak(s) => write!(fm, "y-dependence outside G[V_B]: {s}"),
+            FamilyViolation::CutChanged(s) => write!(fm, "cut changed: {s}"),
+            FamilyViolation::PredicateMismatch {
+                f_value,
+                p_value,
+                inputs,
+            } => write!(
+                fm,
+                "predicate mismatch on {inputs}: f = {f_value}, P = {p_value}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FamilyViolation {}
+
+/// Measured parameters of a verified family.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FamilyReport {
+    /// Family name.
+    pub name: String,
+    /// Vertex count `n`.
+    pub n: usize,
+    /// Input length `K`.
+    pub k_input: usize,
+    /// The measured fixed cut `E(V_A, V_B)` (as vertex pairs, ignoring
+    /// orientation).
+    pub cut_edges: Vec<(NodeId, NodeId)>,
+    /// Number of input pairs on which the predicate was checked.
+    pub pairs_checked: usize,
+    /// The Theorem 1.1 round lower bound implied by the measured
+    /// parameters, `CC(f) / (|E_cut|·log n)` with `CC(f) = K + 1`.
+    pub implied_round_bound: u64,
+}
+
+impl FamilyReport {
+    /// `|E_cut|`.
+    pub fn cut_size(&self) -> usize {
+        self.cut_edges.len()
+    }
+}
+
+/// One built instance's record during verification: canonical edge list,
+/// node weights, predicate value, function value, input rendering.
+type BuildRecord = (
+    Vec<(NodeId, NodeId, Weight)>,
+    Vec<Weight>,
+    bool,
+    bool,
+    String,
+);
+
+fn undirected_cut(edges: &[(NodeId, NodeId, Weight)], in_a: &[bool]) -> BTreeSet<(NodeId, NodeId)> {
+    edges
+        .iter()
+        .filter(|&&(u, v, _)| in_a[u] != in_a[v])
+        .map(|&(u, v, _)| (u.min(v), u.max(v)))
+        .collect()
+}
+
+/// Checks Definition 1.1 on the given input pairs and reports measured
+/// parameters.
+///
+/// Conditions 2 and 3 (side-dependence) are checked pairwise: for inputs
+/// sharing the same `y`, every difference between the two edge lists (or
+/// node-weight vectors) must lie inside `G[V_A]`, and symmetrically.
+/// Condition 1 and the fixed cut are checked across all builds, and
+/// condition 4 (`P ⇔ f`) on every pair.
+///
+/// # Errors
+///
+/// Returns the first [`FamilyViolation`] encountered.
+pub fn verify_family<F: LowerBoundFamily>(
+    family: &F,
+    inputs: &[(BitString, BitString)],
+) -> Result<FamilyReport, FamilyViolation> {
+    assert!(!inputs.is_empty(), "need at least one input pair");
+    let n = family.num_vertices();
+    let mut in_a = vec![false; n];
+    for v in family.alice_vertices() {
+        in_a[v] = true;
+    }
+    let builds: Vec<BuildRecord> = inputs
+        .iter()
+        .map(|(x, y)| {
+            let g = family.build(x, y);
+            if g.num_nodes() != n {
+                return Err(FamilyViolation::VertexSetChanged {
+                    expected: n,
+                    observed: g.num_nodes(),
+                });
+            }
+            let p = family.predicate(&g);
+            let f = family.f(x, y);
+            Ok((
+                g.edge_list(),
+                g.node_weight_list(),
+                p,
+                f,
+                format!("(x={x}, y={y})"),
+            ))
+        })
+        .collect::<Result<_, _>>()?;
+
+    // Condition 4.
+    for (_, _, p, f, desc) in &builds {
+        if p != f {
+            return Err(FamilyViolation::PredicateMismatch {
+                f_value: *f,
+                p_value: *p,
+                inputs: desc.clone(),
+            });
+        }
+    }
+
+    // Fixed cut across all builds.
+    let cut0 = undirected_cut(&builds[0].0, &in_a);
+    for (edges, _, _, _, desc) in &builds[1..] {
+        let cut = undirected_cut(edges, &in_a);
+        if cut != cut0 {
+            return Err(FamilyViolation::CutChanged(desc.clone()));
+        }
+    }
+
+    // Side-dependence: compare pairs of builds with a shared x or y.
+    for (i, (xi, yi)) in inputs.iter().enumerate() {
+        for (j, (xj, yj)) in inputs.iter().enumerate().skip(i + 1) {
+            let shared_y = yi == yj;
+            let shared_x = xi == xj;
+            if !shared_x && !shared_y {
+                continue;
+            }
+            let ei: HashSet<_> = builds[i].0.iter().copied().collect();
+            let ej: HashSet<_> = builds[j].0.iter().copied().collect();
+            for &(u, v, w) in ei.symmetric_difference(&ej) {
+                let inside_a = in_a[u] && in_a[v];
+                let inside_b = !in_a[u] && !in_a[v];
+                if shared_y && !inside_a {
+                    return Err(FamilyViolation::AliceLeak(format!(
+                        "edge ({u},{v},{w}) differs between builds {i} and {j}"
+                    )));
+                }
+                if shared_x && !inside_b {
+                    return Err(FamilyViolation::BobLeak(format!(
+                        "edge ({u},{v},{w}) differs between builds {i} and {j}"
+                    )));
+                }
+            }
+            for v in 0..n {
+                if builds[i].1[v] != builds[j].1[v] {
+                    if shared_y && !in_a[v] {
+                        return Err(FamilyViolation::AliceLeak(format!(
+                            "node weight of {v} differs between builds {i} and {j}"
+                        )));
+                    }
+                    if shared_x && in_a[v] {
+                        return Err(FamilyViolation::BobLeak(format!(
+                            "node weight of {v} differs between builds {i} and {j}"
+                        )));
+                    }
+                }
+            }
+        }
+    }
+
+    let k = family.input_len();
+    let cut_edges: Vec<(NodeId, NodeId)> = cut0.into_iter().collect();
+    let implied = theorem_1_1_round_bound(k as u64 + 1, cut_edges.len() as u64, n as u64);
+    Ok(FamilyReport {
+        name: family.name(),
+        n,
+        k_input: k,
+        cut_edges,
+        pairs_checked: inputs.len(),
+        implied_round_bound: implied,
+    })
+}
+
+/// A standard input sample for family verification: the all-zeros pair
+/// (disjoint), all-ones (intersecting), a single shared index, a split
+/// (x = first half, y = second half — disjoint), plus `random_pairs`
+/// random pairs and `random_pairs` forced-disjoint random pairs, and
+/// pairs that share one `x` (resp. one `y`) to exercise the
+/// side-dependence checks.
+pub fn sample_inputs<R: Rng>(
+    k: usize,
+    random_pairs: usize,
+    rng: &mut R,
+) -> Vec<(BitString, BitString)> {
+    let mut out = Vec::new();
+    let zero = BitString::zeros(k);
+    let one = BitString::ones(k);
+    out.push((zero.clone(), zero.clone()));
+    out.push((one.clone(), one.clone()));
+    out.push((zero.clone(), one.clone()));
+    if k >= 1 {
+        let mid = BitString::from_indices(k, &[k / 2]);
+        out.push((mid.clone(), mid.clone()));
+        out.push((mid.clone(), zero.clone()));
+    }
+    if k >= 2 {
+        // Disjoint halves.
+        let first: Vec<usize> = (0..k / 2).collect();
+        let second: Vec<usize> = (k / 2..k).collect();
+        out.push((
+            BitString::from_indices(k, &first),
+            BitString::from_indices(k, &second),
+        ));
+    }
+    for _ in 0..random_pairs {
+        out.push((BitString::random(k, rng), BitString::random(k, rng)));
+    }
+    for _ in 0..random_pairs {
+        // Forced disjoint: y only where x is zero, with density 1/2.
+        let x = BitString::random(k, rng);
+        let mut y = BitString::zeros(k);
+        for i in 0..k {
+            if !x.get(i) && rng.gen_bool(0.5) {
+                y.set(i, true);
+            }
+        }
+        out.push((x, y));
+    }
+    // Shared-x and shared-y pairs for dependence checks.
+    let shared_x = BitString::random(k, rng);
+    out.push((shared_x.clone(), BitString::random(k, rng)));
+    out.push((shared_x, BitString::random(k, rng)));
+    let shared_y = BitString::random(k, rng);
+    out.push((BitString::random(k, rng), shared_y.clone()));
+    out.push((BitString::random(k, rng), shared_y));
+    out
+}
+
+/// All `2^{2K}` input pairs (exhaustive verification; only for tiny `K`).
+///
+/// # Panics
+///
+/// Panics if `k > 8`.
+pub fn all_inputs(k: usize) -> Vec<(BitString, BitString)> {
+    assert!(k <= 8, "exhaustive input enumeration limited to K <= 8");
+    let all = BitString::enumerate_all(k);
+    let mut out = Vec::with_capacity(all.len() * all.len());
+    for x in &all {
+        for y in &all {
+            out.push((x.clone(), y.clone()));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy family: two vertices per input bit... simplest correct
+    /// example: path A—B where an extra A-side edge encodes x, B-side
+    /// encodes y, and the predicate "both flags set" is read off a
+    /// triangle count. We keep it minimal: K = 1; vertices 0,1 (Alice),
+    /// 2,3 (Bob); fixed cut (1,2); x adds edge (0,1), y adds (2,3);
+    /// predicate: the graph has ≥ 3 edges.
+    struct Toy;
+
+    impl LowerBoundFamily for Toy {
+        type GraphType = Graph;
+        fn name(&self) -> String {
+            "toy".into()
+        }
+        fn input_len(&self) -> usize {
+            1
+        }
+        fn num_vertices(&self) -> usize {
+            4
+        }
+        fn alice_vertices(&self) -> Vec<NodeId> {
+            vec![0, 1]
+        }
+        fn build(&self, x: &BitString, y: &BitString) -> Graph {
+            let mut g = Graph::new(4);
+            g.add_edge(1, 2);
+            if x.get(0) {
+                g.add_edge(0, 1);
+            }
+            if y.get(0) {
+                g.add_edge(2, 3);
+            }
+            g
+        }
+        fn predicate(&self, g: &Graph) -> bool {
+            g.num_edges() >= 3
+        }
+    }
+
+    #[test]
+    fn toy_family_verifies_exhaustively() {
+        let report = verify_family(&Toy, &all_inputs(1)).expect("valid family");
+        assert_eq!(report.n, 4);
+        assert_eq!(report.cut_edges, vec![(1, 2)]);
+        assert_eq!(report.pairs_checked, 4);
+    }
+
+    /// Broken family: x affects an edge on Bob's side.
+    struct Leaky;
+    impl LowerBoundFamily for Leaky {
+        type GraphType = Graph;
+        fn name(&self) -> String {
+            "leaky".into()
+        }
+        fn input_len(&self) -> usize {
+            1
+        }
+        fn num_vertices(&self) -> usize {
+            4
+        }
+        fn alice_vertices(&self) -> Vec<NodeId> {
+            vec![0, 1]
+        }
+        fn build(&self, x: &BitString, y: &BitString) -> Graph {
+            let mut g = Graph::new(4);
+            g.add_edge(1, 2);
+            if x.get(0) {
+                g.add_edge(2, 3); // WRONG SIDE
+            }
+            if y.get(0) {
+                g.add_edge(2, 3);
+            }
+            g
+        }
+        fn predicate(&self, g: &Graph) -> bool {
+            g.num_edges() >= 2
+        }
+    }
+
+    #[test]
+    fn leak_is_detected() {
+        let err = verify_family(&Leaky, &all_inputs(1)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                FamilyViolation::AliceLeak(_) | FamilyViolation::PredicateMismatch { .. }
+            ),
+            "got {err}"
+        );
+    }
+
+    /// Broken family: predicate disagrees with f.
+    struct WrongPredicate;
+    impl LowerBoundFamily for WrongPredicate {
+        type GraphType = Graph;
+        fn name(&self) -> String {
+            "wrong".into()
+        }
+        fn input_len(&self) -> usize {
+            1
+        }
+        fn num_vertices(&self) -> usize {
+            2
+        }
+        fn alice_vertices(&self) -> Vec<NodeId> {
+            vec![0]
+        }
+        fn build(&self, _: &BitString, _: &BitString) -> Graph {
+            Graph::new(2)
+        }
+        fn predicate(&self, _: &Graph) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn predicate_mismatch_is_detected() {
+        let err = verify_family(&WrongPredicate, &all_inputs(1)).unwrap_err();
+        assert!(matches!(err, FamilyViolation::PredicateMismatch { .. }));
+    }
+
+    #[test]
+    fn sample_inputs_have_right_lengths() {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
+        let inputs = sample_inputs(9, 4, &mut rng);
+        assert!(inputs.len() >= 10);
+        for (x, y) in &inputs {
+            assert_eq!(x.len(), 9);
+            assert_eq!(y.len(), 9);
+        }
+    }
+}

@@ -1,0 +1,877 @@
+//! The directed Hamiltonian path family (Theorem 2.2, Figure 2) and its
+//! descendants: directed Hamiltonian cycle (Claim 2.6), the undirected
+//! variants via the classic reductions implemented CONGEST-efficiently
+//! (Lemmas 2.2–2.3, Theorem 2.4), and minimum 2-ECSS (Claim 2.7,
+//! Theorem 2.5).
+//!
+//! Structure of the fixed graph: `2·log k` *boxes* `C_0 … C_{2logk-1}`.
+//! Box `C_c` holds entry/return vertices `g_c, r_c` and, for each side
+//! `q ∈ {t, f}` and slot `d ∈ [k]`, a *launch* vertex `ℓ^{c,d}_q`, a
+//! *skip* vertex `σ^{c,d}_q` and a *burn* vertex `β^{c,d}_q`. The *wheel*
+//! vertex `wheel^{c,d}_q` is not a new vertex — it is a reoccurrence of a
+//! row vertex: boxes `c < log k` host the `a₁/b₁` rows (side `t` hosts the
+//! rows whose `c`-th bit is 1), boxes `c ≥ log k` host the `a₂/b₂` rows by
+//! the `(c - log k)`-th bit; slots `d < k/2` carry `a`-rows, slots
+//! `d ≥ k/2` carry `b`-rows.
+//!
+//! A Hamiltonian path must sweep every box forward on one side (choosing,
+//! per box, a bit of an index `i` for rows 1 and `j` for rows 2), return
+//! backward on the other side, and finally traverse
+//! `s¹₁ → a^i₁ → a^j₂ → s²₁ → s¹₂ → b^i₁ → b^j₂ → s²₂ → end`, which is
+//! possible **iff** `x_{(i,j)} = y_{(i,j)} = 1` (Claims 2.1–2.5 of the
+//! paper).
+
+use congest_comm::BitString;
+use congest_graph::{DiGraph, Graph, NodeId};
+use congest_solvers::hamilton::{has_directed_ham_cycle, has_directed_ham_path};
+
+use crate::LowerBoundFamily;
+
+/// The side of a box: `t` (bit = 1) or `f` (bit = 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// The `t` side — hosts rows whose relevant bit is 1.
+    T,
+    /// The `f` side — hosts rows whose relevant bit is 0.
+    F,
+}
+
+impl Side {
+    /// Both sides.
+    pub const BOTH: [Side; 2] = [Side::T, Side::F];
+
+    /// The opposite side.
+    pub fn other(self) -> Side {
+        match self {
+            Side::T => Side::F,
+            Side::F => Side::T,
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Side::T => 0,
+            Side::F => 1,
+        }
+    }
+
+    /// The bit value this side hosts.
+    pub fn bit(self) -> usize {
+        match self {
+            Side::T => 1,
+            Side::F => 0,
+        }
+    }
+}
+
+/// The Figure 2 family, parameterized by `k` (a power of two ≥ 2).
+#[derive(Debug, Clone, Copy)]
+pub struct HamPathFamily {
+    k: usize,
+    log_k: usize,
+}
+
+const N_SPECIAL: usize = 6; // start, end, s11, s21, s12, s22
+
+impl HamPathFamily {
+    /// Creates the family for row size `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is not a power of two or `k < 2`.
+    pub fn new(k: usize) -> Self {
+        assert!(
+            k >= 2 && k.is_power_of_two(),
+            "k must be a power of two >= 2"
+        );
+        HamPathFamily {
+            k,
+            log_k: k.trailing_zeros() as usize,
+        }
+    }
+
+    /// The row size `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of boxes, `2·log k`.
+    pub fn num_boxes(&self) -> usize {
+        2 * self.log_k
+    }
+
+    /// The `start` vertex.
+    pub fn start(&self) -> NodeId {
+        0
+    }
+    /// The `end` vertex.
+    pub fn end(&self) -> NodeId {
+        1
+    }
+    /// `s¹₁` (feeds the `a₁` row).
+    pub fn s11(&self) -> NodeId {
+        2
+    }
+    /// `s²₁` (collects the `a₂` row).
+    pub fn s21(&self) -> NodeId {
+        3
+    }
+    /// `s¹₂` (feeds the `b₁` row).
+    pub fn s12(&self) -> NodeId {
+        4
+    }
+    /// `s²₂` (collects the `b₂` row).
+    pub fn s22(&self) -> NodeId {
+        5
+    }
+
+    /// Row vertex `a^i₁`.
+    pub fn a1(&self, i: usize) -> NodeId {
+        assert!(i < self.k);
+        N_SPECIAL + i
+    }
+    /// Row vertex `a^i₂`.
+    pub fn a2(&self, i: usize) -> NodeId {
+        assert!(i < self.k);
+        N_SPECIAL + self.k + i
+    }
+    /// Row vertex `b^i₁`.
+    pub fn b1(&self, i: usize) -> NodeId {
+        assert!(i < self.k);
+        N_SPECIAL + 2 * self.k + i
+    }
+    /// Row vertex `b^i₂`.
+    pub fn b2(&self, i: usize) -> NodeId {
+        assert!(i < self.k);
+        N_SPECIAL + 3 * self.k + i
+    }
+
+    fn box_base(&self, c: usize) -> usize {
+        assert!(c < self.num_boxes(), "box index out of range");
+        N_SPECIAL + 4 * self.k + c * (2 + 6 * self.k)
+    }
+
+    /// Box entry vertex `g_c`.
+    pub fn g(&self, c: usize) -> NodeId {
+        self.box_base(c)
+    }
+
+    /// Box return vertex `r_c`.
+    pub fn r(&self, c: usize) -> NodeId {
+        self.box_base(c) + 1
+    }
+
+    fn slot(&self, c: usize, q: Side, d: usize, kind: usize) -> NodeId {
+        assert!(d < self.k, "slot index out of range");
+        self.box_base(c) + 2 + q.index() * 3 * self.k + d * 3 + kind
+    }
+
+    /// Launch vertex `ℓ^{c,d}_q`.
+    pub fn launch(&self, c: usize, q: Side, d: usize) -> NodeId {
+        self.slot(c, q, d, 0)
+    }
+    /// Skip vertex `σ^{c,d}_q`.
+    pub fn sigma(&self, c: usize, q: Side, d: usize) -> NodeId {
+        self.slot(c, q, d, 1)
+    }
+    /// Burn vertex `β^{c,d}_q`.
+    pub fn beta(&self, c: usize, q: Side, d: usize) -> NodeId {
+        self.slot(c, q, d, 2)
+    }
+
+    /// The wheel vertex `wheel^{c,d}_q` — a reoccurrence of a row vertex
+    /// per the paper's identification rules.
+    pub fn wheel(&self, c: usize, q: Side, d: usize) -> NodeId {
+        assert!(d < self.k, "slot index out of range");
+        let half = self.k / 2;
+        let bit_pos = if c < self.log_k { c } else { c - self.log_k };
+        // Indices in [k] whose bit_pos-th bit equals the side's bit,
+        // ascending; there are exactly k/2 of them.
+        let mut rank = 0usize;
+        let mut found = None;
+        let want = q.bit();
+        let target = if d < half { d } else { d - half };
+        for i in 0..self.k {
+            if (i >> bit_pos) & 1 == want {
+                if rank == target {
+                    found = Some(i);
+                    break;
+                }
+                rank += 1;
+            }
+        }
+        let i = found.expect("k/2 indices per bit value");
+        match (c < self.log_k, d < half) {
+            (true, true) => self.a1(i),
+            (true, false) => self.b1(i),
+            (false, true) => self.a2(i),
+            (false, false) => self.b2(i),
+        }
+    }
+
+    /// The forward target of slot `(c, d)`: `ℓ^{c,d+1}_q`, or `g_{c+1}`
+    /// after the last slot, or `r_{2logk-1}` after the last slot of the
+    /// last box.
+    pub fn forward_target(&self, c: usize, q: Side, d: usize) -> NodeId {
+        if d != self.k - 1 {
+            self.launch(c, q, d + 1)
+        } else if c != self.num_boxes() - 1 {
+            self.g(c + 1)
+        } else {
+            self.r(self.num_boxes() - 1)
+        }
+    }
+
+    /// The backward target of slot `(c, d)`: `ℓ^{c,d-1}_q`, or `r_{c-1}`
+    /// below slot 0, or `s¹₁` below slot 0 of box 0.
+    pub fn backward_target(&self, c: usize, q: Side, d: usize) -> NodeId {
+        if d != 0 {
+            self.launch(c, q, d - 1)
+        } else if c != 0 {
+            self.r(c - 1)
+        } else {
+            self.s11()
+        }
+    }
+
+    /// The fixed (input-independent) digraph.
+    pub fn fixed_graph(&self) -> DiGraph {
+        let mut g = DiGraph::new(self.num_vertices());
+        let k = self.k;
+        g.add_edge(self.start(), self.g(0));
+        for c in 0..self.num_boxes() {
+            for q in Side::BOTH {
+                g.add_edge(self.g(c), self.launch(c, q, 0));
+                g.add_edge(self.r(c), self.launch(c, q, k - 1));
+                for d in 0..k {
+                    let (l, s, b) = (
+                        self.launch(c, q, d),
+                        self.sigma(c, q, d),
+                        self.beta(c, q, d),
+                    );
+                    let w = self.wheel(c, q, d);
+                    g.add_edge(l, s);
+                    g.add_edge(l, w);
+                    g.add_edge(w, b);
+                    g.add_edge(s, b);
+                    g.add_edge(b, s);
+                    let fwd = self.forward_target(c, q, d);
+                    g.add_edge(s, fwd);
+                    g.add_edge(b, fwd);
+                    g.add_edge(b, self.backward_target(c, q, d));
+                }
+            }
+        }
+        for i in 0..k {
+            g.add_edge(self.s11(), self.a1(i));
+            g.add_edge(self.a2(i), self.s21());
+            g.add_edge(self.s12(), self.b1(i));
+            g.add_edge(self.b2(i), self.s22());
+        }
+        g.add_edge(self.s21(), self.s12());
+        g.add_edge(self.s22(), self.end());
+        g
+    }
+
+    /// The explicit Hamiltonian path of Claim 2.1 for an intersecting
+    /// index pair `(i, j)` (valid when `x_{(i,j)} = y_{(i,j)} = 1`).
+    pub fn witness_path(&self, i: usize, j: usize) -> Vec<NodeId> {
+        assert!(i < self.k && j < self.k);
+        let k = self.k;
+        let mut visited = vec![false; self.num_vertices()];
+        let mut path = Vec::with_capacity(self.num_vertices());
+        let push = |v: NodeId, visited: &mut Vec<bool>, path: &mut Vec<NodeId>| {
+            debug_assert!(!visited[v], "vertex {v} visited twice");
+            visited[v] = true;
+            path.push(v);
+        };
+        // Per-box side choices: q_c = F if the relevant bit of i (resp. j)
+        // is 1, else T.
+        let choose = |c: usize| -> Side {
+            let (idx, pos) = if c < self.log_k {
+                (i, c)
+            } else {
+                (j, c - self.log_k)
+            };
+            if (idx >> pos) & 1 == 1 {
+                Side::F
+            } else {
+                Side::T
+            }
+        };
+        push(self.start(), &mut visited, &mut path);
+        for c in 0..self.num_boxes() {
+            push(self.g(c), &mut visited, &mut path);
+            let q = choose(c);
+            for d in 0..k {
+                push(self.launch(c, q, d), &mut visited, &mut path);
+                let w = self.wheel(c, q, d);
+                if !visited[w] {
+                    // Wheel-forward-step: ℓ, wheel, β, σ.
+                    push(w, &mut visited, &mut path);
+                    push(self.beta(c, q, d), &mut visited, &mut path);
+                    push(self.sigma(c, q, d), &mut visited, &mut path);
+                } else {
+                    // Beta-forward-step: ℓ, σ, β.
+                    push(self.sigma(c, q, d), &mut visited, &mut path);
+                    push(self.beta(c, q, d), &mut visited, &mut path);
+                }
+            }
+        }
+        // Backward sweep on the unchosen sides.
+        for c in (0..self.num_boxes()).rev() {
+            push(self.r(c), &mut visited, &mut path);
+            let q = choose(c).other();
+            for d in (0..k).rev() {
+                push(self.launch(c, q, d), &mut visited, &mut path);
+                push(self.sigma(c, q, d), &mut visited, &mut path);
+                push(self.beta(c, q, d), &mut visited, &mut path);
+            }
+        }
+        for v in [
+            self.s11(),
+            self.a1(i),
+            self.a2(j),
+            self.s21(),
+            self.s12(),
+            self.b1(i),
+            self.b2(j),
+            self.s22(),
+            self.end(),
+        ] {
+            push(v, &mut visited, &mut path);
+        }
+        path
+    }
+}
+
+impl LowerBoundFamily for HamPathFamily {
+    type GraphType = DiGraph;
+
+    fn name(&self) -> String {
+        format!("Directed Hamiltonian path (Theorem 2.2), k = {}", self.k)
+    }
+
+    fn input_len(&self) -> usize {
+        self.k * self.k
+    }
+
+    fn num_vertices(&self) -> usize {
+        N_SPECIAL + 4 * self.k + self.num_boxes() * (2 + 6 * self.k)
+    }
+
+    fn alice_vertices(&self) -> Vec<NodeId> {
+        let mut va = vec![self.start(), self.s11(), self.s21()];
+        for i in 0..self.k {
+            va.push(self.a1(i));
+            va.push(self.a2(i));
+        }
+        for c in 0..self.num_boxes() {
+            va.push(self.g(c));
+            for q in Side::BOTH {
+                for d in 0..self.k / 2 {
+                    va.push(self.launch(c, q, d));
+                    va.push(self.sigma(c, q, d));
+                    va.push(self.beta(c, q, d));
+                }
+            }
+        }
+        va
+    }
+
+    fn build(&self, x: &BitString, y: &BitString) -> DiGraph {
+        let mut g = self.fixed_graph();
+        for i in 0..self.k {
+            for j in 0..self.k {
+                if x.pair(self.k, i, j) {
+                    g.add_edge(self.a1(i), self.a2(j));
+                }
+                if y.pair(self.k, i, j) {
+                    g.add_edge(self.b1(i), self.b2(j));
+                }
+            }
+        }
+        g
+    }
+
+    fn predicate(&self, g: &DiGraph) -> bool {
+        has_directed_ham_path(g)
+    }
+}
+
+/// The directed Hamiltonian *cycle* family (Claim 2.6): the path family
+/// plus a `middle` vertex with edges `(middle, start)` and
+/// `(end, middle)`.
+#[derive(Debug, Clone, Copy)]
+pub struct HamCycleFamily {
+    inner: HamPathFamily,
+}
+
+impl HamCycleFamily {
+    /// Creates the family for row size `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is not a power of two or `k < 2`.
+    pub fn new(k: usize) -> Self {
+        HamCycleFamily {
+            inner: HamPathFamily::new(k),
+        }
+    }
+
+    /// The underlying path family.
+    pub fn path_family(&self) -> &HamPathFamily {
+        &self.inner
+    }
+
+    /// The `middle` vertex.
+    pub fn middle(&self) -> NodeId {
+        self.inner.num_vertices()
+    }
+}
+
+impl LowerBoundFamily for HamCycleFamily {
+    type GraphType = DiGraph;
+
+    fn name(&self) -> String {
+        format!(
+            "Directed Hamiltonian cycle (Theorem 2.3), k = {}",
+            self.inner.k()
+        )
+    }
+
+    fn input_len(&self) -> usize {
+        self.inner.input_len()
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.inner.num_vertices() + 1
+    }
+
+    fn alice_vertices(&self) -> Vec<NodeId> {
+        let mut va = self.inner.alice_vertices();
+        va.push(self.middle());
+        va
+    }
+
+    fn build(&self, x: &BitString, y: &BitString) -> DiGraph {
+        let base = self.inner.build(x, y);
+        let mut g = DiGraph::new(self.num_vertices());
+        for (u, v, w) in base.edges() {
+            g.add_weighted_edge(u, v, w);
+        }
+        g.add_edge(self.middle(), self.inner.start());
+        g.add_edge(self.inner.end(), self.middle());
+        g
+    }
+
+    fn predicate(&self, g: &DiGraph) -> bool {
+        has_directed_ham_cycle(g)
+    }
+}
+
+/// Lemma 2.2's reduction graph: directed Hamiltonian cycle → undirected
+/// Hamiltonian cycle via the classic `v_in / v_mid / v_out` split. Node
+/// `v` becomes `3v` (in), `3v+1` (mid), `3v+2` (out); each directed edge
+/// `(u, v)` becomes the undirected edge `(u_out, v_in)`.
+pub fn directed_to_undirected_cycle(g: &DiGraph) -> Graph {
+    let n = g.num_nodes();
+    let mut h = Graph::new(3 * n);
+    for v in 0..n {
+        h.add_edge(3 * v, 3 * v + 1);
+        h.add_edge(3 * v + 1, 3 * v + 2);
+    }
+    for (u, v, _) in g.edges() {
+        h.add_edge(3 * u + 2, 3 * v);
+    }
+    h
+}
+
+/// Inverts [`directed_to_undirected_cycle`]: recovers the directed graph
+/// from a reduction image (edge `(3u+2, 3v)` ↦ directed edge `(u, v)`).
+///
+/// # Panics
+///
+/// Panics if the graph is not a reduction image (vertex count not a
+/// multiple of 3, or an edge not of the `in/mid/out` pattern).
+pub fn undirected_cycle_reduction_preimage(h: &Graph) -> DiGraph {
+    assert_eq!(h.num_nodes() % 3, 0, "not a reduction image");
+    let n = h.num_nodes() / 3;
+    let mut g = DiGraph::new(n);
+    for (a, b, _) in h.edges() {
+        let (a, b) = (a.min(b), a.max(b));
+        if a % 3 == 0 && b == a + 1 {
+            continue; // in–mid
+        }
+        if a % 3 == 1 && b == a + 1 {
+            continue; // mid–out
+        }
+        if a % 3 == 0 && b % 3 == 2 {
+            g.add_edge(b / 3, a / 3);
+        } else if a % 3 == 2 && b % 3 == 0 {
+            g.add_edge(a / 3, b / 3);
+        } else {
+            panic!("edge ({a},{b}) violates the in/mid/out pattern");
+        }
+    }
+    g
+}
+
+/// Lemma 2.3's reduction graph: undirected Hamiltonian cycle →
+/// undirected Hamiltonian path by splitting vertex `v` into `v₁, v₂` and
+/// attaching pendant endpoints `s, t`. Vertex ids: original vertices keep
+/// their ids with `v` reused as `v₁`; `v₂ = n`, `s = n+1`, `t = n+2`.
+pub fn cycle_to_path_graph(g: &Graph, v: NodeId) -> Graph {
+    let n = g.num_nodes();
+    let mut h = Graph::new(n + 3);
+    let v2 = n;
+    let s = n + 1;
+    let t = n + 2;
+    for (a, b, w) in g.edges() {
+        if a != v && b != v {
+            h.add_weighted_edge(a, b, w);
+        }
+    }
+    for &u in g.neighbors(v) {
+        h.add_edge(v, u); // v plays v₁
+        h.add_edge(v2, u);
+    }
+    h.add_edge(s, v);
+    h.add_edge(v2, t);
+    h
+}
+
+/// The undirected Hamiltonian cycle family (Theorem 2.4): Lemma 2.2's
+/// reduction applied to [`HamCycleFamily`]. Every vertex of the directed
+/// family is tripled on its own player's side, so the partition and the
+/// `O(log k)` cut carry over (Theorem 2.6's conditions).
+#[derive(Debug, Clone, Copy)]
+pub struct UndirectedHamCycleFamily {
+    inner: HamCycleFamily,
+}
+
+impl UndirectedHamCycleFamily {
+    /// Creates the family for row size `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is not a power of two or `k < 2`.
+    pub fn new(k: usize) -> Self {
+        UndirectedHamCycleFamily {
+            inner: HamCycleFamily::new(k),
+        }
+    }
+
+    /// The underlying directed-cycle family.
+    pub fn directed_family(&self) -> &HamCycleFamily {
+        &self.inner
+    }
+}
+
+impl LowerBoundFamily for UndirectedHamCycleFamily {
+    type GraphType = Graph;
+
+    fn name(&self) -> String {
+        format!(
+            "Undirected Hamiltonian cycle (Theorem 2.4), k = {}",
+            self.inner.path_family().k()
+        )
+    }
+
+    fn input_len(&self) -> usize {
+        self.inner.input_len()
+    }
+
+    fn num_vertices(&self) -> usize {
+        3 * self.inner.num_vertices()
+    }
+
+    fn alice_vertices(&self) -> Vec<NodeId> {
+        self.inner
+            .alice_vertices()
+            .into_iter()
+            .flat_map(|v| [3 * v, 3 * v + 1, 3 * v + 2])
+            .collect()
+    }
+
+    fn build(&self, x: &BitString, y: &BitString) -> Graph {
+        directed_to_undirected_cycle(&self.inner.build(x, y))
+    }
+
+    /// Decided through Lemma 2.2: the reduction image has an undirected
+    /// Hamiltonian cycle iff its directed preimage has one. The
+    /// equivalence itself is validated independently (against the generic
+    /// undirected solver) on random digraphs in this module's tests; the
+    /// generic solver cannot explore the 129-vertex image directly in
+    /// reasonable time because it does not exploit the forced
+    /// `in → mid → out` orientation.
+    fn predicate(&self, g: &Graph) -> bool {
+        has_directed_ham_cycle(&undirected_cycle_reduction_preimage(g))
+    }
+}
+
+/// The minimum 2-ECSS family (Theorem 2.5): same graphs as
+/// [`UndirectedHamCycleFamily`], predicate "there is a spanning
+/// 2-edge-connected subgraph with exactly `n` edges", which by Claim 2.7
+/// is equivalent to Hamiltonicity.
+#[derive(Debug, Clone, Copy)]
+pub struct TwoEcssFamily {
+    inner: UndirectedHamCycleFamily,
+}
+
+impl TwoEcssFamily {
+    /// Creates the family for row size `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is not a power of two or `k < 2`.
+    pub fn new(k: usize) -> Self {
+        TwoEcssFamily {
+            inner: UndirectedHamCycleFamily::new(k),
+        }
+    }
+
+    /// The underlying undirected Hamiltonian-cycle family.
+    pub fn cycle_family(&self) -> &UndirectedHamCycleFamily {
+        &self.inner
+    }
+}
+
+impl LowerBoundFamily for TwoEcssFamily {
+    type GraphType = Graph;
+
+    fn name(&self) -> String {
+        format!(
+            "Minimum 2-ECSS (Theorem 2.5), k = {}",
+            self.inner.directed_family().path_family().k()
+        )
+    }
+
+    fn input_len(&self) -> usize {
+        self.inner.input_len()
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.inner.num_vertices()
+    }
+
+    fn alice_vertices(&self) -> Vec<NodeId> {
+        self.inner.alice_vertices()
+    }
+
+    fn build(&self, x: &BitString, y: &BitString) -> Graph {
+        self.inner.build(x, y)
+    }
+
+    /// Decided via Claim 2.7 (an `n`-edge spanning 2-ECSS is a
+    /// Hamiltonian cycle — the equivalence is independently verified by
+    /// brute force in `congest_solvers::two_ecss`) composed with
+    /// Lemma 2.2's preimage equivalence, as for
+    /// [`UndirectedHamCycleFamily`].
+    fn predicate(&self, g: &Graph) -> bool {
+        has_directed_ham_cycle(&undirected_cycle_reduction_preimage(g))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::family::{all_inputs, verify_family};
+    use congest_solvers::hamilton::has_ham_cycle;
+    use congest_solvers::hamilton::{
+        find_directed_ham_path, held_karp_directed_ham_path, is_directed_ham_path,
+    };
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn vertex_layout_is_a_bijection() {
+        let fam = HamPathFamily::new(4);
+        let n = fam.num_vertices();
+        let mut seen = vec![false; n];
+        let mut mark = |v: usize| {
+            assert!(!seen[v], "vertex {v} assigned twice");
+            seen[v] = true;
+        };
+        for v in [
+            fam.start(),
+            fam.end(),
+            fam.s11(),
+            fam.s21(),
+            fam.s12(),
+            fam.s22(),
+        ] {
+            mark(v);
+        }
+        for i in 0..4 {
+            mark(fam.a1(i));
+            mark(fam.a2(i));
+            mark(fam.b1(i));
+            mark(fam.b2(i));
+        }
+        for c in 0..fam.num_boxes() {
+            mark(fam.g(c));
+            mark(fam.r(c));
+            for q in Side::BOTH {
+                for d in 0..4 {
+                    mark(fam.launch(c, q, d));
+                    mark(fam.sigma(c, q, d));
+                    mark(fam.beta(c, q, d));
+                }
+            }
+        }
+        assert!(seen.into_iter().all(|s| s), "layout covers all ids");
+    }
+
+    #[test]
+    fn wheels_cover_every_row_once_per_box() {
+        let fam = HamPathFamily::new(8);
+        for c in 0..fam.num_boxes() {
+            let mut wheels: Vec<NodeId> = Vec::new();
+            for q in Side::BOTH {
+                for d in 0..8 {
+                    wheels.push(fam.wheel(c, q, d));
+                }
+            }
+            wheels.sort_unstable();
+            wheels.dedup();
+            // Each box's 2k wheel slots cover 2k distinct row vertices
+            // (the k rows of layer 1 or 2 on both A and B sides).
+            assert_eq!(wheels.len(), 16, "box {c}");
+        }
+    }
+
+    #[test]
+    fn witness_path_is_hamiltonian() {
+        for k in [2usize, 4] {
+            let fam = HamPathFamily::new(k);
+            for (i, j) in [(0, 0), (1, 0), (k - 1, k - 1), (0, k - 1)] {
+                let mut x = BitString::zeros(k * k);
+                let mut y = BitString::zeros(k * k);
+                x.set_pair(k, i, j, true);
+                y.set_pair(k, i, j, true);
+                let g = fam.build(&x, &y);
+                let path = fam.witness_path(i, j);
+                assert!(
+                    is_directed_ham_path(&g, &path),
+                    "witness invalid for k={k}, (i,j)=({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn family_verifies_exhaustively_for_k_2() {
+        let fam = HamPathFamily::new(2);
+        let report = verify_family(&fam, &all_inputs(4)).expect("Claims 2.1-2.5");
+        assert_eq!(report.n, 42);
+        assert!(report.cut_size() <= 30, "cut {}", report.cut_size());
+        assert_eq!(report.pairs_checked, 256);
+    }
+
+    #[test]
+    fn cycle_family_verifies_exhaustively_for_k_2() {
+        let fam = HamCycleFamily::new(2);
+        let report = verify_family(&fam, &all_inputs(4)).expect("Claim 2.6");
+        assert_eq!(report.n, 43);
+    }
+
+    #[test]
+    fn k4_yes_and_no_instances() {
+        let fam = HamPathFamily::new(4);
+        let mut x = BitString::zeros(16);
+        let mut y = BitString::zeros(16);
+        x.set_pair(4, 2, 1, true);
+        y.set_pair(4, 2, 1, true);
+        let g = fam.build(&x, &y);
+        let p = find_directed_ham_path(&g).expect("intersecting -> path");
+        assert!(is_directed_ham_path(&g, &p));
+        // Disjoint inputs: no path.
+        y.set_pair(4, 2, 1, false);
+        y.set_pair(4, 1, 2, true);
+        let g = fam.build(&x, &y);
+        assert!(!has_directed_ham_path(&g));
+    }
+
+    #[test]
+    fn lemma_2_2_reduction_preserves_hamiltonicity() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut both = [false, false];
+        for _ in 0..40 {
+            let n = 6;
+            let mut g = DiGraph::new(n);
+            for u in 0..n {
+                for v in 0..n {
+                    if u != v && rng.gen_bool(0.35) {
+                        g.add_edge(u, v);
+                    }
+                }
+            }
+            let directed = has_directed_ham_cycle(&g);
+            let undirected = has_ham_cycle(&directed_to_undirected_cycle(&g));
+            assert_eq!(directed, undirected);
+            both[usize::from(directed)] = true;
+        }
+        assert_eq!(both, [true, true], "need both outcomes exercised");
+    }
+
+    #[test]
+    fn lemma_2_3_reduction_preserves_hamiltonicity() {
+        use congest_solvers::hamilton::has_ham_path;
+        let mut rng = StdRng::seed_from_u64(24);
+        let mut both = [false, false];
+        for _ in 0..40 {
+            let g = congest_graph::generators::gnp(7, 0.45, &mut rng);
+            if g.degree(0) == 0 {
+                continue;
+            }
+            let cycle = has_ham_cycle(&g);
+            let path = has_ham_path(&cycle_to_path_graph(&g, 0));
+            assert_eq!(cycle, path);
+            both[usize::from(cycle)] = true;
+        }
+        assert_eq!(both, [true, true], "need both outcomes exercised");
+    }
+
+    #[test]
+    fn undirected_and_two_ecss_families_on_selected_inputs() {
+        // The 129-vertex reduction graphs are too heavy for exhaustive
+        // (x, y) sweeps; verify Definition 1.1 on a structured sample.
+        let fam = UndirectedHamCycleFamily::new(2);
+        let ecss = TwoEcssFamily::new(2);
+        let mut inputs = Vec::new();
+        let zero = BitString::zeros(4);
+        let mut hit = BitString::zeros(4);
+        hit.set_pair(2, 1, 0, true);
+        inputs.push((zero.clone(), zero.clone()));
+        inputs.push((hit.clone(), hit.clone()));
+        inputs.push((hit.clone(), zero.clone()));
+        inputs.push((BitString::ones(4), BitString::ones(4)));
+        let r1 = verify_family(&fam, &inputs).expect("Theorem 2.4 family");
+        assert_eq!(r1.n, 129);
+        let r2 = verify_family(&ecss, &inputs).expect("Theorem 2.5 family");
+        assert_eq!(r2.n, 129);
+    }
+
+    #[test]
+    fn backtracker_agrees_with_held_karp_on_tiny_box_like_graphs() {
+        // Sanity for the solver on gadget-shaped graphs: chains of
+        // diamond gadgets with optional shortcuts.
+        let mut rng = StdRng::seed_from_u64(25);
+        for _ in 0..20 {
+            let n = 12;
+            let mut g = DiGraph::new(n);
+            for v in 0..n - 1 {
+                g.add_edge(v, v + 1);
+            }
+            for _ in 0..6 {
+                let u = rng.gen_range(0..n);
+                let v = rng.gen_range(0..n);
+                if u != v && !g.has_edge(u, v) {
+                    g.add_edge(u, v);
+                }
+            }
+            assert_eq!(has_directed_ham_path(&g), held_karp_directed_ham_path(&g));
+        }
+    }
+}

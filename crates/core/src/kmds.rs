@@ -1,0 +1,329 @@
+//! Hardness of approximating weighted `k`-MDS (Sections 4.2–4.3,
+//! Figure 5; Theorems 4.4–4.5).
+//!
+//! Built over an [`CoveringCollection`] with the `r`-covering property:
+//! element pairs `(a_j, b_j)` joined by an edge, set vertices `S_i`
+//! (adjacent to `a_j` for `j ∈ S_i`) and `S̄_i` (adjacent to `b_j` for
+//! `j ∉ S_i`), anchors `a, b` and a free root `R`. Inputs only change
+//! *node weights*: `S_i` costs 1 if `x_i = 1` and `α > r` otherwise
+//! (symmetrically for `S̄_i` and `y`).
+//!
+//! **Lemma 4.3**: if the inputs intersect at `i`, `{S_i, S̄_i}` (+ the
+//! free `R`) is a 2-dominating set of weight 2; if they are disjoint,
+//! every 2-dominating set weighs more than `r` — a `Θ(log ℓ)`
+//! multiplicative gap, which is what rules out `O(log n)`-approximations.
+//!
+//! For `k > 2` (Theorem 4.5), each set–element edge is subdivided into a
+//! path of `k-1` edges through fresh weight-`α` vertices; the same
+//! argument gives the same gap for `k`-domination.
+
+use congest_codes::CoveringCollection;
+use congest_comm::BitString;
+use congest_graph::{Graph, NodeId, Weight};
+use congest_solvers::mds::min_weight_k_dominating_set;
+
+use crate::LowerBoundFamily;
+
+/// The Figure 5 family for `k`-MDS (`k ≥ 2`).
+#[derive(Debug, Clone)]
+pub struct KmdsFamily {
+    collection: CoveringCollection,
+    k: usize,
+    alpha: Weight,
+    /// Path interior vertices: `interior[(side, i, j)] -> Vec<NodeId>`.
+    a_paths: Vec<Vec<Vec<NodeId>>>,
+    b_paths: Vec<Vec<Vec<NodeId>>>,
+    n: usize,
+}
+
+impl KmdsFamily {
+    /// Creates the family over a verified covering collection for
+    /// `k`-domination.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2`, or the collection fails its own `r`-covering
+    /// verification, or `r < 2`.
+    pub fn new(collection: CoveringCollection, k: usize) -> Self {
+        assert!(k >= 2, "k-MDS needs k >= 2");
+        assert!(collection.r() >= 2, "need covering parameter r >= 2");
+        assert!(
+            collection.verify_r_covering(),
+            "collection must satisfy the r-covering property"
+        );
+        let alpha = collection.r() as Weight + 1;
+        let t = collection.num_sets();
+        let l = collection.universe();
+        // Fixed ids: a_j: j, b_j: ℓ+j, S_i: 2ℓ+i, S̄_i: 2ℓ+T+i,
+        // a: 2ℓ+2T, b: +1, R: +2, then path interiors.
+        let mut n = 2 * l + 2 * t + 3;
+        let mut a_paths = vec![vec![Vec::new(); l]; t];
+        let mut b_paths = vec![vec![Vec::new(); l]; t];
+        for i in 0..t {
+            for j in 0..l {
+                if collection.contains(i, j) {
+                    for _ in 0..k.saturating_sub(2) {
+                        a_paths[i][j].push(n);
+                        n += 1;
+                    }
+                }
+                if collection.complement_contains(i, j) {
+                    for _ in 0..k.saturating_sub(2) {
+                        b_paths[i][j].push(n);
+                        n += 1;
+                    }
+                }
+            }
+        }
+        KmdsFamily {
+            collection,
+            k,
+            alpha,
+            a_paths,
+            b_paths,
+            n,
+        }
+    }
+
+    /// The covering collection.
+    pub fn collection(&self) -> &CoveringCollection {
+        &self.collection
+    }
+
+    /// The domination radius `k`.
+    pub fn radius(&self) -> usize {
+        self.k
+    }
+
+    /// The heavy weight `α = r + 1`.
+    pub fn alpha(&self) -> Weight {
+        self.alpha
+    }
+
+    /// Element vertex `a_j`.
+    pub fn a_elem(&self, j: usize) -> NodeId {
+        assert!(j < self.collection.universe());
+        j
+    }
+    /// Element vertex `b_j`.
+    pub fn b_elem(&self, j: usize) -> NodeId {
+        assert!(j < self.collection.universe());
+        self.collection.universe() + j
+    }
+    /// Set vertex `S_i`.
+    pub fn set_vertex(&self, i: usize) -> NodeId {
+        assert!(i < self.collection.num_sets());
+        2 * self.collection.universe() + i
+    }
+    /// Complement-set vertex `S̄_i`.
+    pub fn cset_vertex(&self, i: usize) -> NodeId {
+        assert!(i < self.collection.num_sets());
+        2 * self.collection.universe() + self.collection.num_sets() + i
+    }
+    /// Anchor `a`.
+    pub fn anchor_a(&self) -> NodeId {
+        2 * self.collection.universe() + 2 * self.collection.num_sets()
+    }
+    /// Anchor `b`.
+    pub fn anchor_b(&self) -> NodeId {
+        self.anchor_a() + 1
+    }
+    /// The free root `R`.
+    pub fn root(&self) -> NodeId {
+        self.anchor_a() + 2
+    }
+
+    fn add_path(g: &mut Graph, from: NodeId, interior: &[NodeId], to: NodeId, w: Weight) {
+        let mut prev = from;
+        for &v in interior {
+            g.add_edge(prev, v);
+            g.set_node_weight(v, w);
+            prev = v;
+        }
+        g.add_edge(prev, to);
+    }
+
+    /// The fixed graph (edges never depend on inputs; only weights do).
+    pub fn fixed_graph(&self) -> Graph {
+        let l = self.collection.universe();
+        let t = self.collection.num_sets();
+        let mut g = Graph::new(self.n);
+        for j in 0..l {
+            g.add_edge(self.a_elem(j), self.b_elem(j));
+            g.set_node_weight(self.a_elem(j), self.alpha);
+            g.set_node_weight(self.b_elem(j), self.alpha);
+        }
+        for i in 0..t {
+            g.add_edge(self.anchor_a(), self.set_vertex(i));
+            g.add_edge(self.anchor_b(), self.cset_vertex(i));
+            for j in 0..l {
+                if self.collection.contains(i, j) {
+                    Self::add_path(
+                        &mut g,
+                        self.set_vertex(i),
+                        &self.a_paths[i][j],
+                        self.a_elem(j),
+                        self.alpha,
+                    );
+                }
+                if self.collection.complement_contains(i, j) {
+                    Self::add_path(
+                        &mut g,
+                        self.cset_vertex(i),
+                        &self.b_paths[i][j],
+                        self.b_elem(j),
+                        self.alpha,
+                    );
+                }
+            }
+        }
+        g.set_node_weight(self.anchor_a(), self.alpha);
+        g.set_node_weight(self.anchor_b(), self.alpha);
+        g.add_edge(self.root(), self.anchor_a());
+        g.add_edge(self.root(), self.anchor_b());
+        g.set_node_weight(self.root(), 0);
+        g
+    }
+}
+
+impl LowerBoundFamily for KmdsFamily {
+    type GraphType = Graph;
+
+    fn name(&self) -> String {
+        format!(
+            "Weighted {}-MDS gap (Theorems 4.4/4.5), T = {}, ℓ = {}, r = {}",
+            self.k,
+            self.collection.num_sets(),
+            self.collection.universe(),
+            self.collection.r()
+        )
+    }
+
+    fn input_len(&self) -> usize {
+        self.collection.num_sets()
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    fn alice_vertices(&self) -> Vec<NodeId> {
+        let l = self.collection.universe();
+        let t = self.collection.num_sets();
+        let mut va: Vec<NodeId> = (0..l).map(|j| self.a_elem(j)).collect();
+        va.extend((0..t).map(|i| self.set_vertex(i)));
+        va.push(self.anchor_a());
+        for i in 0..t {
+            for j in 0..l {
+                va.extend(self.a_paths[i][j].iter().copied());
+            }
+        }
+        va
+    }
+
+    fn build(&self, x: &BitString, y: &BitString) -> Graph {
+        let t = self.collection.num_sets();
+        assert_eq!(x.len(), t, "x has wrong length");
+        assert_eq!(y.len(), t, "y has wrong length");
+        let mut g = self.fixed_graph();
+        for i in 0..t {
+            g.set_node_weight(self.set_vertex(i), if x.get(i) { 1 } else { self.alpha });
+            g.set_node_weight(self.cset_vertex(i), if y.get(i) { 1 } else { self.alpha });
+        }
+        g
+    }
+
+    /// Lemma 4.3 / 4.4: a `k`-dominating set of weight ≤ 2 exists iff the
+    /// inputs intersect.
+    fn predicate(&self, g: &Graph) -> bool {
+        min_weight_k_dominating_set(g, self.k).weight <= 2
+    }
+}
+
+/// The Lemma 4.3 witness: `{R, S_i, S̄_i}` for an intersecting index `i`.
+pub fn witness_k_dominating_set(fam: &KmdsFamily, i: usize) -> Vec<NodeId> {
+    vec![fam.root(), fam.set_vertex(i), fam.cset_vertex(i)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::family::verify_family;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn collection() -> CoveringCollection {
+        let mut rng = StdRng::seed_from_u64(2024);
+        CoveringCollection::random_verified(6, 10, 2, 0.2, 20_000, &mut rng)
+            .expect("2-covering collection at T=6, ℓ=10")
+    }
+
+    fn inputs(t: usize) -> Vec<(BitString, BitString)> {
+        let zero = BitString::zeros(t);
+        let one = BitString::ones(t);
+        let hit = BitString::from_indices(t, &[t - 1]);
+        let x_half = BitString::from_indices(t, &[0, 1]);
+        let y_half = BitString::from_indices(t, &[2, 3]);
+        vec![
+            (zero.clone(), zero.clone()),
+            (one.clone(), one.clone()),
+            (zero.clone(), one.clone()),
+            (hit.clone(), hit.clone()),
+            (x_half.clone(), y_half.clone()),
+            (hit.clone(), zero.clone()),
+            (x_half, one),
+            (zero, y_half),
+        ]
+    }
+
+    #[test]
+    fn two_mds_family_verifies() {
+        let fam = KmdsFamily::new(collection(), 2);
+        let report = verify_family(&fam, &inputs(6)).expect("Lemma 4.3");
+        // Cut: the ℓ element-pair edges plus (R, a).
+        assert_eq!(report.cut_size(), 11);
+        assert_eq!(report.n, 2 * 10 + 2 * 6 + 3);
+    }
+
+    #[test]
+    fn three_mds_family_verifies() {
+        let fam = KmdsFamily::new(collection(), 3);
+        let report = verify_family(&fam, &inputs(6)).expect("Lemma 4.4");
+        assert_eq!(report.cut_size(), 11);
+        assert!(report.n > 2 * 10 + 2 * 6 + 3, "paths add interior vertices");
+    }
+
+    #[test]
+    fn witness_dominates_at_weight_two() {
+        let fam = KmdsFamily::new(collection(), 2);
+        let t = 6;
+        let hit = BitString::from_indices(t, &[3]);
+        let g = fam.build(&hit, &hit);
+        let w = witness_k_dominating_set(&fam, 3);
+        assert!(g.is_k_dominating_set(&w, 2));
+        assert_eq!(g.node_set_weight(&w), 2);
+    }
+
+    #[test]
+    fn disjoint_inputs_cost_more_than_r() {
+        let fam = KmdsFamily::new(collection(), 2);
+        let t = 6;
+        let x = BitString::from_indices(t, &[0, 2, 4]);
+        let y = BitString::from_indices(t, &[1, 3, 5]);
+        let g = fam.build(&x, &y);
+        let opt = min_weight_k_dominating_set(&g, 2).weight;
+        assert!(
+            opt > fam.collection().r() as Weight,
+            "gap: opt {opt} vs r {}",
+            fam.collection().r()
+        );
+    }
+
+    #[test]
+    fn gap_ratio_is_at_least_r_over_two() {
+        // The inapproximability ratio the family certifies.
+        let fam = KmdsFamily::new(collection(), 2);
+        let ratio = (fam.collection().r() as f64 + 1.0) / 2.0;
+        assert!(ratio >= 1.5);
+    }
+}

@@ -1,0 +1,295 @@
+//! The MVC / MaxIS lower bound family of Censor-Hillel, Khoury and Paz
+//! \[10\] — the substrate Section 3 of the paper builds its bounded-degree
+//! reduction on.
+//!
+//! This is a faithful reconstruction in the style of \[10\] with the
+//! properties Section 3 consumes (the paper only cites the construction):
+//!
+//! * `n_G = Θ(k)` vertices, cut `Θ(log k)`, constant diameter (once the
+//!   inputs connect the sides);
+//! * `α(G_{x,y}) = Z` iff the inputs intersect, for the fixed value
+//!   `Z = 4 + 4·log k`; when the inputs are disjoint, `α < Z`;
+//! * all row vertices have degree `Θ(k)` (rows are cliques).
+//!
+//! Construction: rows `A₁, A₂, B₁, B₂` of `k` vertices, each a clique.
+//! Bit gadget: pairs `(f^h_S, t^h_S)` per row `S` and bit `h`, joined by
+//! an edge; row vertex `s^i` is joined to the *negation* of its binary
+//! encoding (`f^h` if bit `h` of `i` is 1, `t^h` if it is 0), so an
+//! independent set containing `s^i` must pick the encoding of `i` in the
+//! gadget. Cross edges `(f^h_{Aℓ}, t^h_{Bℓ})` and `(t^h_{Aℓ}, f^h_{Bℓ})`
+//! force the `A`- and `B`-side gadget choices to coincide. Alice adds the
+//! *blocking* edge `(a^i₁, a^j₂)` iff `x_{(i,j)} = 0` (and Bob
+//! symmetrically), so all four rows can contribute to an independent set
+//! only at a common intersecting index pair.
+
+use congest_comm::BitString;
+use congest_graph::{Graph, NodeId};
+use congest_solvers::mis::independence_number;
+
+use crate::mds::RowSet;
+use crate::LowerBoundFamily;
+
+/// The reconstructed \[10\] family, parameterized by `k` (a power of two).
+#[derive(Debug, Clone, Copy)]
+pub struct MvcMaxIsFamily {
+    k: usize,
+    log_k: usize,
+}
+
+impl MvcMaxIsFamily {
+    /// Creates the family for row size `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is not a power of two or `k < 2`.
+    pub fn new(k: usize) -> Self {
+        assert!(
+            k >= 2 && k.is_power_of_two(),
+            "k must be a power of two >= 2"
+        );
+        MvcMaxIsFamily {
+            k,
+            log_k: k.trailing_zeros() as usize,
+        }
+    }
+
+    /// The row size `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// `log₂ k`.
+    pub fn log_k(&self) -> usize {
+        self.log_k
+    }
+
+    /// The MaxIS target `Z = 4 + 4·log k`.
+    pub fn target_alpha(&self) -> usize {
+        4 + 4 * self.log_k
+    }
+
+    /// The MVC target `n − Z`.
+    pub fn target_vc(&self) -> usize {
+        self.num_vertices() - self.target_alpha()
+    }
+
+    /// Row vertex `s^i`.
+    pub fn row(&self, s: RowSet, i: usize) -> NodeId {
+        assert!(i < self.k, "row index out of range");
+        row_set_index(s) * self.k + i
+    }
+
+    /// Gadget vertex `f^h_S`.
+    pub fn f(&self, s: RowSet, h: usize) -> NodeId {
+        assert!(h < self.log_k, "bit index out of range");
+        4 * self.k + row_set_index(s) * 2 * self.log_k + h
+    }
+
+    /// Gadget vertex `t^h_S`.
+    pub fn t(&self, s: RowSet, h: usize) -> NodeId {
+        assert!(h < self.log_k, "bit index out of range");
+        4 * self.k + row_set_index(s) * 2 * self.log_k + self.log_k + h
+    }
+
+    /// The gadget vertices encoding `i`: `t^h` where bit `h` is 1, `f^h`
+    /// where it is 0. An independent set containing `s^i` can take exactly
+    /// these.
+    pub fn encoding(&self, s: RowSet, i: usize) -> Vec<NodeId> {
+        (0..self.log_k)
+            .map(|h| {
+                if (i >> h) & 1 == 1 {
+                    self.t(s, h)
+                } else {
+                    self.f(s, h)
+                }
+            })
+            .collect()
+    }
+
+    /// The input-independent part.
+    pub fn fixed_graph(&self) -> Graph {
+        let mut g = Graph::new(self.num_vertices());
+        // Rows are cliques.
+        for s in RowSet::ALL {
+            for i in 0..self.k {
+                for j in (i + 1)..self.k {
+                    g.add_edge(self.row(s, i), self.row(s, j));
+                }
+            }
+        }
+        for s in RowSet::ALL {
+            for h in 0..self.log_k {
+                // Pair edge.
+                g.add_edge(self.f(s, h), self.t(s, h));
+            }
+            // Row-to-gadget: s^i is adjacent to the negation of its
+            // encoding.
+            for i in 0..self.k {
+                for h in 0..self.log_k {
+                    let v = if (i >> h) & 1 == 1 {
+                        self.f(s, h)
+                    } else {
+                        self.t(s, h)
+                    };
+                    g.add_edge(self.row(s, i), v);
+                }
+            }
+        }
+        // Cross edges forcing equal A/B gadget choices.
+        for (sa, sb) in [(RowSet::A1, RowSet::B1), (RowSet::A2, RowSet::B2)] {
+            for h in 0..self.log_k {
+                g.add_edge(self.f(sa, h), self.t(sb, h));
+                g.add_edge(self.t(sa, h), self.f(sb, h));
+            }
+        }
+        g
+    }
+
+    /// The Lemma-style witness independent set for an intersecting pair
+    /// `(i, j)`.
+    pub fn witness_independent_set(&self, i: usize, j: usize) -> Vec<NodeId> {
+        let mut set = vec![
+            self.row(RowSet::A1, i),
+            self.row(RowSet::B1, i),
+            self.row(RowSet::A2, j),
+            self.row(RowSet::B2, j),
+        ];
+        set.extend(self.encoding(RowSet::A1, i));
+        set.extend(self.encoding(RowSet::B1, i));
+        set.extend(self.encoding(RowSet::A2, j));
+        set.extend(self.encoding(RowSet::B2, j));
+        set
+    }
+}
+
+fn row_set_index(s: RowSet) -> usize {
+    match s {
+        RowSet::A1 => 0,
+        RowSet::A2 => 1,
+        RowSet::B1 => 2,
+        RowSet::B2 => 3,
+    }
+}
+
+impl LowerBoundFamily for MvcMaxIsFamily {
+    type GraphType = Graph;
+
+    fn name(&self) -> String {
+        format!("MaxIS/MVC ([10] reconstruction), k = {}", self.k)
+    }
+
+    fn input_len(&self) -> usize {
+        self.k * self.k
+    }
+
+    fn num_vertices(&self) -> usize {
+        4 * self.k + 8 * self.log_k
+    }
+
+    fn alice_vertices(&self) -> Vec<NodeId> {
+        let mut va = Vec::new();
+        for s in [RowSet::A1, RowSet::A2] {
+            for i in 0..self.k {
+                va.push(self.row(s, i));
+            }
+            for h in 0..self.log_k {
+                va.push(self.f(s, h));
+                va.push(self.t(s, h));
+            }
+        }
+        va
+    }
+
+    fn build(&self, x: &BitString, y: &BitString) -> Graph {
+        let mut g = self.fixed_graph();
+        for i in 0..self.k {
+            for j in 0..self.k {
+                if !x.pair(self.k, i, j) {
+                    g.add_edge(self.row(RowSet::A1, i), self.row(RowSet::A2, j));
+                }
+                if !y.pair(self.k, i, j) {
+                    g.add_edge(self.row(RowSet::B1, i), self.row(RowSet::B2, j));
+                }
+            }
+        }
+        g
+    }
+
+    fn predicate(&self, g: &Graph) -> bool {
+        independence_number(g) >= self.target_alpha()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::family::{all_inputs, sample_inputs, verify_family};
+    use congest_solvers::mis::{max_weight_independent_set, min_vertex_cover};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn family_verifies_exhaustively_for_k_2() {
+        let fam = MvcMaxIsFamily::new(2);
+        let report = verify_family(&fam, &all_inputs(4)).expect("[10] family");
+        assert_eq!(report.n, 16);
+        assert_eq!(report.cut_size(), 4 * fam.log_k());
+        assert_eq!(report.pairs_checked, 256);
+    }
+
+    #[test]
+    fn family_verifies_sampled_for_k_4() {
+        let fam = MvcMaxIsFamily::new(4);
+        let mut rng = StdRng::seed_from_u64(7);
+        let inputs = sample_inputs(16, 4, &mut rng);
+        let report = verify_family(&fam, &inputs).expect("[10] family, k=4");
+        assert_eq!(report.n, 32);
+        assert_eq!(report.cut_size(), 8);
+    }
+
+    #[test]
+    fn witness_is_independent_and_tight() {
+        let fam = MvcMaxIsFamily::new(4);
+        let k = 4;
+        let mut x = BitString::zeros(16);
+        let mut y = BitString::zeros(16);
+        x.set_pair(k, 3, 1, true);
+        y.set_pair(k, 3, 1, true);
+        let g = fam.build(&x, &y);
+        let w = fam.witness_independent_set(3, 1);
+        assert_eq!(w.len(), fam.target_alpha());
+        assert!(g.is_independent_set(&w));
+        assert_eq!(independence_number(&g), fam.target_alpha());
+    }
+
+    #[test]
+    fn disjoint_alpha_is_strictly_below_target() {
+        let fam = MvcMaxIsFamily::new(4);
+        let g = fam.build(&BitString::zeros(16), &BitString::ones(16));
+        assert!(independence_number(&g) < fam.target_alpha());
+    }
+
+    #[test]
+    fn vc_complements_alpha() {
+        let fam = MvcMaxIsFamily::new(2);
+        let mut x = BitString::zeros(4);
+        x.set_pair(2, 0, 0, true);
+        let g = fam.build(&x, &x.clone());
+        let vc = min_vertex_cover(&g);
+        assert_eq!(vc.vertices.len(), fam.target_vc());
+    }
+
+    #[test]
+    fn row_degrees_are_theta_k() {
+        // Section 3 uses that all degrees are Θ(n_G).
+        let fam = MvcMaxIsFamily::new(8);
+        let g = fam.build(&BitString::zeros(64), &BitString::zeros(64));
+        for s in RowSet::ALL {
+            for i in 0..8 {
+                let d = g.degree(fam.row(s, i));
+                assert!(d >= 8 - 1, "row degree {d}");
+            }
+        }
+        let _ = max_weight_independent_set(&g); // smoke: solver handles k=8
+    }
+}

@@ -1,0 +1,242 @@
+//! Restricted hardness of approximating MDS (Section 4.5, Figure 7;
+//! Theorem 4.8).
+//!
+//! The Figure 7 graph merges each element pair of the Figure 5
+//! construction into a single vertex `j` adjacent to `S_i` whenever
+//! `j ∈ S_i` *and* to `S̄_i` whenever `j ∉ S_i`. The element vertices are
+//! therefore wired to **both** players' sides — this is *not* a
+//! Definition 1.1 family (there is no fixed small cut through the
+//! elements), which is exactly why the paper restricts the algorithm
+//! class: for *local aggregate* algorithms, Alice and Bob can simulate
+//! the shared element vertices by exchanging one aggregate value per
+//! element per round (`O(ℓ·log n)` bits, Theorem 4.8's protocol).
+//!
+//! **Lemma 4.7**: the weighted MDS optimum is 2 if the inputs intersect
+//! and exceeds `r` otherwise.
+
+use congest_codes::CoveringCollection;
+use congest_comm::BitString;
+use congest_graph::{Graph, NodeId, Weight};
+use congest_solvers::mds::min_weight_dominating_set;
+
+/// The Figure 7 instance generator.
+#[derive(Debug, Clone)]
+pub struct RestrictedMdsFamily {
+    collection: CoveringCollection,
+    alpha: Weight,
+}
+
+impl RestrictedMdsFamily {
+    /// Over a verified covering collection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the collection fails its `r`-covering verification or
+    /// `r < 2`.
+    pub fn new(collection: CoveringCollection) -> Self {
+        assert!(collection.r() >= 2, "need covering parameter r >= 2");
+        assert!(
+            collection.verify_r_covering(),
+            "collection must satisfy the r-covering property"
+        );
+        let alpha = collection.r() as Weight + 1;
+        RestrictedMdsFamily { collection, alpha }
+    }
+
+    /// The collection.
+    pub fn collection(&self) -> &CoveringCollection {
+        &self.collection
+    }
+
+    /// The heavy weight `α = r + 1`.
+    pub fn alpha(&self) -> Weight {
+        self.alpha
+    }
+
+    /// Element vertex `j` (shared between the players).
+    pub fn element(&self, j: usize) -> NodeId {
+        assert!(j < self.collection.universe());
+        j
+    }
+    /// Set vertex `S_i` (Alice).
+    pub fn set_vertex(&self, i: usize) -> NodeId {
+        self.collection.universe() + i
+    }
+    /// Complement-set vertex `S̄_i` (Bob).
+    pub fn cset_vertex(&self, i: usize) -> NodeId {
+        self.collection.universe() + self.collection.num_sets() + i
+    }
+    /// Anchor `a` (Alice).
+    pub fn anchor_a(&self) -> NodeId {
+        self.collection.universe() + 2 * self.collection.num_sets()
+    }
+    /// Anchor `b` (Bob).
+    pub fn anchor_b(&self) -> NodeId {
+        self.anchor_a() + 1
+    }
+    /// Root `R` (Bob).
+    pub fn root(&self) -> NodeId {
+        self.anchor_a() + 2
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.collection.universe() + 2 * self.collection.num_sets() + 3
+    }
+
+    /// The element vertices, simulated jointly by the two players in the
+    /// local-aggregate protocol.
+    pub fn shared_vertices(&self) -> Vec<NodeId> {
+        (0..self.collection.universe())
+            .map(|j| self.element(j))
+            .collect()
+    }
+
+    /// Alice's exclusive vertices.
+    pub fn alice_vertices(&self) -> Vec<NodeId> {
+        let t = self.collection.num_sets();
+        let mut va: Vec<NodeId> = (0..t).map(|i| self.set_vertex(i)).collect();
+        va.push(self.anchor_a());
+        va
+    }
+
+    /// Builds `G_{x,y}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `y` have length ≠ `T`.
+    pub fn build(&self, x: &BitString, y: &BitString) -> Graph {
+        let t = self.collection.num_sets();
+        let l = self.collection.universe();
+        assert_eq!(x.len(), t, "x has wrong length");
+        assert_eq!(y.len(), t, "y has wrong length");
+        let mut g = Graph::new(self.num_vertices());
+        for j in 0..l {
+            g.set_node_weight(self.element(j), self.alpha);
+        }
+        for i in 0..t {
+            g.add_edge(self.anchor_a(), self.set_vertex(i));
+            g.add_edge(self.anchor_b(), self.cset_vertex(i));
+            for j in 0..l {
+                if self.collection.contains(i, j) {
+                    g.add_edge(self.set_vertex(i), self.element(j));
+                } else {
+                    g.add_edge(self.cset_vertex(i), self.element(j));
+                }
+            }
+            g.set_node_weight(self.set_vertex(i), if x.get(i) { 1 } else { self.alpha });
+            g.set_node_weight(self.cset_vertex(i), if y.get(i) { 1 } else { self.alpha });
+        }
+        for v in [self.anchor_a(), self.anchor_b(), self.root()] {
+            g.set_node_weight(v, 0);
+        }
+        g.add_edge(self.root(), self.anchor_a());
+        g.add_edge(self.root(), self.anchor_b());
+        g
+    }
+
+    /// Lemma 4.7's predicate: MDS of weight ≤ 2 iff the inputs intersect.
+    pub fn predicate(&self, g: &Graph) -> bool {
+        min_weight_dominating_set(g).weight <= 2
+    }
+
+    /// Whether the inputs intersect (the reference function).
+    pub fn intersects(&self, x: &BitString, y: &BitString) -> bool {
+        (0..self.collection.num_sets()).any(|i| x.get(i) && y.get(i))
+    }
+
+    /// The per-round communication cost (in bits) of the Theorem 4.8
+    /// local-aggregate simulation: one aggregate output of `O(log n)`
+    /// bits per shared element vertex in each direction.
+    pub fn aggregate_bits_per_round(&self) -> u64 {
+        let n = self.num_vertices() as u64;
+        let log = (64 - n.leading_zeros() as u64).max(1);
+        2 * self.collection.universe() as u64 * log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn collection() -> CoveringCollection {
+        let mut rng = StdRng::seed_from_u64(2024);
+        CoveringCollection::random_verified(6, 10, 2, 0.2, 20_000, &mut rng)
+            .expect("2-covering collection")
+    }
+
+    #[test]
+    fn lemma_4_7_both_directions() {
+        let fam = RestrictedMdsFamily::new(collection());
+        let t = 6;
+        // Intersecting: weight exactly 2 via {R, a, b, S_i, S̄_i}
+        // (anchors and root are free).
+        let hit = BitString::from_indices(t, &[2]);
+        let g = fam.build(&hit, &hit);
+        assert!(fam.predicate(&g));
+        let witness = vec![
+            fam.root(),
+            fam.anchor_a(),
+            fam.anchor_b(),
+            fam.set_vertex(2),
+            fam.cset_vertex(2),
+        ];
+        assert!(g.is_dominating_set(&witness));
+        assert_eq!(g.node_set_weight(&witness), 2);
+        // Disjoint: optimum exceeds r.
+        let x = BitString::from_indices(t, &[0, 1]);
+        let y = BitString::from_indices(t, &[2, 3]);
+        let g0 = fam.build(&x, &y);
+        assert!(!fam.predicate(&g0));
+        let opt = min_weight_dominating_set(&g0).weight;
+        assert!(opt > fam.collection().r() as Weight, "opt {opt}");
+    }
+
+    #[test]
+    fn predicate_matches_intersection_on_samples() {
+        let fam = RestrictedMdsFamily::new(collection());
+        let t = 6;
+        let cases = [
+            (BitString::zeros(t), BitString::zeros(t)),
+            (BitString::ones(t), BitString::ones(t)),
+            (
+                BitString::from_indices(t, &[5]),
+                BitString::from_indices(t, &[5]),
+            ),
+            (
+                BitString::from_indices(t, &[0, 2]),
+                BitString::from_indices(t, &[1, 3]),
+            ),
+            (BitString::ones(t), BitString::zeros(t)),
+        ];
+        for (x, y) in cases {
+            let g = fam.build(&x, &y);
+            assert_eq!(fam.predicate(&g), fam.intersects(&x, &y), "x={x} y={y}");
+        }
+    }
+
+    #[test]
+    fn shared_vertices_touch_both_sides() {
+        // The structural reason Theorem 1.1 does not apply: every element
+        // vertex has neighbors among both players' set vertices.
+        let fam = RestrictedMdsFamily::new(collection());
+        let g = fam.build(&BitString::ones(6), &BitString::ones(6));
+        let alice: std::collections::HashSet<_> = fam.alice_vertices().into_iter().collect();
+        for j in fam.shared_vertices() {
+            let nbrs = g.neighbors(j);
+            let has_alice = nbrs.iter().any(|v| alice.contains(v));
+            let has_bob = nbrs.iter().any(|v| !alice.contains(v) && *v != j);
+            assert!(has_alice && has_bob, "element {j} must straddle the cut");
+        }
+    }
+
+    #[test]
+    fn aggregate_protocol_cost_is_linear_in_universe() {
+        let fam = RestrictedMdsFamily::new(collection());
+        let bits = fam.aggregate_bits_per_round();
+        assert!(bits >= 2 * 10);
+        assert!(bits <= 2 * 10 * 64);
+    }
+}

@@ -1,0 +1,192 @@
+//! Theorem 1.1's simulation argument, made executable.
+//!
+//! Alice simulates the nodes of `V_A`, Bob the nodes of `V_B`; every bit
+//! a CONGEST algorithm sends across the fixed cut `E(V_A, V_B)` is a bit
+//! of two-party communication. Running an actual algorithm on an actual
+//! family graph therefore *measures* the quantity
+//! `rounds · |E_cut| · O(log n)` that Theorem 1.1 bounds from below by
+//! `CC(f)`:
+//!
+//! ```text
+//! rounds ≥ CC(f) / (|E_cut| · log n).
+//! ```
+//!
+//! [`generic_exact_attack`] runs the paper's "learn the whole graph"
+//! baseline (the `O(m)`-round generic exact algorithm from Section 1) on
+//! a family instance and reports where its cut traffic lands relative to
+//! the communication-complexity lower bound.
+
+use congest_comm::bounds::theorem_1_1_round_bound;
+use congest_comm::BitString;
+use congest_graph::{Graph, NodeId};
+use congest_sim::algorithms::LearnGraph;
+use congest_sim::{CongestAlgorithm, Simulator};
+
+use crate::{EdgeListGraph, LowerBoundFamily};
+
+/// Measured costs of a simulated CONGEST run, attributed to the cut.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TwoPartySimulation {
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Bits that crossed the Alice–Bob cut (= two-party communication).
+    pub cut_bits: u64,
+    /// Total bits sent anywhere in the network.
+    pub total_bits: u64,
+    /// The cut size `|E_cut|`.
+    pub cut_size: usize,
+    /// The communication lower bound `CC(f) = K + 1` for the family's
+    /// intersection function.
+    pub cc_lower_bound: u64,
+    /// The Theorem 1.1 round bound implied by the measured parameters.
+    pub implied_round_bound: u64,
+}
+
+impl TwoPartySimulation {
+    /// Whether the measured cut traffic is consistent with the
+    /// communication lower bound (it must be, for any correct exact
+    /// algorithm run on a hard input pair).
+    pub fn respects_lower_bound(&self) -> bool {
+        self.cut_bits >= self.cc_lower_bound
+    }
+}
+
+/// Converts any family graph into the undirected communication graph the
+/// CONGEST algorithm runs on (directed constructions communicate over
+/// their underlying undirected topology).
+pub fn communication_graph<G: EdgeListGraph>(g: &G) -> Graph {
+    let mut h = Graph::new(g.num_nodes());
+    for (u, v, w) in g.edge_list() {
+        let w = match h.edge_weight(u, v) {
+            Some(prev) => prev.min(w),
+            None => w,
+        };
+        h.add_weighted_edge(u, v, w);
+    }
+    for (v, w) in g.node_weight_list().into_iter().enumerate() {
+        h.set_node_weight(v, w);
+    }
+    h
+}
+
+/// Runs `alg` on `graph` and attributes its traffic to the given cut.
+pub fn simulate_cut_cost<A: CongestAlgorithm>(
+    graph: &Graph,
+    cut_edges: &[(NodeId, NodeId)],
+    alg: &mut A,
+    bandwidth: u64,
+    max_rounds: u64,
+    input_len: usize,
+) -> TwoPartySimulation {
+    let sim = Simulator::with_bandwidth(graph, bandwidth);
+    let stats = sim.run(alg, max_rounds);
+    let cut_bits = stats.bits_across(cut_edges);
+    let cc = input_len as u64 + 1;
+    TwoPartySimulation {
+        rounds: stats.rounds,
+        cut_bits,
+        total_bits: stats.total_bits,
+        cut_size: cut_edges.len(),
+        cc_lower_bound: cc,
+        implied_round_bound: theorem_1_1_round_bound(
+            cc,
+            cut_edges.len() as u64,
+            graph.num_nodes() as u64,
+        ),
+    }
+}
+
+/// Runs the generic exact algorithm (whole-graph learning) on a family
+/// instance `G_{x,y}` and measures its Alice–Bob cut traffic.
+///
+/// Every node ends up knowing the entire graph and can decide the
+/// predicate locally, so this upper-bounds what an exact algorithm needs
+/// — and its cut traffic must exceed `CC(f)` on hard instances.
+pub fn generic_exact_attack<F: LowerBoundFamily>(
+    family: &F,
+    x: &BitString,
+    y: &BitString,
+) -> TwoPartySimulation {
+    let built = family.build(x, y);
+    let graph = communication_graph(&built);
+    // The fixed cut: edges between V_A and V_B.
+    let mut in_a = vec![false; graph.num_nodes()];
+    for v in family.alice_vertices() {
+        in_a[v] = true;
+    }
+    let cut: Vec<(NodeId, NodeId)> = graph
+        .edges()
+        .filter(|&(u, v, _)| in_a[u] != in_a[v])
+        .map(|(u, v, _)| (u, v))
+        .collect();
+    // Bandwidth: enough for one edge announcement (two ids + weight).
+    let n = graph.num_nodes() as u64;
+    let max_w = graph
+        .edges()
+        .map(|(_, _, w)| w.unsigned_abs())
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let bandwidth =
+        2 * (64 - n.leading_zeros() as u64).max(1) + (64 - max_w.leading_zeros() as u64).max(1) + 2;
+    let mut alg = LearnGraph::new(graph.num_nodes());
+    simulate_cut_cost(
+        &graph,
+        &cut,
+        &mut alg,
+        bandwidth,
+        1_000_000,
+        family.input_len(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mds::MdsFamily;
+    use crate::mvc_ckp::MvcMaxIsFamily;
+
+    #[test]
+    fn generic_algorithm_pays_the_communication_bill_mds() {
+        let fam = MdsFamily::new(4);
+        let mut x = BitString::zeros(16);
+        let mut y = BitString::zeros(16);
+        x.set_pair(4, 1, 2, true);
+        y.set_pair(4, 1, 2, true);
+        let report = generic_exact_attack(&fam, &x, &y);
+        // Learning the whole graph moves every edge across the cut at
+        // least once, which dwarfs CC(DISJ_16) = 17 bits.
+        assert!(report.respects_lower_bound(), "{report:?}");
+        assert!(report.cut_bits > 0);
+        assert!(report.rounds > 0);
+        assert!(report.total_bits >= report.cut_bits);
+    }
+
+    #[test]
+    fn implied_round_bound_matches_formula() {
+        let fam = MvcMaxIsFamily::new(4);
+        let x = BitString::zeros(16);
+        let report = generic_exact_attack(&fam, &x, &x.clone());
+        assert_eq!(
+            report.implied_round_bound,
+            congest_comm::bounds::theorem_1_1_round_bound(
+                17,
+                report.cut_size as u64,
+                fam.num_vertices() as u64
+            )
+        );
+    }
+
+    #[test]
+    fn communication_graph_of_directed_family() {
+        use crate::hamiltonian::HamPathFamily;
+        let fam = HamPathFamily::new(2);
+        let x = BitString::ones(4);
+        let g = fam.build(&x, &x.clone());
+        let comm = communication_graph(&g);
+        assert_eq!(comm.num_nodes(), g.num_nodes());
+        // Antiparallel σ↔β pairs merge into single undirected edges.
+        assert!(comm.num_edges() < g.num_edges());
+        assert!(comm.is_connected());
+    }
+}

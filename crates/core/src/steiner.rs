@@ -1,0 +1,222 @@
+//! The minimum Steiner tree family (Theorem 2.7), obtained from the MDS
+//! family by the Theorem 2.6 reduction between families of lower bound
+//! graphs.
+//!
+//! Given an MDS-family graph `G_{x,y} = (V_A ∪ V_B, E_{x,y})`, the Steiner
+//! graph `G'_{x,y}` doubles every vertex (`ṽ` is the copy of `v`) and has:
+//!
+//! 1. *identity edges* `(ṽ, v)`,
+//! 2. *original edges* `(ũ, v)` and `(ṽ, u)` for every `(u, v) ∈ E_{x,y}`,
+//! 3. *clique edges* on `Ṽ_A` and on `Ṽ_B`,
+//! 4. two *crossing edges* `(f̃⁰_{A₁}, f̃⁰_{B₁})` and `(t̃⁰_{A₁}, t̃⁰_{B₁})`.
+//!
+//! With terminals `Term = V_A ∪ V_B`, Claim 2.8 shows: `G'_{x,y}` has a
+//! Steiner tree with `4k + 16·log k + 1` edges iff `G_{x,y}` has a
+//! dominating set of size `4·log k + 2` — i.e. iff the inputs intersect.
+//! The reduction adds no vertices per edge (unlike the textbook
+//! VC→Steiner reduction), which is exactly why the Ω̃(n²) bound survives.
+
+use congest_comm::BitString;
+use congest_graph::{Graph, NodeId};
+use congest_solvers::steiner::has_steiner_tree_of_size;
+
+use crate::mds::{MdsFamily, RowSet};
+use crate::LowerBoundFamily;
+
+/// The Theorem 2.7 family.
+#[derive(Debug, Clone, Copy)]
+pub struct SteinerFamily {
+    mds: MdsFamily,
+}
+
+impl SteinerFamily {
+    /// Creates the family for row size `k` (a power of two ≥ 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is not a power of two or `k < 2`.
+    pub fn new(k: usize) -> Self {
+        SteinerFamily {
+            mds: MdsFamily::new(k),
+        }
+    }
+
+    /// The underlying MDS family.
+    pub fn mds_family(&self) -> &MdsFamily {
+        &self.mds
+    }
+
+    /// The copy `ṽ` of an original vertex `v`.
+    pub fn tilde(&self, v: NodeId) -> NodeId {
+        assert!(v < self.mds.num_vertices(), "vertex out of range");
+        self.mds.num_vertices() + v
+    }
+
+    /// The terminals: all original vertices `V_A ∪ V_B`.
+    pub fn terminals(&self) -> Vec<NodeId> {
+        (0..self.mds.num_vertices()).collect()
+    }
+
+    /// The target Steiner tree size `4k + 16·log k + 1` (in edges).
+    pub fn target_size(&self) -> usize {
+        4 * self.mds.k() + 16 * self.mds.log_k() + 1
+    }
+}
+
+impl LowerBoundFamily for SteinerFamily {
+    type GraphType = Graph;
+
+    fn name(&self) -> String {
+        format!("Minimum Steiner tree (Theorem 2.7), k = {}", self.mds.k())
+    }
+
+    fn input_len(&self) -> usize {
+        self.mds.input_len()
+    }
+
+    fn num_vertices(&self) -> usize {
+        2 * self.mds.num_vertices()
+    }
+
+    fn alice_vertices(&self) -> Vec<NodeId> {
+        let mut va = self.mds.alice_vertices();
+        let tilde: Vec<NodeId> = va.iter().map(|&v| self.tilde(v)).collect();
+        va.extend(tilde);
+        va
+    }
+
+    fn build(&self, x: &BitString, y: &BitString) -> Graph {
+        let base = self.mds.build(x, y);
+        let mut g = Graph::new(self.num_vertices());
+        // Identity edges.
+        for v in 0..base.num_nodes() {
+            g.add_edge(self.tilde(v), v);
+        }
+        // Original edges, both copies.
+        for (u, v, _) in base.edges() {
+            g.add_edge(self.tilde(u), v);
+            g.add_edge(self.tilde(v), u);
+        }
+        // Cliques on the tilde copies of each side.
+        let a_side = self.mds.alice_vertices();
+        let in_a = {
+            let mut m = vec![false; base.num_nodes()];
+            for &v in &a_side {
+                m[v] = true;
+            }
+            m
+        };
+        let b_side: Vec<NodeId> = (0..base.num_nodes()).filter(|&v| !in_a[v]).collect();
+        for side in [&a_side, &b_side] {
+            for (i, &u) in side.iter().enumerate() {
+                for &v in &side[i + 1..] {
+                    g.add_edge(self.tilde(u), self.tilde(v));
+                }
+            }
+        }
+        // The two crossing edges at bit 0 of the (A1, B1) gadget.
+        g.add_edge(
+            self.tilde(self.mds.f(RowSet::A1, 0)),
+            self.tilde(self.mds.f(RowSet::B1, 0)),
+        );
+        g.add_edge(
+            self.tilde(self.mds.t(RowSet::A1, 0)),
+            self.tilde(self.mds.t(RowSet::B1, 0)),
+        );
+        g
+    }
+
+    fn predicate(&self, g: &Graph) -> bool {
+        has_steiner_tree_of_size(g, &self.terminals(), self.target_size())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::family::verify_family;
+    use crate::mds::witness_dominating_set;
+    use congest_comm::BitString;
+    use congest_solvers::steiner::min_steiner_tree_edges;
+
+    fn curated_inputs(k: usize) -> Vec<(BitString, BitString)> {
+        let kk = k * k;
+        let zero = BitString::zeros(kk);
+        let one = BitString::ones(kk);
+        let mut hit = BitString::zeros(kk);
+        hit.set_pair(k, k - 1, 0, true);
+        let mut xonly = BitString::zeros(kk);
+        xonly.set_pair(k, 0, 1, true);
+        let mut yonly = BitString::zeros(kk);
+        yonly.set_pair(k, 1, 0, true);
+        vec![
+            (zero.clone(), zero.clone()),
+            (one.clone(), one.clone()),
+            (zero.clone(), one.clone()),
+            (hit.clone(), hit.clone()),
+            (xonly.clone(), yonly.clone()),
+            (xonly.clone(), one.clone()),
+            (hit.clone(), zero.clone()),
+            (one, hit.clone()),
+            (xonly, zero.clone()),
+            (zero, yonly),
+        ]
+    }
+
+    #[test]
+    fn family_verifies_on_curated_inputs_k_2() {
+        let fam = SteinerFamily::new(2);
+        let report = verify_family(&fam, &curated_inputs(2)).expect("Claim 2.8");
+        assert_eq!(report.n, 40);
+        // 2·(4·log k) original cut edges + 2 crossing edges.
+        assert_eq!(report.cut_size(), 10);
+    }
+
+    #[test]
+    fn intersecting_inputs_meet_the_exact_target() {
+        let fam = SteinerFamily::new(2);
+        let k = 2;
+        let mut hit = BitString::zeros(4);
+        hit.set_pair(k, 1, 0, true);
+        let g = fam.build(&hit, &hit);
+        let min = min_steiner_tree_edges(&g, &fam.terminals()).expect("connected");
+        assert_eq!(min, fam.target_size());
+    }
+
+    #[test]
+    fn disjoint_inputs_exceed_the_target() {
+        let fam = SteinerFamily::new(2);
+        let g = fam.build(&BitString::zeros(4), &BitString::ones(4));
+        let min = min_steiner_tree_edges(&g, &fam.terminals()).expect("connected");
+        assert!(min > fam.target_size(), "min {min}");
+    }
+
+    #[test]
+    fn witness_tree_from_dominating_set() {
+        // Reproduce Claim 2.8's forward direction concretely: the tilde
+        // copies of a dominating set, joined through the cliques and one
+        // crossing edge, plus one edge per terminal.
+        let k = 4;
+        let fam = SteinerFamily::new(k);
+        let mds = fam.mds_family();
+        let mut hit = BitString::zeros(16);
+        hit.set_pair(k, 2, 1, true);
+        let g = fam.build(&hit, &hit);
+        let ds = witness_dominating_set(mds, 2, 1);
+        assert_eq!(ds.len(), mds.target_size());
+        // The tree's vertex set: all terminals plus the tilde copies of
+        // the dominating set; it must be connected in G'.
+        let mut w: Vec<usize> = fam.terminals();
+        w.extend(ds.iter().map(|&v| fam.tilde(v)));
+        assert!(g.is_connected_subset(&w));
+        // Tree size = |W| - 1 = target.
+        assert_eq!(w.len() - 1, fam.target_size());
+    }
+
+    #[test]
+    fn graph_is_always_connected() {
+        let fam = SteinerFamily::new(2);
+        let g = fam.build(&BitString::zeros(4), &BitString::zeros(4));
+        assert!(g.is_connected());
+    }
+}

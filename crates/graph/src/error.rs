@@ -1,0 +1,33 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for graph mutations and queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A node index was out of the range `0..n`.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: usize,
+        /// The number of nodes in the graph.
+        n: usize,
+    },
+    /// A self-loop `(u, u)` was requested; the constructions in the paper
+    /// are all on simple graphs.
+    SelfLoop(usize),
+    /// The requested edge does not exist.
+    MissingEdge(usize, usize),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "node {node} out of range for graph with {n} nodes")
+            }
+            GraphError::SelfLoop(u) => write!(f, "self-loop on node {u} is not allowed"),
+            GraphError::MissingEdge(u, v) => write!(f, "edge ({u}, {v}) does not exist"),
+        }
+    }
+}
+
+impl Error for GraphError {}

@@ -1,0 +1,210 @@
+//! Standard graph generators used by tests, examples and benches.
+//!
+//! All randomized generators take an explicit RNG so that every experiment in
+//! the workspace is reproducible from a seed.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::{Graph, NodeId};
+
+/// Erdős–Rényi graph `G(n, p)`: each of the `n·(n-1)/2` edges appears
+/// independently with probability `p`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let g = congest_graph::generators::gnp(20, 0.5, &mut rng);
+/// assert_eq!(g.num_nodes(), 20);
+/// ```
+pub fn gnp<R: Rng>(n: usize, p: f64, rng: &mut R) -> Graph {
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen_bool(p) {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// The path `0 - 1 - … - (n-1)`.
+pub fn path(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for u in 1..n {
+        g.add_edge(u - 1, u);
+    }
+    g
+}
+
+/// The cycle on `n ≥ 3` nodes.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "a cycle needs at least 3 nodes");
+    let mut g = path(n);
+    g.add_edge(n - 1, 0);
+    g
+}
+
+/// The complete graph `K_n`.
+pub fn complete(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+/// The complete bipartite graph `K_{a,b}` with sides `0..a` and `a..a+b`.
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    let mut g = Graph::new(a + b);
+    for u in 0..a {
+        for v in a..(a + b) {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+/// The star with center `0` and `n-1` leaves.
+pub fn star(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for v in 1..n {
+        g.add_edge(0, v);
+    }
+    g
+}
+
+/// A full binary tree with `depth` levels below the root (so
+/// `2^(depth+1) - 1` nodes). Node `0` is the root; node `i` has children
+/// `2i+1` and `2i+2`.
+pub fn full_binary_tree(depth: usize) -> Graph {
+    let n = (1usize << (depth + 1)) - 1;
+    let mut g = Graph::new(n);
+    for i in 0..n {
+        for c in [2 * i + 1, 2 * i + 2] {
+            if c < n {
+                g.add_edge(i, c);
+            }
+        }
+    }
+    g
+}
+
+/// A random graph that is guaranteed connected: a uniform random spanning
+/// tree (random permutation + random parent) plus `G(n,p)` noise.
+pub fn connected_gnp<R: Rng>(n: usize, p: f64, rng: &mut R) -> Graph {
+    let mut g = gnp(n, p, rng);
+    if n <= 1 {
+        return g;
+    }
+    let mut order: Vec<NodeId> = (0..n).collect();
+    order.shuffle(rng);
+    for i in 1..n {
+        let parent = order[rng.gen_range(0..i)];
+        if !g.has_edge(order[i], parent) {
+            g.add_edge(order[i], parent);
+        }
+    }
+    g
+}
+
+/// A 3-regular "circulant-plus-matching" graph on an even number of nodes:
+/// the cycle `0-1-…-n-1-0` plus the perfect matching `i ↔ i + n/2`.
+///
+/// For small sizes this has good edge expansion (verified exhaustively in
+/// tests); it serves as the expander substrate for Claim 3.2 of the paper.
+///
+/// # Panics
+///
+/// Panics if `n < 6` or `n` is odd.
+pub fn cycle_plus_diameters(n: usize) -> Graph {
+    assert!(n >= 6 && n.is_multiple_of(2), "need an even n >= 6");
+    let mut g = cycle(n);
+    for i in 0..n / 2 {
+        g.add_edge(i, i + n / 2);
+    }
+    g
+}
+
+/// A random graph with maximum degree at most `max_deg`, built by sampling
+/// random candidate edges and keeping those that respect the degree bound.
+pub fn random_bounded_degree<R: Rng>(n: usize, max_deg: usize, tries: usize, rng: &mut R) -> Graph {
+    let mut g = Graph::new(n);
+    if n < 2 {
+        return g;
+    }
+    for _ in 0..tries {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v && !g.has_edge(u, v) && g.degree(u) < max_deg && g.degree(v) < max_deg {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn path_cycle_complete_counts() {
+        assert_eq!(path(5).num_edges(), 4);
+        assert_eq!(cycle(5).num_edges(), 5);
+        assert_eq!(complete(5).num_edges(), 10);
+        assert_eq!(complete_bipartite(2, 3).num_edges(), 6);
+        assert_eq!(star(7).num_edges(), 6);
+    }
+
+    #[test]
+    fn binary_tree_shape() {
+        let t = full_binary_tree(3);
+        assert_eq!(t.num_nodes(), 15);
+        assert_eq!(t.num_edges(), 14);
+        assert!(t.is_connected());
+        assert_eq!(t.degree(0), 2);
+    }
+
+    #[test]
+    fn connected_gnp_is_connected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in [1, 2, 5, 20] {
+            let g = connected_gnp(n, 0.05, &mut rng);
+            assert!(g.is_connected(), "n={n} not connected");
+        }
+    }
+
+    #[test]
+    fn cycle_plus_diameters_is_3_regular() {
+        let g = cycle_plus_diameters(10);
+        for u in 0..10 {
+            assert_eq!(g.degree(u), 3);
+        }
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn bounded_degree_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = random_bounded_degree(30, 4, 500, &mut rng);
+        assert!(g.max_degree() <= 4);
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(gnp(10, 0.0, &mut rng).num_edges(), 0);
+        assert_eq!(gnp(10, 1.0, &mut rng).num_edges(), 45);
+    }
+}

@@ -1,0 +1,202 @@
+//! Structural graph metrics: diameter, weighted distances, bridges and
+//! 2-edge-connectivity, spanning-subgraph checks.
+//!
+//! These are the predicates the paper's constructions are measured against:
+//! e.g. the bounded-degree family of Theorem 3.1 must have logarithmic
+//! diameter and maximum degree 5, and the 2-ECSS bound of Theorem 2.5 needs
+//! a 2-edge-connectivity checker (Claim 2.7).
+
+use std::collections::BinaryHeap;
+
+use crate::{Graph, NodeId, Weight};
+
+/// The (hop) eccentricity of `u`, or `None` if the graph is disconnected
+/// from `u`.
+pub fn eccentricity(g: &Graph, u: NodeId) -> Option<usize> {
+    let dist = g.bfs_distances(u);
+    let mut ecc = 0;
+    for d in dist {
+        ecc = ecc.max(d?);
+    }
+    Some(ecc)
+}
+
+/// The (hop) diameter, or `None` if the graph is disconnected or empty.
+pub fn diameter(g: &Graph) -> Option<usize> {
+    if g.num_nodes() == 0 {
+        return None;
+    }
+    let mut diam = 0;
+    for u in 0..g.num_nodes() {
+        diam = diam.max(eccentricity(g, u)?);
+    }
+    Some(diam)
+}
+
+/// Single-source shortest path distances with nonnegative edge weights
+/// (Dijkstra). Unreachable nodes get `None`.
+///
+/// # Panics
+///
+/// Panics if any edge has negative weight.
+pub fn dijkstra(g: &Graph, src: NodeId) -> Vec<Option<Weight>> {
+    let n = g.num_nodes();
+    let mut dist: Vec<Option<Weight>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[src] = Some(0);
+    heap.push(std::cmp::Reverse((0i64, src)));
+    while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
+        if dist[u] != Some(d) {
+            continue;
+        }
+        for &v in g.neighbors(u) {
+            let w = g.edge_weight(u, v).expect("adjacent edge exists");
+            assert!(w >= 0, "dijkstra requires nonnegative weights");
+            let nd = d + w;
+            if dist[v].is_none_or(|old| nd < old) {
+                dist[v] = Some(nd);
+                heap.push(std::cmp::Reverse((nd, v)));
+            }
+        }
+    }
+    dist
+}
+
+/// The weighted `s`–`t` distance, or `None` if `t` is unreachable.
+pub fn weighted_distance(g: &Graph, s: NodeId, t: NodeId) -> Option<Weight> {
+    dijkstra(g, s)[t]
+}
+
+/// All bridges of the graph (edges whose removal disconnects their
+/// component), via the classic DFS low-link algorithm, returned as `(u, v)`
+/// pairs with `u < v`.
+pub fn bridges(g: &Graph) -> Vec<(NodeId, NodeId)> {
+    let n = g.num_nodes();
+    let mut disc = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut out = Vec::new();
+    let mut timer = 0usize;
+    // Iterative DFS to avoid recursion limits on long paths.
+    for start in 0..n {
+        if disc[start] != usize::MAX {
+            continue;
+        }
+        // Stack holds (node, parent, neighbor-index).
+        let mut stack: Vec<(NodeId, Option<NodeId>, usize)> = vec![(start, None, 0)];
+        disc[start] = timer;
+        low[start] = timer;
+        timer += 1;
+        while let Some(&mut (u, parent, ref mut idx)) = stack.last_mut() {
+            if *idx < g.degree(u) {
+                let v = g.neighbors(u)[*idx];
+                *idx += 1;
+                if Some(v) == parent {
+                    // Skip exactly one copy of the parent edge (simple graph).
+                    continue;
+                }
+                if disc[v] == usize::MAX {
+                    disc[v] = timer;
+                    low[v] = timer;
+                    timer += 1;
+                    stack.push((v, Some(u), 0));
+                } else {
+                    low[u] = low[u].min(disc[v]);
+                }
+            } else {
+                stack.pop();
+                if let Some(&mut (p, _, _)) = stack.last_mut() {
+                    low[p] = low[p].min(low[u]);
+                    if low[u] > disc[p] {
+                        out.push((p.min(u), p.max(u)));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Whether the graph is 2-edge-connected: connected, at least 2 nodes, and
+/// bridgeless (Claim 2.7 of the paper equates an `n`-edge spanning
+/// 2-edge-connected subgraph with a Hamiltonian cycle).
+pub fn is_two_edge_connected(g: &Graph) -> bool {
+    g.num_nodes() >= 2 && g.is_connected() && bridges(g).is_empty()
+}
+
+/// Whether `edges` forms a spanning connected subgraph of `g` using only
+/// edges of `g`.
+pub fn is_spanning_connected(g: &Graph, edges: &[(NodeId, NodeId)]) -> bool {
+    let mut h = Graph::new(g.num_nodes());
+    for &(u, v) in edges {
+        if !g.has_edge(u, v) {
+            return false;
+        }
+        h.add_edge(u, v);
+    }
+    h.is_connected()
+}
+
+/// Whether `edges` (a subset of `g`'s edges) forms a spanning tree of `g`.
+pub fn is_spanning_tree(g: &Graph, edges: &[(NodeId, NodeId)]) -> bool {
+    g.num_nodes() > 0 && edges.len() == g.num_nodes() - 1 && is_spanning_connected(g, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn diameter_of_path_and_cycle() {
+        assert_eq!(diameter(&generators::path(6)), Some(5));
+        assert_eq!(diameter(&generators::cycle(6)), Some(3));
+        assert_eq!(diameter(&generators::complete(6)), Some(1));
+        let mut g = Graph::new(2);
+        assert_eq!(diameter(&g), None); // disconnected
+        g.add_edge(0, 1);
+        assert_eq!(diameter(&g), Some(1));
+    }
+
+    #[test]
+    fn dijkstra_weighted() {
+        let mut g = Graph::new(4);
+        g.add_weighted_edge(0, 1, 1);
+        g.add_weighted_edge(1, 2, 1);
+        g.add_weighted_edge(0, 2, 5);
+        let d = dijkstra(&g, 0);
+        assert_eq!(d[2], Some(2));
+        assert_eq!(d[3], None);
+        assert_eq!(weighted_distance(&g, 0, 2), Some(2));
+    }
+
+    #[test]
+    fn bridges_in_path_and_cycle() {
+        let p = generators::path(5);
+        assert_eq!(bridges(&p).len(), 4);
+        let c = generators::cycle(5);
+        assert!(bridges(&c).is_empty());
+        assert!(is_two_edge_connected(&c));
+        assert!(!is_two_edge_connected(&p));
+    }
+
+    #[test]
+    fn barbell_has_one_bridge() {
+        // Two triangles joined by a bridge 2-3.
+        let mut g = Graph::new(6);
+        for (u, v) in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)] {
+            g.add_edge(u, v);
+        }
+        assert_eq!(bridges(&g), vec![(2, 3)]);
+        assert!(!is_two_edge_connected(&g));
+    }
+
+    #[test]
+    fn spanning_checks() {
+        let g = generators::cycle(4);
+        assert!(is_spanning_tree(&g, &[(0, 1), (1, 2), (2, 3)]));
+        assert!(!is_spanning_tree(&g, &[(0, 1), (1, 2), (3, 0), (2, 3)]));
+        assert!(is_spanning_connected(&g, &[(0, 1), (1, 2), (3, 0), (2, 3)]));
+        // Edge not in g.
+        assert!(!is_spanning_tree(&g, &[(0, 2), (1, 2), (2, 3)]));
+    }
+}

@@ -1,0 +1,36 @@
+//! Section 5 of the paper: limitations of the Theorem 1.1 framework.
+//!
+//! The framework cannot prove a lower bound larger than the two-party
+//! communication cost of *deciding the predicate on the family itself*
+//! (Corollary 5.1). This crate makes those limitation arguments
+//! executable:
+//!
+//! * [`split`] — graphs split between Alice and Bob with a metered cut,
+//! * [`protocols`] — the cheap two-party protocols of Claims 5.1–5.9
+//!   (approximate MVC/MDS/MaxIS/max-cut), each achieving its stated
+//!   ratio with `O(|E_cut|·log n)` bits,
+//! * [`nondet`] — the nondeterministic flow/cut certificates of
+//!   Claim 5.11 (max s–t flow, min s–t cut),
+//! * [`pls`] — proof labeling schemes: the framework of Section 5.2.2,
+//!   the matching and distance schemes (Claims 5.12–5.13), and schemes
+//!   for the Lemma 5.1 verification problems,
+//! * [`nogo`] — the Corollary 5.1/5.3 ceiling calculators combining
+//!   protocol costs, PLS sizes and `Γ(f)`,
+//! * [`aggregate`] — local aggregate algorithms and the Theorem 4.8
+//!   shared-vertex simulation protocol.
+
+#![forbid(unsafe_code)]
+// Index loops over gadget positions are kept explicit: the indices are
+// the paper's semantic coordinates (bit h, slot d, code position j).
+#![allow(clippy::needless_range_loop)]
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod nogo;
+pub mod nondet;
+pub mod pls;
+pub mod pls_ext;
+pub mod protocols;
+pub mod split;
+
+pub use split::SplitGraph;

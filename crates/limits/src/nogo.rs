@@ -1,0 +1,70 @@
+//! The no-go calculators of Section 5.2 (Corollaries 5.1–5.3,
+//! Theorem 5.1).
+//!
+//! Corollary 5.1: a family `{G_{x,y}}` can prove at most
+//! `Ω(CC_{G}(P) / (|E_cut|·log n))` rounds, where `CC_{G}(P)` is the cost
+//! of *any* two-party protocol deciding `P` on the family. Theorem 5.1
+//! bounds the nondeterministic such cost by `O(pls-size(P)·|E_cut|)`,
+//! and Corollary 5.3 combines both PLS directions with
+//! `Γ(f) = CC(f)/max{CC^N(f), CC^N(¬f)}` into a ceiling that holds for
+//! **every** family over `f`.
+
+/// `Γ(f)`-combined ceiling of Corollary 5.3: the largest round lower
+/// bound Theorem 1.1 can yield for a predicate with the given PLS sizes,
+/// using any function with parameter `gamma`:
+/// `O(max{pls(P), pls(¬P)} · Γ(f) / log n)`.
+pub fn corollary_5_3_ceiling(pls_p_bits: u64, pls_not_p_bits: u64, gamma: u64, n: u64) -> u64 {
+    let log = (64 - n.leading_zeros() as u64).max(1);
+    pls_p_bits.max(pls_not_p_bits) * gamma / log
+}
+
+/// Corollary 5.1's direct form: the ceiling implied by a concrete
+/// two-party protocol of cost `protocol_bits` on the family:
+/// `protocol_bits / (cut·log n)` rounds.
+pub fn corollary_5_1_ceiling(protocol_bits: u64, cut: u64, n: u64) -> u64 {
+    let log = (64 - n.leading_zeros() as u64).max(1);
+    protocol_bits / (cut.max(1) * log)
+}
+
+/// Theorem 5.1: the nondeterministic two-party cost obtained from a PLS:
+/// `O(pls_bits · cut)` (both players exchange the labels of the ≤ 2·cut
+/// boundary vertices).
+pub fn theorem_5_1_nondeterministic_cost(pls_bits: u64, cut: u64) -> u64 {
+    2 * pls_bits * cut
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_ceiling_for_log_size_pls() {
+        // O(log n)-bit PLS both ways + Γ(DISJ) = O(1) ⇒ a constant
+        // ceiling: the framework cannot prove super-constant bounds
+        // (Claims 5.11–5.13, Lemma 5.1).
+        let n: u64 = 1 << 20;
+        let logn = 20;
+        let gamma = congest_comm::bounds::disjointness_profile(n * n).gamma();
+        let ceiling = corollary_5_3_ceiling(3 * logn, 3 * logn, gamma, n);
+        assert!(ceiling <= 3, "ceiling {ceiling}");
+    }
+
+    #[test]
+    fn protocol_ceiling_matches_units() {
+        // A protocol of |Ecut|·log n bits yields a constant ceiling.
+        let n = 1u64 << 16;
+        let cut = 12;
+        let ceiling = corollary_5_1_ceiling(cut * 17, cut, n);
+        assert_eq!(ceiling, 1); // ⌈log₂(2^16 + …)⌉ = 17 with our convention
+                                // The trivial whole-input protocol (K bits) yields the familiar
+                                // K/(cut·log n).
+        let k = n * n;
+        let big = corollary_5_1_ceiling(k, cut, n);
+        assert!(big > 1_000_000);
+    }
+
+    #[test]
+    fn nondeterministic_cost_scales_with_cut() {
+        assert_eq!(theorem_5_1_nondeterministic_cost(20, 8), 320);
+    }
+}

@@ -1,0 +1,164 @@
+//! Graphs split between Alice and Bob.
+//!
+//! A [`SplitGraph`] fixes a bipartition `V = V_A ∪ V_B` of a graph and
+//! exposes the views each player actually has in the Theorem 1.1 setting:
+//! Alice knows `G[V_A]` plus the cut edges (including the identities of
+//! their `V_B` endpoints), and symmetrically for Bob.
+
+use congest_graph::{Graph, NodeId, Weight};
+
+/// A graph with a fixed Alice/Bob vertex bipartition.
+#[derive(Debug, Clone)]
+pub struct SplitGraph {
+    graph: Graph,
+    in_a: Vec<bool>,
+}
+
+impl SplitGraph {
+    /// Splits `graph` by Alice's vertex set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any listed vertex is out of range.
+    pub fn new(graph: Graph, alice_vertices: &[NodeId]) -> Self {
+        let mut in_a = vec![false; graph.num_nodes()];
+        for &v in alice_vertices {
+            in_a[v] = true;
+        }
+        SplitGraph { graph, in_a }
+    }
+
+    /// The full graph (the "referee view" used for verification only).
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Whether `v` belongs to Alice.
+    pub fn is_alice(&self, v: NodeId) -> bool {
+        self.in_a[v]
+    }
+
+    /// Alice's vertices.
+    pub fn alice_vertices(&self) -> Vec<NodeId> {
+        (0..self.graph.num_nodes())
+            .filter(|&v| self.in_a[v])
+            .collect()
+    }
+
+    /// Bob's vertices.
+    pub fn bob_vertices(&self) -> Vec<NodeId> {
+        (0..self.graph.num_nodes())
+            .filter(|&v| !self.in_a[v])
+            .collect()
+    }
+
+    /// The cut edges `E(V_A, V_B)`.
+    pub fn cut_edges(&self) -> Vec<(NodeId, NodeId, Weight)> {
+        self.graph
+            .edges()
+            .filter(|&(u, v, _)| self.in_a[u] != self.in_a[v])
+            .collect()
+    }
+
+    /// `|E_cut|`.
+    pub fn cut_size(&self) -> usize {
+        self.cut_edges().len()
+    }
+
+    /// Edges fully inside Alice's side.
+    pub fn alice_edges(&self) -> Vec<(NodeId, NodeId, Weight)> {
+        self.graph
+            .edges()
+            .filter(|&(u, v, _)| self.in_a[u] && self.in_a[v])
+            .collect()
+    }
+
+    /// Edges fully inside Bob's side.
+    pub fn bob_edges(&self) -> Vec<(NodeId, NodeId, Weight)> {
+        self.graph
+            .edges()
+            .filter(|&(u, v, _)| !self.in_a[u] && !self.in_a[v])
+            .collect()
+    }
+
+    /// Alice's *view*: the graph restricted to edges she knows — her
+    /// internal edges plus the cut. Vertices keep their global ids; node
+    /// weights of vertices she cannot see are zeroed.
+    pub fn alice_view(&self) -> Graph {
+        self.player_view(true)
+    }
+
+    /// Bob's view; see [`SplitGraph::alice_view`].
+    pub fn bob_view(&self) -> Graph {
+        self.player_view(false)
+    }
+
+    fn player_view(&self, alice: bool) -> Graph {
+        let n = self.graph.num_nodes();
+        let mut g = Graph::new(n);
+        for v in 0..n {
+            if self.in_a[v] == alice {
+                g.set_node_weight(v, self.graph.node_weight(v));
+            } else {
+                g.set_node_weight(v, 0);
+            }
+        }
+        for (u, v, w) in self.graph.edges() {
+            let mine = (self.in_a[u] == alice) || (self.in_a[v] == alice);
+            if mine {
+                g.add_weighted_edge(u, v, w);
+            }
+        }
+        g
+    }
+
+    /// `⌈log₂ n⌉` — the standard per-identifier bit cost.
+    pub fn id_bits(&self) -> u64 {
+        let n = self.graph.num_nodes() as u64;
+        if n <= 1 {
+            1
+        } else {
+            64 - (n - 1).leading_zeros() as u64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::generators;
+
+    fn split_path() -> SplitGraph {
+        // 0-1-2-3-4 split as {0,1} | {2,3,4}.
+        SplitGraph::new(generators::path(5), &[0, 1])
+    }
+
+    #[test]
+    fn cut_and_sides() {
+        let s = split_path();
+        assert_eq!(s.cut_edges(), vec![(1, 2, 1)]);
+        assert_eq!(s.alice_vertices(), vec![0, 1]);
+        assert_eq!(s.bob_vertices(), vec![2, 3, 4]);
+        assert_eq!(s.alice_edges().len(), 1);
+        assert_eq!(s.bob_edges().len(), 2);
+    }
+
+    #[test]
+    fn views_contain_own_plus_cut_edges() {
+        let s = split_path();
+        let a = s.alice_view();
+        assert!(a.has_edge(0, 1));
+        assert!(a.has_edge(1, 2)); // cut edge visible
+        assert!(!a.has_edge(2, 3)); // Bob-internal invisible
+        let b = s.bob_view();
+        assert!(b.has_edge(1, 2));
+        assert!(b.has_edge(3, 4));
+        assert!(!b.has_edge(0, 1));
+    }
+
+    #[test]
+    fn id_bits() {
+        let s = split_path();
+        assert_eq!(s.id_bits(), 3);
+    }
+}

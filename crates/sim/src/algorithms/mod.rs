@@ -1,0 +1,16 @@
+//! CONGEST algorithms: the folklore building blocks the paper appeals to,
+//! plus the paper's own `(1-ε)` max-cut approximation (Theorem 2.9).
+
+mod aggregate;
+mod bfs;
+mod exact_decision;
+mod leader;
+pub(crate) mod learn_graph;
+mod maxcut_sampling;
+
+pub use aggregate::{AggMsg, AggregateSum};
+pub use bfs::BfsTree;
+pub use exact_decision::GenericExactDecision;
+pub use leader::LeaderElection;
+pub use learn_graph::LearnGraph;
+pub use maxcut_sampling::{LocalCutSolver, SampledMaxCut};

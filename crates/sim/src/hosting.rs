@@ -1,0 +1,356 @@
+//! Hosted execution of a CONGEST algorithm designed for a *reduced* graph
+//! `G'` on the original *host* graph `G` — the mechanism behind the
+//! paper's Lemmas 2.2 and 2.3 ("each round of `A` on `G'` is simulated in
+//! `O(1)` rounds of `G`").
+//!
+//! A [`HostMapping`] assigns every `G'` vertex to the host vertex that
+//! simulates it (e.g. `v` simulates `v_in, v_mid, v_out` in the
+//! directed→undirected Hamiltonicity reduction). Messages between `G'`
+//! vertices owned by the same host vertex are free local computation;
+//! messages between different owners are multiplexed over the host edge,
+//! at most one per direction per host round — so one inner round costs
+//! `capacity` host rounds, where `capacity` is the largest number of `G'`
+//! edges sharing a host edge direction.
+//!
+//! [`HostedAlgorithm`] implements [`CongestAlgorithm`] for the host graph,
+//! so the hosted run is itself bandwidth-enforced and bit-metered by the
+//! ordinary [`crate::Simulator`].
+
+use std::collections::HashMap;
+
+use congest_graph::{Graph, NodeId};
+
+use crate::{CongestAlgorithm, NodeContext, RoundOutcome};
+
+/// The assignment of reduced-graph vertices to host vertices.
+#[derive(Debug, Clone)]
+pub struct HostMapping {
+    /// `owner[v'] = v`: host vertex simulating `G'` vertex `v'`.
+    owner: Vec<NodeId>,
+    /// The reduced graph (communication topology of the inner algorithm).
+    reduced: Graph,
+}
+
+impl HostMapping {
+    /// Creates a mapping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `owner.len() != reduced.num_nodes()`.
+    pub fn new(reduced: Graph, owner: Vec<NodeId>) -> Self {
+        assert_eq!(
+            owner.len(),
+            reduced.num_nodes(),
+            "one owner per reduced vertex"
+        );
+        HostMapping { owner, reduced }
+    }
+
+    /// The Lemma 2.2 mapping: host vertex `v` simulates `3v` (in),
+    /// `3v+1` (mid), `3v+2` (out) of the tripled reduction graph.
+    pub fn tripled(reduced: Graph) -> Self {
+        let owner = (0..reduced.num_nodes()).map(|v| v / 3).collect();
+        HostMapping::new(reduced, owner)
+    }
+
+    /// The host vertex simulating reduced vertex `v'`.
+    pub fn owner(&self, v_prime: NodeId) -> NodeId {
+        self.owner[v_prime]
+    }
+
+    /// The reduced graph.
+    pub fn reduced(&self) -> &Graph {
+        &self.reduced
+    }
+
+    /// The per-host-edge multiplexing capacity: the largest number of
+    /// reduced edges mapped onto one host edge direction. One inner round
+    /// costs this many host rounds (the paper's constant overhead — 2 for
+    /// Lemma 2.2, 2 for Lemma 2.3).
+    pub fn capacity(&self) -> usize {
+        let mut load: HashMap<(NodeId, NodeId), usize> = HashMap::new();
+        for (u, v, _) in self.reduced.edges() {
+            let (a, b) = (self.owner[u], self.owner[v]);
+            if a != b {
+                // Each undirected reduced edge can carry one message per
+                // direction per inner round.
+                *load.entry((a, b)).or_insert(0) += 1;
+            }
+        }
+        load.values().copied().max().unwrap_or(1).max(1)
+    }
+
+    /// Checks that the mapping is realizable on the host graph: every
+    /// cross-owner reduced edge must map onto a host edge.
+    pub fn validate_against(&self, host: &Graph) -> bool {
+        self.reduced.edges().all(|(u, v, _)| {
+            let (a, b) = (self.owner[u], self.owner[v]);
+            a == b || host.has_edge(a, b)
+        })
+    }
+}
+
+/// A message of the hosted execution: one inner message plus its reduced
+/// endpoints, so the receiving host vertex can route it to the right
+/// simulated vertex.
+#[derive(Debug, Clone)]
+pub struct HostedMsg<M> {
+    /// Sending `G'` vertex.
+    pub from: NodeId,
+    /// Receiving `G'` vertex.
+    pub to: NodeId,
+    /// The inner payload.
+    pub inner: M,
+}
+
+/// Runs an algorithm written for `mapping.reduced()` on the host graph.
+///
+/// The execution alternates: one *compute* step (every simulated vertex
+/// executes its inner round; intra-owner messages short-circuit) followed
+/// by `capacity` *transport* host rounds draining the cross-owner
+/// messages.
+#[derive(Debug)]
+pub struct HostedAlgorithm<A: CongestAlgorithm> {
+    inner: A,
+    mapping: HostMapping,
+    capacity: usize,
+    /// Pending inner inboxes, keyed by reduced vertex.
+    inboxes: Vec<Vec<(NodeId, A::Msg)>>,
+    /// Cross-owner messages awaiting transport, keyed by host sender.
+    outboxes: Vec<Vec<HostedMsg<A::Msg>>>,
+    inner_round: usize,
+    transport_left: usize,
+    inner_halted: Vec<bool>,
+}
+
+impl<A: CongestAlgorithm> HostedAlgorithm<A> {
+    /// Wraps `inner` (an algorithm for the reduced graph) with a mapping
+    /// onto a host of `host_n` vertices.
+    pub fn new(inner: A, mapping: HostMapping, host_n: usize) -> Self {
+        let capacity = mapping.capacity();
+        let n_prime = mapping.reduced().num_nodes();
+        HostedAlgorithm {
+            inner,
+            capacity,
+            inboxes: vec![Vec::new(); n_prime],
+            outboxes: vec![Vec::new(); host_n],
+            inner_round: 0,
+            transport_left: 0,
+            inner_halted: vec![false; n_prime],
+            mapping,
+        }
+    }
+
+    /// The inner algorithm (for reading outputs after the run).
+    pub fn inner(&self) -> &A {
+        &self.inner
+    }
+
+    /// Number of inner rounds executed.
+    pub fn inner_rounds(&self) -> usize {
+        self.inner_round
+    }
+
+    fn route(&mut self, from: NodeId, out: Vec<(NodeId, A::Msg)>) {
+        for (to, msg) in out {
+            let (oa, ob) = (self.mapping.owner(from), self.mapping.owner(to));
+            if oa == ob {
+                self.inboxes[to].push((from, msg));
+            } else {
+                self.outboxes[oa].push(HostedMsg {
+                    from,
+                    to,
+                    inner: msg,
+                });
+            }
+        }
+    }
+
+    /// Executes one inner round for every reduced vertex owned by `host`.
+    fn compute_for(&mut self, host: NodeId, ctx: &InnerContext<'_>) {
+        for vp in 0..self.mapping.reduced().num_nodes() {
+            if self.mapping.owner(vp) != host || self.inner_halted[vp] {
+                continue;
+            }
+            let inbox = std::mem::take(&mut self.inboxes[vp]);
+            let (out, action) = self.inner.round(vp, &ctx.ctx, self.inner_round, &inbox);
+            if action == RoundOutcome::Halt {
+                self.inner_halted[vp] = true;
+            }
+            self.route(vp, out);
+        }
+    }
+}
+
+/// Context adapter: the inner algorithm sees the *reduced* topology.
+struct InnerContext<'g> {
+    ctx: NodeContext<'g>,
+}
+
+impl<A: CongestAlgorithm> CongestAlgorithm for HostedAlgorithm<A> {
+    type Msg = HostedMsg<A::Msg>;
+    type Output = A::Output;
+
+    fn message_bits(msg: &HostedMsg<A::Msg>) -> u64 {
+        // Routing header (two reduced ids) + payload.
+        let id_bits = |v: usize| (64 - (v as u64).leading_zeros() as u64).max(1);
+        id_bits(msg.from) + id_bits(msg.to) + A::message_bits(&msg.inner)
+    }
+
+    fn init(&mut self, node: NodeId, _host_ctx: &NodeContext<'_>) -> Vec<(NodeId, Self::Msg)> {
+        // Inner init for the simulated vertices; messages queue for the
+        // first compute+transport activation.
+        let reduced = self.mapping.reduced().clone();
+        let inner_ctx = crate::model::make_context(&reduced);
+        for vp in 0..reduced.num_nodes() {
+            if self.mapping.owner(vp) == node {
+                let out = self.inner.init(vp, &inner_ctx);
+                self.route(vp, out);
+            }
+        }
+        self.transport_left = self.capacity.saturating_sub(1);
+        Vec::new()
+    }
+
+    fn round(
+        &mut self,
+        node: NodeId,
+        _host_ctx: &NodeContext<'_>,
+        _round: usize,
+        inbox: &[(NodeId, Self::Msg)],
+    ) -> (Vec<(NodeId, Self::Msg)>, RoundOutcome) {
+        // Deliver transported messages to simulated inboxes.
+        for (_, m) in inbox {
+            self.inboxes[m.to].push((m.from, m.inner.clone()));
+        }
+        // On a compute activation (no pure-transport rounds left), every
+        // simulated vertex advances one inner round first; the freshly
+        // produced cross messages then join the transport drain below.
+        // Merging compute with the first transport batch keeps the host
+        // execution non-silent whenever work is pending, so the
+        // simulator's quiescence detection fires only when the inner
+        // algorithm is genuinely done.
+        if self.transport_left == 0 {
+            let reduced = self.mapping.reduced().clone();
+            let inner_ctx = InnerContext {
+                ctx: crate::model::make_context(&reduced),
+            };
+            self.compute_for(node, &inner_ctx);
+            if node + 1 == self.outboxes.len() {
+                self.inner_round += 1;
+                self.transport_left = self.capacity.saturating_sub(1);
+            }
+        } else if node + 1 == self.outboxes.len() {
+            self.transport_left -= 1;
+        }
+        // Transport: send one pending message per host edge direction.
+        let mut out = Vec::new();
+        let mut used: Vec<NodeId> = Vec::new();
+        let pending = std::mem::take(&mut self.outboxes[node]);
+        let mut rest = Vec::new();
+        for m in pending {
+            let target = self.mapping.owner(m.to);
+            if used.contains(&target) {
+                rest.push(m);
+            } else {
+                used.push(target);
+                out.push((target, m));
+            }
+        }
+        self.outboxes[node] = rest;
+        let all_halted = self.inner_halted.iter().all(|&h| h);
+        let quiet =
+            self.outboxes.iter().all(Vec::is_empty) && self.inboxes.iter().all(Vec::is_empty);
+        (
+            out,
+            if all_halted && quiet {
+                RoundOutcome::Halt
+            } else {
+                RoundOutcome::Continue
+            },
+        )
+    }
+
+    fn output(&self, node: NodeId) -> Option<A::Output> {
+        // The host node reports the output of its lowest simulated vertex
+        // (callers can query the inner algorithm directly for the rest).
+        (0..self.mapping.reduced().num_nodes())
+            .find(|&vp| self.mapping.owner(vp) == node)
+            .and_then(|vp| self.inner.output(vp))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::LeaderElection;
+    use crate::Simulator;
+    use congest_graph::generators;
+
+    /// The Lemma 2.2 shape: host G (a cycle), reduced G' = tripled graph;
+    /// run leader election on G' hosted on G and compare against a direct
+    /// run on G'.
+    #[test]
+    fn tripled_hosting_reproduces_direct_execution() {
+        let host = generators::cycle(8);
+        // Reduced graph: v_in(3v) - v_mid(3v+1) - v_out(3v+2) chains plus
+        // (u_out, v_in) per host edge, both directions (undirected).
+        let mut reduced = Graph::new(24);
+        for v in 0..8 {
+            reduced.add_edge(3 * v, 3 * v + 1);
+            reduced.add_edge(3 * v + 1, 3 * v + 2);
+        }
+        for (u, v, _) in host.edges() {
+            reduced.add_edge(3 * u + 2, 3 * v);
+            reduced.add_edge(3 * v + 2, 3 * u);
+        }
+        let mapping = HostMapping::tripled(reduced.clone());
+        assert!(mapping.validate_against(&host));
+        // Two reduced edges share each host edge direction -> capacity 2,
+        // matching Lemma 2.2's factor-2 overhead.
+        assert_eq!(mapping.capacity(), 2);
+
+        // Direct run on G'.
+        let mut direct = LeaderElection::new(24);
+        let direct_stats = Simulator::with_bandwidth(&reduced, 128).run(&mut direct, 10_000);
+
+        // Hosted run on G.
+        let inner = LeaderElection::new(24);
+        let mut hosted = HostedAlgorithm::new(inner, mapping, 8);
+        let hosted_stats = Simulator::with_bandwidth(&host, 128)
+            .stop_on_quiescence(true)
+            .run(&mut hosted, 10_000);
+
+        for vp in 0..24 {
+            assert_eq!(
+                hosted.inner().leader(vp),
+                direct.leader(vp),
+                "reduced vertex {vp}"
+            );
+            assert_eq!(hosted.inner().leader(vp), 0);
+        }
+        // Overhead: at most capacity + 1 host rounds per inner round,
+        // plus constant slack.
+        assert!(
+            hosted_stats.rounds <= 3 * (direct_stats.rounds + 4) + 8,
+            "hosted {} vs direct {}",
+            hosted_stats.rounds,
+            direct_stats.rounds
+        );
+    }
+
+    /// Intra-owner messages are free: hosting a graph on itself with the
+    /// identity mapping changes nothing.
+    #[test]
+    fn identity_hosting_is_transparent() {
+        let g = generators::complete(6);
+        let mapping = HostMapping::new(g.clone(), (0..6).collect());
+        assert_eq!(mapping.capacity(), 1);
+        let inner = LeaderElection::new(6);
+        let mut hosted = HostedAlgorithm::new(inner, mapping, 6);
+        Simulator::with_bandwidth(&g, 128).run(&mut hosted, 1_000);
+        for v in 0..6 {
+            assert_eq!(hosted.inner().leader(v), 0);
+        }
+    }
+}

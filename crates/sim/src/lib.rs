@@ -1,0 +1,28 @@
+//! A synchronous CONGEST-model simulator with exact bandwidth accounting.
+//!
+//! The CONGEST model (Peleg \[43\]): `n` nodes communicate over the edges of
+//! the underlying graph in synchronous rounds; in each round every node may
+//! send one message of `O(log n)` bits across each incident edge. The
+//! paper's lower bounds say how many rounds problems *must* take; this
+//! simulator provides the matching upper-bound side — the folklore
+//! algorithms the paper appeals to (leader election, BFS, convergecast,
+//! "learn the whole graph in `O(m + D)` rounds") and the paper's own
+//! `(1-ε)` max-cut algorithm (Theorem 2.9) — with every transmitted bit
+//! metered, so benches can compare measured costs against the bounds.
+//!
+//! The engine enforces the model: messages may only travel along graph
+//! edges and may not exceed the configured bandwidth; violations panic.
+
+#![forbid(unsafe_code)]
+// Index loops over gadget positions are kept explicit: the indices are
+// the paper's semantic coordinates (bit h, slot d, code position j).
+#![allow(clippy::needless_range_loop)]
+#![warn(missing_docs)]
+
+pub mod algorithms;
+pub mod hosting;
+mod model;
+
+pub use model::{
+    default_bandwidth, CongestAlgorithm, NodeContext, RoundOutcome, SimStats, Simulator,
+};

@@ -1,0 +1,439 @@
+use std::collections::HashMap;
+
+use congest_graph::{Graph, NodeId};
+
+/// The default CONGEST bandwidth: `2·⌈log₂ n⌉ + 16` bits per edge per
+/// round — enough for a constant number of identifiers plus tags, the
+/// standard "`O(log n)` bits" reading.
+pub fn default_bandwidth(n: usize) -> u64 {
+    let log = if n <= 1 {
+        1
+    } else {
+        64 - (n as u64 - 1).leading_zeros() as u64
+    };
+    2 * log + 16
+}
+
+/// Builds a [`NodeContext`] over a graph (used by the hosted-execution
+/// adapter to present the *reduced* topology to an inner algorithm).
+pub(crate) fn make_context(graph: &Graph) -> NodeContext<'_> {
+    NodeContext {
+        graph,
+        n: graph.num_nodes(),
+        bandwidth: default_bandwidth(graph.num_nodes()),
+    }
+}
+
+/// Read-only view of what a node locally knows: its id, its neighborhood,
+/// and global constants (`n`, bandwidth). This is the KT1 variant — nodes
+/// know their neighbors' identifiers.
+#[derive(Debug)]
+pub struct NodeContext<'g> {
+    graph: &'g Graph,
+    n: usize,
+    bandwidth: u64,
+}
+
+impl<'g> NodeContext<'g> {
+    /// Number of nodes in the network (assumed globally known, as usual).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The per-edge per-round bandwidth in bits.
+    pub fn bandwidth(&self) -> u64 {
+        self.bandwidth
+    }
+
+    /// The neighbors of `v`.
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        self.graph.neighbors(v)
+    }
+
+    /// The degree of `v`.
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.graph.degree(v)
+    }
+
+    /// The weight of the local edge `(v, u)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(v, u)` is not an edge (locality violation).
+    pub fn edge_weight(&self, v: NodeId, u: NodeId) -> congest_graph::Weight {
+        self.graph
+            .edge_weight(v, u)
+            .expect("edge_weight queried for a non-incident edge")
+    }
+}
+
+/// What a node does at the end of a round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoundOutcome {
+    /// Keep participating.
+    Continue,
+    /// Terminate locally (a halted node neither sends nor is woken again;
+    /// pending inbound messages to halted nodes are dropped).
+    Halt,
+}
+
+/// A distributed algorithm in the CONGEST model.
+///
+/// One implementor instance holds the state of *all* nodes (indexed by
+/// `NodeId`); the simulator calls each node's hooks in an arbitrary but
+/// fixed order each round. Implementations must only inspect state of the
+/// node they are called for, plus the [`NodeContext`] — that is the
+/// locality discipline of the model.
+pub trait CongestAlgorithm {
+    /// The message type exchanged on edges.
+    type Msg: Clone;
+
+    /// The per-node output type.
+    type Output;
+
+    /// The exact size of a message in bits (enforced against bandwidth).
+    fn message_bits(msg: &Self::Msg) -> u64;
+
+    /// Round 0: produce initial outgoing messages for `node`.
+    fn init(&mut self, node: NodeId, ctx: &NodeContext<'_>) -> Vec<(NodeId, Self::Msg)>;
+
+    /// One round: consume `inbox` (sender, message) pairs delivered this
+    /// round, emit messages for the next round, and decide whether to halt.
+    fn round(
+        &mut self,
+        node: NodeId,
+        ctx: &NodeContext<'_>,
+        round: usize,
+        inbox: &[(NodeId, Self::Msg)],
+    ) -> (Vec<(NodeId, Self::Msg)>, RoundOutcome);
+
+    /// The node's final output, if it has decided one.
+    fn output(&self, node: NodeId) -> Option<Self::Output>;
+}
+
+/// Execution statistics with exact bit accounting.
+#[derive(Debug, Clone, Default)]
+pub struct SimStats {
+    /// Number of rounds executed (a round = one synchronous delivery).
+    pub rounds: u64,
+    /// Total messages sent.
+    pub messages: u64,
+    /// Total bits sent.
+    pub total_bits: u64,
+    /// Bits sent per (undirected) edge, keyed by `(min, max)` endpoint.
+    pub bits_per_edge: HashMap<(NodeId, NodeId), u64>,
+}
+
+impl SimStats {
+    /// Total bits that crossed a given set of edges (e.g. the Alice–Bob
+    /// cut of Theorem 1.1).
+    pub fn bits_across(&self, cut: &[(NodeId, NodeId)]) -> u64 {
+        cut.iter()
+            .map(|&(u, v)| {
+                let key = (u.min(v), u.max(v));
+                self.bits_per_edge.get(&key).copied().unwrap_or(0)
+            })
+            .sum()
+    }
+}
+
+/// The synchronous executor.
+#[derive(Debug)]
+pub struct Simulator<'g> {
+    graph: &'g Graph,
+    bandwidth: u64,
+    stop_on_quiescence: bool,
+}
+
+impl<'g> Simulator<'g> {
+    /// A simulator over `graph` with the default `O(log n)` bandwidth.
+    pub fn new(graph: &'g Graph) -> Self {
+        let bw = default_bandwidth(graph.num_nodes());
+        Simulator::with_bandwidth(graph, bw)
+    }
+
+    /// A simulator with explicit per-edge per-round bandwidth in bits.
+    pub fn with_bandwidth(graph: &'g Graph, bandwidth: u64) -> Self {
+        Simulator {
+            graph,
+            bandwidth,
+            stop_on_quiescence: true,
+        }
+    }
+
+    /// Controls termination-by-silence. When `true` (the default) a run
+    /// stops after a round in which no message was in flight and no node
+    /// emitted one — convenient for flooding algorithms that converge
+    /// without explicit halting. Algorithms that pause on internal round
+    /// barriers (e.g. [`crate::algorithms::SampledMaxCut`]) must set this
+    /// to `false` and halt explicitly.
+    pub fn stop_on_quiescence(mut self, stop: bool) -> Self {
+        self.stop_on_quiescence = stop;
+        self
+    }
+
+    /// Runs `alg` until every node halts, the network goes quiescent
+    /// (if configured), or `max_rounds` passes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node sends to a non-neighbor, a message exceeds the
+    /// bandwidth, or two messages are sent over the same edge in the same
+    /// direction in one round (all CONGEST-model violations).
+    pub fn run<A: CongestAlgorithm>(&self, alg: &mut A, max_rounds: u64) -> SimStats {
+        let n = self.graph.num_nodes();
+        let ctx = NodeContext {
+            graph: self.graph,
+            n,
+            bandwidth: self.bandwidth,
+        };
+        let mut stats = SimStats::default();
+        let mut halted = vec![false; n];
+        // in_flight[v] = messages to deliver to v next round.
+        let mut in_flight: Vec<Vec<(NodeId, A::Msg)>> = vec![Vec::new(); n];
+        for v in 0..n {
+            let out = alg.init(v, &ctx);
+            self.dispatch::<A>(v, out, &mut in_flight, &mut stats);
+        }
+        let mut round = 0usize;
+        while stats.rounds < max_rounds {
+            if halted.iter().all(|&h| h) {
+                break;
+            }
+            let was_quiet = in_flight.iter().all(Vec::is_empty);
+            if was_quiet && self.stop_on_quiescence && round > 0 {
+                // One final activation; stop if it produces nothing.
+                let mut any = false;
+                for v in 0..n {
+                    if halted[v] {
+                        continue;
+                    }
+                    let (out, action) = alg.round(v, &ctx, round, &[]);
+                    any |= !out.is_empty();
+                    self.dispatch::<A>(v, out, &mut in_flight, &mut stats);
+                    if action == RoundOutcome::Halt {
+                        halted[v] = true;
+                    }
+                }
+                stats.rounds += 1;
+                round += 1;
+                if !any && in_flight.iter().all(Vec::is_empty) {
+                    break;
+                }
+                continue;
+            }
+            let deliveries: Vec<Vec<(NodeId, A::Msg)>> =
+                std::mem::replace(&mut in_flight, vec![Vec::new(); n]);
+            for (v, inbox) in deliveries.into_iter().enumerate() {
+                if halted[v] {
+                    continue;
+                }
+                let (out, action) = alg.round(v, &ctx, round, &inbox);
+                self.dispatch::<A>(v, out, &mut in_flight, &mut stats);
+                if action == RoundOutcome::Halt {
+                    halted[v] = true;
+                }
+            }
+            stats.rounds += 1;
+            round += 1;
+        }
+        stats
+    }
+
+    fn dispatch<A: CongestAlgorithm>(
+        &self,
+        from: NodeId,
+        out: Vec<(NodeId, A::Msg)>,
+        in_flight: &mut [Vec<(NodeId, A::Msg)>],
+        stats: &mut SimStats,
+    ) {
+        let mut used: Vec<NodeId> = Vec::with_capacity(out.len());
+        for (to, msg) in out {
+            assert!(
+                self.graph.has_edge(from, to),
+                "CONGEST violation: {from} sent to non-neighbor {to}"
+            );
+            assert!(
+                !used.contains(&to),
+                "CONGEST violation: {from} sent two messages to {to} in one round"
+            );
+            used.push(to);
+            let bits = A::message_bits(&msg);
+            assert!(
+                bits <= self.bandwidth,
+                "CONGEST violation: message of {bits} bits exceeds bandwidth {}",
+                self.bandwidth
+            );
+            stats.messages += 1;
+            stats.total_bits += bits;
+            *stats
+                .bits_per_edge
+                .entry((from.min(to), from.max(to)))
+                .or_insert(0) += bits;
+            in_flight[to].push((from, msg));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Each node floods the minimum id it has seen; halts after `n` rounds.
+    struct MinIdFlood {
+        best: Vec<NodeId>,
+        sent: Vec<Option<NodeId>>,
+    }
+
+    impl MinIdFlood {
+        fn new(n: usize) -> Self {
+            MinIdFlood {
+                best: (0..n).collect(),
+                sent: vec![None; n],
+            }
+        }
+    }
+
+    impl CongestAlgorithm for MinIdFlood {
+        type Msg = NodeId;
+        type Output = NodeId;
+
+        fn message_bits(_: &NodeId) -> u64 {
+            16
+        }
+
+        fn init(&mut self, node: NodeId, ctx: &NodeContext<'_>) -> Vec<(NodeId, NodeId)> {
+            self.sent[node] = Some(node);
+            ctx.neighbors(node).iter().map(|&u| (u, node)).collect()
+        }
+
+        fn round(
+            &mut self,
+            node: NodeId,
+            ctx: &NodeContext<'_>,
+            _round: usize,
+            inbox: &[(NodeId, NodeId)],
+        ) -> (Vec<(NodeId, NodeId)>, RoundOutcome) {
+            for &(_, id) in inbox {
+                if id < self.best[node] {
+                    self.best[node] = id;
+                }
+            }
+            if self.sent[node] != Some(self.best[node]) {
+                self.sent[node] = Some(self.best[node]);
+                let out = ctx
+                    .neighbors(node)
+                    .iter()
+                    .map(|&u| (u, self.best[node]))
+                    .collect();
+                (out, RoundOutcome::Continue)
+            } else {
+                (Vec::new(), RoundOutcome::Continue)
+            }
+        }
+
+        fn output(&self, node: NodeId) -> Option<NodeId> {
+            Some(self.best[node])
+        }
+    }
+
+    #[test]
+    fn flooding_converges_in_diameter_rounds() {
+        let g = congest_graph::generators::path(10);
+        let sim = Simulator::new(&g);
+        let mut alg = MinIdFlood::new(10);
+        let stats = sim.run(&mut alg, 100);
+        for v in 0..10 {
+            assert_eq!(alg.output(v), Some(0));
+        }
+        // Path diameter 9; quiescence detection adds O(1).
+        assert!(stats.rounds <= 12, "rounds = {}", stats.rounds);
+        assert!(stats.total_bits > 0);
+    }
+
+    #[test]
+    fn stats_account_per_edge() {
+        let g = congest_graph::generators::path(3);
+        let sim = Simulator::new(&g);
+        let mut alg = MinIdFlood::new(3);
+        let stats = sim.run(&mut alg, 100);
+        let cut_bits = stats.bits_across(&[(1, 2)]);
+        assert!(cut_bits > 0);
+        assert_eq!(stats.total_bits, stats.bits_per_edge.values().sum::<u64>());
+    }
+
+    struct NonNeighborSender;
+    impl CongestAlgorithm for NonNeighborSender {
+        type Msg = ();
+        type Output = ();
+        fn message_bits(_: &()) -> u64 {
+            1
+        }
+        fn init(&mut self, node: NodeId, _: &NodeContext<'_>) -> Vec<(NodeId, ())> {
+            if node == 0 {
+                vec![(2, ())]
+            } else {
+                Vec::new()
+            }
+        }
+        fn round(
+            &mut self,
+            _: NodeId,
+            _: &NodeContext<'_>,
+            _: usize,
+            _: &[(NodeId, ())],
+        ) -> (Vec<(NodeId, ())>, RoundOutcome) {
+            (Vec::new(), RoundOutcome::Halt)
+        }
+        fn output(&self, _: NodeId) -> Option<()> {
+            None
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-neighbor")]
+    fn locality_is_enforced() {
+        let g = congest_graph::generators::path(3); // 0-1-2: (0,2) not an edge
+        let sim = Simulator::new(&g);
+        sim.run(&mut NonNeighborSender, 10);
+    }
+
+    struct FatSender;
+    impl CongestAlgorithm for FatSender {
+        type Msg = ();
+        type Output = ();
+        fn message_bits(_: &()) -> u64 {
+            1_000_000
+        }
+        fn init(&mut self, node: NodeId, ctx: &NodeContext<'_>) -> Vec<(NodeId, ())> {
+            ctx.neighbors(node).iter().map(|&u| (u, ())).collect()
+        }
+        fn round(
+            &mut self,
+            _: NodeId,
+            _: &NodeContext<'_>,
+            _: usize,
+            _: &[(NodeId, ())],
+        ) -> (Vec<(NodeId, ())>, RoundOutcome) {
+            (Vec::new(), RoundOutcome::Halt)
+        }
+        fn output(&self, _: NodeId) -> Option<()> {
+            None
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds bandwidth")]
+    fn bandwidth_is_enforced() {
+        let g = congest_graph::generators::path(3);
+        let sim = Simulator::new(&g);
+        sim.run(&mut FatSender, 10);
+    }
+
+    #[test]
+    fn default_bandwidth_is_logarithmic() {
+        assert_eq!(default_bandwidth(2), 18);
+        assert_eq!(default_bandwidth(1024), 36);
+        assert!(default_bandwidth(1 << 20) < 100);
+    }
+}

@@ -1,0 +1,176 @@
+//! The classical approximation algorithms the paper cites as context.
+//!
+//! * greedy MDS — the `O(log Δ)`-approximation (Section 2.1 cites
+//!   [26, 33, 34] for its CONGEST versions),
+//! * maximal-matching MVC — the folklore 2-approximation,
+//! * greedy MaxIS — the `(Δ+1)`-approximation baseline (cf. \[7\]),
+//! * subsampled max-cut — the sequential core of Theorem 2.9's
+//!   `(1-ε)`-approximation: solve exactly on a `G_p` sample and return
+//!   `c*_p / p` as the estimate.
+
+use congest_graph::{Graph, NodeId, Weight};
+use rand::Rng;
+
+use crate::matching::greedy_maximal_matching;
+use crate::maxcut;
+
+/// Greedy minimum dominating set: repeatedly take the vertex dominating
+/// the most currently-undominated vertices. Classic `1 + ln(Δ+1)`
+/// approximation.
+pub fn greedy_dominating_set(g: &Graph) -> Vec<NodeId> {
+    let n = g.num_nodes();
+    let mut dominated = vec![false; n];
+    let mut remaining = n;
+    let mut set = Vec::new();
+    while remaining > 0 {
+        let (best, gain) = (0..n)
+            .map(|v| {
+                let mut gain = usize::from(!dominated[v]);
+                for &u in g.neighbors(v) {
+                    gain += usize::from(!dominated[u]);
+                }
+                (v, gain)
+            })
+            .max_by_key(|&(_, gain)| gain)
+            .expect("nonempty graph");
+        debug_assert!(gain > 0, "progress must be possible");
+        set.push(best);
+        if !dominated[best] {
+            dominated[best] = true;
+            remaining -= 1;
+        }
+        for &u in g.neighbors(best) {
+            if !dominated[u] {
+                dominated[u] = true;
+                remaining -= 1;
+            }
+        }
+    }
+    set
+}
+
+/// 2-approximate vertex cover: both endpoints of a maximal matching.
+pub fn matching_vertex_cover(g: &Graph) -> Vec<NodeId> {
+    let mut cover = Vec::new();
+    for (u, v) in greedy_maximal_matching(g) {
+        cover.push(u);
+        cover.push(v);
+    }
+    cover
+}
+
+/// Greedy independent set: repeatedly take a minimum-degree vertex and
+/// discard its neighbors. Guarantees `≥ n/(Δ+1)` vertices.
+pub fn greedy_independent_set(g: &Graph) -> Vec<NodeId> {
+    let n = g.num_nodes();
+    let mut alive = vec![true; n];
+    let mut degree: Vec<usize> = (0..n).map(|v| g.degree(v)).collect();
+    let mut set = Vec::new();
+    while let Some(v) = (0..n).filter(|&v| alive[v]).min_by_key(|&v| degree[v]) {
+        set.push(v);
+        alive[v] = false;
+        for &u in g.neighbors(v) {
+            if alive[u] {
+                alive[u] = false;
+                for &w in g.neighbors(u) {
+                    degree[w] = degree[w].saturating_sub(1);
+                }
+            }
+        }
+    }
+    set
+}
+
+/// The sampling estimator behind Theorem 2.9 (after \[51\]): sample each
+/// edge independently with probability `p`, solve max-cut exactly on the
+/// sample, and return the sampled optimum together with the scaled
+/// estimate `c*_p / p` of the true max-cut.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `(0, 1]` or the graph exceeds the exact-solver
+/// size limit.
+pub fn sampled_max_cut<R: Rng>(g: &Graph, p: f64, rng: &mut R) -> (maxcut::CutSolution, f64) {
+    assert!(p > 0.0 && p <= 1.0, "sampling probability out of range");
+    let mut sample = Graph::new(g.num_nodes());
+    for (u, v, w) in g.edges() {
+        if rng.gen_bool(p) {
+            sample.add_weighted_edge(u, v, w);
+        }
+    }
+    let cut = maxcut::max_cut(&sample);
+    let estimate = cut.weight as f64 / p;
+    (cut, estimate)
+}
+
+/// Ratio helper for benches: `achieved / optimal` as f64 (1.0 when both
+/// are zero).
+pub fn ratio(achieved: Weight, optimal: Weight) -> f64 {
+    if optimal == 0 {
+        1.0
+    } else {
+        achieved as f64 / optimal as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{mds, mis};
+    use congest_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn greedy_mds_is_dominating_and_close() {
+        let mut rng = StdRng::seed_from_u64(61);
+        for _ in 0..10 {
+            let g = generators::connected_gnp(14, 0.2, &mut rng);
+            let ds = greedy_dominating_set(&g);
+            assert!(g.is_dominating_set(&ds));
+            let opt = mds::min_dominating_set_size(&g);
+            // ln(Δ+1)+1 factor; generous check.
+            assert!(ds.len() <= opt * 4, "greedy {} vs opt {opt}", ds.len());
+        }
+    }
+
+    #[test]
+    fn matching_cover_is_2_approx() {
+        let mut rng = StdRng::seed_from_u64(62);
+        for _ in 0..10 {
+            let g = generators::gnp(13, 0.3, &mut rng);
+            let cover = matching_vertex_cover(&g);
+            assert!(g.is_vertex_cover(&cover));
+            let opt = mis::min_vertex_cover(&g).vertices.len();
+            assert!(cover.len() <= 2 * opt);
+        }
+    }
+
+    #[test]
+    fn greedy_is_is_independent() {
+        let mut rng = StdRng::seed_from_u64(63);
+        for _ in 0..10 {
+            let g = generators::gnp(15, 0.3, &mut rng);
+            let is = greedy_independent_set(&g);
+            assert!(g.is_independent_set(&is));
+            let bound = g.num_nodes() / (g.max_degree() + 1);
+            assert!(is.len() >= bound);
+        }
+    }
+
+    #[test]
+    fn sampled_cut_with_p_one_is_exact() {
+        let mut rng = StdRng::seed_from_u64(64);
+        let g = generators::gnp(12, 0.5, &mut rng);
+        let (cut, est) = sampled_max_cut(&g, 1.0, &mut rng);
+        let opt = maxcut::max_cut(&g).weight;
+        assert_eq!(cut.weight, opt);
+        assert!((est - opt as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ratios() {
+        assert!((ratio(3, 4) - 0.75).abs() < 1e-12);
+        assert!((ratio(0, 0) - 1.0).abs() < 1e-12);
+    }
+}

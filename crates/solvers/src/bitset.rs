@@ -1,0 +1,247 @@
+//! Fixed-width (`u128`) vertex-set helpers shared by the exact solvers.
+//!
+//! Every exact solver in this crate targets the paper's constructions,
+//! which stay below 128 vertices for the parameters we verify; the
+//! `u128` representation keeps the branch-and-bound inner loops branch-free.
+
+use congest_graph::{DiGraph, Graph};
+
+/// Maximum supported vertex count for bitmask solvers.
+pub const MAX_N: usize = 128;
+
+/// Adjacency of an undirected graph as one `u128` mask per vertex.
+///
+/// # Panics
+///
+/// Panics if the graph has more than [`MAX_N`] vertices.
+pub fn adjacency_masks(g: &Graph) -> Vec<u128> {
+    let n = g.num_nodes();
+    assert!(
+        n <= MAX_N,
+        "bitmask solvers support at most {MAX_N} vertices"
+    );
+    let mut adj = vec![0u128; n];
+    for (u, v, _) in g.edges() {
+        adj[u] |= 1 << v;
+        adj[v] |= 1 << u;
+    }
+    adj
+}
+
+/// Out- and in-adjacency of a digraph as `u128` masks.
+///
+/// # Panics
+///
+/// Panics if the graph has more than [`MAX_N`] vertices.
+pub fn directed_masks(g: &DiGraph) -> (Vec<u128>, Vec<u128>) {
+    let n = g.num_nodes();
+    assert!(
+        n <= MAX_N,
+        "bitmask solvers support at most {MAX_N} vertices"
+    );
+    let mut out = vec![0u128; n];
+    let mut inm = vec![0u128; n];
+    for (u, v, _) in g.edges() {
+        out[u] |= 1 << v;
+        inm[v] |= 1 << u;
+    }
+    (out, inm)
+}
+
+/// The full mask `{0, …, n-1}`.
+pub fn full_mask(n: usize) -> u128 {
+    if n == 128 {
+        u128::MAX
+    } else {
+        (1u128 << n) - 1
+    }
+}
+
+/// Iterates the vertex indices of a mask.
+pub fn iter_bits(mut mask: u128) -> impl Iterator<Item = usize> {
+    std::iter::from_fn(move || {
+        if mask == 0 {
+            None
+        } else {
+            let b = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            Some(b)
+        }
+    })
+}
+
+/// Converts a mask to a vector of vertex ids.
+pub fn mask_to_vec(mask: u128) -> Vec<usize> {
+    iter_bits(mask).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_and_iteration() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 2);
+        g.add_edge(2, 3);
+        let adj = adjacency_masks(&g);
+        assert_eq!(adj[2], 0b1001);
+        assert_eq!(mask_to_vec(adj[2]), vec![0, 3]);
+        assert_eq!(full_mask(4), 0b1111);
+    }
+
+    #[test]
+    fn directed_masks_split() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(2, 1);
+        let (out, inm) = directed_masks(&g);
+        assert_eq!(out[0], 0b010);
+        assert_eq!(inm[1], 0b101);
+    }
+}
+
+/// Out- and in-adjacency of a digraph as [`B256`] masks.
+///
+/// # Panics
+///
+/// Panics if the graph has more than 256 vertices.
+pub fn directed_masks_256(g: &DiGraph) -> (Vec<B256>, Vec<B256>) {
+    let n = g.num_nodes();
+    assert!(n <= 256, "B256 solvers support at most 256 vertices");
+    let mut out = vec![B256::EMPTY; n];
+    let mut inm = vec![B256::EMPTY; n];
+    for (u, v, _) in g.edges() {
+        out[u].set(v);
+        inm[v].set(u);
+    }
+    (out, inm)
+}
+
+/// A 256-bit vertex set (`Copy`, branch-free ops) for solvers whose
+/// instances exceed 128 vertices — e.g. Hamiltonicity on the undirected
+/// reduction graphs of Lemma 2.2, which triple the vertex count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct B256(pub [u64; 4]);
+
+impl B256 {
+    /// The empty set.
+    pub const EMPTY: B256 = B256([0; 4]);
+
+    /// The set `{0, …, n-1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 256`.
+    pub fn full(n: usize) -> B256 {
+        assert!(n <= 256, "B256 supports at most 256 vertices");
+        let mut w = [0u64; 4];
+        for (i, word) in w.iter_mut().enumerate() {
+            let lo = i * 64;
+            if n >= lo + 64 {
+                *word = u64::MAX;
+            } else if n > lo {
+                *word = (1u64 << (n - lo)) - 1;
+            }
+        }
+        B256(w)
+    }
+
+    /// The singleton `{v}`.
+    pub fn bit(v: usize) -> B256 {
+        let mut w = [0u64; 4];
+        w[v / 64] = 1u64 << (v % 64);
+        B256(w)
+    }
+
+    /// Whether `v` is in the set.
+    pub fn get(&self, v: usize) -> bool {
+        (self.0[v / 64] >> (v % 64)) & 1 == 1
+    }
+
+    /// Inserts `v`.
+    pub fn set(&mut self, v: usize) {
+        self.0[v / 64] |= 1u64 << (v % 64);
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0 == [0; 4]
+    }
+
+    /// Set union.
+    pub fn or(&self, o: &B256) -> B256 {
+        B256([
+            self.0[0] | o.0[0],
+            self.0[1] | o.0[1],
+            self.0[2] | o.0[2],
+            self.0[3] | o.0[3],
+        ])
+    }
+
+    /// Set intersection.
+    pub fn and(&self, o: &B256) -> B256 {
+        B256([
+            self.0[0] & o.0[0],
+            self.0[1] & o.0[1],
+            self.0[2] & o.0[2],
+            self.0[3] & o.0[3],
+        ])
+    }
+
+    /// Set difference `self ∖ o`.
+    pub fn and_not(&self, o: &B256) -> B256 {
+        B256([
+            self.0[0] & !o.0[0],
+            self.0[1] & !o.0[1],
+            self.0[2] & !o.0[2],
+            self.0[3] & !o.0[3],
+        ])
+    }
+
+    /// Number of elements.
+    pub fn count(&self) -> u32 {
+        self.0.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Iterates elements in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        let words = self.0;
+        (0..4).flat_map(move |i| {
+            let mut w = words[i];
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(i * 64 + b)
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod b256_tests {
+    use super::B256;
+
+    #[test]
+    fn basic_ops() {
+        let mut s = B256::EMPTY;
+        s.set(3);
+        s.set(130);
+        assert!(s.get(130));
+        assert!(!s.get(131));
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 130]);
+        let f = B256::full(200);
+        assert_eq!(f.count(), 200);
+        assert!(f.get(199));
+        assert!(!f.get(200));
+        assert_eq!(f.and_not(&s).count(), 198);
+        assert_eq!(f.and(&s), s);
+        assert_eq!(s.or(&B256::bit(7)).count(), 3);
+        assert!(B256::EMPTY.is_empty());
+    }
+}

@@ -1,0 +1,358 @@
+//! CNF formulas with at most two literals per clause, and exact Max-SAT.
+//!
+//! Section 3.1 of the paper converts MaxIS instances into max-2SAT
+//! formulas (`G → φ`), rewrites them so every variable appears a constant
+//! number of times (`φ → φ'`, via expanders), and converts back to a
+//! bounded-degree graph (`φ' → G'`). This module supplies the formula
+//! representation and the exact oracle those reductions are verified
+//! against.
+
+use congest_graph::Weight;
+
+/// A literal: a variable index with a polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Literal {
+    /// Variable index.
+    pub var: usize,
+    /// `true` for `x`, `false` for `¬x`.
+    pub positive: bool,
+}
+
+impl Literal {
+    /// The positive literal `x_var`.
+    pub fn pos(var: usize) -> Self {
+        Literal {
+            var,
+            positive: true,
+        }
+    }
+
+    /// The negative literal `¬x_var`.
+    pub fn neg(var: usize) -> Self {
+        Literal {
+            var,
+            positive: false,
+        }
+    }
+
+    /// Evaluates the literal under an assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        assignment[self.var] == self.positive
+    }
+}
+
+/// A clause with one or two literals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clause {
+    literals: Vec<Literal>,
+}
+
+impl Clause {
+    /// A unit clause.
+    pub fn unit(l: Literal) -> Self {
+        Clause { literals: vec![l] }
+    }
+
+    /// A binary clause `(a ∨ b)`.
+    pub fn binary(a: Literal, b: Literal) -> Self {
+        Clause {
+            literals: vec![a, b],
+        }
+    }
+
+    /// The literals of the clause.
+    pub fn literals(&self) -> &[Literal] {
+        &self.literals
+    }
+
+    /// Whether the clause is satisfied under an assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.literals.iter().any(|l| l.eval(assignment))
+    }
+}
+
+/// A CNF formula with clauses of size ≤ 2 (the paper's `φ`, `φ'`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CnfFormula {
+    num_vars: usize,
+    clauses: Vec<Clause>,
+}
+
+impl CnfFormula {
+    /// An empty formula over `num_vars` variables.
+    pub fn new(num_vars: usize) -> Self {
+        CnfFormula {
+            num_vars,
+            clauses: Vec::new(),
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Adds a fresh variable, returning its index.
+    pub fn add_var(&mut self) -> usize {
+        self.num_vars += 1;
+        self.num_vars - 1
+    }
+
+    /// Appends a clause.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clause is empty, has more than 2 literals, or
+    /// references an out-of-range variable.
+    pub fn add_clause(&mut self, c: Clause) {
+        assert!(
+            (1..=2).contains(&c.literals.len()),
+            "clauses must have 1 or 2 literals"
+        );
+        for l in &c.literals {
+            assert!(l.var < self.num_vars, "literal references unknown variable");
+        }
+        self.clauses.push(c);
+    }
+
+    /// The clauses.
+    pub fn clauses(&self) -> &[Clause] {
+        &self.clauses
+    }
+
+    /// Number of clauses satisfied by an assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment length differs from `num_vars`.
+    pub fn satisfied_count(&self, assignment: &[bool]) -> usize {
+        assert_eq!(
+            assignment.len(),
+            self.num_vars,
+            "assignment length mismatch"
+        );
+        self.clauses.iter().filter(|c| c.eval(assignment)).count()
+    }
+
+    /// The number of times each variable occurs (over all clauses, counting
+    /// multiplicity).
+    pub fn occurrence_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_vars];
+        for c in &self.clauses {
+            for l in &c.literals {
+                counts[l.var] += 1;
+            }
+        }
+        counts
+    }
+
+    /// The number of times each *literal* occurs: `(positive, negative)`
+    /// per variable.
+    pub fn literal_counts(&self) -> Vec<(usize, usize)> {
+        let mut counts = vec![(0usize, 0usize); self.num_vars];
+        for c in &self.clauses {
+            for l in &c.literals {
+                if l.positive {
+                    counts[l.var].0 += 1;
+                } else {
+                    counts[l.var].1 += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// Exact Max-SAT: the maximum number of simultaneously satisfiable
+    /// clauses, `f(φ)` in the paper's notation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars > 24`.
+    pub fn max_sat_brute(&self) -> usize {
+        assert!(self.num_vars <= 24, "brute force limited to 24 variables");
+        let mut best = 0;
+        let mut assignment = vec![false; self.num_vars];
+        for mask in 0u64..(1u64 << self.num_vars) {
+            for (i, slot) in assignment.iter_mut().enumerate() {
+                *slot = (mask >> i) & 1 == 1;
+            }
+            best = best.max(self.satisfied_count(&assignment));
+        }
+        best
+    }
+}
+
+/// Total weight helper used by weighted SAT-style arguments (reserved for
+/// extensions; the paper's Section 3 reductions are unweighted).
+pub fn clause_weight_sum(weights: &[Weight]) -> Weight {
+    weights.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clause_evaluation() {
+        let c = Clause::binary(Literal::neg(0), Literal::pos(1));
+        assert!(c.eval(&[false, false]));
+        assert!(c.eval(&[true, true]));
+        assert!(!c.eval(&[true, false]));
+    }
+
+    #[test]
+    fn max_sat_of_contradiction() {
+        // x ∧ ¬x: at most one clause satisfiable.
+        let mut f = CnfFormula::new(1);
+        f.add_clause(Clause::unit(Literal::pos(0)));
+        f.add_clause(Clause::unit(Literal::neg(0)));
+        assert_eq!(f.max_sat_brute(), 1);
+    }
+
+    #[test]
+    fn max_sat_of_satisfiable_formula() {
+        // (x0 ∨ x1) ∧ (¬x0 ∨ x1) ∧ (x0 ∨ ¬x1): all satisfied by (T, T).
+        let mut f = CnfFormula::new(2);
+        f.add_clause(Clause::binary(Literal::pos(0), Literal::pos(1)));
+        f.add_clause(Clause::binary(Literal::neg(0), Literal::pos(1)));
+        f.add_clause(Clause::binary(Literal::pos(0), Literal::neg(1)));
+        assert_eq!(f.max_sat_brute(), 3);
+        assert_eq!(f.satisfied_count(&[true, true]), 3);
+    }
+
+    #[test]
+    fn occurrence_accounting() {
+        let mut f = CnfFormula::new(3);
+        f.add_clause(Clause::unit(Literal::pos(0)));
+        f.add_clause(Clause::binary(Literal::neg(0), Literal::neg(1)));
+        assert_eq!(f.occurrence_counts(), vec![2, 1, 0]);
+        assert_eq!(f.literal_counts(), vec![(1, 1), (0, 1), (0, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "1 or 2 literals")]
+    fn oversized_clause_rejected() {
+        let mut f = CnfFormula::new(3);
+        f.add_clause(Clause {
+            literals: vec![Literal::pos(0), Literal::pos(1), Literal::pos(2)],
+        });
+    }
+}
+
+/// Branch-and-bound exact Max-SAT for formulas too large to brute force
+/// (up to ~40 variables, structured instances). Branches on the variable
+/// occurring most often; bound: satisfied-so-far + clauses not yet
+/// falsified.
+pub fn max_sat_branch_bound(phi: &CnfFormula) -> usize {
+    #[derive(Clone)]
+    struct State {
+        assignment: Vec<Option<bool>>,
+    }
+    fn clause_status(c: &Clause, a: &[Option<bool>]) -> Option<bool> {
+        // Some(true) = satisfied, Some(false) = falsified, None = open.
+        let mut open = false;
+        for l in c.literals() {
+            match a[l.var] {
+                Some(v) if v == l.positive => return Some(true),
+                Some(_) => {}
+                None => open = true,
+            }
+        }
+        if open {
+            None
+        } else {
+            Some(false)
+        }
+    }
+    fn rec(phi: &CnfFormula, st: &mut State, best: &mut usize) {
+        let mut sat = 0usize;
+        let mut falsified = 0usize;
+        let mut occurrences = vec![0usize; phi.num_vars()];
+        for c in phi.clauses() {
+            match clause_status(c, &st.assignment) {
+                Some(true) => sat += 1,
+                Some(false) => falsified += 1,
+                None => {
+                    for l in c.literals() {
+                        if st.assignment[l.var].is_none() {
+                            occurrences[l.var] += 1;
+                        }
+                    }
+                }
+            }
+        }
+        let upper = phi.num_clauses() - falsified;
+        if upper <= *best {
+            return;
+        }
+        let branch_var = (0..phi.num_vars())
+            .filter(|&v| st.assignment[v].is_none())
+            .max_by_key(|&v| occurrences[v]);
+        match branch_var {
+            None => {
+                if sat > *best {
+                    *best = sat;
+                }
+            }
+            Some(v) if occurrences[v] == 0 => {
+                // All open variables are irrelevant; open clauses can all
+                // be... none exist (every open clause has an unassigned
+                // variable with a positive occurrence count). So sat is
+                // final.
+                if sat > *best {
+                    *best = sat;
+                }
+            }
+            Some(v) => {
+                for val in [true, false] {
+                    st.assignment[v] = Some(val);
+                    rec(phi, st, best);
+                }
+                st.assignment[v] = None;
+            }
+        }
+    }
+    let mut st = State {
+        assignment: vec![None; phi.num_vars()],
+    };
+    let mut best = 0usize;
+    rec(phi, &mut st, &mut best);
+    best
+}
+
+#[cfg(test)]
+mod bb_tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn branch_bound_matches_brute_force() {
+        let mut rng = StdRng::seed_from_u64(91);
+        for _ in 0..20 {
+            let vars = 8;
+            let mut phi = CnfFormula::new(vars);
+            for _ in 0..14 {
+                let a = Literal {
+                    var: rng.gen_range(0..vars),
+                    positive: rng.gen_bool(0.5),
+                };
+                if rng.gen_bool(0.3) {
+                    phi.add_clause(Clause::unit(a));
+                } else {
+                    let b = Literal {
+                        var: rng.gen_range(0..vars),
+                        positive: rng.gen_bool(0.5),
+                    };
+                    phi.add_clause(Clause::binary(a, b));
+                }
+            }
+            assert_eq!(max_sat_branch_bound(&phi), phi.max_sat_brute());
+        }
+    }
+}

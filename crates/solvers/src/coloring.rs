@@ -1,0 +1,153 @@
+//! Exact chromatic number.
+//!
+//! The paper's introduction lists minimum chromatic number among the
+//! problems with Ω̃(n²) CONGEST lower bounds (\[10\]); this solver rounds
+//! out the exact-oracle suite. Backtracking `k`-colorability with a
+//! clique lower bound and a greedy upper bound bracketing the search.
+
+use congest_graph::Graph;
+
+use crate::mis::max_weight_clique;
+
+/// A greedy (first-fit, descending degree) proper coloring; its color
+/// count upper-bounds the chromatic number.
+pub fn greedy_coloring(g: &Graph) -> Vec<usize> {
+    let n = g.num_nodes();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(g.degree(v)));
+    let mut color = vec![usize::MAX; n];
+    for &v in &order {
+        let mut used: Vec<bool> = vec![false; n + 1];
+        for &u in g.neighbors(v) {
+            if color[u] != usize::MAX {
+                used[color[u]] = true;
+            }
+        }
+        color[v] = (0..).find(|&c| !used[c]).expect("some color free");
+    }
+    color
+}
+
+/// Whether `coloring` is a proper coloring of `g`.
+pub fn is_proper_coloring(g: &Graph, coloring: &[usize]) -> bool {
+    coloring.len() == g.num_nodes() && g.edges().all(|(u, v, _)| coloring[u] != coloring[v])
+}
+
+fn k_colorable(g: &Graph, k: usize) -> bool {
+    let n = g.num_nodes();
+    let mut color = vec![usize::MAX; n];
+    // Order by descending degree for earlier conflicts.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(g.degree(v)));
+    fn rec(g: &Graph, order: &[usize], idx: usize, k: usize, color: &mut [usize]) -> bool {
+        if idx == order.len() {
+            return true;
+        }
+        let v = order[idx];
+        // Symmetry breaking: only allow one fresh color beyond those used.
+        let max_used = color
+            .iter()
+            .filter(|&&c| c != usize::MAX)
+            .max()
+            .copied()
+            .map_or(0, |m| m + 1);
+        for c in 0..k.min(max_used + 1) {
+            if g.neighbors(v).iter().all(|&u| color[u] != c) {
+                color[v] = c;
+                if rec(g, order, idx + 1, k, color) {
+                    return true;
+                }
+                color[v] = usize::MAX;
+            }
+        }
+        false
+    }
+    rec(g, &order, 0, k, &mut color)
+}
+
+/// The exact chromatic number `χ(G)` (0 for the empty graph).
+///
+/// # Panics
+///
+/// Panics if the graph has more than 64 vertices.
+pub fn chromatic_number(g: &Graph) -> usize {
+    let n = g.num_nodes();
+    assert!(n <= 64, "exact coloring limited to 64 vertices");
+    if n == 0 {
+        return 0;
+    }
+    if g.num_edges() == 0 {
+        return 1;
+    }
+    // Bracket: ω(G) ≤ χ(G) ≤ greedy.
+    let mut h = g.clone();
+    for v in 0..n {
+        h.set_node_weight(v, 1);
+    }
+    let omega = max_weight_clique(&h).weight as usize;
+    let upper = greedy_coloring(g).iter().max().map_or(0, |m| m + 1);
+    for k in omega..upper {
+        if k_colorable(g, k) {
+            return k;
+        }
+    }
+    upper
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn chromatic_numbers_of_standard_graphs() {
+        assert_eq!(chromatic_number(&generators::complete(5)), 5);
+        assert_eq!(chromatic_number(&generators::cycle(6)), 2);
+        assert_eq!(chromatic_number(&generators::cycle(7)), 3);
+        assert_eq!(chromatic_number(&generators::path(9)), 2);
+        assert_eq!(chromatic_number(&generators::star(8)), 2);
+        assert_eq!(chromatic_number(&Graph::new(4)), 1);
+        assert_eq!(chromatic_number(&Graph::new(0)), 0);
+        assert_eq!(chromatic_number(&generators::complete_bipartite(3, 4)), 2);
+    }
+
+    #[test]
+    fn greedy_is_proper_and_exact_is_leq() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            let g = generators::gnp(12, 0.4, &mut rng);
+            let greedy = greedy_coloring(&g);
+            assert!(is_proper_coloring(&g, &greedy));
+            let chi = chromatic_number(&g);
+            let greedy_count = greedy.iter().max().map_or(0, |m| m + 1);
+            assert!(chi <= greedy_count);
+            // χ ≥ n / α (fractional bound).
+            let alpha = crate::mis::independence_number(&g);
+            assert!(chi * alpha >= g.num_nodes());
+            // χ(G) ≥ ω(G).
+            let mut h = g.clone();
+            for v in 0..12 {
+                h.set_node_weight(v, 1);
+            }
+            assert!(chi >= max_weight_clique(&h).weight as usize);
+            // And k_colorable is tight at χ.
+            assert!(k_colorable(&g, chi));
+            if chi > 1 {
+                assert!(!k_colorable(&g, chi - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn odd_wheel_needs_four_colors() {
+        // Wheel over C5: center adjacent to an odd cycle.
+        let mut g = generators::cycle(5);
+        let hub = g.add_node();
+        for v in 0..5 {
+            g.add_edge(hub, v);
+        }
+        assert_eq!(chromatic_number(&g), 4);
+    }
+}

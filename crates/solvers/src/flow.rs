@@ -1,0 +1,263 @@
+//! Maximum flow / minimum s–t cut (Dinic's algorithm) and weighted
+//! s–t distances.
+//!
+//! Section 5.2 of the paper shows the lower-bound framework *cannot* prove
+//! super-constant bounds for max-flow, min s–t cut and weighted s–t
+//! distance, because both the flow value and the cut provide cheap
+//! nondeterministic certificates (Claim 5.11). These solvers power the
+//! certificate protocols and PLS implementations in `congest-limits`.
+
+use std::collections::VecDeque;
+
+use congest_graph::{DiGraph, Graph, NodeId, Weight};
+
+#[derive(Debug, Clone)]
+struct FlowEdge {
+    to: usize,
+    cap: i64,
+    flow: i64,
+}
+
+/// A Dinic max-flow network over directed capacities.
+#[derive(Debug, Clone)]
+pub struct FlowNetwork {
+    edges: Vec<FlowEdge>,
+    adj: Vec<Vec<usize>>, // edge indices
+}
+
+impl FlowNetwork {
+    /// A network with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        FlowNetwork {
+            edges: Vec::new(),
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Builds a network from a directed graph, using edge weights as
+    /// capacities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any capacity is negative.
+    pub fn from_digraph(g: &DiGraph) -> Self {
+        let mut net = FlowNetwork::new(g.num_nodes());
+        for (u, v, w) in g.edges() {
+            net.add_edge(u, v, w);
+        }
+        net
+    }
+
+    /// Builds a network from an undirected graph: each edge becomes a pair
+    /// of directed edges with the same capacity.
+    pub fn from_graph(g: &Graph) -> Self {
+        let mut net = FlowNetwork::new(g.num_nodes());
+        for (u, v, w) in g.edges() {
+            net.add_edge(u, v, w);
+            net.add_edge(v, u, w);
+        }
+        net
+    }
+
+    /// Adds a directed edge with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap < 0`.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, cap: i64) {
+        assert!(cap >= 0, "capacities must be nonnegative");
+        let id = self.edges.len();
+        self.edges.push(FlowEdge {
+            to: v,
+            cap,
+            flow: 0,
+        });
+        self.edges.push(FlowEdge {
+            to: u,
+            cap: 0,
+            flow: 0,
+        });
+        self.adj[u].push(id);
+        self.adj[v].push(id + 1);
+    }
+
+    fn bfs_levels(&self, s: usize, t: usize) -> Option<Vec<i32>> {
+        let mut level = vec![-1; self.adj.len()];
+        let mut q = VecDeque::new();
+        level[s] = 0;
+        q.push_back(s);
+        while let Some(u) = q.pop_front() {
+            for &eid in &self.adj[u] {
+                let e = &self.edges[eid];
+                if e.cap - e.flow > 0 && level[e.to] < 0 {
+                    level[e.to] = level[u] + 1;
+                    q.push_back(e.to);
+                }
+            }
+        }
+        if level[t] >= 0 {
+            Some(level)
+        } else {
+            None
+        }
+    }
+
+    fn dfs_push(
+        &mut self,
+        u: usize,
+        t: usize,
+        pushed: i64,
+        level: &[i32],
+        it: &mut [usize],
+    ) -> i64 {
+        if u == t {
+            return pushed;
+        }
+        while it[u] < self.adj[u].len() {
+            let eid = self.adj[u][it[u]];
+            let (to, residual) = {
+                let e = &self.edges[eid];
+                (e.to, e.cap - e.flow)
+            };
+            if residual > 0 && level[to] == level[u] + 1 {
+                let d = self.dfs_push(to, t, pushed.min(residual), level, it);
+                if d > 0 {
+                    self.edges[eid].flow += d;
+                    self.edges[eid ^ 1].flow -= d;
+                    return d;
+                }
+            }
+            it[u] += 1;
+        }
+        0
+    }
+
+    /// Computes the maximum `s`→`t` flow value. Resets previous flow.
+    pub fn max_flow(&mut self, s: NodeId, t: NodeId) -> i64 {
+        for e in &mut self.edges {
+            e.flow = 0;
+        }
+        let mut total = 0;
+        while let Some(level) = self.bfs_levels(s, t) {
+            let mut it = vec![0usize; self.adj.len()];
+            loop {
+                let pushed = self.dfs_push(s, t, i64::MAX, &level, &mut it);
+                if pushed == 0 {
+                    break;
+                }
+                total += pushed;
+            }
+        }
+        total
+    }
+
+    /// After [`FlowNetwork::max_flow`], the source side of a minimum cut
+    /// (vertices reachable from `s` in the residual graph).
+    pub fn min_cut_source_side(&self, s: NodeId) -> Vec<bool> {
+        let mut seen = vec![false; self.adj.len()];
+        let mut q = VecDeque::new();
+        seen[s] = true;
+        q.push_back(s);
+        while let Some(u) = q.pop_front() {
+            for &eid in &self.adj[u] {
+                let e = &self.edges[eid];
+                if e.cap - e.flow > 0 && !seen[e.to] {
+                    seen[e.to] = true;
+                    q.push_back(e.to);
+                }
+            }
+        }
+        seen
+    }
+}
+
+/// Max-flow value between `s` and `t` in an undirected capacitated graph.
+pub fn max_flow_undirected(g: &Graph, s: NodeId, t: NodeId) -> i64 {
+    FlowNetwork::from_graph(g).max_flow(s, t)
+}
+
+/// Minimum s–t cut value and source side in an undirected graph
+/// (equals max-flow by duality).
+pub fn min_st_cut(g: &Graph, s: NodeId, t: NodeId) -> (i64, Vec<bool>) {
+    let mut net = FlowNetwork::from_graph(g);
+    let value = net.max_flow(s, t);
+    (value, net.min_cut_source_side(s))
+}
+
+/// Weighted s–t distance (Dijkstra re-export for discoverability alongside
+/// the other Section 5.2 problems).
+pub fn weighted_st_distance(g: &Graph, s: NodeId, t: NodeId) -> Option<Weight> {
+    congest_graph::metrics::weighted_distance(g, s, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::generators;
+
+    #[test]
+    fn unit_path_has_unit_flow() {
+        let g = generators::path(5);
+        assert_eq!(max_flow_undirected(&g, 0, 4), 1);
+    }
+
+    #[test]
+    fn parallel_paths_add_up() {
+        // Two vertex-disjoint paths 0-1-3 and 0-2-3.
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 3);
+        g.add_edge(0, 2);
+        g.add_edge(2, 3);
+        assert_eq!(max_flow_undirected(&g, 0, 3), 2);
+    }
+
+    #[test]
+    fn weighted_bottleneck() {
+        let mut g = DiGraph::new(4);
+        g.add_weighted_edge(0, 1, 10);
+        g.add_weighted_edge(1, 2, 3);
+        g.add_weighted_edge(2, 3, 10);
+        let mut net = FlowNetwork::from_digraph(&g);
+        assert_eq!(net.max_flow(0, 3), 3);
+    }
+
+    #[test]
+    fn min_cut_matches_flow_value() {
+        let mut g = Graph::new(6);
+        for (u, v, w) in [
+            (0, 1, 3),
+            (0, 2, 2),
+            (1, 3, 2),
+            (2, 3, 2),
+            (1, 4, 1),
+            (3, 5, 3),
+            (4, 5, 2),
+        ] {
+            g.add_weighted_edge(u, v, w);
+        }
+        let (value, side) = min_st_cut(&g, 0, 5);
+        assert!(side[0] && !side[5]);
+        // Weight of edges crossing the side vector equals flow value.
+        let crossing: i64 = g
+            .edges()
+            .filter(|&(u, v, _)| side[u] != side[v])
+            .map(|(_, _, w)| w)
+            .sum();
+        assert_eq!(crossing, value);
+    }
+
+    #[test]
+    fn complete_graph_flow_is_degree() {
+        let g = generators::complete(6);
+        assert_eq!(max_flow_undirected(&g, 0, 5), 5);
+    }
+
+    #[test]
+    fn distance_reexport() {
+        let mut g = Graph::new(3);
+        g.add_weighted_edge(0, 1, 2);
+        g.add_weighted_edge(1, 2, 2);
+        assert_eq!(weighted_st_distance(&g, 0, 2), Some(4));
+    }
+}

@@ -1,0 +1,352 @@
+//! Hamiltonian path and cycle deciders (directed and undirected).
+//!
+//! Decides the predicates of the paper's Section 2.2 families. Two engines:
+//!
+//! * a Held–Karp dynamic program (`n ≤ 20`), used as ground truth in tests;
+//! * a pruned backtracking search for the construction sizes (≈ 40–130
+//!   vertices). The pruning mirrors the paper's own forcing arguments
+//!   (Claims 2.3–2.5): a partial path dies as soon as some unvisited vertex
+//!   becomes unreachable, more than one unvisited vertex has lost all
+//!   remaining in-neighbors, or more than one has lost all out-neighbors.
+//!   On the gadget graphs the search space is thin by design, so the
+//!   backtracker terminates quickly on both YES and NO instances.
+
+use congest_graph::{DiGraph, Graph, NodeId};
+
+use crate::bitset::{directed_masks, directed_masks_256, iter_bits, B256};
+
+/// Verifies that `path` is a directed Hamiltonian path of `g`.
+pub fn is_directed_ham_path(g: &DiGraph, path: &[NodeId]) -> bool {
+    let n = g.num_nodes();
+    if path.len() != n {
+        return false;
+    }
+    let mut seen = vec![false; n];
+    for &v in path {
+        if v >= n || seen[v] {
+            return false;
+        }
+        seen[v] = true;
+    }
+    path.windows(2).all(|w| g.has_edge(w[0], w[1]))
+}
+
+/// Verifies that `cycle` (listed without repeating the first vertex) is a
+/// directed Hamiltonian cycle of `g`.
+pub fn is_directed_ham_cycle(g: &DiGraph, cycle: &[NodeId]) -> bool {
+    !cycle.is_empty()
+        && is_directed_ham_path(g, cycle)
+        && g.has_edge(cycle[cycle.len() - 1], cycle[0])
+}
+
+struct Search {
+    out: Vec<B256>,
+    inm: Vec<B256>,
+    full: B256,
+    /// For cycle search: the start vertex we must return to.
+    cycle_home: Option<usize>,
+}
+
+impl Search {
+    /// Pruning test for the partial path ending at `c` with `visited`.
+    fn feasible(&self, c: usize, visited: &B256) -> bool {
+        let unvisited = self.full.and_not(visited);
+        if unvisited.is_empty() {
+            return true;
+        }
+        // Reachability: every unvisited vertex must be reachable from c
+        // through unvisited vertices.
+        let mut reach = B256::bit(c);
+        let mut frontier = reach;
+        while !frontier.is_empty() {
+            let mut next = B256::EMPTY;
+            for v in frontier.iter() {
+                next = next.or(&self.out[v].and(&unvisited).and_not(&reach));
+            }
+            reach = reach.or(&next);
+            frontier = next;
+        }
+        if !unvisited.and_not(&reach).is_empty() {
+            return false;
+        }
+        // In-degree pruning: an unvisited vertex whose remaining
+        // in-neighbors are only `c` must be the immediate successor;
+        // two such vertices are impossible.
+        let avail_in = unvisited.or(&B256::bit(c));
+        let mut forced_next = 0;
+        for v in unvisited.iter() {
+            let ins = self.inm[v].and(&avail_in);
+            if ins.is_empty() {
+                return false;
+            }
+            if ins == B256::bit(c) {
+                forced_next += 1;
+                if forced_next > 1 {
+                    return false;
+                }
+            }
+        }
+        // Out-degree pruning: an unvisited vertex with no unvisited
+        // out-neighbor must be the terminal vertex (for cycles: must have
+        // the home vertex as successor).
+        let mut terminals = 0;
+        for v in unvisited.iter() {
+            let outs = self.out[v].and(&unvisited);
+            if outs.is_empty() {
+                match self.cycle_home {
+                    Some(h) => {
+                        if !self.out[v].get(h) {
+                            return false;
+                        }
+                        terminals += 1;
+                    }
+                    None => terminals += 1,
+                }
+                if terminals > 1 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn dfs(&self, c: usize, visited: &B256, path: &mut Vec<NodeId>) -> bool {
+        if *visited == self.full {
+            return match self.cycle_home {
+                Some(h) => self.out[c].get(h),
+                None => true,
+            };
+        }
+        if !self.feasible(c, visited) {
+            return false;
+        }
+        // Branch on successors, fewest-onward-options first (Warnsdorff).
+        let mut succs: Vec<usize> = self.out[c].and_not(visited).iter().collect();
+        succs.sort_by_key(|&v| self.out[v].and_not(visited).count());
+        for v in succs {
+            path.push(v);
+            let mut next = *visited;
+            next.set(v);
+            if self.dfs(v, &next, path) {
+                return true;
+            }
+            path.pop();
+        }
+        false
+    }
+}
+
+/// Finds a directed Hamiltonian path starting anywhere, if one exists.
+pub fn find_directed_ham_path(g: &DiGraph) -> Option<Vec<NodeId>> {
+    let n = g.num_nodes();
+    if n == 0 {
+        return Some(Vec::new());
+    }
+    let (out, inm) = directed_masks_256(g);
+    let full = B256::full(n);
+    // Vertices with in-degree 0 must start the path; more than one means
+    // no Hamiltonian path exists.
+    let sources: Vec<usize> = (0..n).filter(|&v| inm[v].is_empty()).collect();
+    if sources.len() > 1 {
+        return None;
+    }
+    let starts: Vec<usize> = if sources.len() == 1 {
+        sources
+    } else {
+        (0..n).collect()
+    };
+    let s = Search {
+        out,
+        inm,
+        full,
+        cycle_home: None,
+    };
+    for start in starts {
+        let mut path = vec![start];
+        if s.dfs(start, &B256::bit(start), &mut path) {
+            return Some(path);
+        }
+    }
+    None
+}
+
+/// Whether `g` has a directed Hamiltonian path.
+pub fn has_directed_ham_path(g: &DiGraph) -> bool {
+    find_directed_ham_path(g).is_some()
+}
+
+/// Finds a directed Hamiltonian cycle (returned without repeating the
+/// start), if one exists.
+pub fn find_directed_ham_cycle(g: &DiGraph) -> Option<Vec<NodeId>> {
+    let n = g.num_nodes();
+    if n == 0 {
+        return None;
+    }
+    let (out, inm) = directed_masks_256(g);
+    let s = Search {
+        out,
+        inm,
+        full: B256::full(n),
+        cycle_home: Some(0),
+    };
+    let mut path = vec![0];
+    if s.dfs(0, &B256::bit(0), &mut path) {
+        Some(path)
+    } else {
+        None
+    }
+}
+
+/// Whether `g` has a directed Hamiltonian cycle.
+pub fn has_directed_ham_cycle(g: &DiGraph) -> bool {
+    find_directed_ham_cycle(g).is_some()
+}
+
+fn to_digraph(g: &Graph) -> DiGraph {
+    let mut d = DiGraph::new(g.num_nodes());
+    for (u, v, w) in g.edges() {
+        d.add_weighted_edge(u, v, w);
+        d.add_weighted_edge(v, u, w);
+    }
+    d
+}
+
+/// Whether the undirected graph has a Hamiltonian path.
+pub fn has_ham_path(g: &Graph) -> bool {
+    has_directed_ham_path(&to_digraph(g))
+}
+
+/// Whether the undirected graph has a Hamiltonian cycle.
+pub fn has_ham_cycle(g: &Graph) -> bool {
+    if g.num_nodes() >= 3 && (0..g.num_nodes()).any(|v| g.degree(v) < 2) {
+        return false;
+    }
+    has_directed_ham_cycle(&to_digraph(g))
+}
+
+/// Held–Karp ground truth: whether a directed Hamiltonian path exists.
+///
+/// # Panics
+///
+/// Panics if `n > 20`.
+pub fn held_karp_directed_ham_path(g: &DiGraph) -> bool {
+    let n = g.num_nodes();
+    assert!(n <= 20, "Held-Karp limited to 20 vertices");
+    if n == 0 {
+        return true;
+    }
+    let (out, _) = directed_masks(g);
+    let out: Vec<u32> = out.iter().map(|&m| m as u32).collect();
+    // ends[mask] = set of vertices at which a path visiting exactly `mask`
+    // can end.
+    let mut ends = vec![0u32; 1 << n];
+    for v in 0..n {
+        ends[1 << v] = 1 << v;
+    }
+    for mask in 1u32..(1 << n) {
+        let e = ends[mask as usize];
+        if e == 0 {
+            continue;
+        }
+        for u in iter_bits(e as u128) {
+            let nexts = out[u] & !mask;
+            for v in iter_bits(nexts as u128) {
+                ends[(mask | (1 << v)) as usize] |= 1 << v;
+            }
+        }
+    }
+    ends[(1usize << n) - 1] != 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn cycles_and_paths_of_standard_graphs() {
+        assert!(has_ham_cycle(&generators::cycle(8)));
+        assert!(has_ham_path(&generators::path(8)));
+        assert!(!has_ham_cycle(&generators::path(8)));
+        assert!(!has_ham_path(&generators::star(5)));
+        assert!(has_ham_cycle(&generators::complete(6)));
+        assert!(has_ham_path(&generators::complete_bipartite(3, 4)));
+        assert!(!has_ham_path(&generators::complete_bipartite(3, 5)));
+        assert!(has_ham_cycle(&generators::complete_bipartite(4, 4)));
+        assert!(!has_ham_cycle(&generators::complete_bipartite(3, 4)));
+    }
+
+    #[test]
+    fn directed_cycle_needs_orientation() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        assert!(has_directed_ham_path(&g));
+        assert!(!has_directed_ham_cycle(&g));
+        g.add_edge(2, 0);
+        let c = find_directed_ham_cycle(&g).expect("triangle cycle");
+        assert!(is_directed_ham_cycle(&g, &c));
+    }
+
+    #[test]
+    fn two_sources_means_no_path() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 2);
+        g.add_edge(1, 2);
+        assert!(!has_directed_ham_path(&g));
+    }
+
+    #[test]
+    fn backtracker_matches_held_karp_on_random_digraphs() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for n in [6usize, 8, 10] {
+            for _ in 0..30 {
+                let mut g = DiGraph::new(n);
+                for u in 0..n {
+                    for v in 0..n {
+                        if u != v && rng.gen_bool(0.25) {
+                            g.add_edge(u, v);
+                        }
+                    }
+                }
+                assert_eq!(
+                    has_directed_ham_path(&g),
+                    held_karp_directed_ham_path(&g),
+                    "disagreement on n={n}"
+                );
+                if let Some(p) = find_directed_ham_path(&g) {
+                    assert!(is_directed_ham_path(&g, &p));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn found_cycles_are_valid() {
+        let mut rng = StdRng::seed_from_u64(78);
+        for _ in 0..20 {
+            let mut g = DiGraph::new(8);
+            for u in 0..8 {
+                for v in 0..8 {
+                    if u != v && rng.gen_bool(0.4) {
+                        g.add_edge(u, v);
+                    }
+                }
+            }
+            if let Some(c) = find_directed_ham_cycle(&g) {
+                assert!(is_directed_ham_cycle(&g, &c));
+            }
+        }
+    }
+
+    #[test]
+    fn validator_rejects_junk() {
+        let g = to_digraph(&generators::cycle(4));
+        assert!(!is_directed_ham_path(&g, &[0, 1, 2]));
+        assert!(!is_directed_ham_path(&g, &[0, 1, 1, 2]));
+        assert!(!is_directed_ham_path(&g, &[0, 2, 1, 3]));
+        assert!(is_directed_ham_path(&g, &[0, 1, 2, 3]));
+    }
+}

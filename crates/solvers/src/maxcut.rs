@@ -1,0 +1,191 @@
+//! Exact weighted max-cut by gray-code enumeration, plus the simple
+//! approximations the paper cites (random assignment ½-approximation,
+//! local search).
+//!
+//! Decides the Theorem 2.8 predicate "is there a cut of weight `M`?" on
+//! the Figure 3 family. The gray-code walk flips one vertex per step and
+//! updates the cut weight incrementally, so the enumeration costs `O(2^n)`
+//! total rather than `O(2^n · m)`.
+
+use congest_graph::{Graph, NodeId, Weight};
+use rand::Rng;
+
+/// Result of a max-cut computation: one side of the cut and its weight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CutSolution {
+    /// Membership vector: `side[v]` is true if `v ∈ S`.
+    pub side: Vec<bool>,
+    /// The cut weight `w(E(S, V∖S))`.
+    pub weight: Weight,
+}
+
+impl CutSolution {
+    /// The vertices on the `S` side.
+    pub fn s_side(&self) -> Vec<NodeId> {
+        (0..self.side.len()).filter(|&v| self.side[v]).collect()
+    }
+}
+
+/// Exact maximum weight cut.
+///
+/// # Panics
+///
+/// Panics if the graph has more than 28 vertices (`2^{n-1}` enumeration).
+pub fn max_cut(g: &Graph) -> CutSolution {
+    let n = g.num_nodes();
+    assert!(n <= 28, "exact max-cut limited to 28 vertices");
+    if n == 0 {
+        return CutSolution {
+            side: Vec::new(),
+            weight: 0,
+        };
+    }
+    // delta[v] when flipping v: recompute from neighbors each flip.
+    let mut side = vec![false; n];
+    let mut cur: Weight = 0;
+    let mut best = 0;
+    let mut best_mask = 0u64;
+    let mut mask = 0u64;
+    // Vertex n-1 stays fixed on one side (cut symmetry).
+    let steps = 1u64 << (n - 1);
+    for i in 1..steps {
+        // Gray code: bit to flip.
+        let v = i.trailing_zeros() as usize;
+        // Weight change: edges to same side become cut, cut edges close.
+        let mut delta: Weight = 0;
+        for &u in g.neighbors(v) {
+            let w = g.edge_weight(u, v).expect("adjacent");
+            if side[u] == side[v] {
+                delta += w;
+            } else {
+                delta -= w;
+            }
+        }
+        side[v] = !side[v];
+        mask ^= 1 << v;
+        cur += delta;
+        if cur > best {
+            best = cur;
+            best_mask = mask;
+        }
+    }
+    CutSolution {
+        side: (0..n).map(|v| (best_mask >> v) & 1 == 1).collect(),
+        weight: best,
+    }
+}
+
+/// Decision variant: does a cut of weight ≥ `target` exist?
+pub fn has_cut_of_weight(g: &Graph, target: Weight) -> bool {
+    max_cut(g).weight >= target
+}
+
+/// Random assignment: each vertex picks a side uniformly. In expectation a
+/// ½-approximation (the paper's "trivial random assignment ... requires no
+/// communication", Section 2.4).
+pub fn random_cut<R: Rng>(g: &Graph, rng: &mut R) -> CutSolution {
+    let side: Vec<bool> = (0..g.num_nodes()).map(|_| rng.gen_bool(0.5)).collect();
+    let weight = g.cut_weight(&side);
+    CutSolution { side, weight }
+}
+
+/// Local search: flip any vertex that improves the cut until none does.
+/// Guarantees weight ≥ ½ of total edge weight on nonnegative weights.
+pub fn local_search_cut(g: &Graph, start: Option<Vec<bool>>) -> CutSolution {
+    let n = g.num_nodes();
+    let mut side = start.unwrap_or_else(|| vec![false; n]);
+    assert_eq!(side.len(), n, "start vector length mismatch");
+    loop {
+        let mut improved = false;
+        for v in 0..n {
+            let mut delta: Weight = 0;
+            for &u in g.neighbors(v) {
+                let w = g.edge_weight(u, v).expect("adjacent");
+                if side[u] == side[v] {
+                    delta += w;
+                } else {
+                    delta -= w;
+                }
+            }
+            if delta > 0 {
+                side[v] = !side[v];
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    let weight = g.cut_weight(&side);
+    CutSolution { side, weight }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn brute_max_cut(g: &Graph) -> Weight {
+        let n = g.num_nodes();
+        let mut best = 0;
+        for mask in 0u64..(1u64 << n) {
+            let side: Vec<bool> = (0..n).map(|v| (mask >> v) & 1 == 1).collect();
+            best = best.max(g.cut_weight(&side));
+        }
+        best
+    }
+
+    #[test]
+    fn max_cut_of_standard_graphs() {
+        // Bipartite graphs: max cut = all edges.
+        let kb = generators::complete_bipartite(3, 4);
+        assert_eq!(max_cut(&kb).weight, 12);
+        // Odd cycle: n-1 edges.
+        assert_eq!(max_cut(&generators::cycle(7)).weight, 6);
+        // K4: 4 edges.
+        assert_eq!(max_cut(&generators::complete(4)).weight, 4);
+    }
+
+    #[test]
+    fn gray_code_matches_brute_force_weighted() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10 {
+            let mut g = generators::gnp(10, 0.5, &mut rng);
+            let edges: Vec<_> = g.edges().collect();
+            for (u, v, _) in edges {
+                use rand::Rng;
+                g.add_weighted_edge(u, v, rng.gen_range(1..20));
+            }
+            let fast = max_cut(&g);
+            assert_eq!(fast.weight, brute_max_cut(&g));
+            assert_eq!(g.cut_weight(&fast.side), fast.weight);
+        }
+    }
+
+    #[test]
+    fn local_search_achieves_half() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = generators::gnp(15, 0.4, &mut rng);
+        let total = g.total_edge_weight();
+        let ls = local_search_cut(&g, None);
+        assert!(ls.weight * 2 >= total);
+        assert!(ls.weight <= max_cut(&g).weight);
+    }
+
+    #[test]
+    fn decision_thresholds() {
+        let c5 = generators::cycle(5);
+        assert!(has_cut_of_weight(&c5, 4));
+        assert!(!has_cut_of_weight(&c5, 5));
+    }
+
+    #[test]
+    fn random_cut_valid() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = generators::complete(8);
+        let c = random_cut(&g, &mut rng);
+        assert_eq!(g.cut_weight(&c.side), c.weight);
+    }
+}

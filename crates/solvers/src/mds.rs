@@ -1,0 +1,320 @@
+//! Exact minimum (weight) dominating set and `k`-dominating set.
+//!
+//! Decides the predicates of the paper's Theorem 2.1 family ("is there a
+//! dominating set of size `4·log k + 2`?"), the 2-MDS/k-MDS gap families of
+//! Sections 4.2–4.3 and the restricted-MDS family of Section 4.5.
+//!
+//! Branch-and-bound: pick an undominated vertex `v` with the fewest
+//! candidate dominators and branch on which vertex of `N[v]` enters the
+//! set. The lower bound packs disjoint closed neighborhoods of undominated
+//! vertices (any dominating set pays at least the cheapest dominator in
+//! each). Zero-weight vertices (the paper's free `R` vertices in Figure 5)
+//! are taken up front — doing so never hurts a minimization.
+
+use congest_graph::{Graph, Weight};
+
+use crate::bitset::{adjacency_masks, full_mask, iter_bits, mask_to_vec};
+use crate::mis::SetSolution;
+
+struct Mds<'a> {
+    closed: &'a [u128], // N[v]
+    w: &'a [Weight],
+    n: usize,
+    best: Weight,
+    best_set: u128,
+    /// Hard cap: stop exploring branches whose cost reaches this value.
+    cap: Weight,
+}
+
+impl Mds<'_> {
+    /// Lower bound: greedily pack undominated vertices whose closed
+    /// neighborhoods are disjoint; each forces a distinct dominator.
+    fn lower_bound(&self, undominated: u128) -> Weight {
+        let mut blocked = 0u128;
+        let mut lb = 0;
+        for v in iter_bits(undominated) {
+            if self.closed[v] & blocked != 0 {
+                continue;
+            }
+            // Any dominating set contains some u in N[v]; cheapest such u.
+            let cheapest = iter_bits(self.closed[v])
+                .map(|u| self.w[u])
+                .min()
+                .unwrap_or(0);
+            lb += cheapest;
+            // Block every vertex whose closed neighborhood intersects N[v]
+            // (their forced dominators could coincide with v's).
+            let mut reach = self.closed[v];
+            for u in iter_bits(self.closed[v]) {
+                reach |= self.closed[u];
+            }
+            blocked |= reach;
+        }
+        lb
+    }
+
+    fn branch(&mut self, chosen: u128, cost: Weight, dominated: u128) {
+        if cost >= self.best || cost >= self.cap {
+            return;
+        }
+        let undominated = full_mask(self.n) & !dominated;
+        if undominated == 0 {
+            self.best = cost;
+            self.best_set = chosen;
+            return;
+        }
+        if cost + self.lower_bound(undominated) >= self.best.min(self.cap) {
+            return;
+        }
+        // Branch vertex: undominated vertex with fewest candidate dominators.
+        let v = iter_bits(undominated)
+            .min_by_key(|&v| self.closed[v].count_ones())
+            .expect("undominated nonempty");
+        // Order candidates by (coverage descending) for earlier good bounds.
+        let mut cands: Vec<usize> = iter_bits(self.closed[v]).collect();
+        cands.sort_by_key(|&u| std::cmp::Reverse((self.closed[u] & undominated).count_ones()));
+        for u in cands {
+            self.branch(
+                chosen | (1 << u),
+                cost + self.w[u],
+                dominated | self.closed[u],
+            );
+        }
+    }
+}
+
+fn closed_neighborhoods(g: &Graph) -> Vec<u128> {
+    let adj = adjacency_masks(g);
+    (0..g.num_nodes()).map(|v| adj[v] | (1u128 << v)).collect()
+}
+
+fn solve(g: &Graph, cap: Weight) -> Option<SetSolution> {
+    let n = g.num_nodes();
+    if n == 0 {
+        return Some(SetSolution {
+            weight: 0,
+            vertices: Vec::new(),
+        });
+    }
+    let closed = closed_neighborhoods(g);
+    let w: Vec<Weight> = (0..n).map(|v| g.node_weight(v)).collect();
+    assert!(w.iter().all(|&x| x >= 0), "weights must be nonnegative");
+    // Take all zero-weight vertices for free.
+    let mut chosen = 0u128;
+    let mut dominated = 0u128;
+    for v in 0..n {
+        if w[v] == 0 {
+            chosen |= 1 << v;
+            dominated |= closed[v];
+        }
+    }
+    let mut s = Mds {
+        closed: &closed,
+        w: &w,
+        n,
+        best: Weight::MAX,
+        best_set: 0,
+        cap,
+    };
+    s.branch(chosen, 0, dominated);
+    if s.best == Weight::MAX {
+        None
+    } else {
+        Some(SetSolution {
+            weight: s.best,
+            vertices: mask_to_vec(s.best_set),
+        })
+    }
+}
+
+/// Exact minimum weight dominating set under the graph's node weights.
+pub fn min_weight_dominating_set(g: &Graph) -> SetSolution {
+    solve(g, Weight::MAX).expect("uncapped search always finds V itself")
+}
+
+/// Exact minimum weight set dominating only the `targets` (every target
+/// must be in the set or adjacent to it; other vertices may be used but
+/// need not be dominated). Used by the Section 5 two-party protocols,
+/// where each player covers its own side "by using possibly vertices in
+/// the cut" (Claim 5.8).
+pub fn min_weight_dominating_set_of(g: &Graph, targets: &[congest_graph::NodeId]) -> SetSolution {
+    let n = g.num_nodes();
+    if n == 0 || targets.is_empty() {
+        return SetSolution {
+            weight: 0,
+            vertices: Vec::new(),
+        };
+    }
+    let closed = closed_neighborhoods(g);
+    let w: Vec<Weight> = (0..n).map(|v| g.node_weight(v)).collect();
+    assert!(w.iter().all(|&x| x >= 0), "weights must be nonnegative");
+    // Mark non-targets as already dominated.
+    let mut target_mask = 0u128;
+    for &v in targets {
+        target_mask |= 1 << v;
+    }
+    let mut chosen = 0u128;
+    let mut dominated = full_mask(n) & !target_mask;
+    for v in 0..n {
+        if w[v] == 0 {
+            chosen |= 1 << v;
+            dominated |= closed[v];
+        }
+    }
+    let mut s = Mds {
+        closed: &closed,
+        w: &w,
+        n,
+        best: Weight::MAX,
+        best_set: 0,
+        cap: Weight::MAX,
+    };
+    s.branch(chosen, 0, dominated);
+    SetSolution {
+        weight: s.best,
+        vertices: mask_to_vec(s.best_set),
+    }
+}
+
+/// The minimum *cardinality* of a dominating set (node weights ignored).
+pub fn min_dominating_set_size(g: &Graph) -> usize {
+    let mut h = g.clone();
+    for v in 0..h.num_nodes() {
+        h.set_node_weight(v, 1);
+    }
+    min_weight_dominating_set(&h).weight as usize
+}
+
+/// Decision variant: is there a dominating set of cardinality ≤ `size`?
+/// (The paper's Theorem 2.1 predicate.) Uses the cap to prune early.
+pub fn has_dominating_set_of_size(g: &Graph, size: usize) -> bool {
+    let mut h = g.clone();
+    for v in 0..h.num_nodes() {
+        h.set_node_weight(v, 1);
+    }
+    match solve(&h, size as Weight + 1) {
+        Some(sol) => sol.weight <= size as Weight,
+        None => false,
+    }
+}
+
+/// The `k`-th power of `g`: edge `(u,v)` iff `0 < d_G(u,v) ≤ k`
+/// (hop distance). Node weights are preserved.
+pub fn graph_power(g: &Graph, k: usize) -> Graph {
+    let n = g.num_nodes();
+    let mut p = Graph::new(n);
+    for v in 0..n {
+        p.set_node_weight(v, g.node_weight(v));
+    }
+    for u in 0..n {
+        for (v, d) in g.bfs_distances(u).into_iter().enumerate() {
+            if let Some(d) = d {
+                if u < v && d >= 1 && d <= k {
+                    p.add_edge(u, v);
+                }
+            }
+        }
+    }
+    p
+}
+
+/// Exact minimum weight `k`-dominating set (Section 4.3): a minimum weight
+/// `S` such that every vertex is in `S` or within hop distance `k` of `S`.
+/// Computed as a weighted MDS on the `k`-th graph power.
+pub fn min_weight_k_dominating_set(g: &Graph, k: usize) -> SetSolution {
+    min_weight_dominating_set(&graph_power(g, k))
+}
+
+/// Brute-force minimum weight dominating set (for cross-validation).
+///
+/// # Panics
+///
+/// Panics if `n > 20`.
+pub fn min_weight_dominating_set_brute(g: &Graph) -> Weight {
+    let n = g.num_nodes();
+    assert!(n <= 20, "brute force limited to 20 vertices");
+    let closed = closed_neighborhoods(g);
+    let full = full_mask(n);
+    let mut best = Weight::MAX;
+    for mask in 0u64..(1u64 << n) {
+        let m = mask as u128;
+        let mut dom = 0u128;
+        let mut cost = 0;
+        for v in iter_bits(m) {
+            dom |= closed[v];
+            cost += g.node_weight(v);
+        }
+        if dom == full && cost < best {
+            best = cost;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn domination_numbers_of_standard_graphs() {
+        assert_eq!(min_dominating_set_size(&generators::star(9)), 1);
+        assert_eq!(min_dominating_set_size(&generators::complete(5)), 1);
+        assert_eq!(min_dominating_set_size(&generators::cycle(9)), 3);
+        assert_eq!(min_dominating_set_size(&generators::path(7)), 3); // ceil(7/3)
+        assert_eq!(min_dominating_set_size(&generators::cycle(10)), 4);
+    }
+
+    #[test]
+    fn decision_variant_thresholds() {
+        let c9 = generators::cycle(9);
+        assert!(has_dominating_set_of_size(&c9, 3));
+        assert!(!has_dominating_set_of_size(&c9, 2));
+        assert!(has_dominating_set_of_size(&c9, 9));
+    }
+
+    #[test]
+    fn solution_dominates_and_matches_brute_force() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for trial in 0..15 {
+            let mut g = generators::gnp(12, 0.25, &mut rng);
+            for v in 0..12 {
+                g.set_node_weight(v, rng.gen_range(0..6));
+            }
+            let sol = min_weight_dominating_set(&g);
+            assert!(g.is_dominating_set(&sol.vertices), "trial {trial}");
+            assert_eq!(g.node_set_weight(&sol.vertices), sol.weight);
+            assert_eq!(sol.weight, min_weight_dominating_set_brute(&g));
+        }
+    }
+
+    #[test]
+    fn graph_power_distances() {
+        let p5 = generators::path(5);
+        let p = graph_power(&p5, 2);
+        assert!(p.has_edge(0, 2));
+        assert!(!p.has_edge(0, 3));
+        let p3 = graph_power(&p5, 4);
+        assert_eq!(p3.num_edges(), 10); // complete
+    }
+
+    #[test]
+    fn k_mds_on_path() {
+        // Path of 9: a single center dominates within distance 4.
+        let g = generators::path(9);
+        assert_eq!(min_weight_k_dominating_set(&g, 4).weight, 1);
+        assert_eq!(min_weight_k_dominating_set(&g, 1).weight, 3);
+    }
+
+    #[test]
+    fn zero_weight_vertices_are_free() {
+        // Star where the center has weight 0.
+        let mut g = generators::star(6);
+        g.set_node_weight(0, 0);
+        let sol = min_weight_dominating_set(&g);
+        assert_eq!(sol.weight, 0);
+        assert!(g.is_dominating_set(&sol.vertices));
+    }
+}

@@ -1,0 +1,558 @@
+//! Exact maximum (weight) independent set, maximum clique and minimum
+//! vertex cover.
+//!
+//! The engine is a Tomita-style branch-and-bound maximum *weight* clique
+//! solver with a greedy-coloring upper bound; MWIS runs it on the
+//! complement graph. These decide the MaxIS predicates of the paper's
+//! Section 4.1 families (≈ 90–110 vertices, small independence number)
+//! in milliseconds.
+
+use congest_graph::{Graph, NodeId, Weight};
+
+use crate::bitset::{adjacency_masks, full_mask, iter_bits, mask_to_vec};
+
+/// Result of an exact independent-set/clique computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SetSolution {
+    /// Total weight of the optimum (cardinality if all weights are 1).
+    pub weight: Weight,
+    /// The vertices of one optimal solution.
+    pub vertices: Vec<NodeId>,
+}
+
+struct Search<'a> {
+    adj: &'a [u128],
+    w: &'a [Weight],
+    best: Weight,
+    best_set: u128,
+}
+
+impl Search<'_> {
+    /// Greedy coloring of the candidate set; returns vertices ordered by
+    /// color class together with the cumulative class-max-weight bound at
+    /// each position.
+    fn color_order(&self, p: u128) -> (Vec<usize>, Vec<Weight>) {
+        let mut classes: Vec<u128> = Vec::new();
+        let mut class_max: Vec<Weight> = Vec::new();
+        for v in iter_bits(p) {
+            let mut placed = false;
+            for (ci, class) in classes.iter_mut().enumerate() {
+                if *class & self.adj[v] == 0 {
+                    *class |= 1 << v;
+                    class_max[ci] = class_max[ci].max(self.w[v]);
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
+                classes.push(1 << v);
+                class_max.push(self.w[v]);
+            }
+        }
+        let mut order = Vec::new();
+        let mut bounds = Vec::new();
+        let mut acc = 0;
+        for (ci, class) in classes.iter().enumerate() {
+            acc += class_max[ci];
+            for v in iter_bits(*class) {
+                order.push(v);
+                bounds.push(acc);
+            }
+        }
+        (order, bounds)
+    }
+
+    fn expand(&mut self, r: u128, r_weight: Weight, p: u128) {
+        if p == 0 {
+            if r_weight > self.best {
+                self.best = r_weight;
+                self.best_set = r;
+            }
+            return;
+        }
+        let (order, bounds) = self.color_order(p);
+        let mut p = p;
+        for i in (0..order.len()).rev() {
+            if r_weight + bounds[i] <= self.best {
+                return; // every remaining candidate is bounded away
+            }
+            let v = order[i];
+            self.expand(r | (1 << v), r_weight + self.w[v], p & self.adj[v]);
+            p &= !(1u128 << v);
+        }
+    }
+}
+
+/// Exact maximum weight clique on an adjacency-mask graph.
+///
+/// # Panics
+///
+/// Panics if any weight is negative (positive weights are assumed by the
+/// bound; the paper's constructions use positive weights throughout).
+pub fn max_weight_clique_masks(adj: &[u128], w: &[Weight]) -> (Weight, u128) {
+    assert!(w.iter().all(|&x| x >= 0), "weights must be nonnegative");
+    let n = adj.len();
+    let mut s = Search {
+        adj,
+        w,
+        best: 0,
+        best_set: 0,
+    };
+    s.expand(0, 0, full_mask(n));
+    (s.best, s.best_set)
+}
+
+/// Exact maximum weight clique of `g` under its node weights.
+pub fn max_weight_clique(g: &Graph) -> SetSolution {
+    let adj = adjacency_masks(g);
+    let w: Vec<Weight> = (0..g.num_nodes()).map(|v| g.node_weight(v)).collect();
+    let (weight, set) = max_weight_clique_masks(&adj, &w);
+    SetSolution {
+        weight,
+        vertices: mask_to_vec(set),
+    }
+}
+
+/// Exact maximum weight independent set of `g` under its node weights
+/// (clique in the complement). Dispatches to a 128-bit mask engine for
+/// `n ≤ 128` and a 256-bit engine for `128 < n ≤ 256` (used by the
+/// larger Figure 4 code-gadget instances).
+pub fn max_weight_independent_set(g: &Graph) -> SetSolution {
+    let n = g.num_nodes();
+    if n > 128 {
+        return max_weight_independent_set_256(g);
+    }
+    let adj = adjacency_masks(g);
+    let full = full_mask(n);
+    let comp: Vec<u128> = (0..n).map(|v| full & !adj[v] & !(1u128 << v)).collect();
+    let w: Vec<Weight> = (0..n).map(|v| g.node_weight(v)).collect();
+    let (weight, set) = max_weight_clique_masks(&comp, &w);
+    SetSolution {
+        weight,
+        vertices: mask_to_vec(set),
+    }
+}
+
+struct Search256<'a> {
+    adj: &'a [crate::bitset::B256],
+    w: &'a [Weight],
+    best: Weight,
+    best_set: crate::bitset::B256,
+}
+
+impl Search256<'_> {
+    fn color_order(&self, p: crate::bitset::B256) -> (Vec<usize>, Vec<Weight>) {
+        use crate::bitset::B256;
+        let mut classes: Vec<B256> = Vec::new();
+        let mut class_max: Vec<Weight> = Vec::new();
+        for v in p.iter() {
+            let mut placed = false;
+            for (ci, class) in classes.iter_mut().enumerate() {
+                if class.and(&self.adj[v]).is_empty() {
+                    class.set(v);
+                    class_max[ci] = class_max[ci].max(self.w[v]);
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
+                classes.push(B256::bit(v));
+                class_max.push(self.w[v]);
+            }
+        }
+        let mut order = Vec::new();
+        let mut bounds = Vec::new();
+        let mut acc = 0;
+        for (ci, class) in classes.iter().enumerate() {
+            acc += class_max[ci];
+            for v in class.iter() {
+                order.push(v);
+                bounds.push(acc);
+            }
+        }
+        (order, bounds)
+    }
+
+    fn expand(&mut self, r: crate::bitset::B256, r_weight: Weight, p: crate::bitset::B256) {
+        if p.is_empty() {
+            if r_weight > self.best {
+                self.best = r_weight;
+                self.best_set = r;
+            }
+            return;
+        }
+        let (order, bounds) = self.color_order(p);
+        let mut p = p;
+        for i in (0..order.len()).rev() {
+            if r_weight + bounds[i] <= self.best {
+                return;
+            }
+            let v = order[i];
+            let mut r2 = r;
+            r2.set(v);
+            self.expand(r2, r_weight + self.w[v], p.and(&self.adj[v]));
+            p = p.and_not(&crate::bitset::B256::bit(v));
+        }
+    }
+}
+
+/// MWIS for graphs of up to 256 vertices (256-bit mask clique search on
+/// the complement).
+///
+/// # Panics
+///
+/// Panics if the graph has more than 256 vertices or negative weights.
+pub fn max_weight_independent_set_256(g: &Graph) -> SetSolution {
+    use crate::bitset::B256;
+    let n = g.num_nodes();
+    assert!(n <= 256, "256-bit MWIS limited to 256 vertices");
+    let w: Vec<Weight> = (0..n).map(|v| g.node_weight(v)).collect();
+    assert!(w.iter().all(|&x| x >= 0), "weights must be nonnegative");
+    // Complement adjacency.
+    let mut adj = vec![B256::EMPTY; n];
+    for (u, v, _) in g.edges() {
+        adj[u].set(v);
+        adj[v].set(u);
+    }
+    let full = B256::full(n);
+    let comp: Vec<B256> = (0..n)
+        .map(|v| full.and_not(&adj[v]).and_not(&B256::bit(v)))
+        .collect();
+    let mut s = Search256 {
+        adj: &comp,
+        w: &w,
+        best: 0,
+        best_set: B256::EMPTY,
+    };
+    s.expand(B256::EMPTY, 0, full);
+    SetSolution {
+        weight: s.best,
+        vertices: s.best_set.iter().collect(),
+    }
+}
+
+/// The independence number `α(G)` (cardinality, ignoring node weights).
+pub fn independence_number(g: &Graph) -> usize {
+    let n = g.num_nodes();
+    let adj = adjacency_masks(g);
+    let full = full_mask(n);
+    let comp: Vec<u128> = (0..n).map(|v| full & !adj[v] & !(1u128 << v)).collect();
+    let w = vec![1 as Weight; n];
+    max_weight_clique_masks(&comp, &w).0 as usize
+}
+
+/// An optimal (cardinality) minimum vertex cover: the complement of a
+/// maximum independent set.
+pub fn min_vertex_cover(g: &Graph) -> SetSolution {
+    let n = g.num_nodes();
+    let mut in_is = vec![false; n];
+    let mis = {
+        let mut h = g.clone();
+        for v in 0..n {
+            h.set_node_weight(v, 1);
+        }
+        max_weight_independent_set(&h)
+    };
+    for &v in &mis.vertices {
+        in_is[v] = true;
+    }
+    let vertices: Vec<NodeId> = (0..n).filter(|&v| !in_is[v]).collect();
+    SetSolution {
+        weight: vertices.len() as Weight,
+        vertices,
+    }
+}
+
+/// An optimal minimum *weight* vertex cover: the complement of a maximum
+/// weight independent set (LP-duality-free classic identity).
+pub fn min_weight_vertex_cover(g: &Graph) -> SetSolution {
+    let n = g.num_nodes();
+    let mis = max_weight_independent_set(g);
+    let mut in_is = vec![false; n];
+    for &v in &mis.vertices {
+        in_is[v] = true;
+    }
+    let vertices: Vec<NodeId> = (0..n).filter(|&v| !in_is[v]).collect();
+    SetSolution {
+        weight: vertices.iter().map(|&v| g.node_weight(v)).sum(),
+        vertices,
+    }
+}
+
+/// Brute-force MWIS over all `2^n` subsets, for cross-validation.
+///
+/// # Panics
+///
+/// Panics if `n > 24`.
+pub fn max_weight_independent_set_brute(g: &Graph) -> Weight {
+    let n = g.num_nodes();
+    assert!(n <= 24, "brute force limited to 24 vertices");
+    let adj = adjacency_masks(g);
+    let mut best = 0;
+    for mask in 0u64..(1u64 << n) {
+        let m = mask as u128;
+        let mut ok = true;
+        let mut wsum = 0;
+        for v in iter_bits(m) {
+            if adj[v] & m != 0 {
+                ok = false;
+                break;
+            }
+            wsum += g.node_weight(v);
+        }
+        if ok && wsum > best {
+            best = wsum;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn independence_of_standard_graphs() {
+        assert_eq!(independence_number(&generators::complete(6)), 1);
+        assert_eq!(independence_number(&generators::cycle(6)), 3);
+        assert_eq!(independence_number(&generators::cycle(7)), 3);
+        assert_eq!(independence_number(&generators::path(7)), 4);
+        assert_eq!(independence_number(&generators::star(8)), 7);
+        assert_eq!(
+            independence_number(&generators::complete_bipartite(3, 5)),
+            5
+        );
+    }
+
+    #[test]
+    fn solution_is_independent_and_optimal() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..20 {
+            let mut g = generators::gnp(14, 0.3, &mut rng);
+            for v in 0..14 {
+                g.set_node_weight(v, rng.gen_range(1..10));
+            }
+            let sol = max_weight_independent_set(&g);
+            assert!(g.is_independent_set(&sol.vertices));
+            assert_eq!(g.node_set_weight(&sol.vertices), sol.weight);
+            assert_eq!(sol.weight, max_weight_independent_set_brute(&g));
+        }
+    }
+
+    #[test]
+    fn vertex_cover_complements_mis() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..10 {
+            let g = generators::gnp(12, 0.4, &mut rng);
+            let vc = min_vertex_cover(&g);
+            assert!(g.is_vertex_cover(&vc.vertices));
+            assert_eq!(vc.vertices.len(), g.num_nodes() - independence_number(&g));
+        }
+    }
+
+    #[test]
+    fn clique_on_weighted_graph() {
+        // Triangle 0-1-2 with weights 1,2,3 and pendant 3 with weight 10.
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(0, 2);
+        g.add_edge(2, 3);
+        for (v, w) in [(0, 1), (1, 2), (2, 3), (3, 10)] {
+            g.set_node_weight(v, w);
+        }
+        let c = max_weight_clique(&g);
+        assert_eq!(c.weight, 13); // {2, 3}
+        let mut vs = c.vertices.clone();
+        vs.sort_unstable();
+        assert_eq!(vs, vec![2, 3]);
+    }
+
+    #[test]
+    fn wide_engine_matches_narrow_engine() {
+        let mut rng = StdRng::seed_from_u64(14);
+        for _ in 0..10 {
+            let mut g = generators::gnp(18, 0.3, &mut rng);
+            for v in 0..18 {
+                g.set_node_weight(v, rng.gen_range(1..9));
+            }
+            let narrow = max_weight_independent_set(&g);
+            let wide = max_weight_independent_set_256(&g);
+            assert_eq!(narrow.weight, wide.weight);
+            assert!(g.is_independent_set(&wide.vertices));
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new(0);
+        assert_eq!(independence_number(&g), 0);
+        assert_eq!(max_weight_independent_set(&g).weight, 0);
+    }
+}
+
+/// Exact independence number for *sparse / bounded-degree* graphs, via
+/// kernelization and branching (no bitmask size limit). Handles the
+/// Section 3 reduction outputs (hundreds of vertices of degree ≤ 5),
+/// where the clique-cover bound of [`max_weight_independent_set`] is
+/// ineffective.
+///
+/// Techniques: degree-0/1 vertices are always taken; connected components
+/// are solved independently; components of maximum degree ≤ 2 (paths and
+/// cycles) are solved in closed form; otherwise branch on a
+/// maximum-degree vertex (exclude it, or take it and delete its closed
+/// neighborhood).
+pub fn independence_number_sparse(g: &Graph) -> usize {
+    let n = g.num_nodes();
+    let adj: Vec<std::collections::BTreeSet<usize>> = (0..n)
+        .map(|v| g.neighbors(v).iter().copied().collect())
+        .collect();
+    let alive: Vec<bool> = vec![true; n];
+    sparse_solve(adj, alive)
+}
+
+fn sparse_remove(adj: &mut [std::collections::BTreeSet<usize>], alive: &mut [bool], v: usize) {
+    alive[v] = false;
+    let nbrs: Vec<usize> = adj[v].iter().copied().collect();
+    for u in nbrs {
+        adj[u].remove(&v);
+    }
+    adj[v].clear();
+}
+
+fn sparse_solve(mut adj: Vec<std::collections::BTreeSet<usize>>, mut alive: Vec<bool>) -> usize {
+    let n = adj.len();
+    let mut taken = 0usize;
+    // Degree-0/1 reduction: taking such a vertex is always safe.
+    loop {
+        let mut v0 = None;
+        for v in 0..n {
+            if alive[v] && adj[v].len() <= 1 {
+                v0 = Some(v);
+                break;
+            }
+        }
+        match v0 {
+            Some(v) => {
+                taken += 1;
+                let nbrs: Vec<usize> = adj[v].iter().copied().collect();
+                sparse_remove(&mut adj, &mut alive, v);
+                for u in nbrs {
+                    if alive[u] {
+                        sparse_remove(&mut adj, &mut alive, u);
+                    }
+                }
+            }
+            None => break,
+        }
+    }
+    let live: Vec<usize> = (0..n).filter(|&v| alive[v]).collect();
+    if live.is_empty() {
+        return taken;
+    }
+    // Component decomposition.
+    let mut comp = vec![usize::MAX; n];
+    let mut comps: Vec<Vec<usize>> = Vec::new();
+    for &s in &live {
+        if comp[s] != usize::MAX {
+            continue;
+        }
+        let id = comps.len();
+        let mut stack = vec![s];
+        comp[s] = id;
+        let mut members = vec![s];
+        while let Some(u) = stack.pop() {
+            for &w in &adj[u] {
+                if comp[w] == usize::MAX {
+                    comp[w] = id;
+                    members.push(w);
+                    stack.push(w);
+                }
+            }
+        }
+        comps.push(members);
+    }
+    if comps.len() > 1 {
+        for members in comps {
+            let mut sub_alive = vec![false; n];
+            for &v in &members {
+                sub_alive[v] = true;
+            }
+            let sub_adj: Vec<std::collections::BTreeSet<usize>> = (0..n)
+                .map(|v| {
+                    if sub_alive[v] {
+                        adj[v].clone()
+                    } else {
+                        Default::default()
+                    }
+                })
+                .collect();
+            taken += sparse_solve(sub_adj, sub_alive);
+        }
+        return taken;
+    }
+    // Single component. Closed form for paths/cycles (all degrees = 2
+    // here: degree <= 1 was reduced away, so max degree <= 2 means a
+    // cycle).
+    let members = &comps[0];
+    if members.iter().all(|&v| adj[v].len() <= 2) {
+        return taken + members.len() / 2;
+    }
+    // Branch on a maximum-degree vertex.
+    let &v = members
+        .iter()
+        .max_by_key(|&&v| adj[v].len())
+        .expect("component nonempty");
+    // Take v.
+    let mut adj1 = adj.clone();
+    let mut alive1 = alive.clone();
+    let nbrs: Vec<usize> = adj1[v].iter().copied().collect();
+    sparse_remove(&mut adj1, &mut alive1, v);
+    for u in nbrs {
+        if alive1[u] {
+            sparse_remove(&mut adj1, &mut alive1, u);
+        }
+    }
+    let with_v = 1 + sparse_solve(adj1, alive1);
+    // Exclude v.
+    sparse_remove(&mut adj, &mut alive, v);
+    let without_v = sparse_solve(adj, alive);
+    taken + with_v.max(without_v)
+}
+
+#[cfg(test)]
+mod sparse_tests {
+    use super::*;
+    use congest_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sparse_solver_matches_clique_solver_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(71);
+        for _ in 0..15 {
+            let g = generators::random_bounded_degree(20, 4, 200, &mut rng);
+            assert_eq!(independence_number_sparse(&g), independence_number(&g));
+        }
+    }
+
+    #[test]
+    fn sparse_solver_on_structured_graphs() {
+        assert_eq!(independence_number_sparse(&generators::cycle(9)), 4);
+        assert_eq!(independence_number_sparse(&generators::path(10)), 5);
+        assert_eq!(independence_number_sparse(&generators::star(12)), 11);
+        assert_eq!(independence_number_sparse(&generators::complete(7)), 1);
+    }
+
+    #[test]
+    fn sparse_solver_scales_to_larger_bounded_degree_graphs() {
+        let mut rng = StdRng::seed_from_u64(72);
+        let g = generators::random_bounded_degree(120, 4, 1200, &mut rng);
+        let alpha = independence_number_sparse(&g);
+        assert!(alpha >= 120 / 5, "alpha {alpha}");
+        assert!(alpha <= 120);
+    }
+}

@@ -1,0 +1,130 @@
+//! Section 5: why the framework *cannot* prove certain bounds —
+//! limitation protocols, nondeterministic certificates and proof
+//! labeling schemes, all metered.
+//!
+//! Run with: `cargo run --release --example limitations`
+
+use congest_hardness::comm::bounds::disjointness_profile;
+use congest_hardness::comm::Channel;
+use congest_hardness::graph::generators;
+use congest_hardness::limits::nogo::{corollary_5_1_ceiling, corollary_5_3_ceiling};
+use congest_hardness::limits::pls::{
+    accepts_everywhere, max_label_bits, ConnectivityScheme, MarkedGraph, MatchingScheme,
+    ProofLabelingScheme, SpanningTreeScheme, StDistanceScheme,
+};
+use congest_hardness::limits::protocols::{maxcut_2_3_approx, mds_2_approx, mvc_3_2_approx};
+use congest_hardness::limits::SplitGraph;
+use congest_hardness::solvers::maxcut;
+use congest_hardness::solvers::mds::min_weight_dominating_set;
+use congest_hardness::solvers::mis::min_weight_vertex_cover;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    println!("== Section 5: limitations of the Theorem 1.1 framework ==\n");
+
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut g = generators::connected_gnp(16, 0.3, &mut rng);
+    for v in 0..16 {
+        g.set_node_weight(v, rng.gen_range(1..8));
+    }
+    let split = SplitGraph::new(g, &[0, 1, 2, 3, 4, 5, 6, 7]);
+    println!(
+        "Random split graph: n = 16, m = {}, |E_cut| = {}\n",
+        split.graph().num_edges(),
+        split.cut_size()
+    );
+
+    println!("--- Claims 5.5/5.6/5.8: cheap approximation protocols ---");
+    let mut ch = Channel::new();
+    let mds = mds_2_approx(&split, &mut ch);
+    let mds_opt = min_weight_dominating_set(split.graph()).weight;
+    println!(
+        "MDS 2-approx   : value {:>3} vs OPT {:>3} (ratio {:.2}) — {} bits",
+        mds.value,
+        mds_opt,
+        mds.value as f64 / mds_opt as f64,
+        mds.bits
+    );
+    let mut ch = Channel::new();
+    let mvc = mvc_3_2_approx(&split, &mut ch);
+    let mvc_opt = min_weight_vertex_cover(split.graph()).weight;
+    println!(
+        "MVC 3/2-approx : value {:>3} vs OPT {:>3} (ratio {:.2}) — {} bits",
+        mvc.value,
+        mvc_opt,
+        mvc.value as f64 / mvc_opt as f64,
+        mvc.bits
+    );
+    let mut ch = Channel::new();
+    let cut = maxcut_2_3_approx(&split, &mut ch);
+    let cut_opt = maxcut::max_cut(split.graph()).weight;
+    println!(
+        "MaxCut 2/3-appr: value {:>3} vs OPT {:>3} (ratio {:.2}) — {} bits",
+        cut.value,
+        cut_opt,
+        cut.value as f64 / cut_opt as f64,
+        cut.bits
+    );
+    println!("⇒ Corollary 5.1: no family can prove super-constant bounds for these ratios.\n");
+
+    println!("--- Claims 5.12/5.13 + Lemma 5.1: O(log n)-bit proof labeling schemes ---");
+    let g = generators::connected_gnp(14, 0.3, &mut rng);
+    let dist0 = g.bfs_distances(0);
+    let tree: Vec<(usize, usize)> = (1..14)
+        .map(|v| {
+            let d = dist0[v].expect("connected");
+            let p = *g
+                .neighbors(v)
+                .iter()
+                .find(|&&u| dist0[u] == Some(d - 1))
+                .expect("parent");
+            (v, p)
+        })
+        .collect();
+    let all: Vec<(usize, usize)> = g.edges().map(|(u, v, _)| (u, v)).collect();
+    let schemes_and_instances: Vec<(Box<dyn ProofLabelingScheme>, MarkedGraph)> = vec![
+        (
+            Box::new(SpanningTreeScheme),
+            MarkedGraph::new(g.clone(), &tree),
+        ),
+        (
+            Box::new(ConnectivityScheme),
+            MarkedGraph::new(g.clone(), &all),
+        ),
+        (
+            Box::new(StDistanceScheme {
+                k: 1,
+                at_least: true,
+            }),
+            MarkedGraph::new(g.clone(), &[]).with_st(0, 13),
+        ),
+        (
+            Box::new(MatchingScheme { k: 4 }),
+            MarkedGraph::new(g.clone(), &[]),
+        ),
+    ];
+    for (scheme, inst) in &schemes_and_instances {
+        let labels = scheme.prove(inst).expect("predicate holds");
+        assert!(accepts_everywhere(scheme.as_ref(), inst, &labels));
+        println!(
+            "  {:<34} label size {:>3} bits",
+            scheme.name(),
+            max_label_bits(&labels)
+        );
+    }
+
+    println!("\n--- Corollary 5.3 ceilings ---");
+    let n = 1u64 << 20;
+    let gamma = disjointness_profile(n * n).gamma();
+    println!(
+        "With O(log n)-bit PLS both ways and Γ(DISJ) = {gamma}: ceiling Ω({})",
+        corollary_5_3_ceiling(60, 60, gamma, n)
+    );
+    println!(
+        "With a |E_cut|·log n protocol (e.g. max-flow certificates): ceiling Ω({})",
+        corollary_5_1_ceiling(12 * 20, 12, n)
+    );
+    println!("⇒ maximum matching, max-flow, min s-t cut, weighted s-t distance and the");
+    println!("  Lemma 5.1 verification problems are out of the framework's reach.");
+}

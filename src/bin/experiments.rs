@@ -1,0 +1,415 @@
+//! Regenerates every experiment table recorded in `EXPERIMENTS.md`.
+//!
+//! Run with: `cargo run --release --bin experiments`
+//!
+//! Each section corresponds to an experiment id (E1–E22) from the
+//! DESIGN.md index; the output is the paper-vs-measured record.
+
+use congest_hardness::codes::CoveringCollection;
+use congest_hardness::comm::bounds::{
+    disjointness_profile, equality_profile, theorem_1_1_round_bound,
+};
+use congest_hardness::comm::exact::deterministic_cc;
+use congest_hardness::comm::{Channel, Disjointness};
+use congest_hardness::core::approx_maxis::WeightedMaxIsGapFamily;
+use congest_hardness::core::bounded_degree::BoundedDegreeMaxIs;
+use congest_hardness::core::hamiltonian::HamPathFamily;
+use congest_hardness::core::kmds::KmdsFamily;
+use congest_hardness::core::maxcut::MaxCutFamily;
+use congest_hardness::core::mds::MdsFamily;
+use congest_hardness::core::mvc_ckp::MvcMaxIsFamily;
+use congest_hardness::core::restricted_mds::RestrictedMdsFamily;
+use congest_hardness::core::simulate::generic_exact_attack;
+use congest_hardness::core::steiner::SteinerFamily;
+use congest_hardness::core::steiner_variants::{DirectedSteinerFamily, NodeWeightedSteinerFamily};
+use congest_hardness::core::{all_inputs, sample_inputs, verify_family, LowerBoundFamily};
+use congest_hardness::graph::{generators, metrics};
+use congest_hardness::limits::nogo::corollary_5_3_ceiling;
+use congest_hardness::limits::protocols as lim;
+use congest_hardness::limits::SplitGraph;
+use congest_hardness::prelude::BitString;
+use congest_hardness::sim::algorithms::{LocalCutSolver, SampledMaxCut};
+use congest_hardness::sim::Simulator;
+use congest_hardness::solvers::{maxcut, mds, mis, steiner};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn hit(k: usize) -> (BitString, BitString) {
+    let mut x = BitString::zeros(k * k);
+    x.set_pair(k, 0, 0, true);
+    (x.clone(), x)
+}
+
+fn miss(k: usize) -> (BitString, BitString) {
+    let mut x = BitString::zeros(k * k);
+    let mut y = BitString::zeros(k * k);
+    x.set_pair(k, 0, 0, true);
+    y.set_pair(k, 0, k - 1, true);
+    (x, y)
+}
+
+fn header(id: &str, title: &str) {
+    println!("\n==== {id}: {title} ====");
+}
+
+fn report_family<F: LowerBoundFamily>(fam: &F, inputs: &[(BitString, BitString)]) {
+    match verify_family(fam, inputs) {
+        Ok(r) => println!(
+            "  {:<55} n = {:4}  K = {:5}  |Ecut| = {:3}  pairs = {:3}  VERIFIED",
+            r.name,
+            r.n,
+            r.k_input,
+            r.cut_size(),
+            r.pairs_checked
+        ),
+        Err(e) => println!("  {} VIOLATION: {e}", fam.name()),
+    }
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(20260706);
+
+    header(
+        "E0",
+        "communication substrate (Section 1.3) — measured exactly",
+    );
+    for k in 1..=3usize {
+        let measured = deterministic_cc(&Disjointness::new(k));
+        let quoted = disjointness_profile(k as u64).deterministic.bits;
+        println!("  CC(DISJ_{k}) measured by protocol-tree search = {measured}, table = {quoted}");
+    }
+    println!(
+        "  Γ(DISJ_2^20) = {}, Γ(EQ_2^20) = {}  (both O(1): Section 5.2's lever)",
+        disjointness_profile(1 << 20).gamma(),
+        equality_profile(1 << 20).gamma()
+    );
+    for k in [4usize, 8] {
+        let set = congest_hardness::comm::exact::disjointness_fooling_set(k);
+        let bound = congest_hardness::comm::exact::fooling_set_bound(&Disjointness::new(k), &set)
+            .expect("canonical fooling set");
+        println!(
+            "  fooling set of size 2^{k} verified ⇒ CC(DISJ_{k}) ≥ {bound} (the Ω(K) mechanism)"
+        );
+    }
+
+    header("E1", "MDS family (Theorem 2.1, Figure 1)");
+    report_family(&MdsFamily::new(2), &all_inputs(4));
+    report_family(&MdsFamily::new(4), &sample_inputs(16, 3, &mut rng));
+    println!("  Ω(n²/log²n) shape (K = k², |Ecut| = 4·log k):");
+    for logk in [4u32, 6, 8, 10] {
+        let k = 1usize << logk;
+        let fam = MdsFamily::new(k);
+        let cc = disjointness_profile((k * k) as u64).deterministic.bits;
+        println!(
+            "    k = {:5}  n = {:6}  implied bound = Ω({})",
+            k,
+            fam.num_vertices(),
+            theorem_1_1_round_bound(cc, 4 * logk as u64, fam.num_vertices() as u64)
+        );
+    }
+
+    header(
+        "E2/E3/E4",
+        "Hamiltonian path/cycle + 2-ECSS (Theorems 2.2-2.5, Figure 2)",
+    );
+    report_family(&HamPathFamily::new(2), &all_inputs(4));
+    let fam = HamPathFamily::new(4);
+    let (x, y) = hit(4);
+    let g = fam.build(&x, &y);
+    let w = fam.witness_path(0, 0);
+    println!(
+        "  k = 4 (n = {}): Claim 2.1 witness path valid = {}",
+        fam.num_vertices(),
+        congest_hardness::solvers::hamilton::is_directed_ham_path(&g, &w)
+    );
+
+    {
+        // Lemma 2.2's CONGEST simulation, live: leader election on the
+        // tripled reduction graph hosted on the original graph.
+        use congest_hardness::sim::algorithms::LeaderElection;
+        use congest_hardness::sim::hosting::{HostMapping, HostedAlgorithm};
+        let host = generators::cycle(10);
+        let mut reduced = congest_hardness::prelude::Graph::new(30);
+        for v in 0..10 {
+            reduced.add_edge(3 * v, 3 * v + 1);
+            reduced.add_edge(3 * v + 1, 3 * v + 2);
+        }
+        for (u, v, _) in host.edges() {
+            reduced.add_edge(3 * u + 2, 3 * v);
+            reduced.add_edge(3 * v + 2, 3 * u);
+        }
+        let mapping = HostMapping::tripled(reduced.clone());
+        let mut direct = LeaderElection::new(30);
+        let d = Simulator::with_bandwidth(&reduced, 128).run(&mut direct, 10_000);
+        let mut hosted = HostedAlgorithm::new(LeaderElection::new(30), mapping, 10);
+        let h = Simulator::with_bandwidth(&host, 128).run(&mut hosted, 10_000);
+        println!(
+            "  Lemma 2.2 hosting: direct {} rounds on G', hosted {} rounds on G (capacity-2 multiplexing)",
+            d.rounds, h.rounds
+        );
+    }
+
+    header("E5", "Steiner tree family (Theorem 2.7)");
+    let st = SteinerFamily::new(2);
+    let (x, y) = hit(2);
+    let gs = st.build(&x, &y);
+    let min_yes = steiner::min_steiner_tree_edges(&gs, &st.terminals()).expect("connected");
+    let (x0, y0) = miss(2);
+    let gs0 = st.build(&x0, &y0);
+    let min_no = steiner::min_steiner_tree_edges(&gs0, &st.terminals()).expect("connected");
+    println!(
+        "  target = {} edges; YES optimum = {min_yes}; NO optimum = {min_no}",
+        st.target_size()
+    );
+
+    header("E6", "weighted max-cut family (Theorem 2.8, Figure 3)");
+    let mc = MaxCutFamily::new(2);
+    let (x, y) = hit(2);
+    let g = mc.build(&x, &y);
+    let yes = maxcut::max_cut(&g).weight;
+    let (x0, y0) = miss(2);
+    let no = maxcut::max_cut(&mc.build(&x0, &y0)).weight;
+    println!(
+        "  M = {}; YES optimum = {yes} (= M); NO optimum = {no} (= M - gap)",
+        mc.target_weight()
+    );
+    {
+        // k = 4 via the structural oracle (Claims 2.9-2.11, exhaustively
+        // cross-validated at k = 2).
+        use congest_hardness::core::maxcut::StructuralMaxCutFamily;
+        let fam = StructuralMaxCutFamily(MaxCutFamily::new(4));
+        let mut rng2 = StdRng::seed_from_u64(99);
+        let inputs = sample_inputs(16, 4, &mut rng2);
+        report_family(&fam, &inputs);
+    }
+
+    header("E7", "(1-ε) max-cut in the simulator (Theorem 2.9)");
+    println!(
+        "  {:>4} {:>5} {:>8} {:>10} {:>7}",
+        "n", "p", "rounds", "bits", "ratio"
+    );
+    for n in [16usize, 20, 24] {
+        let g = generators::connected_gnp(n, 0.35, &mut rng);
+        let opt = maxcut::max_cut(&g).weight;
+        for p in [0.5, 1.0] {
+            let sim = Simulator::with_bandwidth(&g, 96).stop_on_quiescence(false);
+            let mut alg = SampledMaxCut::new(n, p, LocalCutSolver::Exact, n as u64);
+            let stats = sim.run(&mut alg, 1_000_000);
+            let side: Vec<bool> = (0..n).map(|v| alg.side(v).expect("assigned")).collect();
+            println!(
+                "  {:>4} {:>5.1} {:>8} {:>10} {:>7.3}",
+                n,
+                p,
+                stats.rounds,
+                stats.total_bits,
+                g.cut_weight(&side) as f64 / opt as f64
+            );
+        }
+    }
+
+    header("E8/E9", "bounded-degree chain (Section 3)");
+    report_family(&MvcMaxIsFamily::new(2), &all_inputs(4));
+    let bd = BoundedDegreeMaxIs::new(2);
+    let (x, y) = hit(2);
+    let b = bd.build(&x, &y);
+    let diam = metrics::diameter(&b.graph);
+    println!(
+        "  G' at k = 2: n' = {}, Δ = {}, diameter = {:?}, m_G = {}, m_exp = {}, target α = {}",
+        b.graph.num_nodes(),
+        b.graph.max_degree(),
+        diam,
+        b.m_g,
+        b.m_exp,
+        b.target_alpha
+    );
+
+    header(
+        "E10/E11/E12",
+        "MaxIS code-gadget gaps (Theorems 4.1-4.3, Figure 4)",
+    );
+    println!(
+        "  {:>3} {:>3} {:>5} {:>9} {:>9} {:>8}",
+        "k", "ℓ", "n", "YES", "NO", "ratio"
+    );
+    for (k, ell) in [(2usize, 2usize), (2, 3), (2, 5), (4, 2)] {
+        let fam = WeightedMaxIsGapFamily::new(k, ell);
+        let (x, y) = hit(k);
+        let yes = mis::max_weight_independent_set(&fam.build(&x, &y)).weight;
+        let (x0, y0) = miss(k);
+        let no = mis::max_weight_independent_set(&fam.build(&x0, &y0)).weight;
+        println!(
+            "  {:>3} {:>3} {:>5} {:>9} {:>9} {:>8.4}",
+            k,
+            ell,
+            fam.num_vertices(),
+            yes,
+            no,
+            no as f64 / yes as f64
+        );
+    }
+
+    header(
+        "E13/E14",
+        "k-MDS covering gaps (Theorems 4.4-4.5, Figure 5)",
+    );
+    let coll = CoveringCollection::random_verified(6, 10, 2, 0.2, 20_000, &mut rng)
+        .expect("2-covering collection");
+    for radius in [2usize, 3] {
+        let fam = KmdsFamily::new(coll.clone(), radius);
+        let t = fam.input_len();
+        let h = BitString::from_indices(t, &[0]);
+        let yes = mds::min_weight_k_dominating_set(&fam.build(&h, &h), radius).weight;
+        let x = BitString::from_indices(t, &[0, 2]);
+        let yy = BitString::from_indices(t, &[1, 3]);
+        let no = mds::min_weight_k_dominating_set(&fam.build(&x, &yy), radius).weight;
+        println!(
+            "  {}-MDS: YES = {yes}, NO = {no} (> r = {})",
+            radius,
+            coll.r()
+        );
+    }
+
+    header("E15/E16", "Steiner variants (Theorems 4.6-4.7, Figure 6)");
+    let small = CoveringCollection::random_verified(5, 6, 2, 0.5, 500_000, &mut rng)
+        .expect("2-covering collection");
+    {
+        let fam = NodeWeightedSteinerFamily::new(small.clone());
+        let t = fam.input_len();
+        let h = BitString::from_indices(t, &[1]);
+        let yes = steiner::min_node_weight_steiner(&fam.build(&h, &h), &fam.layout().terminals());
+        let x = BitString::from_indices(t, &[0]);
+        let yy = BitString::from_indices(t, &[1]);
+        let no = steiner::min_node_weight_steiner(&fam.build(&x, &yy), &fam.layout().terminals());
+        println!("  node-weighted: YES = {yes:?}, NO = {no:?}");
+    }
+    {
+        let fam = DirectedSteinerFamily::new(small);
+        let t = fam.input_len();
+        let h = BitString::from_indices(t, &[1]);
+        let yes = steiner::min_directed_steiner(
+            &fam.build(&h, &h),
+            fam.layout().root(),
+            &fam.layout().terminals(),
+        );
+        let z = BitString::zeros(t);
+        let no = steiner::min_directed_steiner(
+            &fam.build(&z, &z),
+            fam.layout().root(),
+            &fam.layout().terminals(),
+        );
+        println!("  directed:      YES = {yes:?}, NO = {no:?}");
+    }
+
+    header("E17", "restricted MDS (Theorem 4.8, Figure 7)");
+    let coll2 = CoveringCollection::random_verified(6, 10, 2, 0.2, 20_000, &mut rng)
+        .expect("2-covering collection");
+    let fam = RestrictedMdsFamily::new(coll2);
+    let t = 6;
+    let h = BitString::from_indices(t, &[2]);
+    let g = fam.build(&h, &h);
+    let yes = mds::min_weight_dominating_set(&g).weight;
+    let x = BitString::from_indices(t, &[0, 1]);
+    let yy = BitString::from_indices(t, &[2, 3]);
+    let no = mds::min_weight_dominating_set(&fam.build(&x, &yy)).weight;
+    println!(
+        "  YES = {yes}, NO = {no} (> r); local-aggregate simulation costs {} bits/round",
+        fam.aggregate_bits_per_round()
+    );
+    {
+        // Execute the Theorem 4.8 simulation: min-flooding with shared
+        // element vertices, exact agreement with the direct run.
+        use congest_hardness::limits::aggregate::{run_direct, simulate_two_party, MinWeightFlood};
+        let n = g.num_nodes();
+        let mut owner: Vec<Option<bool>> = vec![Some(false); n];
+        for v in fam.alice_vertices() {
+            owner[v] = Some(true);
+        }
+        for v in fam.shared_vertices() {
+            owner[v] = None;
+        }
+        let direct = run_direct(&MinWeightFlood, &g, 4);
+        let mut ch = Channel::new();
+        let simulated = simulate_two_party(&MinWeightFlood, &g, &owner, 4, &mut ch);
+        println!(
+            "  Theorem 4.8 simulation: 4 rounds of min-flooding, {} bits, exact = {}",
+            ch.total_bits(),
+            direct == simulated
+        );
+    }
+
+    header("E18/E19", "limitation protocols (Claims 5.1-5.9)");
+    let mut g = generators::connected_gnp(16, 0.3, &mut rng);
+    for v in 0..16 {
+        g.set_node_weight(v, rng.gen_range(1..8));
+    }
+    let split = SplitGraph::new(g.clone(), &(0..8).collect::<Vec<_>>());
+    let mut ch = Channel::new();
+    let p1 = lim::mds_2_approx(&split, &mut ch);
+    println!(
+        "  MDS 2-approx: ratio {:.3}, {} bits (|Ecut| = {})",
+        p1.value as f64 / mds::min_weight_dominating_set(&g).weight as f64,
+        p1.bits,
+        split.cut_size()
+    );
+    let mut ch = Channel::new();
+    let p2 = lim::mvc_3_2_approx(&split, &mut ch);
+    println!(
+        "  MVC 3/2-approx: ratio {:.3}, {} bits",
+        p2.value as f64 / mis::min_weight_vertex_cover(&g).weight as f64,
+        p2.bits
+    );
+    let mut ch = Channel::new();
+    let p3 = lim::maxcut_2_3_approx(&split, &mut ch);
+    println!(
+        "  MaxCut 2/3-approx: ratio {:.3}, {} bits",
+        p3.value as f64 / maxcut::max_cut(&g).weight as f64,
+        p3.bits
+    );
+
+    header(
+        "E20/E21",
+        "certificates and PLS (Claims 5.11-5.13, Lemma 5.1)",
+    );
+    let g = generators::connected_gnp(18, 0.25, &mut rng);
+    let all: Vec<(usize, usize)> = g.edges().map(|(u, v, _)| (u, v)).collect();
+    use congest_hardness::limits::pls::*;
+    let inst = MarkedGraph::new(g.clone(), &all);
+    let schemes: Vec<(Box<dyn ProofLabelingScheme>, &MarkedGraph)> = vec![
+        (Box::new(ConnectivityScheme), &inst),
+        (Box::new(BipartitenessScheme), &inst),
+    ];
+    for (s, i) in &schemes {
+        if let Some(labels) = s.prove(i) {
+            println!(
+                "  PLS {:<22} label size = {} bits",
+                s.name(),
+                max_label_bits(&labels)
+            );
+        } else {
+            println!("  PLS {:<22} predicate false on this instance", s.name());
+        }
+    }
+    let n = 1u64 << 20;
+    println!(
+        "  Corollary 5.3 ceiling with O(log n) PLS + Γ(DISJ): Ω({})",
+        corollary_5_3_ceiling(60, 60, disjointness_profile(n * n).gamma(), n)
+    );
+
+    header(
+        "E22",
+        "Theorem 1.1 pipeline: generic exact algorithm, cut-metered",
+    );
+    for k in [2usize, 4] {
+        let (x, y) = hit(k);
+        let m = generic_exact_attack(&MdsFamily::new(k), &x, &y);
+        println!(
+            "  MDS k = {k}: {} rounds, {} cut bits ≥ CC(DISJ_K) = {} ✓ (headroom {:.0}×)",
+            m.rounds,
+            m.cut_bits,
+            m.cc_lower_bound,
+            m.cut_bits as f64 / m.cc_lower_bound as f64
+        );
+    }
+
+    println!("\nAll experiments completed.");
+}

@@ -1,0 +1,56 @@
+//! # congest-hardness
+//!
+//! A Rust reproduction of **“Hardness of Distributed Optimization”**
+//! (Bachrach, Censor-Hillel, Dory, Efron, Leitersdorf, Paz — PODC 2019).
+//!
+//! The paper proves round lower bounds for exact and approximate
+//! optimization in the CONGEST model by reductions from two-party
+//! communication complexity. This workspace implements, from scratch:
+//!
+//! * the CONGEST model itself ([`sim`]) with exact bandwidth accounting,
+//! * the two-party communication framework ([`comm`]),
+//! * every lower-bound graph family in the paper ([`core`]), each
+//!   machine-checked against exact solvers ([`solvers`]),
+//! * the coding/combinatorial substrates the gadgets need ([`codes`]),
+//! * and the Section 5 limitation machinery ([`limits`]): limitation
+//!   protocols, nondeterministic certificates, proof labeling schemes.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use congest_hardness::core::mds::MdsFamily;
+//! use congest_hardness::core::{all_inputs, verify_family};
+//!
+//! // The Theorem 2.1 family at k = 2 — machine-check Definition 1.1
+//! // exhaustively over all 2^{2K} input pairs.
+//! let family = MdsFamily::new(2);
+//! let report = verify_family(&family, &all_inputs(4)).expect("Lemma 2.1");
+//! assert_eq!(report.cut_size(), 4); // |E_cut| = 4·log k
+//! println!(
+//!     "n = {}, K = {}, implied bound = Ω({}) rounds",
+//!     report.n, report.k_input, report.implied_round_bound
+//! );
+//! ```
+//!
+//! See `DESIGN.md` for the full system inventory and `EXPERIMENTS.md`
+//! for the per-theorem experiment index.
+
+#![forbid(unsafe_code)]
+
+pub use congest_codes as codes;
+pub use congest_comm as comm;
+pub use congest_core as core;
+pub use congest_graph as graph;
+pub use congest_limits as limits;
+pub use congest_sim as sim;
+pub use congest_solvers as solvers;
+
+/// Convenience re-exports of the most used items.
+pub mod prelude {
+    pub use congest_comm::{BitString, BooleanFunction, Channel, Disjointness, Equality};
+    pub use congest_core::{
+        all_inputs, sample_inputs, verify_family, FamilyReport, LowerBoundFamily,
+    };
+    pub use congest_graph::{DiGraph, Graph, NodeId, Weight};
+    pub use congest_sim::{CongestAlgorithm, Simulator};
+}

@@ -1,0 +1,208 @@
+//! Failure-injection tests: the Definition 1.1 verifier must catch
+//! deliberately corrupted constructions. Each mutant below wraps a
+//! correct family and breaks exactly one of the conditions; if
+//! `verify_family` accepted any of them, every "VERIFIED" in
+//! EXPERIMENTS.md would be meaningless.
+
+use congest_hardness::core::mds::{MdsFamily, RowSet};
+use congest_hardness::core::{all_inputs, verify_family, FamilyViolation, LowerBoundFamily};
+use congest_hardness::prelude::{BitString, Graph, NodeId};
+
+/// Mutant 1: Alice's input also toggles an edge on Bob's side
+/// (violates condition 2).
+struct LeakyMds(MdsFamily);
+
+impl LowerBoundFamily for LeakyMds {
+    type GraphType = Graph;
+    fn name(&self) -> String {
+        "mutant: x leaks to Bob's side".into()
+    }
+    fn input_len(&self) -> usize {
+        self.0.input_len()
+    }
+    fn num_vertices(&self) -> usize {
+        self.0.num_vertices()
+    }
+    fn alice_vertices(&self) -> Vec<NodeId> {
+        self.0.alice_vertices()
+    }
+    fn build(&self, x: &BitString, y: &BitString) -> Graph {
+        let mut g = self.0.build(x, y);
+        if x.get(0) {
+            // An x-dependent edge between two Bob vertices.
+            g.add_edge(self.0.row(RowSet::B1, 0), self.0.row(RowSet::B2, 1));
+        }
+        g
+    }
+    fn predicate(&self, g: &Graph) -> bool {
+        self.0.predicate(g)
+    }
+}
+
+/// Mutant 2: an input-dependent *cut* edge (violates the fixed-cut
+/// condition).
+struct ShiftingCut(MdsFamily);
+
+impl LowerBoundFamily for ShiftingCut {
+    type GraphType = Graph;
+    fn name(&self) -> String {
+        "mutant: input-dependent cut".into()
+    }
+    fn input_len(&self) -> usize {
+        self.0.input_len()
+    }
+    fn num_vertices(&self) -> usize {
+        self.0.num_vertices()
+    }
+    fn alice_vertices(&self) -> Vec<NodeId> {
+        self.0.alice_vertices()
+    }
+    fn build(&self, x: &BitString, y: &BitString) -> Graph {
+        let mut g = self.0.build(x, y);
+        if x.get(1) {
+            g.add_edge(self.0.row(RowSet::A1, 0), self.0.row(RowSet::B1, 0));
+        }
+        g
+    }
+    fn predicate(&self, g: &Graph) -> bool {
+        self.0.predicate(g)
+    }
+}
+
+/// Mutant 3: off-by-one predicate threshold (violates `P ⇔ f`).
+struct WrongThreshold(MdsFamily);
+
+impl LowerBoundFamily for WrongThreshold {
+    type GraphType = Graph;
+    fn name(&self) -> String {
+        "mutant: off-by-one threshold".into()
+    }
+    fn input_len(&self) -> usize {
+        self.0.input_len()
+    }
+    fn num_vertices(&self) -> usize {
+        self.0.num_vertices()
+    }
+    fn alice_vertices(&self) -> Vec<NodeId> {
+        self.0.alice_vertices()
+    }
+    fn build(&self, x: &BitString, y: &BitString) -> Graph {
+        self.0.build(x, y)
+    }
+    fn predicate(&self, g: &Graph) -> bool {
+        congest_hardness::solvers::mds::has_dominating_set_of_size(g, self.0.target_size() + 1)
+    }
+}
+
+/// Mutant 4: a missing gadget edge (the construction is subtly wrong, so
+/// some input pair must flip the predicate).
+struct MissingGadgetEdge(MdsFamily);
+
+impl LowerBoundFamily for MissingGadgetEdge {
+    type GraphType = Graph;
+    fn name(&self) -> String {
+        "mutant: dropped 6-cycle edge".into()
+    }
+    fn input_len(&self) -> usize {
+        self.0.input_len()
+    }
+    fn num_vertices(&self) -> usize {
+        self.0.num_vertices()
+    }
+    fn alice_vertices(&self) -> Vec<NodeId> {
+        self.0.alice_vertices()
+    }
+    fn build(&self, x: &BitString, y: &BitString) -> Graph {
+        let mut g = self.0.build(x, y);
+        g.remove_edge(self.0.u(RowSet::A1, 0), self.0.f(RowSet::B1, 0));
+        g
+    }
+    fn predicate(&self, g: &Graph) -> bool {
+        self.0.predicate(g)
+    }
+}
+
+/// Mutant 5: a vertex appears and disappears with the input (violates
+/// the fixed vertex set).
+struct GrowingVertexSet(MdsFamily);
+
+impl LowerBoundFamily for GrowingVertexSet {
+    type GraphType = Graph;
+    fn name(&self) -> String {
+        "mutant: input-dependent vertex count".into()
+    }
+    fn input_len(&self) -> usize {
+        self.0.input_len()
+    }
+    fn num_vertices(&self) -> usize {
+        self.0.num_vertices()
+    }
+    fn alice_vertices(&self) -> Vec<NodeId> {
+        self.0.alice_vertices()
+    }
+    fn build(&self, x: &BitString, y: &BitString) -> Graph {
+        let mut g = self.0.build(x, y);
+        if x.get(0) && y.get(0) {
+            let v = g.add_node();
+            g.add_edge(v, self.0.row(RowSet::A1, 0));
+        }
+        g
+    }
+    fn predicate(&self, g: &Graph) -> bool {
+        self.0.predicate(g)
+    }
+}
+
+fn expect_violation<F: LowerBoundFamily<GraphType = Graph>>(mutant: F) -> FamilyViolation {
+    verify_family(&mutant, &all_inputs(4)).expect_err("the verifier must reject this mutant")
+}
+
+#[test]
+fn leak_to_bobs_side_is_caught() {
+    let v = expect_violation(LeakyMds(MdsFamily::new(2)));
+    assert!(
+        matches!(
+            v,
+            FamilyViolation::AliceLeak(_) | FamilyViolation::PredicateMismatch { .. }
+        ),
+        "{v}"
+    );
+}
+
+#[test]
+fn shifting_cut_is_caught() {
+    let v = expect_violation(ShiftingCut(MdsFamily::new(2)));
+    assert!(
+        matches!(
+            v,
+            FamilyViolation::CutChanged(_)
+                | FamilyViolation::AliceLeak(_)
+                | FamilyViolation::PredicateMismatch { .. }
+        ),
+        "{v}"
+    );
+}
+
+#[test]
+fn wrong_threshold_is_caught() {
+    let v = expect_violation(WrongThreshold(MdsFamily::new(2)));
+    assert!(
+        matches!(v, FamilyViolation::PredicateMismatch { .. }),
+        "{v}"
+    );
+}
+
+#[test]
+fn dropped_gadget_edge_is_caught() {
+    let v = expect_violation(MissingGadgetEdge(MdsFamily::new(2)));
+    assert!(
+        matches!(v, FamilyViolation::PredicateMismatch { .. }),
+        "{v}"
+    );
+}
+
+#[test]
+fn growing_vertex_set_is_caught() {
+    let v = expect_violation(GrowingVertexSet(MdsFamily::new(2)));
+    assert!(matches!(v, FamilyViolation::VertexSetChanged { .. }), "{v}");
+}
