@@ -16,7 +16,7 @@ use std::hint::black_box;
 
 fn collection_large() -> CoveringCollection {
     let mut rng = StdRng::seed_from_u64(2024);
-    CoveringCollection::random_verified(6, 10, 2, 0.2, 20_000, &mut rng)
+    CoveringCollection::random_verified(6, 10, 2, 0.25, 20_000, &mut rng)
         .expect("2-covering collection")
 }
 

@@ -17,6 +17,33 @@ use std::collections::HashMap;
 
 use crate::{BitString, BooleanFunction};
 
+/// Work counters for one protocol-tree search (what "doubly exponential"
+/// means concretely on a given instance).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CcSearchStats {
+    /// Combinatorial rectangles on which [`cc_rect`] did real work
+    /// (memo misses).
+    pub rects_explored: u64,
+    /// Rectangles answered from the memo table.
+    pub memo_hits: u64,
+    /// Rectangles found monochromatic (protocol-tree leaves).
+    pub mono_leaves: u64,
+    /// Candidate splits (speaker + subset choices) evaluated.
+    pub splits_tried: u64,
+}
+
+impl CcSearchStats {
+    /// This search as a `congest-obs` record on the given target, event
+    /// `cc_search`.
+    pub fn to_record(&self, target: &'static str) -> congest_obs::Record {
+        congest_obs::Record::new(target, "cc_search")
+            .with("rects_explored", self.rects_explored)
+            .with("memo_hits", self.memo_hits)
+            .with("mono_leaves", self.mono_leaves)
+            .with("splits_tried", self.splits_tried)
+    }
+}
+
 /// Computes the exact deterministic communication complexity of `f` by
 /// exhaustive protocol-tree search.
 ///
@@ -24,6 +51,16 @@ use crate::{BitString, BooleanFunction};
 ///
 /// Panics if `f.input_len() > 4` (the search is doubly exponential).
 pub fn deterministic_cc<F: BooleanFunction>(f: &F) -> u32 {
+    deterministic_cc_with_stats(f).0
+}
+
+/// Like [`deterministic_cc`], but also reports how much work the search
+/// did ([`CcSearchStats`]).
+///
+/// # Panics
+///
+/// Panics if `f.input_len() > 4` (the search is doubly exponential).
+pub fn deterministic_cc_with_stats<F: BooleanFunction>(f: &F) -> (u32, CcSearchStats) {
     let k = f.input_len();
     assert!(k <= 4, "exact CC search is limited to K <= 4");
     let n = 1usize << k;
@@ -35,26 +72,37 @@ pub fn deterministic_cc<F: BooleanFunction>(f: &F) -> u32 {
         .collect();
     let full = (1u32 << n) - 1;
     let mut memo: HashMap<(u32, u32), u32> = HashMap::new();
-    cc_rect(&table, full, full, &mut memo)
+    let mut stats = CcSearchStats::default();
+    let cc = cc_rect(&table, full, full, &mut memo, &mut stats);
+    (cc, stats)
 }
 
 /// Minimum protocol depth on the rectangle `rows × cols` (bitmask-encoded).
-fn cc_rect(table: &[Vec<bool>], rows: u32, cols: u32, memo: &mut HashMap<(u32, u32), u32>) -> u32 {
+fn cc_rect(
+    table: &[Vec<bool>],
+    rows: u32,
+    cols: u32,
+    memo: &mut HashMap<(u32, u32), u32>,
+    stats: &mut CcSearchStats,
+) -> u32 {
     if rows == 0 || cols == 0 {
         return 0;
     }
     if let Some(&v) = memo.get(&(rows, cols)) {
+        stats.memo_hits += 1;
         return v;
     }
+    stats.rects_explored += 1;
     if is_monochromatic(table, rows, cols) {
+        stats.mono_leaves += 1;
         memo.insert((rows, cols), 0);
         return 0;
     }
     let mut best = u32::MAX;
     // Alice speaks: she partitions her live inputs into (sub, rows\sub).
-    best = best.min(best_split(table, rows, cols, true, memo));
+    best = best.min(best_split(table, rows, cols, true, memo, stats));
     // Bob speaks.
-    best = best.min(best_split(table, rows, cols, false, memo));
+    best = best.min(best_split(table, rows, cols, false, memo, stats));
     memo.insert((rows, cols), best);
     best
 }
@@ -65,6 +113,7 @@ fn best_split(
     cols: u32,
     alice: bool,
     memo: &mut HashMap<(u32, u32), u32>,
+    stats: &mut CcSearchStats,
 ) -> u32 {
     let set = if alice { rows } else { cols };
     // Enumerate proper non-empty subsets of `set`. Fix the lowest live
@@ -78,13 +127,15 @@ fn best_split(
         let sub = lowest | sub_rest;
         if sub != set {
             // Proper split.
+            stats.splits_tried += 1;
             let other = set & !sub;
             let (r1, c1, r2, c2) = if alice {
                 (sub, cols, other, cols)
             } else {
                 (rows, sub, rows, other)
             };
-            let d = 1 + cc_rect(table, r1, c1, memo).max(cc_rect(table, r2, c2, memo));
+            let d =
+                1 + cc_rect(table, r1, c1, memo, stats).max(cc_rect(table, r2, c2, memo, stats));
             best = best.min(d);
         }
         if sub_rest == 0 {
@@ -138,6 +189,31 @@ mod tests {
     #[test]
     fn constant_function_is_free() {
         assert_eq!(deterministic_cc(&ConstTrue(2)), 0);
+    }
+
+    #[test]
+    fn search_stats_count_the_work() {
+        let (cc, stats) = deterministic_cc_with_stats(&Disjointness::new(2));
+        assert_eq!(cc, 3);
+        // The root rectangle alone is a memo miss with splits.
+        assert!(stats.rects_explored >= 1);
+        assert!(stats.splits_tried >= 1);
+        assert!(stats.mono_leaves >= 1, "some leaf must be monochromatic");
+        // A constant function is one monochromatic rectangle, no splits.
+        let (cc0, stats0) = deterministic_cc_with_stats(&ConstTrue(2));
+        assert_eq!(cc0, 0);
+        assert_eq!(
+            stats0,
+            CcSearchStats {
+                rects_explored: 1,
+                memo_hits: 0,
+                mono_leaves: 1,
+                splits_tried: 0,
+            }
+        );
+        let rec = stats.to_record("comm.exact");
+        assert_eq!(rec.event, "cc_search");
+        assert_eq!(rec.u64_field("rects_explored"), Some(stats.rects_explored));
     }
 
     #[test]

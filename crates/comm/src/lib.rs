@@ -40,6 +40,8 @@ mod channel;
 pub mod exact;
 mod function;
 pub mod protocols;
+pub mod trace;
 
 pub use channel::{Channel, Direction};
 pub use function::{BitString, BooleanFunction, Complement, Disjointness, Equality};
+pub use trace::TracedChannel;

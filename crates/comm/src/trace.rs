@@ -1,0 +1,198 @@
+//! Transcript tracing for the Alice–Bob channel.
+//!
+//! [`Channel`] is a tiny `Copy` accumulator used pervasively by value, so
+//! it cannot carry a sink itself. [`TracedChannel`] wraps one together
+//! with a `congest-obs` [`Recorder`] and offers two styles of tracing:
+//!
+//! * **per-message**: calling [`TracedChannel::send`] /
+//!   [`TracedChannel::end_round`] forwards to the inner channel *and*
+//!   emits one record per event — a full transcript;
+//! * **per-phase**: existing protocols that take `&mut Channel` run
+//!   against [`TracedChannel::inner_mut`], and a call to
+//!   [`TracedChannel::checkpoint`] emits the traffic delta since the last
+//!   checkpoint, labeled with the protocol (or phase) name.
+//!
+//! All records use the target `comm.transcript`.
+
+use congest_obs::{Record, Recorder};
+
+use crate::{Channel, Direction};
+
+/// Target string used for every record this module emits.
+pub const TRANSCRIPT_TARGET: &str = "comm.transcript";
+
+fn dir_name(dir: Direction) -> &'static str {
+    match dir {
+        Direction::AliceToBob => "a2b",
+        Direction::BobToAlice => "b2a",
+    }
+}
+
+/// A [`Channel`] paired with a [`Recorder`] that receives transcript
+/// events.
+///
+/// # Examples
+///
+/// ```
+/// use congest_comm::trace::TracedChannel;
+/// use congest_comm::Direction;
+/// use congest_obs::MemoryRecorder;
+///
+/// let mut ch = TracedChannel::new(MemoryRecorder::new());
+/// ch.send(Direction::AliceToBob, 5);
+/// ch.send(Direction::BobToAlice, 1);
+/// ch.end_round();
+/// let (channel, rec) = ch.finish();
+/// assert_eq!(channel.total_bits(), 6);
+/// assert_eq!(rec.by_event("send").count(), 2);
+/// assert_eq!(rec.by_event("summary").count(), 1);
+/// ```
+#[derive(Debug)]
+pub struct TracedChannel<R: Recorder> {
+    inner: Channel,
+    rec: R,
+    /// Transmission sequence number (`seq` field of `send` records).
+    seq: u64,
+    /// Snapshot at the last checkpoint, for per-phase deltas.
+    mark: Channel,
+}
+
+impl<R: Recorder> TracedChannel<R> {
+    /// A fresh channel whose transcript goes to `rec`.
+    pub fn new(rec: R) -> Self {
+        TracedChannel {
+            inner: Channel::new(),
+            rec,
+            seq: 0,
+            mark: Channel::new(),
+        }
+    }
+
+    /// Records a transmission and emits a `send` record
+    /// `{seq, dir, bits, total_bits}`.
+    pub fn send(&mut self, dir: Direction, bits: u64) {
+        self.inner.send(dir, bits);
+        self.rec.record(
+            Record::new(TRANSCRIPT_TARGET, "send")
+                .with("seq", self.seq)
+                .with("dir", dir_name(dir))
+                .with("bits", bits)
+                .with("total_bits", self.inner.total_bits()),
+        );
+        self.seq += 1;
+    }
+
+    /// Records the end of a synchronous round and emits a `round` record.
+    pub fn end_round(&mut self) {
+        self.inner.end_round();
+        self.rec.record(
+            Record::new(TRANSCRIPT_TARGET, "round")
+                .with("round", self.inner.rounds())
+                .with("total_bits", self.inner.total_bits()),
+        );
+    }
+
+    /// The metered totals so far.
+    pub fn channel(&self) -> &Channel {
+        &self.inner
+    }
+
+    /// Mutable access to the inner [`Channel`], for running existing
+    /// protocols that take `&mut Channel`. Traffic recorded this way is
+    /// not traced per message; bracket the call with
+    /// [`TracedChannel::checkpoint`] to capture it as a phase delta.
+    pub fn inner_mut(&mut self) -> &mut Channel {
+        &mut self.inner
+    }
+
+    /// Emits a `phase` record with the traffic delta since the previous
+    /// checkpoint (or since creation): `{phase, a2b_bits, b2a_bits,
+    /// messages, rounds, total_bits}`. Returns the delta's total bits.
+    pub fn checkpoint(&mut self, phase: &str) -> u64 {
+        let a2b = self.inner.bits(Direction::AliceToBob) - self.mark.bits(Direction::AliceToBob);
+        let b2a = self.inner.bits(Direction::BobToAlice) - self.mark.bits(Direction::BobToAlice);
+        self.rec.record(
+            Record::new(TRANSCRIPT_TARGET, "phase")
+                .with("phase", phase.to_owned())
+                .with("a2b_bits", a2b)
+                .with("b2a_bits", b2a)
+                .with("messages", self.inner.messages() - self.mark.messages())
+                .with("rounds", self.inner.rounds() - self.mark.rounds())
+                .with("total_bits", self.inner.total_bits()),
+        );
+        self.mark = self.inner;
+        a2b + b2a
+    }
+
+    /// Emits a final `summary` record `{a2b_bits, b2a_bits, messages,
+    /// rounds, total_bits}`, flushes, and returns the channel and the
+    /// recorder.
+    pub fn finish(mut self) -> (Channel, R) {
+        self.rec.record(
+            Record::new(TRANSCRIPT_TARGET, "summary")
+                .with("a2b_bits", self.inner.bits(Direction::AliceToBob))
+                .with("b2a_bits", self.inner.bits(Direction::BobToAlice))
+                .with("messages", self.inner.messages())
+                .with("rounds", self.inner.rounds())
+                .with("total_bits", self.inner.total_bits()),
+        );
+        self.rec.flush();
+        (self.inner, self.rec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocols::trivial_full_exchange;
+    use crate::{BitString, Disjointness};
+    use congest_obs::MemoryRecorder;
+
+    #[test]
+    fn per_message_transcript_matches_channel_totals() {
+        let mut ch = TracedChannel::new(MemoryRecorder::new());
+        ch.send(Direction::AliceToBob, 7);
+        ch.send(Direction::BobToAlice, 2);
+        ch.end_round();
+        ch.send(Direction::AliceToBob, 1);
+        let (channel, rec) = ch.finish();
+        assert_eq!(channel.total_bits(), 10);
+        let sends: Vec<_> = rec.by_event("send").collect();
+        assert_eq!(sends.len(), 3);
+        let traced: u64 = sends.iter().map(|r| r.u64_field("bits").unwrap()).sum();
+        assert_eq!(traced, channel.total_bits());
+        // Sequence numbers are consecutive from zero.
+        for (i, r) in sends.iter().enumerate() {
+            assert_eq!(r.u64_field("seq"), Some(i as u64));
+        }
+        assert_eq!(
+            sends[0]
+                .fields
+                .iter()
+                .find(|(k, _)| k == "dir")
+                .map(|(_, v)| v.as_str().unwrap()),
+            Some("a2b")
+        );
+        let summary = rec.by_event("summary").next().expect("summary");
+        assert_eq!(summary.u64_field("total_bits"), Some(10));
+        assert_eq!(summary.u64_field("rounds"), Some(1));
+    }
+
+    #[test]
+    fn checkpoint_brackets_existing_protocols() {
+        let f = Disjointness::new(8);
+        let x = BitString::from_indices(8, &[1]);
+        let y = BitString::from_indices(8, &[2]);
+        let mut ch = TracedChannel::new(MemoryRecorder::new());
+        trivial_full_exchange(&f, &x, &y, ch.inner_mut());
+        let delta = ch.checkpoint("trivial_disj8");
+        assert_eq!(delta, 9, "K + 1 bits for the trivial protocol");
+        trivial_full_exchange(&f, &x, &y, ch.inner_mut());
+        assert_eq!(ch.checkpoint("again"), 9, "delta resets at each checkpoint");
+        let (channel, rec) = ch.finish();
+        assert_eq!(channel.total_bits(), 18);
+        let phases: Vec<_> = rec.by_event("phase").collect();
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[1].u64_field("total_bits"), Some(18));
+    }
+}

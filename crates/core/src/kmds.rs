@@ -254,7 +254,7 @@ mod tests {
 
     fn collection() -> CoveringCollection {
         let mut rng = StdRng::seed_from_u64(2024);
-        CoveringCollection::random_verified(6, 10, 2, 0.2, 20_000, &mut rng)
+        CoveringCollection::random_verified(6, 10, 2, 0.25, 20_000, &mut rng)
             .expect("2-covering collection at T=6, ℓ=10")
     }
 

@@ -233,7 +233,7 @@ mod tests {
         // The Figure 7 instance: element vertices are shared.
         let mut rng = StdRng::seed_from_u64(2024);
         let coll =
-            congest_codes::CoveringCollection::random_verified(6, 10, 2, 0.2, 20_000, &mut rng)
+            congest_codes::CoveringCollection::random_verified(6, 10, 2, 0.25, 20_000, &mut rng)
                 .expect("covering collection");
         let fam = RestrictedMdsFamily::new(coll);
         let x = BitString::from_indices(6, &[1, 4]);

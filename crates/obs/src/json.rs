@@ -1,0 +1,337 @@
+//! Hand-rolled JSON escaping and a small parser for the record schema.
+//!
+//! The writer side covers exactly what [`crate::Record::to_json`] emits;
+//! the parser accepts any flat record of that shape (the `fields` object
+//! must hold scalars), which is enough to read traces back in tests and to
+//! diff a run against a paper bound without external dependencies.
+
+use crate::{Record, Value};
+
+/// Escapes `s` as a JSON string (with surrounding quotes) into `out`.
+pub fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parse failure, with a byte offset into the input line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset where parsing failed.
+    pub at: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            at: self.pos,
+            message: message.into(),
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected '{}'", b as char))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex =
+                                self.bytes.get(self.pos + 1..self.pos + 5).ok_or_else(|| {
+                                    ParseError {
+                                        at: self.pos,
+                                        message: "truncated \\u escape".into(),
+                                    }
+                                })?;
+                            let hex = std::str::from_utf8(hex).map_err(|_| ParseError {
+                                at: self.pos,
+                                message: "non-utf8 \\u escape".into(),
+                            })?;
+                            let code = u32::from_str_radix(hex, 16).map_err(|_| ParseError {
+                                at: self.pos,
+                                message: "bad \\u escape".into(),
+                            })?;
+                            // Records only escape control chars, which are
+                            // never surrogates.
+                            match char::from_u32(code) {
+                                Some(c) => out.push(c),
+                                None => return self.err("surrogate \\u escape unsupported"),
+                            }
+                            self.pos += 4;
+                        }
+                        _ => return self.err("bad escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest =
+                        std::str::from_utf8(&self.bytes[self.pos..]).map_err(|_| ParseError {
+                            at: self.pos,
+                            message: "invalid UTF-8".into(),
+                        })?;
+                    let c = rest.chars().next().expect("non-empty by match");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn scalar(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::F64(f64::NAN)),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => self.err("expected scalar"),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Value) -> Result<Value, ParseError> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            self.err(format!("expected '{lit}'"))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        let mut is_float = false;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        if text.is_empty() || text == "-" {
+            return self.err("expected number");
+        }
+        if is_float {
+            text.parse::<f64>().map(Value::F64).map_err(|e| ParseError {
+                at: start,
+                message: format!("bad float: {e}"),
+            })
+        } else if let Ok(u) = text.parse::<u64>() {
+            Ok(Value::U64(u))
+        } else {
+            text.parse::<i64>().map(Value::I64).map_err(|e| ParseError {
+                at: start,
+                message: format!("bad integer: {e}"),
+            })
+        }
+    }
+
+    fn u64_value(&mut self) -> Result<u64, ParseError> {
+        match self.number()? {
+            Value::U64(v) => Ok(v),
+            _ => self.err("expected unsigned integer"),
+        }
+    }
+}
+
+/// Parses one JSONL line produced by [`Record::to_json`].
+///
+/// Keys may appear in any order; unknown top-level keys are rejected.
+pub fn parse_record(line: &str) -> Result<Record, ParseError> {
+    let mut p = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    let mut rec = Record::new("", "");
+    p.expect(b'{')?;
+    let mut first = true;
+    loop {
+        if p.peek() == Some(b'}') {
+            p.pos += 1;
+            break;
+        }
+        if !first {
+            p.expect(b',')?;
+        }
+        first = false;
+        let key = p.string()?;
+        p.expect(b':')?;
+        match key.as_str() {
+            "ts" => rec.ts = p.u64_value()?,
+            "target" => rec.target = p.string()?.into(),
+            "event" => rec.event = p.string()?.into(),
+            "fields" => {
+                p.expect(b'{')?;
+                let mut f_first = true;
+                loop {
+                    if p.peek() == Some(b'}') {
+                        p.pos += 1;
+                        break;
+                    }
+                    if !f_first {
+                        p.expect(b',')?;
+                    }
+                    f_first = false;
+                    let fk = p.string()?;
+                    p.expect(b':')?;
+                    let fv = p.scalar()?;
+                    rec.fields.push((fk.into(), fv));
+                }
+            }
+            other => return p.err(format!("unknown key '{other}'")),
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing content");
+    }
+    Ok(rec)
+}
+
+/// Parses a whole JSONL document (one record per non-empty line).
+pub fn parse_jsonl(text: &str) -> Result<Vec<Record>, ParseError> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(parse_record)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_plain_records() {
+        let records = vec![
+            Record::new("sim", "round")
+                .with("round", 3u64)
+                .with("bits", 96u64)
+                .with("cut_bits", 32u64),
+            Record::new("solver.mds", "search")
+                .with("nodes", 120u64)
+                .with("prunes", 40u64)
+                .with("weight", -7i64)
+                .with("verified", true),
+            Record::new("comm.transcript", "send")
+                .with("dir", "a2b")
+                .with("bits", 5u64),
+        ];
+        for r in &records {
+            let parsed = parse_record(&r.to_json()).expect("parses");
+            assert_eq!(&parsed, r);
+        }
+    }
+
+    #[test]
+    fn round_trips_awkward_strings() {
+        let r = Record::new("t", "e").with("s", "π \"quoted\" \\ tab\t nl\n ctrl\u{1}");
+        let parsed = parse_record(&r.to_json()).expect("parses");
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn floats_survive() {
+        let r = Record::new("t", "e")
+            .with("ratio", 0.375f64)
+            .with("big", 1.5e12f64);
+        let parsed = parse_record(&r.to_json()).expect("parses");
+        assert_eq!(parsed.field("ratio").and_then(Value::as_f64), Some(0.375));
+        assert_eq!(parsed.field("big").and_then(Value::as_f64), Some(1.5e12));
+    }
+
+    #[test]
+    fn jsonl_document() {
+        let text = format!(
+            "{}\n\n{}\n",
+            Record::new("a", "x").with("v", 1u64).to_json(),
+            Record::new("b", "y").with("v", 2u64).to_json()
+        );
+        let all = parse_jsonl(&text).expect("parses");
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[1].u64_field("v"), Some(2));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_record("{").is_err());
+        assert!(parse_record(r#"{"ts":1}extra"#).is_err());
+        assert!(parse_record(r#"{"nope":1}"#).is_err());
+        assert!(parse_record(r#"{"fields":{"a":[1]}}"#).is_err());
+    }
+}

@@ -1,0 +1,267 @@
+//! Counters, log₂-bucket histograms, and wall-time spans.
+
+use std::time::Instant;
+
+use crate::Record;
+
+/// A named monotonic counter.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    name: &'static str,
+    value: u64,
+}
+
+impl Counter {
+    /// A counter starting at zero.
+    pub fn new(name: &'static str) -> Self {
+        Counter { name, value: 0 }
+    }
+
+    /// Increments by one.
+    pub fn inc(&mut self) {
+        self.value += 1;
+    }
+
+    /// Increments by `n`.
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value
+    }
+
+    /// The counter's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Renders as a `metric` record field on `target`.
+    pub fn to_record(&self, target: &'static str) -> Record {
+        Record::new(target, "counter")
+            .with("name", self.name)
+            .with("value", self.value)
+    }
+}
+
+/// A histogram with logarithmic (base-2) buckets for `u64` observations.
+///
+/// Bucket `0` holds the value `0`; bucket `i ≥ 1` holds values in
+/// `[2^(i-1), 2^i)`. Per-edge bit totals and message sizes span several
+/// orders of magnitude, which is exactly what log buckets resolve.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The bucket index for `v`: 0 for 0, else `floor(log₂ v) + 1`.
+    pub fn bucket_index(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        }
+    }
+
+    /// The half-open value range `[lo, hi)` covered by bucket `i`.
+    pub fn bucket_range(i: usize) -> (u64, u64) {
+        match i {
+            0 => (0, 1),
+            64 => (1 << 63, u64::MAX),
+            _ => (1 << (i - 1), 1 << i),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, v: u64) {
+        self.buckets[Self::bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean observation (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// The non-empty buckets as `(bucket_lo, count)` pairs.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (Self::bucket_range(i).0, c))
+            .collect()
+    }
+
+    /// An upper bound on the `q`-quantile (`0 < q ≤ 1`): the upper edge of
+    /// the bucket where the cumulative count crosses `q·count`.
+    pub fn quantile_upper_bound(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let threshold = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= threshold {
+                return Some(Self::bucket_range(i).1.min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Renders as a `histogram` record: count/sum/min/max/mean plus one
+    /// `b<lo>` field per non-empty bucket.
+    pub fn to_record(&self, target: &'static str, name: &'static str) -> Record {
+        let mut r = Record::new(target, "histogram")
+            .with("name", name)
+            .with("count", self.count)
+            .with("sum", self.sum)
+            .with("min", self.min().unwrap_or(0))
+            .with("max", self.max().unwrap_or(0))
+            .with("mean", self.mean().unwrap_or(0.0));
+        for (lo, c) in self.nonzero_buckets() {
+            r = r.with(format!("b{lo}"), c);
+        }
+        r
+    }
+}
+
+/// A wall-clock timer for one phase of work.
+#[derive(Debug, Clone)]
+pub struct Span {
+    name: &'static str,
+    start: Instant,
+}
+
+impl Span {
+    /// Starts the clock.
+    pub fn start(name: &'static str) -> Self {
+        Span {
+            name,
+            start: Instant::now(),
+        }
+    }
+
+    /// Microseconds elapsed so far.
+    pub fn elapsed_micros(&self) -> u64 {
+        self.start.elapsed().as_micros().min(u64::MAX as u128) as u64
+    }
+
+    /// The span's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Stops the clock and renders a `span` record with the elapsed time.
+    pub fn finish(self, target: &'static str) -> Record {
+        Record::new(target, "span")
+            .with("name", self.name)
+            .with("micros", self.elapsed_micros())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let mut c = Counter::new("nodes");
+        c.inc();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        let r = c.to_record("solver.mds");
+        assert_eq!(r.u64_field("value"), Some(10));
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(1023), 10);
+        assert_eq!(Histogram::bucket_index(1024), 11);
+        for i in 1..64 {
+            let (lo, hi) = Histogram::bucket_range(i);
+            assert_eq!(Histogram::bucket_index(lo), i);
+            assert_eq!(Histogram::bucket_index(hi - 1), i);
+        }
+    }
+
+    #[test]
+    fn histogram_summary() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 4, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1010);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(1000));
+        assert!((h.mean().unwrap() - 1010.0 / 6.0).abs() < 1e-9);
+        // Median (q=0.5) of {0,1,2,3,4,1000}: third value is 2, whose
+        // bucket [2,4) upper edge is 4.
+        assert_eq!(h.quantile_upper_bound(0.5), Some(4));
+        assert_eq!(h.quantile_upper_bound(1.0), Some(1000));
+        let r = h.to_record("sim", "edge_bits");
+        assert_eq!(r.u64_field("count"), Some(6));
+        assert_eq!(r.u64_field("b2"), Some(2)); // values 2 and 3
+    }
+
+    #[test]
+    fn span_measures_time() {
+        let s = Span::start("phase");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let r = s.finish("experiments");
+        assert!(r.u64_field("micros").unwrap() >= 1_000);
+    }
+}

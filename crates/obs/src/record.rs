@@ -1,0 +1,225 @@
+//! The run-record type and its field values.
+
+use std::borrow::Cow;
+use std::fmt;
+
+/// A scalar field value of a [`Record`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer (counts, bits, rounds).
+    U64(u64),
+    /// Signed integer (weights, deltas).
+    I64(i64),
+    /// Floating point (ratios, probabilities).
+    F64(f64),
+    /// Boolean flag.
+    Bool(bool),
+    /// Free-form text (names, verdicts).
+    Str(String),
+}
+
+impl Value {
+    /// The value as `u64`, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(v) => Some(v),
+            Value::I64(v) if v >= 0 => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` (integers are widened).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::U64(v) => Some(v as f64),
+            Value::I64(v) => Some(v as f64),
+            Value::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if textual.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// One machine-readable run record: `{ts, target, event, fields}`.
+///
+/// `ts` (microseconds since sink creation) is stamped by the receiving
+/// [`crate::Recorder`]; emitting code leaves it 0.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Microseconds since the sink's epoch (0 until stamped).
+    pub ts: u64,
+    /// Emitting subsystem, e.g. `sim`, `comm.transcript`, `solver.mds`.
+    pub target: Cow<'static, str>,
+    /// Record kind within the target, e.g. `round`, `send`, `search`.
+    pub event: Cow<'static, str>,
+    /// Flat scalar payload, in insertion order.
+    pub fields: Vec<(Cow<'static, str>, Value)>,
+}
+
+impl Record {
+    /// A record with no fields yet.
+    pub fn new(target: impl Into<Cow<'static, str>>, event: impl Into<Cow<'static, str>>) -> Self {
+        Record {
+            ts: 0,
+            target: target.into(),
+            event: event.into(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Adds one field (builder-style).
+    pub fn with(mut self, key: impl Into<Cow<'static, str>>, value: impl Into<Value>) -> Self {
+        self.fields.push((key.into(), value.into()));
+        self
+    }
+
+    /// Looks up a field by key.
+    pub fn field(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Shorthand: a `u64` field by key.
+    pub fn u64_field(&self, key: &str) -> Option<u64> {
+        self.field(key).and_then(Value::as_u64)
+    }
+
+    /// Serializes to one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 + 16 * self.fields.len());
+        out.push_str("{\"ts\":");
+        out.push_str(&self.ts.to_string());
+        out.push_str(",\"target\":");
+        crate::json::escape_into(&self.target, &mut out);
+        out.push_str(",\"event\":");
+        crate::json::escape_into(&self.event, &mut out);
+        out.push_str(",\"fields\":{");
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            crate::json::escape_into(k, &mut out);
+            out.push(':');
+            match v {
+                Value::U64(x) => out.push_str(&x.to_string()),
+                Value::I64(x) => out.push_str(&x.to_string()),
+                Value::F64(x) => {
+                    if x.is_finite() {
+                        // `{:?}` keeps a decimal point or exponent, so the
+                        // token is unambiguously a JSON number with a
+                        // fractional part ("1.0", not "1").
+                        out.push_str(&format!("{x:?}"));
+                    } else {
+                        out.push_str("null");
+                    }
+                }
+                Value::Bool(x) => out.push_str(if *x { "true" } else { "false" }),
+                Value::Str(s) => crate::json::escape_into(s, &mut out),
+            }
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+impl fmt::Display for Record {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_lookup() {
+        let r = Record::new("sim", "round")
+            .with("round", 3u64)
+            .with("bits", 96u64)
+            .with("ratio", 0.5f64)
+            .with("name", "DISJ_4");
+        assert_eq!(r.u64_field("round"), Some(3));
+        assert_eq!(r.field("ratio").and_then(Value::as_f64), Some(0.5));
+        assert_eq!(r.field("name").and_then(Value::as_str), Some("DISJ_4"));
+        assert_eq!(r.field("missing"), None);
+    }
+
+    #[test]
+    fn json_shape() {
+        let r = Record::new("sim", "round").with("round", 1u64);
+        assert_eq!(
+            r.to_json(),
+            r#"{"ts":0,"target":"sim","event":"round","fields":{"round":1}}"#
+        );
+    }
+
+    #[test]
+    fn json_escaping_and_specials() {
+        let r = Record::new("t\"x", "e\\n")
+            .with("s", "line\nbreak\tand \"quotes\"")
+            .with("neg", -5i64)
+            .with("nan", f64::NAN)
+            .with("flag", true);
+        let s = r.to_json();
+        assert!(s.contains(r#""t\"x""#));
+        assert!(s.contains(r#"line\nbreak\tand \"quotes\""#));
+        assert!(s.contains(r#""nan":null"#));
+        assert!(s.contains(r#""neg":-5"#));
+        assert!(s.contains(r#""flag":true"#));
+    }
+}

@@ -1,0 +1,211 @@
+//! Record sinks: the [`Recorder`] trait and its in-memory / JSONL / null
+//! implementations.
+
+use std::io::Write;
+use std::time::Instant;
+
+use crate::Record;
+
+/// A pluggable sink for [`Record`]s.
+///
+/// Receivers stamp `ts` (microseconds since the sink's creation) so that
+/// emitting code stays clock-free and deterministic.
+pub trait Recorder {
+    /// Consumes one record.
+    fn record(&mut self, rec: Record);
+
+    /// Flushes any buffered output (no-op by default).
+    fn flush(&mut self) {}
+}
+
+/// A recorder that drops everything (zero-cost instrumentation default).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn record(&mut self, _rec: Record) {}
+}
+
+/// Collects records in memory, for tests and in-process analysis.
+#[derive(Debug)]
+pub struct MemoryRecorder {
+    epoch: Instant,
+    records: Vec<Record>,
+}
+
+impl Default for MemoryRecorder {
+    fn default() -> Self {
+        MemoryRecorder::new()
+    }
+}
+
+impl MemoryRecorder {
+    /// An empty in-memory sink.
+    pub fn new() -> Self {
+        MemoryRecorder {
+            epoch: Instant::now(),
+            records: Vec::new(),
+        }
+    }
+
+    /// The records received so far, in order.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Consumes the sink, returning its records.
+    pub fn into_records(self) -> Vec<Record> {
+        self.records
+    }
+
+    /// The records with a given `target`.
+    pub fn by_target<'a>(&'a self, target: &'a str) -> impl Iterator<Item = &'a Record> {
+        self.records.iter().filter(move |r| r.target == target)
+    }
+
+    /// The records with a given `event`.
+    pub fn by_event<'a>(&'a self, event: &'a str) -> impl Iterator<Item = &'a Record> {
+        self.records.iter().filter(move |r| r.event == event)
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    fn record(&mut self, mut rec: Record) {
+        rec.ts = self.epoch.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        self.records.push(rec);
+    }
+}
+
+/// Streams records as JSON lines into any [`Write`] (file, buffer, socket).
+///
+/// JSON is emitted by [`Record::to_json`] — hand-rolled escaping, no
+/// external dependencies. Write errors are counted rather than panicking,
+/// so instrumentation can never take down a run.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    epoch: Instant,
+    out: W,
+    written: u64,
+    errors: u64,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// A sink writing to `out`.
+    pub fn new(out: W) -> Self {
+        JsonlSink {
+            epoch: Instant::now(),
+            out,
+            written: 0,
+            errors: 0,
+        }
+    }
+
+    /// Number of records successfully written.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Number of records dropped due to I/O errors.
+    pub fn errors(&self) -> u64 {
+        self.errors
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn into_inner(mut self) -> W {
+        let _ = self.out.flush();
+        self.out
+    }
+}
+
+impl<W: Write> Recorder for JsonlSink<W> {
+    fn record(&mut self, mut rec: Record) {
+        rec.ts = self.epoch.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        let line = rec.to_json();
+        match self
+            .out
+            .write_all(line.as_bytes())
+            .and_then(|()| self.out.write_all(b"\n"))
+        {
+            Ok(()) => self.written += 1,
+            Err(_) => self.errors += 1,
+        }
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// Forwarding, so `&mut R` and boxed recorders are themselves recorders —
+/// instrumented APIs can take `&mut dyn Recorder` or a generic.
+impl<R: Recorder + ?Sized> Recorder for &mut R {
+    fn record(&mut self, rec: Record) {
+        (**self).record(rec);
+    }
+    fn flush(&mut self) {
+        (**self).flush();
+    }
+}
+
+impl<R: Recorder + ?Sized> Recorder for Box<R> {
+    fn record(&mut self, rec: Record) {
+        (**self).record(rec);
+    }
+    fn flush(&mut self) {
+        (**self).flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse_jsonl;
+
+    #[test]
+    fn memory_recorder_stamps_and_filters() {
+        let mut rec = MemoryRecorder::new();
+        rec.record(Record::new("sim", "round").with("round", 0u64));
+        rec.record(Record::new("solver.mds", "search").with("nodes", 5u64));
+        rec.record(Record::new("sim", "round").with("round", 1u64));
+        assert_eq!(rec.by_target("sim").count(), 2);
+        assert_eq!(rec.by_event("search").count(), 1);
+        let ts: Vec<u64> = rec.records().iter().map(|r| r.ts).collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]), "timestamps monotone");
+    }
+
+    #[test]
+    fn jsonl_sink_round_trips_through_parser() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.record(
+            Record::new("sim", "round")
+                .with("round", 0u64)
+                .with("bits", 96u64),
+        );
+        sink.record(
+            Record::new("comm.transcript", "send")
+                .with("dir", "a2b")
+                .with("bits", 3u64),
+        );
+        assert_eq!(sink.written(), 2);
+        assert_eq!(sink.errors(), 0);
+        let bytes = sink.into_inner();
+        let text = String::from_utf8(bytes).expect("utf8");
+        let parsed = parse_jsonl(&text).expect("valid JSONL");
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].u64_field("bits"), Some(96));
+        assert_eq!(parsed[1].target, "comm.transcript");
+    }
+
+    #[test]
+    fn dyn_and_boxed_recorders_forward() {
+        fn feed<R: Recorder>(mut r: R) {
+            r.record(Record::new("a", "b"));
+        }
+        let mut mem = MemoryRecorder::new();
+        feed(&mut mem); // exercises the `&mut R` forwarding impl
+        assert_eq!(mem.records().len(), 1);
+        let mut boxed: Box<dyn Recorder> = Box::new(mem);
+        boxed.record(Record::new("c", "d"));
+        boxed.flush();
+    }
+}

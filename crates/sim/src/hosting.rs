@@ -339,6 +339,60 @@ mod tests {
         );
     }
 
+    /// `tripled` assigns owners in consecutive triples, and `owner`
+    /// round-trips every reduced vertex back to the host vertex that
+    /// spawned it.
+    #[test]
+    fn tripled_owner_round_trips() {
+        let reduced = Graph::new(12);
+        let mapping = HostMapping::tripled(reduced);
+        for host in 0..4 {
+            for part in 0..3 {
+                assert_eq!(mapping.owner(3 * host + part), host);
+            }
+        }
+        assert_eq!(mapping.reduced().num_nodes(), 12);
+    }
+
+    /// An explicit owner vector is reported back verbatim, including
+    /// non-contiguous assignments.
+    #[test]
+    fn explicit_owner_round_trips() {
+        let reduced = Graph::new(4);
+        let owner = vec![2, 0, 2, 1];
+        let mapping = HostMapping::new(reduced, owner.clone());
+        for (vp, &host) in owner.iter().enumerate() {
+            assert_eq!(mapping.owner(vp), host);
+        }
+    }
+
+    /// `validate_against` rejects a mapping whose cross-owner reduced edge
+    /// has no corresponding host edge, and accepts it once the host edge
+    /// exists (or the edge is intra-owner).
+    #[test]
+    fn validate_against_requires_host_edges() {
+        // Reduced: 0-1 (owners 0,1) and 2-3 (owners 2,2, intra-owner).
+        let mut reduced = Graph::new(4);
+        reduced.add_edge(0, 1);
+        reduced.add_edge(2, 3);
+        let mapping = HostMapping::new(reduced, vec![0, 1, 2, 2]);
+
+        // Host path 0-2-1 has no 0-1 edge: the cross-owner edge 0-1 is
+        // unrealizable.
+        let mut bad_host = Graph::new(3);
+        bad_host.add_edge(0, 2);
+        bad_host.add_edge(2, 1);
+        assert!(!mapping.validate_against(&bad_host));
+
+        // Adding the 0-1 host edge fixes it; the intra-owner reduced edge
+        // 2-3 never needs a host edge.
+        let mut good_host = Graph::new(3);
+        good_host.add_edge(0, 2);
+        good_host.add_edge(2, 1);
+        good_host.add_edge(0, 1);
+        assert!(mapping.validate_against(&good_host));
+    }
+
     /// Intra-owner messages are free: hosting a graph on itself with the
     /// identity mapping changes nothing.
     #[test]

@@ -22,7 +22,10 @@
 pub mod algorithms;
 pub mod hosting;
 mod model;
+pub mod observer;
 
 pub use model::{
-    default_bandwidth, CongestAlgorithm, NodeContext, RoundOutcome, SimStats, Simulator,
+    default_bandwidth, CongestAlgorithm, NodeContext, RoundOutcome, RoundTraffic, SimStats,
+    Simulator,
 };
+pub use observer::{NoopRoundObserver, RoundDelta, RoundObserver, TraceObserver};

@@ -2,6 +2,8 @@ use std::collections::HashMap;
 
 use congest_graph::{Graph, NodeId};
 
+use crate::observer::{RoundDelta, RoundObserver};
+
 /// The default CONGEST bandwidth: `2·⌈log₂ n⌉ + 16` bits per edge per
 /// round — enough for a constant number of identifiers plus tags, the
 /// standard "`O(log n)` bits" reading.
@@ -111,6 +113,19 @@ pub trait CongestAlgorithm {
     fn output(&self, node: NodeId) -> Option<Self::Output>;
 }
 
+/// Traffic totals for one round of a run (an entry of
+/// [`SimStats::round_timeline`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundTraffic {
+    /// Round number; 0 is the initial burst emitted by
+    /// [`CongestAlgorithm::init`], rounds `1..=rounds` are loop rounds.
+    pub round: u64,
+    /// Messages dispatched during this round.
+    pub messages: u64,
+    /// Bits dispatched during this round.
+    pub bits: u64,
+}
+
 /// Execution statistics with exact bit accounting.
 #[derive(Debug, Clone, Default)]
 pub struct SimStats {
@@ -122,11 +137,14 @@ pub struct SimStats {
     pub total_bits: u64,
     /// Bits sent per (undirected) edge, keyed by `(min, max)` endpoint.
     pub bits_per_edge: HashMap<(NodeId, NodeId), u64>,
+    /// Per-round traffic, one entry per executed round plus the round-0
+    /// init burst (`round_timeline.len() == rounds + 1` after a run).
+    pub round_timeline: Vec<RoundTraffic>,
 }
 
 impl SimStats {
     /// Total bits that crossed a given set of edges (e.g. the Alice–Bob
-    /// cut of Theorem 1.1).
+    /// cut of Theorem 1.1). Edge endpoints may be given in either order.
     pub fn bits_across(&self, cut: &[(NodeId, NodeId)]) -> u64 {
         cut.iter()
             .map(|&(u, v)| {
@@ -134,6 +152,35 @@ impl SimStats {
                 self.bits_per_edge.get(&key).copied().unwrap_or(0)
             })
             .sum()
+    }
+
+    /// Distribution of per-edge bit totals in log₂ buckets — the
+    /// congestion profile of the run.
+    pub fn congestion_histogram(&self) -> congest_obs::Histogram {
+        let mut h = congest_obs::Histogram::new();
+        for &bits in self.bits_per_edge.values() {
+            h.observe(bits);
+        }
+        h
+    }
+
+    /// The `k` edges that carried the most bits, heaviest first (ties
+    /// broken by edge key for determinism).
+    pub fn hottest_edges(&self, k: usize) -> Vec<((NodeId, NodeId), u64)> {
+        let mut edges: Vec<((NodeId, NodeId), u64)> =
+            self.bits_per_edge.iter().map(|(&e, &b)| (e, b)).collect();
+        edges.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        edges.truncate(k);
+        edges
+    }
+
+    /// The largest number of bits dispatched in any single round.
+    pub fn max_round_bits(&self) -> u64 {
+        self.round_timeline
+            .iter()
+            .map(|r| r.bits)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -181,6 +228,20 @@ impl<'g> Simulator<'g> {
     /// bandwidth, or two messages are sent over the same edge in the same
     /// direction in one round (all CONGEST-model violations).
     pub fn run<A: CongestAlgorithm>(&self, alg: &mut A, max_rounds: u64) -> SimStats {
+        self.run_observed(alg, max_rounds, &mut crate::observer::NoopRoundObserver)
+    }
+
+    /// Like [`Simulator::run`], but drives a [`RoundObserver`] alongside
+    /// the execution: the observer sees one [`crate::observer::RoundDelta`]
+    /// per round (including the round-0 init burst) and the final stats.
+    ///
+    /// The execution itself is identical to `run` — the hook is additive.
+    pub fn run_observed<A: CongestAlgorithm, O: RoundObserver>(
+        &self,
+        alg: &mut A,
+        max_rounds: u64,
+        observer: &mut O,
+    ) -> SimStats {
         let n = self.graph.num_nodes();
         let ctx = NodeContext {
             graph: self.graph,
@@ -189,12 +250,19 @@ impl<'g> Simulator<'g> {
         };
         let mut stats = SimStats::default();
         let mut halted = vec![false; n];
+        // Per-round per-edge traffic, collected only when the observer
+        // asks (one hash insert per message otherwise avoided).
+        let mut round_edges: Option<HashMap<(NodeId, NodeId), u64>> =
+            observer.wants_edge_traffic().then(HashMap::new);
+        // (messages, bits) totals at the end of the previous round.
+        let mut prev = (0u64, 0u64);
         // in_flight[v] = messages to deliver to v next round.
         let mut in_flight: Vec<Vec<(NodeId, A::Msg)>> = vec![Vec::new(); n];
         for v in 0..n {
             let out = alg.init(v, &ctx);
-            self.dispatch::<A>(v, out, &mut in_flight, &mut stats);
+            self.dispatch::<A>(v, out, &mut in_flight, &mut stats, round_edges.as_mut());
         }
+        flush_round(observer, &mut stats, &mut round_edges, &mut prev, 0);
         let mut round = 0usize;
         while stats.rounds < max_rounds {
             if halted.iter().all(|&h| h) {
@@ -210,13 +278,17 @@ impl<'g> Simulator<'g> {
                     }
                     let (out, action) = alg.round(v, &ctx, round, &[]);
                     any |= !out.is_empty();
-                    self.dispatch::<A>(v, out, &mut in_flight, &mut stats);
+                    self.dispatch::<A>(v, out, &mut in_flight, &mut stats, round_edges.as_mut());
                     if action == RoundOutcome::Halt {
                         halted[v] = true;
                     }
                 }
                 stats.rounds += 1;
                 round += 1;
+                {
+                    let r = stats.rounds;
+                    flush_round(observer, &mut stats, &mut round_edges, &mut prev, r);
+                }
                 if !any && in_flight.iter().all(Vec::is_empty) {
                     break;
                 }
@@ -229,14 +301,19 @@ impl<'g> Simulator<'g> {
                     continue;
                 }
                 let (out, action) = alg.round(v, &ctx, round, &inbox);
-                self.dispatch::<A>(v, out, &mut in_flight, &mut stats);
+                self.dispatch::<A>(v, out, &mut in_flight, &mut stats, round_edges.as_mut());
                 if action == RoundOutcome::Halt {
                     halted[v] = true;
                 }
             }
             stats.rounds += 1;
             round += 1;
+            {
+                let r = stats.rounds;
+                flush_round(observer, &mut stats, &mut round_edges, &mut prev, r);
+            }
         }
+        observer.on_done(&stats);
         stats
     }
 
@@ -246,8 +323,10 @@ impl<'g> Simulator<'g> {
         out: Vec<(NodeId, A::Msg)>,
         in_flight: &mut [Vec<(NodeId, A::Msg)>],
         stats: &mut SimStats,
+        round_edges: Option<&mut HashMap<(NodeId, NodeId), u64>>,
     ) {
         let mut used: Vec<NodeId> = Vec::with_capacity(out.len());
+        let mut round_edges = round_edges;
         for (to, msg) in out {
             assert!(
                 self.graph.has_edge(from, to),
@@ -266,12 +345,42 @@ impl<'g> Simulator<'g> {
             );
             stats.messages += 1;
             stats.total_bits += bits;
-            *stats
-                .bits_per_edge
-                .entry((from.min(to), from.max(to)))
-                .or_insert(0) += bits;
+            let key = (from.min(to), from.max(to));
+            *stats.bits_per_edge.entry(key).or_insert(0) += bits;
+            if let Some(map) = round_edges.as_deref_mut() {
+                *map.entry(key).or_insert(0) += bits;
+            }
             in_flight[to].push((from, msg));
         }
+    }
+}
+
+/// Closes out one round: appends the timeline entry, hands the observer
+/// its [`RoundDelta`], and clears the per-round edge map.
+fn flush_round<O: RoundObserver>(
+    observer: &mut O,
+    stats: &mut SimStats,
+    round_edges: &mut Option<HashMap<(NodeId, NodeId), u64>>,
+    prev: &mut (u64, u64),
+    round: u64,
+) {
+    let messages = stats.messages - prev.0;
+    let bits = stats.total_bits - prev.1;
+    *prev = (stats.messages, stats.total_bits);
+    stats.round_timeline.push(RoundTraffic {
+        round,
+        messages,
+        bits,
+    });
+    observer.on_round(&RoundDelta {
+        round,
+        messages,
+        bits,
+        total_bits: stats.total_bits,
+        edge_bits: round_edges.as_ref(),
+    });
+    if let Some(map) = round_edges.as_mut() {
+        map.clear();
     }
 }
 
@@ -430,10 +539,59 @@ mod tests {
         sim.run(&mut FatSender, 10);
     }
 
+    /// Pins the full violation wording: downstream tooling greps traces
+    /// and panics for the "CONGEST violation" prefix, so it is part of
+    /// the crate's contract, not a cosmetic detail.
+    #[test]
+    #[should_panic(expected = "CONGEST violation: message of 1000000 bits exceeds bandwidth")]
+    fn bandwidth_violation_message_is_stable() {
+        let g = congest_graph::generators::path(3);
+        let sim = Simulator::new(&g);
+        sim.run(&mut FatSender, 10);
+    }
+
     #[test]
     fn default_bandwidth_is_logarithmic() {
         assert_eq!(default_bandwidth(2), 18);
         assert_eq!(default_bandwidth(1024), 36);
         assert!(default_bandwidth(1 << 20) < 100);
+    }
+
+    #[test]
+    fn bits_across_accepts_unordered_edge_keys() {
+        let g = congest_graph::generators::path(4);
+        let sim = Simulator::new(&g);
+        let mut alg = MinIdFlood::new(4);
+        let stats = sim.run(&mut alg, 100);
+        // bits_per_edge keys are (min, max); queries may come reversed.
+        let forward = stats.bits_across(&[(1, 2)]);
+        let reversed = stats.bits_across(&[(2, 1)]);
+        assert!(forward > 0);
+        assert_eq!(forward, reversed);
+        // Mixed orders and duplicates each count what their edge carried.
+        let mixed = stats.bits_across(&[(0, 1), (2, 1), (3, 2)]);
+        assert_eq!(mixed, stats.total_bits);
+        // Non-edges contribute zero rather than panicking.
+        assert_eq!(stats.bits_across(&[(0, 3)]), 0);
+    }
+
+    #[test]
+    fn round_timeline_reconciles_with_totals() {
+        let g = congest_graph::generators::cycle(6);
+        let sim = Simulator::new(&g);
+        let mut alg = MinIdFlood::new(6);
+        let stats = sim.run(&mut alg, 100);
+        assert_eq!(stats.round_timeline.len() as u64, stats.rounds + 1);
+        assert_eq!(stats.round_timeline[0].round, 0);
+        let bits: u64 = stats.round_timeline.iter().map(|r| r.bits).sum();
+        let messages: u64 = stats.round_timeline.iter().map(|r| r.messages).sum();
+        assert_eq!(bits, stats.total_bits);
+        assert_eq!(messages, stats.messages);
+        assert!(stats.max_round_bits() >= bits / (stats.rounds + 1));
+        let hist = stats.congestion_histogram();
+        assert_eq!(hist.count(), stats.bits_per_edge.len() as u64);
+        let hottest = stats.hottest_edges(2);
+        assert_eq!(hottest.len(), 2);
+        assert!(hottest[0].1 >= hottest[1].1);
     }
 }

@@ -1,0 +1,230 @@
+//! The [`RoundObserver`] hook: per-round visibility into a simulation.
+//!
+//! [`crate::Simulator::run_observed`] drives an observer alongside the
+//! ordinary execution; [`crate::Simulator::run`] uses [`NoopRoundObserver`]
+//! and is behaviorally unchanged. [`TraceObserver`] is the bundled
+//! implementation that forwards everything to a `congest-obs`
+//! [`Recorder`] as structured records — per-round traffic, traffic across
+//! a designated Alice↔Bob cut, and an end-of-run congestion summary.
+
+use std::collections::{HashMap, HashSet};
+
+use congest_graph::NodeId;
+use congest_obs::{Record, Recorder};
+
+use crate::SimStats;
+
+/// Traffic emitted during one round of a run.
+///
+/// Round 0 is the *initial burst*: the messages produced by
+/// [`crate::CongestAlgorithm::init`] before the first delivery. Rounds
+/// `1..=stats.rounds` are the loop rounds proper.
+#[derive(Debug)]
+pub struct RoundDelta<'a> {
+    /// Round number (0 = initial burst).
+    pub round: u64,
+    /// Messages dispatched during this round.
+    pub messages: u64,
+    /// Bits dispatched during this round.
+    pub bits: u64,
+    /// Cumulative bits dispatched up to and including this round.
+    pub total_bits: u64,
+    /// Per-edge bits dispatched this round, keyed `(min, max)`.
+    ///
+    /// `None` unless the observer asked for it via
+    /// [`RoundObserver::wants_edge_traffic`] (the map costs a hash insert
+    /// per message).
+    pub edge_bits: Option<&'a HashMap<(NodeId, NodeId), u64>>,
+}
+
+impl RoundDelta<'_> {
+    /// Bits this round that crossed any edge of `cut` (endpoints in either
+    /// order). Zero when edge traffic was not requested.
+    pub fn bits_across(&self, cut: &[(NodeId, NodeId)]) -> u64 {
+        match self.edge_bits {
+            None => 0,
+            Some(map) => cut
+                .iter()
+                .map(|&(u, v)| map.get(&(u.min(v), u.max(v))).copied().unwrap_or(0))
+                .sum(),
+        }
+    }
+}
+
+/// Per-round hook driven by [`crate::Simulator::run_observed`].
+pub trait RoundObserver {
+    /// Whether per-edge round deltas should be collected (costs a hash
+    /// insert per message; defaults to `false`).
+    fn wants_edge_traffic(&self) -> bool {
+        false
+    }
+
+    /// Called after every round (including the round-0 init burst).
+    fn on_round(&mut self, delta: &RoundDelta<'_>);
+
+    /// Called once when the run terminates, with the final statistics.
+    fn on_done(&mut self, _stats: &SimStats) {}
+}
+
+/// The do-nothing observer behind [`crate::Simulator::run`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRoundObserver;
+
+impl RoundObserver for NoopRoundObserver {
+    fn on_round(&mut self, _delta: &RoundDelta<'_>) {}
+}
+
+/// Streams per-round records into a `congest-obs` [`Recorder`].
+///
+/// Emits, on target `sim`:
+///
+/// * one `round` record per round —
+///   `{round, messages, bits, cum_bits}` plus `cut_bits` when a cut was
+///   designated;
+/// * at termination, a `summary` record, a `histogram` record over
+///   per-edge totals, and one `hot_edge` record per heaviest edge.
+#[derive(Debug)]
+pub struct TraceObserver<R: Recorder> {
+    rec: R,
+    cut: Vec<(NodeId, NodeId)>,
+    cut_set: HashSet<(NodeId, NodeId)>,
+    hot_edges: usize,
+}
+
+impl<R: Recorder> TraceObserver<R> {
+    /// An observer writing into `rec`, with no designated cut.
+    pub fn new(rec: R) -> Self {
+        TraceObserver {
+            rec,
+            cut: Vec::new(),
+            cut_set: HashSet::new(),
+            hot_edges: 3,
+        }
+    }
+
+    /// Designates the Alice↔Bob cut whose per-round crossing traffic is
+    /// reported as `cut_bits` (Theorem 1.1's measured quantity).
+    pub fn with_cut(mut self, cut: &[(NodeId, NodeId)]) -> Self {
+        self.cut = cut.iter().map(|&(u, v)| (u.min(v), u.max(v))).collect();
+        self.cut_set = self.cut.iter().copied().collect();
+        self
+    }
+
+    /// Number of hottest edges reported at termination (default 3).
+    pub fn with_hot_edges(mut self, k: usize) -> Self {
+        self.hot_edges = k;
+        self
+    }
+
+    /// Releases the inner recorder.
+    pub fn into_recorder(self) -> R {
+        self.rec
+    }
+}
+
+impl<R: Recorder> RoundObserver for TraceObserver<R> {
+    fn wants_edge_traffic(&self) -> bool {
+        // Needed only to attribute traffic to the designated cut.
+        !self.cut.is_empty()
+    }
+
+    fn on_round(&mut self, delta: &RoundDelta<'_>) {
+        let mut r = Record::new("sim", "round")
+            .with("round", delta.round)
+            .with("messages", delta.messages)
+            .with("bits", delta.bits)
+            .with("cum_bits", delta.total_bits);
+        if !self.cut.is_empty() {
+            r = r.with("cut_bits", delta.bits_across(&self.cut));
+        }
+        self.rec.record(r);
+    }
+
+    fn on_done(&mut self, stats: &SimStats) {
+        let cut_total: u64 = if self.cut.is_empty() {
+            0
+        } else {
+            stats.bits_across(&self.cut)
+        };
+        self.rec.record(
+            Record::new("sim", "summary")
+                .with("rounds", stats.rounds)
+                .with("messages", stats.messages)
+                .with("total_bits", stats.total_bits)
+                .with("edges_used", stats.bits_per_edge.len())
+                .with("cut_bits", cut_total),
+        );
+        self.rec
+            .record(stats.congestion_histogram().to_record("sim", "edge_bits"));
+        for ((u, v), bits) in stats.hottest_edges(self.hot_edges) {
+            self.rec.record(
+                Record::new("sim", "hot_edge")
+                    .with("u", u)
+                    .with("v", v)
+                    .with("bits", bits)
+                    .with("on_cut", self.cut_set.contains(&(u, v))),
+            );
+        }
+        self.rec.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Simulator;
+    use congest_graph::generators;
+    use congest_obs::MemoryRecorder;
+
+    use crate::algorithms::LeaderElection;
+
+    #[test]
+    fn trace_observer_emits_rounds_and_summary() {
+        let g = generators::path(6);
+        let sim = Simulator::new(&g);
+        let mut alg = LeaderElection::new(6);
+        let cut = [(2usize, 3usize)];
+        let mut obs = TraceObserver::new(MemoryRecorder::new()).with_cut(&cut);
+        let stats = sim.run_observed(&mut alg, 100, &mut obs);
+        let mem = obs.into_recorder();
+
+        let rounds: Vec<_> = mem.by_event("round").collect();
+        // Init burst + one record per loop round.
+        assert_eq!(rounds.len() as u64, stats.rounds + 1);
+        assert_eq!(rounds[0].u64_field("round"), Some(0));
+        let cut_sum: u64 = rounds
+            .iter()
+            .map(|r| r.u64_field("cut_bits").unwrap())
+            .sum();
+        assert_eq!(
+            cut_sum,
+            stats.bits_across(&cut),
+            "per-round cut bits sum to total"
+        );
+        let bit_sum: u64 = rounds.iter().map(|r| r.u64_field("bits").unwrap()).sum();
+        assert_eq!(bit_sum, stats.total_bits);
+
+        let summary = mem.by_event("summary").next().expect("summary record");
+        assert_eq!(summary.u64_field("total_bits"), Some(stats.total_bits));
+        assert!(mem.by_event("histogram").next().is_some());
+        assert!(mem.by_event("hot_edge").count() >= 1);
+    }
+
+    #[test]
+    fn observed_run_matches_plain_run() {
+        let g = generators::cycle(8);
+        let mut a1 = LeaderElection::new(8);
+        let mut a2 = LeaderElection::new(8);
+        let plain = Simulator::new(&g).run(&mut a1, 1_000);
+        let mut obs = TraceObserver::new(MemoryRecorder::new());
+        let observed = Simulator::new(&g).run_observed(&mut a2, 1_000, &mut obs);
+        assert_eq!(plain.rounds, observed.rounds);
+        assert_eq!(plain.messages, observed.messages);
+        assert_eq!(plain.total_bits, observed.total_bits);
+        assert_eq!(plain.bits_per_edge, observed.bits_per_edge);
+        assert_eq!(plain.round_timeline, observed.round_timeline);
+        for v in 0..8 {
+            assert_eq!(a1.leader(v), a2.leader(v));
+        }
+    }
+}

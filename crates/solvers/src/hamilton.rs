@@ -14,6 +14,7 @@
 use congest_graph::{DiGraph, Graph, NodeId};
 
 use crate::bitset::{directed_masks, directed_masks_256, iter_bits, B256};
+use crate::stats::{timed, SearchStats};
 
 /// Verifies that `path` is a directed Hamiltonian path of `g`.
 pub fn is_directed_ham_path(g: &DiGraph, path: &[NodeId]) -> bool {
@@ -45,6 +46,7 @@ struct Search {
     full: B256,
     /// For cycle search: the start vertex we must return to.
     cycle_home: Option<usize>,
+    stats: SearchStats,
 }
 
 impl Search {
@@ -110,14 +112,20 @@ impl Search {
         true
     }
 
-    fn dfs(&self, c: usize, visited: &B256, path: &mut Vec<NodeId>) -> bool {
+    fn dfs(&mut self, c: usize, visited: &B256, path: &mut Vec<NodeId>) -> bool {
+        self.stats.nodes += 1;
         if *visited == self.full {
-            return match self.cycle_home {
+            let done = match self.cycle_home {
                 Some(h) => self.out[c].get(h),
                 None => true,
             };
+            if done {
+                self.stats.incumbents += 1;
+            }
+            return done;
         }
         if !self.feasible(c, visited) {
+            self.stats.prunes += 1;
             return false;
         }
         // Branch on successors, fewest-onward-options first (Warnsdorff).
@@ -131,6 +139,7 @@ impl Search {
                 return true;
             }
             path.pop();
+            self.stats.backtracks += 1;
         }
         false
     }
@@ -138,36 +147,45 @@ impl Search {
 
 /// Finds a directed Hamiltonian path starting anywhere, if one exists.
 pub fn find_directed_ham_path(g: &DiGraph) -> Option<Vec<NodeId>> {
+    find_directed_ham_path_with_stats(g).0
+}
+
+/// [`find_directed_ham_path`] plus the backtracking-effort counters
+/// (DFS calls, feasibility prunes, backtracks).
+pub fn find_directed_ham_path_with_stats(g: &DiGraph) -> (Option<Vec<NodeId>>, SearchStats) {
     let n = g.num_nodes();
     if n == 0 {
-        return Some(Vec::new());
+        return (Some(Vec::new()), SearchStats::default());
     }
-    let (out, inm) = directed_masks_256(g);
-    let full = B256::full(n);
-    // Vertices with in-degree 0 must start the path; more than one means
-    // no Hamiltonian path exists.
-    let sources: Vec<usize> = (0..n).filter(|&v| inm[v].is_empty()).collect();
-    if sources.len() > 1 {
-        return None;
-    }
-    let starts: Vec<usize> = if sources.len() == 1 {
-        sources
-    } else {
-        (0..n).collect()
-    };
-    let s = Search {
-        out,
-        inm,
-        full,
-        cycle_home: None,
-    };
-    for start in starts {
-        let mut path = vec![start];
-        if s.dfs(start, &B256::bit(start), &mut path) {
-            return Some(path);
+    timed(|| {
+        let (out, inm) = directed_masks_256(g);
+        let full = B256::full(n);
+        // Vertices with in-degree 0 must start the path; more than one
+        // means no Hamiltonian path exists.
+        let sources: Vec<usize> = (0..n).filter(|&v| inm[v].is_empty()).collect();
+        if sources.len() > 1 {
+            return (None, SearchStats::default());
         }
-    }
-    None
+        let starts: Vec<usize> = if sources.len() == 1 {
+            sources
+        } else {
+            (0..n).collect()
+        };
+        let mut s = Search {
+            out,
+            inm,
+            full,
+            cycle_home: None,
+            stats: SearchStats::default(),
+        };
+        for start in starts {
+            let mut path = vec![start];
+            if s.dfs(start, &B256::bit(start), &mut path) {
+                return (Some(path), s.stats);
+            }
+        }
+        (None, s.stats)
+    })
 }
 
 /// Whether `g` has a directed Hamiltonian path.
@@ -178,23 +196,28 @@ pub fn has_directed_ham_path(g: &DiGraph) -> bool {
 /// Finds a directed Hamiltonian cycle (returned without repeating the
 /// start), if one exists.
 pub fn find_directed_ham_cycle(g: &DiGraph) -> Option<Vec<NodeId>> {
+    find_directed_ham_cycle_with_stats(g).0
+}
+
+/// [`find_directed_ham_cycle`] plus the backtracking-effort counters.
+pub fn find_directed_ham_cycle_with_stats(g: &DiGraph) -> (Option<Vec<NodeId>>, SearchStats) {
     let n = g.num_nodes();
     if n == 0 {
-        return None;
+        return (None, SearchStats::default());
     }
-    let (out, inm) = directed_masks_256(g);
-    let s = Search {
-        out,
-        inm,
-        full: B256::full(n),
-        cycle_home: Some(0),
-    };
-    let mut path = vec![0];
-    if s.dfs(0, &B256::bit(0), &mut path) {
-        Some(path)
-    } else {
-        None
-    }
+    timed(|| {
+        let (out, inm) = directed_masks_256(g);
+        let mut s = Search {
+            out,
+            inm,
+            full: B256::full(n),
+            cycle_home: Some(0),
+            stats: SearchStats::default(),
+        };
+        let mut path = vec![0];
+        let found = s.dfs(0, &B256::bit(0), &mut path);
+        (if found { Some(path) } else { None }, s.stats)
+    })
 }
 
 /// Whether `g` has a directed Hamiltonian cycle.
@@ -339,6 +362,23 @@ mod tests {
                 assert!(is_directed_ham_cycle(&g, &c));
             }
         }
+    }
+
+    #[test]
+    fn stats_variant_counts_dfs_work() {
+        // C8 as a digraph: the cycle search walks straight around.
+        let g = to_digraph(&generators::cycle(8));
+        let (cycle, stats) = find_directed_ham_cycle_with_stats(&g);
+        assert!(cycle.is_some());
+        assert!(stats.nodes >= 8, "at least one DFS call per vertex");
+        assert!(stats.incumbents == 1);
+        // A star has no Hamiltonian path: the search must prune or
+        // backtrack, not just fail silently.
+        let star = to_digraph(&generators::star(5));
+        let (path, pstats) = find_directed_ham_path_with_stats(&star);
+        assert!(path.is_none());
+        assert!(pstats.nodes >= 1);
+        assert!(pstats.prunes + pstats.backtracks >= 1);
     }
 
     #[test]

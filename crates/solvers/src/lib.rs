@@ -42,7 +42,10 @@ pub mod maxcut;
 pub mod mds;
 pub mod mis;
 pub mod spanner;
+pub mod stats;
 pub mod steiner;
 pub mod two_ecss;
+
+pub use stats::SearchStats;
 
 pub(crate) mod bitset;

@@ -10,6 +10,8 @@
 use congest_graph::{Graph, NodeId, Weight};
 use rand::Rng;
 
+use crate::stats::{timed, SearchStats};
+
 /// Result of a max-cut computation: one side of the cut and its weight.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CutSolution {
@@ -32,47 +34,69 @@ impl CutSolution {
 ///
 /// Panics if the graph has more than 28 vertices (`2^{n-1}` enumeration).
 pub fn max_cut(g: &Graph) -> CutSolution {
+    max_cut_with_stats(g).0
+}
+
+/// [`max_cut`] plus enumeration-effort counters: `nodes` counts gray-code
+/// steps, `incumbents` counts improvements of the best cut (`prunes` and
+/// `backtracks` stay zero — the walk is exhaustive by design).
+///
+/// # Panics
+///
+/// Panics if the graph has more than 28 vertices (`2^{n-1}` enumeration).
+pub fn max_cut_with_stats(g: &Graph) -> (CutSolution, SearchStats) {
     let n = g.num_nodes();
     assert!(n <= 28, "exact max-cut limited to 28 vertices");
     if n == 0 {
-        return CutSolution {
-            side: Vec::new(),
-            weight: 0,
-        };
+        return (
+            CutSolution {
+                side: Vec::new(),
+                weight: 0,
+            },
+            SearchStats::default(),
+        );
     }
-    // delta[v] when flipping v: recompute from neighbors each flip.
-    let mut side = vec![false; n];
-    let mut cur: Weight = 0;
-    let mut best = 0;
-    let mut best_mask = 0u64;
-    let mut mask = 0u64;
-    // Vertex n-1 stays fixed on one side (cut symmetry).
-    let steps = 1u64 << (n - 1);
-    for i in 1..steps {
-        // Gray code: bit to flip.
-        let v = i.trailing_zeros() as usize;
-        // Weight change: edges to same side become cut, cut edges close.
-        let mut delta: Weight = 0;
-        for &u in g.neighbors(v) {
-            let w = g.edge_weight(u, v).expect("adjacent");
-            if side[u] == side[v] {
-                delta += w;
-            } else {
-                delta -= w;
+    timed(|| {
+        let mut stats = SearchStats::default();
+        // delta[v] when flipping v: recompute from neighbors each flip.
+        let mut side = vec![false; n];
+        let mut cur: Weight = 0;
+        let mut best = 0;
+        let mut best_mask = 0u64;
+        let mut mask = 0u64;
+        // Vertex n-1 stays fixed on one side (cut symmetry).
+        let steps = 1u64 << (n - 1);
+        for i in 1..steps {
+            stats.nodes += 1;
+            // Gray code: bit to flip.
+            let v = i.trailing_zeros() as usize;
+            // Weight change: edges to same side become cut, cut edges close.
+            let mut delta: Weight = 0;
+            for &u in g.neighbors(v) {
+                let w = g.edge_weight(u, v).expect("adjacent");
+                if side[u] == side[v] {
+                    delta += w;
+                } else {
+                    delta -= w;
+                }
+            }
+            side[v] = !side[v];
+            mask ^= 1 << v;
+            cur += delta;
+            if cur > best {
+                best = cur;
+                best_mask = mask;
+                stats.incumbents += 1;
             }
         }
-        side[v] = !side[v];
-        mask ^= 1 << v;
-        cur += delta;
-        if cur > best {
-            best = cur;
-            best_mask = mask;
-        }
-    }
-    CutSolution {
-        side: (0..n).map(|v| (best_mask >> v) & 1 == 1).collect(),
-        weight: best,
-    }
+        (
+            CutSolution {
+                side: (0..n).map(|v| (best_mask >> v) & 1 == 1).collect(),
+                weight: best,
+            },
+            stats,
+        )
+    })
 }
 
 /// Decision variant: does a cut of weight ≥ `target` exist?
@@ -179,6 +203,16 @@ mod tests {
         let c5 = generators::cycle(5);
         assert!(has_cut_of_weight(&c5, 4));
         assert!(!has_cut_of_weight(&c5, 5));
+    }
+
+    #[test]
+    fn stats_count_the_gray_code_walk() {
+        let g = generators::cycle(7);
+        let (sol, stats) = max_cut_with_stats(&g);
+        assert_eq!(sol.weight, 6);
+        assert_eq!(stats.nodes, (1 << 6) - 1, "every gray-code step visited");
+        assert!(stats.incumbents >= 1);
+        assert_eq!(stats.prunes, 0, "the enumeration never prunes");
     }
 
     #[test]

@@ -15,6 +15,7 @@ use congest_graph::{Graph, Weight};
 
 use crate::bitset::{adjacency_masks, full_mask, iter_bits, mask_to_vec};
 use crate::mis::SetSolution;
+use crate::stats::{timed, SearchStats};
 
 struct Mds<'a> {
     closed: &'a [u128], // N[v]
@@ -24,6 +25,7 @@ struct Mds<'a> {
     best_set: u128,
     /// Hard cap: stop exploring branches whose cost reaches this value.
     cap: Weight,
+    stats: SearchStats,
 }
 
 impl Mds<'_> {
@@ -54,16 +56,20 @@ impl Mds<'_> {
     }
 
     fn branch(&mut self, chosen: u128, cost: Weight, dominated: u128) {
+        self.stats.nodes += 1;
         if cost >= self.best || cost >= self.cap {
+            self.stats.prunes += 1;
             return;
         }
         let undominated = full_mask(self.n) & !dominated;
         if undominated == 0 {
             self.best = cost;
             self.best_set = chosen;
+            self.stats.incumbents += 1;
             return;
         }
         if cost + self.lower_bound(undominated) >= self.best.min(self.cap) {
+            self.stats.prunes += 1;
             return;
         }
         // Branch vertex: undominated vertex with fewest candidate dominators.
@@ -80,6 +86,7 @@ impl Mds<'_> {
                 dominated | self.closed[u],
             );
         }
+        self.stats.backtracks += 1;
     }
 }
 
@@ -88,22 +95,27 @@ fn closed_neighborhoods(g: &Graph) -> Vec<u128> {
     (0..g.num_nodes()).map(|v| adj[v] | (1u128 << v)).collect()
 }
 
-fn solve(g: &Graph, cap: Weight) -> Option<SetSolution> {
+fn solve(g: &Graph, cap: Weight) -> (Option<SetSolution>, SearchStats) {
     let n = g.num_nodes();
     if n == 0 {
-        return Some(SetSolution {
-            weight: 0,
-            vertices: Vec::new(),
-        });
+        return (
+            Some(SetSolution {
+                weight: 0,
+                vertices: Vec::new(),
+            }),
+            SearchStats::default(),
+        );
     }
     let closed = closed_neighborhoods(g);
     let w: Vec<Weight> = (0..n).map(|v| g.node_weight(v)).collect();
     assert!(w.iter().all(|&x| x >= 0), "weights must be nonnegative");
-    // Take all zero-weight vertices for free.
+    // Take zero-weight vertices for free — but only those that dominate
+    // something new, so redundant free vertices don't pollute the
+    // solution set (callers may re-weigh the returned vertices).
     let mut chosen = 0u128;
     let mut dominated = 0u128;
     for v in 0..n {
-        if w[v] == 0 {
+        if w[v] == 0 && closed[v] & !dominated != 0 {
             chosen |= 1 << v;
             dominated |= closed[v];
         }
@@ -115,21 +127,31 @@ fn solve(g: &Graph, cap: Weight) -> Option<SetSolution> {
         best: Weight::MAX,
         best_set: 0,
         cap,
+        stats: SearchStats::default(),
     };
     s.branch(chosen, 0, dominated);
-    if s.best == Weight::MAX {
+    let sol = if s.best == Weight::MAX {
         None
     } else {
         Some(SetSolution {
             weight: s.best,
             vertices: mask_to_vec(s.best_set),
         })
-    }
+    };
+    (sol, s.stats)
 }
 
 /// Exact minimum weight dominating set under the graph's node weights.
 pub fn min_weight_dominating_set(g: &Graph) -> SetSolution {
-    solve(g, Weight::MAX).expect("uncapped search always finds V itself")
+    min_weight_dominating_set_with_stats(g).0
+}
+
+/// [`min_weight_dominating_set`] plus the branch-and-bound effort counters.
+pub fn min_weight_dominating_set_with_stats(g: &Graph) -> (SetSolution, SearchStats) {
+    timed(|| {
+        let (sol, stats) = solve(g, Weight::MAX);
+        (sol.expect("uncapped search always finds V itself"), stats)
+    })
 }
 
 /// Exact minimum weight set dominating only the `targets` (every target
@@ -153,10 +175,14 @@ pub fn min_weight_dominating_set_of(g: &Graph, targets: &[congest_graph::NodeId]
     for &v in targets {
         target_mask |= 1 << v;
     }
+    // Free zero-weight vertices, but only those dominating an undominated
+    // target: the two-party protocols zero the weights of vertices a
+    // player cannot see, and blindly grabbing those would smuggle unseen
+    // (possibly expensive) vertices into the solution.
     let mut chosen = 0u128;
     let mut dominated = full_mask(n) & !target_mask;
     for v in 0..n {
-        if w[v] == 0 {
+        if w[v] == 0 && closed[v] & !dominated != 0 {
             chosen |= 1 << v;
             dominated |= closed[v];
         }
@@ -168,6 +194,7 @@ pub fn min_weight_dominating_set_of(g: &Graph, targets: &[congest_graph::NodeId]
         best: Weight::MAX,
         best_set: 0,
         cap: Weight::MAX,
+        stats: SearchStats::default(),
     };
     s.branch(chosen, 0, dominated);
     SetSolution {
@@ -188,14 +215,23 @@ pub fn min_dominating_set_size(g: &Graph) -> usize {
 /// Decision variant: is there a dominating set of cardinality ≤ `size`?
 /// (The paper's Theorem 2.1 predicate.) Uses the cap to prune early.
 pub fn has_dominating_set_of_size(g: &Graph, size: usize) -> bool {
+    has_dominating_set_of_size_with_stats(g, size).0
+}
+
+/// [`has_dominating_set_of_size`] plus the capped-search effort counters.
+pub fn has_dominating_set_of_size_with_stats(g: &Graph, size: usize) -> (bool, SearchStats) {
     let mut h = g.clone();
     for v in 0..h.num_nodes() {
         h.set_node_weight(v, 1);
     }
-    match solve(&h, size as Weight + 1) {
-        Some(sol) => sol.weight <= size as Weight,
-        None => false,
-    }
+    timed(|| {
+        let (sol, stats) = solve(&h, size as Weight + 1);
+        let yes = match sol {
+            Some(sol) => sol.weight <= size as Weight,
+            None => false,
+        };
+        (yes, stats)
+    })
 }
 
 /// The `k`-th power of `g`: edge `(u,v)` iff `0 < d_G(u,v) ≤ k`
@@ -306,6 +342,25 @@ mod tests {
         let g = generators::path(9);
         assert_eq!(min_weight_k_dominating_set(&g, 4).weight, 1);
         assert_eq!(min_weight_k_dominating_set(&g, 1).weight, 3);
+    }
+
+    #[test]
+    fn stats_variant_counts_work_and_agrees() {
+        let g = generators::cycle(10);
+        let plain = min_dominating_set_size(&g);
+        let mut h = g.clone();
+        for v in 0..10 {
+            h.set_node_weight(v, 1);
+        }
+        let (sol, stats) = min_weight_dominating_set_with_stats(&h);
+        assert_eq!(sol.weight as usize, plain);
+        assert!(stats.nodes >= 1, "at least the root is expanded");
+        assert!(stats.incumbents >= 1, "the optimum was an incumbent");
+        assert!(stats.backtracks >= 1);
+        // The capped decision search prunes at least as aggressively.
+        let (yes, dstats) = has_dominating_set_of_size_with_stats(&g, 2);
+        assert!(!yes);
+        assert!(dstats.nodes >= 1);
     }
 
     #[test]

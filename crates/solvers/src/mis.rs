@@ -10,6 +10,7 @@
 use congest_graph::{Graph, NodeId, Weight};
 
 use crate::bitset::{adjacency_masks, full_mask, iter_bits, mask_to_vec};
+use crate::stats::{timed, SearchStats};
 
 /// Result of an exact independent-set/clique computation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -25,6 +26,7 @@ struct Search<'a> {
     w: &'a [Weight],
     best: Weight,
     best_set: u128,
+    stats: SearchStats,
 }
 
 impl Search<'_> {
@@ -63,10 +65,12 @@ impl Search<'_> {
     }
 
     fn expand(&mut self, r: u128, r_weight: Weight, p: u128) {
+        self.stats.nodes += 1;
         if p == 0 {
             if r_weight > self.best {
                 self.best = r_weight;
                 self.best_set = r;
+                self.stats.incumbents += 1;
             }
             return;
         }
@@ -74,12 +78,15 @@ impl Search<'_> {
         let mut p = p;
         for i in (0..order.len()).rev() {
             if r_weight + bounds[i] <= self.best {
-                return; // every remaining candidate is bounded away
+                // Every remaining candidate is bounded away.
+                self.stats.prunes += 1;
+                return;
             }
             let v = order[i];
             self.expand(r | (1 << v), r_weight + self.w[v], p & self.adj[v]);
             p &= !(1u128 << v);
         }
+        self.stats.backtracks += 1;
     }
 }
 
@@ -90,16 +97,33 @@ impl Search<'_> {
 /// Panics if any weight is negative (positive weights are assumed by the
 /// bound; the paper's constructions use positive weights throughout).
 pub fn max_weight_clique_masks(adj: &[u128], w: &[Weight]) -> (Weight, u128) {
+    let (weight, set, _) = max_weight_clique_masks_with_stats(adj, w);
+    (weight, set)
+}
+
+/// [`max_weight_clique_masks`] plus the branch-and-bound effort counters.
+///
+/// # Panics
+///
+/// Panics if any weight is negative.
+pub fn max_weight_clique_masks_with_stats(
+    adj: &[u128],
+    w: &[Weight],
+) -> (Weight, u128, SearchStats) {
     assert!(w.iter().all(|&x| x >= 0), "weights must be nonnegative");
     let n = adj.len();
-    let mut s = Search {
-        adj,
-        w,
-        best: 0,
-        best_set: 0,
-    };
-    s.expand(0, 0, full_mask(n));
-    (s.best, s.best_set)
+    let ((best, best_set), stats) = timed(|| {
+        let mut s = Search {
+            adj,
+            w,
+            best: 0,
+            best_set: 0,
+            stats: SearchStats::default(),
+        };
+        s.expand(0, 0, full_mask(n));
+        ((s.best, s.best_set), s.stats)
+    });
+    (best, best_set, stats)
 }
 
 /// Exact maximum weight clique of `g` under its node weights.
@@ -122,15 +146,33 @@ pub fn max_weight_independent_set(g: &Graph) -> SetSolution {
     if n > 128 {
         return max_weight_independent_set_256(g);
     }
+    max_weight_independent_set_with_stats(g).0
+}
+
+/// [`max_weight_independent_set`] plus the branch-and-bound effort
+/// counters. Dispatches like the plain variant: 128-bit engine for
+/// `n ≤ 128`, 256-bit engine above.
+///
+/// # Panics
+///
+/// Panics if the graph has more than 256 vertices or negative weights.
+pub fn max_weight_independent_set_with_stats(g: &Graph) -> (SetSolution, SearchStats) {
+    let n = g.num_nodes();
+    if n > 128 {
+        return max_weight_independent_set_256_with_stats(g);
+    }
     let adj = adjacency_masks(g);
     let full = full_mask(n);
     let comp: Vec<u128> = (0..n).map(|v| full & !adj[v] & !(1u128 << v)).collect();
     let w: Vec<Weight> = (0..n).map(|v| g.node_weight(v)).collect();
-    let (weight, set) = max_weight_clique_masks(&comp, &w);
-    SetSolution {
-        weight,
-        vertices: mask_to_vec(set),
-    }
+    let (weight, set, stats) = max_weight_clique_masks_with_stats(&comp, &w);
+    (
+        SetSolution {
+            weight,
+            vertices: mask_to_vec(set),
+        },
+        stats,
+    )
 }
 
 struct Search256<'a> {
@@ -138,6 +180,7 @@ struct Search256<'a> {
     w: &'a [Weight],
     best: Weight,
     best_set: crate::bitset::B256,
+    stats: SearchStats,
 }
 
 impl Search256<'_> {
@@ -174,10 +217,12 @@ impl Search256<'_> {
     }
 
     fn expand(&mut self, r: crate::bitset::B256, r_weight: Weight, p: crate::bitset::B256) {
+        self.stats.nodes += 1;
         if p.is_empty() {
             if r_weight > self.best {
                 self.best = r_weight;
                 self.best_set = r;
+                self.stats.incumbents += 1;
             }
             return;
         }
@@ -185,6 +230,7 @@ impl Search256<'_> {
         let mut p = p;
         for i in (0..order.len()).rev() {
             if r_weight + bounds[i] <= self.best {
+                self.stats.prunes += 1;
                 return;
             }
             let v = order[i];
@@ -193,6 +239,7 @@ impl Search256<'_> {
             self.expand(r2, r_weight + self.w[v], p.and(&self.adj[v]));
             p = p.and_not(&crate::bitset::B256::bit(v));
         }
+        self.stats.backtracks += 1;
     }
 }
 
@@ -203,6 +250,16 @@ impl Search256<'_> {
 ///
 /// Panics if the graph has more than 256 vertices or negative weights.
 pub fn max_weight_independent_set_256(g: &Graph) -> SetSolution {
+    max_weight_independent_set_256_with_stats(g).0
+}
+
+/// [`max_weight_independent_set_256`] plus the branch-and-bound effort
+/// counters.
+///
+/// # Panics
+///
+/// Panics if the graph has more than 256 vertices or negative weights.
+pub fn max_weight_independent_set_256_with_stats(g: &Graph) -> (SetSolution, SearchStats) {
     use crate::bitset::B256;
     let n = g.num_nodes();
     assert!(n <= 256, "256-bit MWIS limited to 256 vertices");
@@ -218,17 +275,23 @@ pub fn max_weight_independent_set_256(g: &Graph) -> SetSolution {
     let comp: Vec<B256> = (0..n)
         .map(|v| full.and_not(&adj[v]).and_not(&B256::bit(v)))
         .collect();
-    let mut s = Search256 {
-        adj: &comp,
-        w: &w,
-        best: 0,
-        best_set: B256::EMPTY,
-    };
-    s.expand(B256::EMPTY, 0, full);
-    SetSolution {
-        weight: s.best,
-        vertices: s.best_set.iter().collect(),
-    }
+    timed(|| {
+        let mut s = Search256 {
+            adj: &comp,
+            w: &w,
+            best: 0,
+            best_set: B256::EMPTY,
+            stats: SearchStats::default(),
+        };
+        s.expand(B256::EMPTY, 0, full);
+        (
+            SetSolution {
+                weight: s.best,
+                vertices: s.best_set.iter().collect(),
+            },
+            s.stats,
+        )
+    })
 }
 
 /// The independence number `α(G)` (cardinality, ignoring node weights).
@@ -391,6 +454,24 @@ mod tests {
         let g = Graph::new(0);
         assert_eq!(independence_number(&g), 0);
         assert_eq!(max_weight_independent_set(&g).weight, 0);
+    }
+
+    #[test]
+    fn stats_variant_agrees_and_counts() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let mut g = generators::gnp(14, 0.3, &mut rng);
+        for v in 0..14 {
+            g.set_node_weight(v, rng.gen_range(1..10));
+        }
+        let plain = max_weight_independent_set(&g);
+        let (sol, stats) = max_weight_independent_set_with_stats(&g);
+        assert_eq!(sol.weight, plain.weight);
+        assert!(stats.nodes >= 1);
+        assert!(stats.incumbents >= 1);
+        assert!(
+            stats.prunes + stats.backtracks >= 1,
+            "a 14-vertex search cannot finish in one node"
+        );
     }
 }
 

@@ -51,7 +51,7 @@ fn main() {
 
     println!("--- 2-MDS covering gadget (Theorem 4.4, Figure 5) ---");
     let mut rng = StdRng::seed_from_u64(2024);
-    let collection = CoveringCollection::random_verified(6, 10, 2, 0.2, 20_000, &mut rng)
+    let collection = CoveringCollection::random_verified(6, 10, 2, 0.25, 20_000, &mut rng)
         .expect("2-covering collection");
     let fam = KmdsFamily::new(collection, 2);
     let t = fam.input_len();

@@ -137,7 +137,7 @@ fn main() -> std::io::Result<()> {
 
     // --- Figure 5: the 2-MDS covering gadget ---
     let mut rng = StdRng::seed_from_u64(2024);
-    let coll = CoveringCollection::random_verified(6, 10, 2, 0.2, 20_000, &mut rng)
+    let coll = CoveringCollection::random_verified(6, 10, 2, 0.25, 20_000, &mut rng)
         .expect("covering collection");
     let fam = KmdsFamily::new(coll, 2);
     let hitv = BitString::from_indices(6, &[0]);
@@ -167,7 +167,7 @@ fn main() -> std::io::Result<()> {
     // --- Figure 7: the restricted-MDS shared-element gadget ---
     let coll = {
         let mut rng = StdRng::seed_from_u64(2024);
-        CoveringCollection::random_verified(6, 10, 2, 0.2, 20_000, &mut rng)
+        CoveringCollection::random_verified(6, 10, 2, 0.25, 20_000, &mut rng)
             .expect("covering collection")
     };
     let fam = RestrictedMdsFamily::new(coll);

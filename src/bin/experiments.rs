@@ -2,14 +2,28 @@
 //!
 //! Run with: `cargo run --release --bin experiments`
 //!
+//! Flags:
+//!
+//! * `--out <path>` — write the human-readable report to a file instead
+//!   of stdout;
+//! * `--trace <path.jsonl>` — additionally stream structured
+//!   `congest-obs` records (simulator rounds, protocol transcripts,
+//!   solver search counters, per-phase timings) as JSON lines.
+//!
 //! Each section corresponds to an experiment id (E1–E22) from the
-//! DESIGN.md index; the output is the paper-vs-measured record.
+//! DESIGN.md index; the output is the paper-vs-measured record, followed
+//! by a per-phase wall-time summary.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::time::Instant;
 
 use congest_hardness::codes::CoveringCollection;
 use congest_hardness::comm::bounds::{
     disjointness_profile, equality_profile, theorem_1_1_round_bound,
 };
-use congest_hardness::comm::exact::deterministic_cc;
+use congest_hardness::comm::exact::deterministic_cc_with_stats;
+use congest_hardness::comm::trace::TracedChannel;
 use congest_hardness::comm::{Channel, Disjointness};
 use congest_hardness::core::approx_maxis::WeightedMaxIsGapFamily;
 use congest_hardness::core::bounded_degree::BoundedDegreeMaxIs;
@@ -27,12 +41,15 @@ use congest_hardness::graph::{generators, metrics};
 use congest_hardness::limits::nogo::corollary_5_3_ceiling;
 use congest_hardness::limits::protocols as lim;
 use congest_hardness::limits::SplitGraph;
+use congest_hardness::obs::{jsonl_file_sink, JsonlSink, NullRecorder, Record, Recorder};
 use congest_hardness::prelude::BitString;
 use congest_hardness::sim::algorithms::{LocalCutSolver, SampledMaxCut};
-use congest_hardness::sim::Simulator;
+use congest_hardness::sim::{Simulator, TraceObserver};
 use congest_hardness::solvers::{maxcut, mds, mis, steiner};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+type TraceSink = JsonlSink<BufWriter<File>>;
 
 fn hit(k: usize) -> (BitString, BitString) {
     let mut x = BitString::zeros(k * k);
@@ -48,13 +65,70 @@ fn miss(k: usize) -> (BitString, BitString) {
     (x, y)
 }
 
-fn header(id: &str, title: &str) {
-    println!("\n==== {id}: {title} ====");
+/// Tracks section wall times for the end-of-run summary table.
+struct Sections {
+    done: Vec<(String, u64)>,
+    current: Option<(String, Instant)>,
 }
 
-fn report_family<F: LowerBoundFamily>(fam: &F, inputs: &[(BitString, BitString)]) {
+impl Sections {
+    fn new() -> Self {
+        Sections {
+            done: Vec::new(),
+            current: None,
+        }
+    }
+
+    fn start(&mut self, out: &mut dyn Write, id: &str, title: &str) {
+        self.close();
+        self.current = Some((id.to_string(), Instant::now()));
+        writeln!(out, "\n==== {id}: {title} ====").expect("write output");
+    }
+
+    fn close(&mut self) {
+        if let Some((id, t0)) = self.current.take() {
+            let micros = t0.elapsed().as_micros().min(u64::MAX as u128) as u64;
+            self.done.push((id, micros));
+        }
+    }
+
+    /// Prints the wall-time table to *stderr* (timings are
+    /// nondeterministic; the main report must stay byte-identical across
+    /// runs) and emits one `phase` trace record per section.
+    fn summarize(&mut self, trace: &mut Option<TraceSink>) {
+        self.close();
+        eprintln!("\n==== phase summary ====");
+        eprintln!("  {:<12} {:>12}", "phase", "wall (ms)");
+        for (id, micros) in &self.done {
+            eprintln!("  {:<12} {:>12.2}", id, *micros as f64 / 1000.0);
+            sink_of(trace).record(
+                Record::new("experiments", "phase")
+                    .with("id", id.clone())
+                    .with("micros", *micros),
+            );
+        }
+        let total: u64 = self.done.iter().map(|(_, m)| m).sum();
+        eprintln!("  {:<12} {:>12.2}", "total", total as f64 / 1000.0);
+    }
+}
+
+/// The trace sink as a recorder, or a null recorder when tracing is off —
+/// so every instrumentation site has a single code path.
+fn sink_of(trace: &mut Option<TraceSink>) -> Box<dyn Recorder + '_> {
+    match trace.as_mut() {
+        Some(s) => Box::new(s),
+        None => Box::new(NullRecorder),
+    }
+}
+
+fn report_family<F: LowerBoundFamily>(
+    out: &mut dyn Write,
+    fam: &F,
+    inputs: &[(BitString, BitString)],
+) {
     match verify_family(fam, inputs) {
-        Ok(r) => println!(
+        Ok(r) => writeln!(
+            out,
             "  {:<55} n = {:4}  K = {:5}  |Ecut| = {:3}  pairs = {:3}  VERIFIED",
             r.name,
             r.n,
@@ -62,66 +136,147 @@ fn report_family<F: LowerBoundFamily>(fam: &F, inputs: &[(BitString, BitString)]
             r.cut_size(),
             r.pairs_checked
         ),
-        Err(e) => println!("  {} VIOLATION: {e}", fam.name()),
+        Err(e) => writeln!(out, "  {} VIOLATION: {e}", fam.name()),
     }
+    .expect("write output");
+}
+
+fn parse_args() -> (Option<String>, Option<String>) {
+    let mut out_path = None;
+    let mut trace_path = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = Some(args.next().expect("--out requires a path")),
+            "--trace" => trace_path = Some(args.next().expect("--trace requires a path")),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: experiments [--out <path>] [--trace <path.jsonl>]");
+                std::process::exit(2);
+            }
+        }
+    }
+    (out_path, trace_path)
 }
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(20260706);
+    let (out_path, trace_path) = parse_args();
+    let mut out: Box<dyn Write> = match &out_path {
+        Some(p) => Box::new(BufWriter::new(
+            File::create(p).unwrap_or_else(|e| panic!("cannot create {p}: {e}")),
+        )),
+        None => Box::new(io::stdout()),
+    };
+    let mut trace: Option<TraceSink> = trace_path.as_ref().map(|p| {
+        jsonl_file_sink(p).unwrap_or_else(|e| panic!("cannot create trace file {p}: {e}"))
+    });
+    run(&mut *out, &mut trace);
+    if let Some(sink) = trace {
+        let written = sink.written();
+        let errors = sink.errors();
+        drop(sink.into_inner());
+        eprintln!(
+            "trace: {written} records written to {} ({errors} write errors)",
+            trace_path.as_deref().unwrap_or("?")
+        );
+    }
+    out.flush().expect("flush output");
+}
 
-    header(
+fn run(out: &mut dyn Write, trace: &mut Option<TraceSink>) {
+    let mut rng = StdRng::seed_from_u64(20260706);
+    let mut sections = Sections::new();
+
+    sections.start(
+        out,
         "E0",
         "communication substrate (Section 1.3) — measured exactly",
     );
     for k in 1..=3usize {
-        let measured = deterministic_cc(&Disjointness::new(k));
+        let (measured, cc_stats) = deterministic_cc_with_stats(&Disjointness::new(k));
         let quoted = disjointness_profile(k as u64).deterministic.bits;
-        println!("  CC(DISJ_{k}) measured by protocol-tree search = {measured}, table = {quoted}");
+        writeln!(
+            out,
+            "  CC(DISJ_{k}) measured by protocol-tree search = {measured}, table = {quoted} \
+             ({} rects, {} memo hits)",
+            cc_stats.rects_explored, cc_stats.memo_hits
+        )
+        .expect("write output");
+        sink_of(trace).record(cc_stats.to_record("comm.exact").with("k", k));
     }
-    println!(
+    writeln!(
+        out,
         "  Γ(DISJ_2^20) = {}, Γ(EQ_2^20) = {}  (both O(1): Section 5.2's lever)",
         disjointness_profile(1 << 20).gamma(),
         equality_profile(1 << 20).gamma()
-    );
+    )
+    .expect("write output");
     for k in [4usize, 8] {
         let set = congest_hardness::comm::exact::disjointness_fooling_set(k);
         let bound = congest_hardness::comm::exact::fooling_set_bound(&Disjointness::new(k), &set)
             .expect("canonical fooling set");
-        println!(
+        writeln!(
+            out,
             "  fooling set of size 2^{k} verified ⇒ CC(DISJ_{k}) ≥ {bound} (the Ω(K) mechanism)"
-        );
+        )
+        .expect("write output");
     }
 
-    header("E1", "MDS family (Theorem 2.1, Figure 1)");
-    report_family(&MdsFamily::new(2), &all_inputs(4));
-    report_family(&MdsFamily::new(4), &sample_inputs(16, 3, &mut rng));
-    println!("  Ω(n²/log²n) shape (K = k², |Ecut| = 4·log k):");
+    sections.start(out, "E1", "MDS family (Theorem 2.1, Figure 1)");
+    report_family(out, &MdsFamily::new(2), &all_inputs(4));
+    report_family(out, &MdsFamily::new(4), &sample_inputs(16, 3, &mut rng));
+    writeln!(out, "  Ω(n²/log²n) shape (K = k², |Ecut| = 4·log k):").expect("write output");
     for logk in [4u32, 6, 8, 10] {
         let k = 1usize << logk;
         let fam = MdsFamily::new(k);
         let cc = disjointness_profile((k * k) as u64).deterministic.bits;
-        println!(
+        writeln!(
+            out,
             "    k = {:5}  n = {:6}  implied bound = Ω({})",
             k,
             fam.num_vertices(),
             theorem_1_1_round_bound(cc, 4 * logk as u64, fam.num_vertices() as u64)
-        );
+        )
+        .expect("write output");
     }
 
-    header(
+    sections.start(
+        out,
         "E2/E3/E4",
         "Hamiltonian path/cycle + 2-ECSS (Theorems 2.2-2.5, Figure 2)",
     );
-    report_family(&HamPathFamily::new(2), &all_inputs(4));
+    report_family(out, &HamPathFamily::new(2), &all_inputs(4));
     let fam = HamPathFamily::new(4);
     let (x, y) = hit(4);
     let g = fam.build(&x, &y);
     let w = fam.witness_path(0, 0);
-    println!(
+    writeln!(
+        out,
         "  k = 4 (n = {}): Claim 2.1 witness path valid = {}",
         fam.num_vertices(),
         congest_hardness::solvers::hamilton::is_directed_ham_path(&g, &w)
-    );
+    )
+    .expect("write output");
+    {
+        // The backtracking oracle on the same instance, with its search
+        // effort metered.
+        let (found, ham_stats) =
+            congest_hardness::solvers::hamilton::find_directed_ham_path_with_stats(&g);
+        writeln!(
+            out,
+            "  backtracker finds a path = {} ({} dfs nodes, {} prunes, {} backtracks)",
+            found.is_some(),
+            ham_stats.nodes,
+            ham_stats.prunes,
+            ham_stats.backtracks
+        )
+        .expect("write output");
+        sink_of(trace).record(
+            ham_stats
+                .to_record("solver.hamilton")
+                .with("n", g.num_nodes()),
+        );
+    }
 
     {
         // Lemma 2.2's CONGEST simulation, live: leader election on the
@@ -143,13 +298,15 @@ fn main() {
         let d = Simulator::with_bandwidth(&reduced, 128).run(&mut direct, 10_000);
         let mut hosted = HostedAlgorithm::new(LeaderElection::new(30), mapping, 10);
         let h = Simulator::with_bandwidth(&host, 128).run(&mut hosted, 10_000);
-        println!(
+        writeln!(
+            out,
             "  Lemma 2.2 hosting: direct {} rounds on G', hosted {} rounds on G (capacity-2 multiplexing)",
             d.rounds, h.rounds
-        );
+        )
+        .expect("write output");
     }
 
-    header("E5", "Steiner tree family (Theorem 2.7)");
+    sections.start(out, "E5", "Steiner tree family (Theorem 2.7)");
     let st = SteinerFamily::new(2);
     let (x, y) = hit(2);
     let gs = st.build(&x, &y);
@@ -157,21 +314,33 @@ fn main() {
     let (x0, y0) = miss(2);
     let gs0 = st.build(&x0, &y0);
     let min_no = steiner::min_steiner_tree_edges(&gs0, &st.terminals()).expect("connected");
-    println!(
+    writeln!(
+        out,
         "  target = {} edges; YES optimum = {min_yes}; NO optimum = {min_no}",
         st.target_size()
-    );
+    )
+    .expect("write output");
 
-    header("E6", "weighted max-cut family (Theorem 2.8, Figure 3)");
+    sections.start(out, "E6", "weighted max-cut family (Theorem 2.8, Figure 3)");
     let mc = MaxCutFamily::new(2);
     let (x, y) = hit(2);
     let g = mc.build(&x, &y);
-    let yes = maxcut::max_cut(&g).weight;
+    let (yes_cut, cut_stats) = maxcut::max_cut_with_stats(&g);
+    let yes = yes_cut.weight;
     let (x0, y0) = miss(2);
     let no = maxcut::max_cut(&mc.build(&x0, &y0)).weight;
-    println!(
-        "  M = {}; YES optimum = {yes} (= M); NO optimum = {no} (= M - gap)",
-        mc.target_weight()
+    writeln!(
+        out,
+        "  M = {}; YES optimum = {yes} (= M); NO optimum = {no} (= M - gap); \
+         gray-code walk = {} steps",
+        mc.target_weight(),
+        cut_stats.nodes
+    )
+    .expect("write output");
+    sink_of(trace).record(
+        cut_stats
+            .to_record("solver.maxcut")
+            .with("n", g.num_nodes()),
     );
     {
         // k = 4 via the structural oracle (Claims 2.9-2.11, exhaustively
@@ -180,40 +349,54 @@ fn main() {
         let fam = StructuralMaxCutFamily(MaxCutFamily::new(4));
         let mut rng2 = StdRng::seed_from_u64(99);
         let inputs = sample_inputs(16, 4, &mut rng2);
-        report_family(&fam, &inputs);
+        report_family(out, &fam, &inputs);
     }
 
-    header("E7", "(1-ε) max-cut in the simulator (Theorem 2.9)");
-    println!(
-        "  {:>4} {:>5} {:>8} {:>10} {:>7}",
-        "n", "p", "rounds", "bits", "ratio"
-    );
+    sections.start(out, "E7", "(1-ε) max-cut in the simulator (Theorem 2.9)");
+    writeln!(
+        out,
+        "  {:>4} {:>5} {:>8} {:>10} {:>10} {:>7}",
+        "n", "p", "rounds", "bits", "cut bits", "ratio"
+    )
+    .expect("write output");
     for n in [16usize, 20, 24] {
         let g = generators::connected_gnp(n, 0.35, &mut rng);
         let opt = maxcut::max_cut(&g).weight;
+        // Designate the Alice↔Bob cut as the edges crossing the node-id
+        // halves, and meter its traffic per round.
+        let cut: Vec<(usize, usize)> = g
+            .edges()
+            .filter(|&(u, v, _)| (u < n / 2) != (v < n / 2))
+            .map(|(u, v, _)| (u, v))
+            .collect();
         for p in [0.5, 1.0] {
             let sim = Simulator::with_bandwidth(&g, 96).stop_on_quiescence(false);
             let mut alg = SampledMaxCut::new(n, p, LocalCutSolver::Exact, n as u64);
-            let stats = sim.run(&mut alg, 1_000_000);
+            let mut obs = TraceObserver::new(sink_of(trace)).with_cut(&cut);
+            let stats = sim.run_observed(&mut alg, 1_000_000, &mut obs);
             let side: Vec<bool> = (0..n).map(|v| alg.side(v).expect("assigned")).collect();
-            println!(
-                "  {:>4} {:>5.1} {:>8} {:>10} {:>7.3}",
+            writeln!(
+                out,
+                "  {:>4} {:>5.1} {:>8} {:>10} {:>10} {:>7.3}",
                 n,
                 p,
                 stats.rounds,
                 stats.total_bits,
+                stats.bits_across(&cut),
                 g.cut_weight(&side) as f64 / opt as f64
-            );
+            )
+            .expect("write output");
         }
     }
 
-    header("E8/E9", "bounded-degree chain (Section 3)");
-    report_family(&MvcMaxIsFamily::new(2), &all_inputs(4));
+    sections.start(out, "E8/E9", "bounded-degree chain (Section 3)");
+    report_family(out, &MvcMaxIsFamily::new(2), &all_inputs(4));
     let bd = BoundedDegreeMaxIs::new(2);
     let (x, y) = hit(2);
     let b = bd.build(&x, &y);
     let diam = metrics::diameter(&b.graph);
-    println!(
+    writeln!(
+        out,
         "  G' at k = 2: n' = {}, Δ = {}, diameter = {:?}, m_G = {}, m_exp = {}, target α = {}",
         b.graph.num_nodes(),
         b.graph.max_degree(),
@@ -221,38 +404,52 @@ fn main() {
         b.m_g,
         b.m_exp,
         b.target_alpha
-    );
+    )
+    .expect("write output");
 
-    header(
+    sections.start(
+        out,
         "E10/E11/E12",
         "MaxIS code-gadget gaps (Theorems 4.1-4.3, Figure 4)",
     );
-    println!(
-        "  {:>3} {:>3} {:>5} {:>9} {:>9} {:>8}",
-        "k", "ℓ", "n", "YES", "NO", "ratio"
-    );
+    writeln!(
+        out,
+        "  {:>3} {:>3} {:>5} {:>9} {:>9} {:>8} {:>10}",
+        "k", "ℓ", "n", "YES", "NO", "ratio", "bb nodes"
+    )
+    .expect("write output");
     for (k, ell) in [(2usize, 2usize), (2, 3), (2, 5), (4, 2)] {
         let fam = WeightedMaxIsGapFamily::new(k, ell);
         let (x, y) = hit(k);
-        let yes = mis::max_weight_independent_set(&fam.build(&x, &y)).weight;
+        let (yes_sol, mis_stats) = mis::max_weight_independent_set_with_stats(&fam.build(&x, &y));
+        let yes = yes_sol.weight;
         let (x0, y0) = miss(k);
         let no = mis::max_weight_independent_set(&fam.build(&x0, &y0)).weight;
-        println!(
-            "  {:>3} {:>3} {:>5} {:>9} {:>9} {:>8.4}",
+        writeln!(
+            out,
+            "  {:>3} {:>3} {:>5} {:>9} {:>9} {:>8.4} {:>10}",
             k,
             ell,
             fam.num_vertices(),
             yes,
             no,
-            no as f64 / yes as f64
+            no as f64 / yes as f64,
+            mis_stats.nodes
+        )
+        .expect("write output");
+        sink_of(trace).record(
+            mis_stats
+                .to_record("solver.mis")
+                .with("n", fam.num_vertices()),
         );
     }
 
-    header(
+    sections.start(
+        out,
         "E13/E14",
         "k-MDS covering gaps (Theorems 4.4-4.5, Figure 5)",
     );
-    let coll = CoveringCollection::random_verified(6, 10, 2, 0.2, 20_000, &mut rng)
+    let coll = CoveringCollection::random_verified(6, 10, 2, 0.25, 20_000, &mut rng)
         .expect("2-covering collection");
     for radius in [2usize, 3] {
         let fam = KmdsFamily::new(coll.clone(), radius);
@@ -262,14 +459,20 @@ fn main() {
         let x = BitString::from_indices(t, &[0, 2]);
         let yy = BitString::from_indices(t, &[1, 3]);
         let no = mds::min_weight_k_dominating_set(&fam.build(&x, &yy), radius).weight;
-        println!(
+        writeln!(
+            out,
             "  {}-MDS: YES = {yes}, NO = {no} (> r = {})",
             radius,
             coll.r()
-        );
+        )
+        .expect("write output");
     }
 
-    header("E15/E16", "Steiner variants (Theorems 4.6-4.7, Figure 6)");
+    sections.start(
+        out,
+        "E15/E16",
+        "Steiner variants (Theorems 4.6-4.7, Figure 6)",
+    );
     let small = CoveringCollection::random_verified(5, 6, 2, 0.5, 500_000, &mut rng)
         .expect("2-covering collection");
     {
@@ -280,7 +483,7 @@ fn main() {
         let x = BitString::from_indices(t, &[0]);
         let yy = BitString::from_indices(t, &[1]);
         let no = steiner::min_node_weight_steiner(&fam.build(&x, &yy), &fam.layout().terminals());
-        println!("  node-weighted: YES = {yes:?}, NO = {no:?}");
+        writeln!(out, "  node-weighted: YES = {yes:?}, NO = {no:?}").expect("write output");
     }
     {
         let fam = DirectedSteinerFamily::new(small);
@@ -297,24 +500,31 @@ fn main() {
             fam.layout().root(),
             &fam.layout().terminals(),
         );
-        println!("  directed:      YES = {yes:?}, NO = {no:?}");
+        writeln!(out, "  directed:      YES = {yes:?}, NO = {no:?}").expect("write output");
     }
 
-    header("E17", "restricted MDS (Theorem 4.8, Figure 7)");
-    let coll2 = CoveringCollection::random_verified(6, 10, 2, 0.2, 20_000, &mut rng)
+    sections.start(out, "E17", "restricted MDS (Theorem 4.8, Figure 7)");
+    let coll2 = CoveringCollection::random_verified(6, 10, 2, 0.25, 20_000, &mut rng)
         .expect("2-covering collection");
     let fam = RestrictedMdsFamily::new(coll2);
     let t = 6;
     let h = BitString::from_indices(t, &[2]);
     let g = fam.build(&h, &h);
-    let yes = mds::min_weight_dominating_set(&g).weight;
+    let (yes_sol, mds_stats) = mds::min_weight_dominating_set_with_stats(&g);
+    let yes = yes_sol.weight;
     let x = BitString::from_indices(t, &[0, 1]);
     let yy = BitString::from_indices(t, &[2, 3]);
     let no = mds::min_weight_dominating_set(&fam.build(&x, &yy)).weight;
-    println!(
-        "  YES = {yes}, NO = {no} (> r); local-aggregate simulation costs {} bits/round",
-        fam.aggregate_bits_per_round()
-    );
+    writeln!(
+        out,
+        "  YES = {yes}, NO = {no} (> r); local-aggregate simulation costs {} bits/round; \
+         B&B explored {} nodes ({} prunes)",
+        fam.aggregate_bits_per_round(),
+        mds_stats.nodes,
+        mds_stats.prunes
+    )
+    .expect("write output");
+    sink_of(trace).record(mds_stats.to_record("solver.mds").with("n", g.num_nodes()));
     {
         // Execute the Theorem 4.8 simulation: min-flooding with shared
         // element vertices, exact agreement with the direct run.
@@ -330,43 +540,63 @@ fn main() {
         let direct = run_direct(&MinWeightFlood, &g, 4);
         let mut ch = Channel::new();
         let simulated = simulate_two_party(&MinWeightFlood, &g, &owner, 4, &mut ch);
-        println!(
+        writeln!(
+            out,
             "  Theorem 4.8 simulation: 4 rounds of min-flooding, {} bits, exact = {}",
             ch.total_bits(),
             direct == simulated
-        );
+        )
+        .expect("write output");
     }
 
-    header("E18/E19", "limitation protocols (Claims 5.1-5.9)");
+    sections.start(out, "E18/E19", "limitation protocols (Claims 5.1-5.9)");
     let mut g = generators::connected_gnp(16, 0.3, &mut rng);
     for v in 0..16 {
         g.set_node_weight(v, rng.gen_range(1..8));
     }
     let split = SplitGraph::new(g.clone(), &(0..8).collect::<Vec<_>>());
-    let mut ch = Channel::new();
-    let p1 = lim::mds_2_approx(&split, &mut ch);
-    println!(
+    // One traced channel for the whole section: each protocol runs against
+    // the inner channel and is captured as a `phase` transcript record.
+    let mut tch = TracedChannel::new(sink_of(trace));
+    let p1 = lim::mds_2_approx(&split, tch.inner_mut());
+    tch.checkpoint("mds_2_approx");
+    writeln!(
+        out,
         "  MDS 2-approx: ratio {:.3}, {} bits (|Ecut| = {})",
         p1.value as f64 / mds::min_weight_dominating_set(&g).weight as f64,
         p1.bits,
         split.cut_size()
-    );
-    let mut ch = Channel::new();
-    let p2 = lim::mvc_3_2_approx(&split, &mut ch);
-    println!(
+    )
+    .expect("write output");
+    let p2 = lim::mvc_3_2_approx(&split, tch.inner_mut());
+    tch.checkpoint("mvc_3_2_approx");
+    writeln!(
+        out,
         "  MVC 3/2-approx: ratio {:.3}, {} bits",
         p2.value as f64 / mis::min_weight_vertex_cover(&g).weight as f64,
         p2.bits
-    );
-    let mut ch = Channel::new();
-    let p3 = lim::maxcut_2_3_approx(&split, &mut ch);
-    println!(
+    )
+    .expect("write output");
+    let p3 = lim::maxcut_2_3_approx(&split, tch.inner_mut());
+    tch.checkpoint("maxcut_2_3_approx");
+    writeln!(
+        out,
         "  MaxCut 2/3-approx: ratio {:.3}, {} bits",
         p3.value as f64 / maxcut::max_cut(&g).weight as f64,
         p3.bits
-    );
+    )
+    .expect("write output");
+    let (section_channel, _) = tch.finish();
+    writeln!(
+        out,
+        "  section transcript: {} bits across {} messages",
+        section_channel.total_bits(),
+        section_channel.messages()
+    )
+    .expect("write output");
 
-    header(
+    sections.start(
+        out,
         "E20/E21",
         "certificates and PLS (Claims 5.11-5.13, Lemma 5.1)",
     );
@@ -380,36 +610,56 @@ fn main() {
     ];
     for (s, i) in &schemes {
         if let Some(labels) = s.prove(i) {
-            println!(
+            writeln!(
+                out,
                 "  PLS {:<22} label size = {} bits",
                 s.name(),
                 max_label_bits(&labels)
-            );
+            )
+            .expect("write output");
         } else {
-            println!("  PLS {:<22} predicate false on this instance", s.name());
+            writeln!(
+                out,
+                "  PLS {:<22} predicate false on this instance",
+                s.name()
+            )
+            .expect("write output");
         }
     }
     let n = 1u64 << 20;
-    println!(
+    writeln!(
+        out,
         "  Corollary 5.3 ceiling with O(log n) PLS + Γ(DISJ): Ω({})",
         corollary_5_3_ceiling(60, 60, disjointness_profile(n * n).gamma(), n)
-    );
+    )
+    .expect("write output");
 
-    header(
+    sections.start(
+        out,
         "E22",
         "Theorem 1.1 pipeline: generic exact algorithm, cut-metered",
     );
     for k in [2usize, 4] {
         let (x, y) = hit(k);
         let m = generic_exact_attack(&MdsFamily::new(k), &x, &y);
-        println!(
+        writeln!(
+            out,
             "  MDS k = {k}: {} rounds, {} cut bits ≥ CC(DISJ_K) = {} ✓ (headroom {:.0}×)",
             m.rounds,
             m.cut_bits,
             m.cc_lower_bound,
             m.cut_bits as f64 / m.cc_lower_bound as f64
+        )
+        .expect("write output");
+        sink_of(trace).record(
+            Record::new("core.attack", "theorem_1_1")
+                .with("k", k)
+                .with("rounds", m.rounds)
+                .with("cut_bits", m.cut_bits)
+                .with("cc_lower_bound", m.cc_lower_bound),
         );
     }
 
-    println!("\nAll experiments completed.");
+    sections.summarize(trace);
+    writeln!(out, "\nAll experiments completed.").expect("write output");
 }

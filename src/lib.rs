@@ -42,6 +42,7 @@ pub use congest_comm as comm;
 pub use congest_core as core;
 pub use congest_graph as graph;
 pub use congest_limits as limits;
+pub use congest_obs as obs;
 pub use congest_sim as sim;
 pub use congest_solvers as solvers;
 

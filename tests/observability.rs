@@ -1,0 +1,96 @@
+//! End-to-end observability: generate a JSONL trace covering all three
+//! instrumented layers (simulator rounds, protocol transcript, solver
+//! search counters) through one shared sink, then parse it back with the
+//! crate's own parser and reconcile it against the run's exact totals.
+
+use congest_comm::protocols::trivial_full_exchange;
+use congest_comm::{BitString, Disjointness, TracedChannel};
+use congest_graph::generators;
+use congest_obs::json::parse_jsonl;
+use congest_obs::{JsonlSink, Record, Recorder, Value};
+use congest_sim::algorithms::LeaderElection;
+use congest_sim::{Simulator, TraceObserver};
+use congest_solvers::mds::min_weight_dominating_set_with_stats;
+
+#[test]
+fn trace_round_trips_through_jsonl_parser() {
+    let mut sink = JsonlSink::new(Vec::new());
+
+    // Layer 1: simulator rounds, with a designated Alice↔Bob cut.
+    let g = generators::path(6);
+    let cut = [(2usize, 3usize)];
+    let mut alg = LeaderElection::new(6);
+    let mut obs = TraceObserver::new(&mut sink).with_cut(&cut);
+    let stats = Simulator::new(&g).run_observed(&mut alg, 1_000, &mut obs);
+    drop(obs);
+
+    // Layer 2: a two-party protocol bracketed by a transcript checkpoint.
+    let f = Disjointness::new(8);
+    let x = BitString::from_indices(8, &[1]);
+    let y = BitString::from_indices(8, &[2]);
+    let mut ch = TracedChannel::new(&mut sink);
+    trivial_full_exchange(&f, &x, &y, ch.inner_mut());
+    let phase_bits = ch.checkpoint("trivial_disj");
+    let (channel, _) = ch.finish();
+
+    // Layer 3: an exact solver oracle's search counters.
+    let (sol, search) = min_weight_dominating_set_with_stats(&generators::cycle(9));
+    sink.record(search.to_record("solver.mds"));
+
+    assert_eq!(sink.errors(), 0);
+    let text = String::from_utf8(sink.into_inner()).expect("utf8 trace");
+    let records = parse_jsonl(&text).expect("every line is a valid record");
+    assert!(!records.is_empty());
+
+    // Simulator records reconcile with the run's exact totals.
+    let rounds: Vec<&Record> = records
+        .iter()
+        .filter(|r| r.target == "sim" && r.event == "round")
+        .collect();
+    assert_eq!(
+        rounds.len() as u64,
+        stats.rounds + 1,
+        "init burst + loop rounds"
+    );
+    assert_eq!(rounds[0].u64_field("round"), Some(0));
+    let bit_sum: u64 = rounds.iter().map(|r| r.u64_field("bits").unwrap()).sum();
+    assert_eq!(bit_sum, stats.total_bits);
+    let cut_sum: u64 = rounds
+        .iter()
+        .map(|r| r.u64_field("cut_bits").expect("cut designated"))
+        .sum();
+    assert_eq!(cut_sum, stats.bits_across(&cut));
+    let summary = records
+        .iter()
+        .find(|r| r.target == "sim" && r.event == "summary")
+        .expect("sim summary");
+    assert_eq!(summary.u64_field("rounds"), Some(stats.rounds));
+    assert_eq!(summary.u64_field("total_bits"), Some(stats.total_bits));
+
+    // Transcript phase record reconciles with the channel totals.
+    let phase = records
+        .iter()
+        .find(|r| r.target == "comm.transcript" && r.event == "phase")
+        .expect("phase record");
+    assert_eq!(
+        phase.field("phase").and_then(Value::as_str),
+        Some("trivial_disj")
+    );
+    let a2b = phase.u64_field("a2b_bits").unwrap();
+    let b2a = phase.u64_field("b2a_bits").unwrap();
+    assert_eq!(a2b + b2a, phase_bits);
+    assert_eq!(phase_bits, channel.total_bits());
+
+    // Solver search record carries the branch-and-bound counters.
+    let solver = records
+        .iter()
+        .find(|r| r.target == "solver.mds" && r.event == "search")
+        .expect("solver record");
+    assert_eq!(solver.u64_field("nodes"), Some(search.nodes));
+    assert!(search.nodes >= 1);
+    assert!(sol.weight > 0, "C9 needs a non-empty dominating set");
+
+    // Timestamps are monotone within the shared sink.
+    let ts: Vec<u64> = records.iter().map(|r| r.ts).collect();
+    assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+}
