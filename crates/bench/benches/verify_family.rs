@@ -1,0 +1,154 @@
+//! Serial vs parallel `verify_family` on full input sweeps, with memo
+//! effectiveness — the perf record for the parallel verification engine.
+//!
+//! Besides the usual printed medians, this bench writes
+//! `BENCH_verify_family.json` at the workspace root (CI uploads it next
+//! to the experiment traces): available cores, per-entry serial/parallel
+//! wall time, speedup, and memo hit rate. On a single-core runner the
+//! parallel engine degrades to the serial fast path, so the recorded
+//! speedup is meaningful only when `available_cores >= 2`.
+
+use congest_comm::BitString;
+use congest_core::hamiltonian::HamPathFamily;
+use congest_core::mds::MdsFamily;
+use congest_core::{all_inputs, verify_family_with, LowerBoundFamily, VerifyOptions, VerifyStats};
+use criterion::black_box;
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+const SAMPLES: usize = 5;
+
+/// All `(x, y)` pairs over `K` live bits embedded in `width`-bit strings
+/// (trailing bits zero). Padding with zeros cannot create intersections,
+/// so set-disjointness — and with it condition 4 — is preserved on the
+/// subcube: this is how a `K = 3` sweep runs on families whose gadget
+/// width is fixed at `K = 4`.
+fn prefix_inputs(k: usize, width: usize) -> Vec<(BitString, BitString)> {
+    assert!(k <= width);
+    let mut out = Vec::with_capacity(1 << (2 * k));
+    for xm in 0u64..(1 << k) {
+        for ym in 0u64..(1 << k) {
+            let mut x = BitString::zeros(width);
+            let mut y = BitString::zeros(width);
+            for i in 0..k {
+                x.set(i, (xm >> i) & 1 == 1);
+                y.set(i, (ym >> i) & 1 == 1);
+            }
+            out.push((x, y));
+        }
+    }
+    out
+}
+
+/// Median wall time of `SAMPLES` runs, plus the stats of the last run.
+fn measure<F: LowerBoundFamily + Sync>(
+    fam: &F,
+    inputs: &[(BitString, BitString)],
+    opts: &VerifyOptions,
+) -> (Duration, VerifyStats) {
+    let mut times = Vec::with_capacity(SAMPLES);
+    let mut last_stats = None;
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        let (res, stats) = verify_family_with(fam, inputs, opts);
+        times.push(start.elapsed());
+        black_box(res.expect("family must verify"));
+        last_stats = Some(stats);
+    }
+    times.sort_unstable();
+    (times[times.len() / 2], last_stats.expect("SAMPLES > 0"))
+}
+
+struct Entry {
+    family: &'static str,
+    k: usize,
+    pairs: usize,
+    serial: Duration,
+    parallel: Duration,
+    stats: VerifyStats,
+}
+
+fn bench_one<F: LowerBoundFamily + Sync>(
+    family: &'static str,
+    fam: &F,
+    k: usize,
+    inputs: &[(BitString, BitString)],
+) -> Entry {
+    let (serial, _) = measure(fam, inputs, &VerifyOptions::serial());
+    let (parallel, stats) = measure(fam, inputs, &VerifyOptions::parallel());
+    println!(
+        "verify_family/{family}/K={k:<2} serial: {serial:>11.3?}  parallel: {parallel:>11.3?}  \
+         speedup: {:>5.2}x  memo: {}/{} hits",
+        serial.as_secs_f64() / parallel.as_secs_f64().max(1e-9),
+        stats.memo_hits,
+        stats.memo_hits + stats.memo_misses,
+    );
+    Entry {
+        family,
+        k,
+        pairs: inputs.len(),
+        serial,
+        parallel,
+        stats,
+    }
+}
+
+fn write_json(path: &str, cores: usize, entries: &[Entry]) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "{{")?;
+    writeln!(f, "  \"bench\": \"verify_family\",")?;
+    writeln!(f, "  \"available_cores\": {cores},")?;
+    writeln!(f, "  \"samples_per_point\": {SAMPLES},")?;
+    writeln!(f, "  \"entries\": [")?;
+    for (i, e) in entries.iter().enumerate() {
+        let lookups = e.stats.memo_hits + e.stats.memo_misses;
+        let hit_rate = e.stats.memo_hits as f64 / (lookups as f64).max(1.0);
+        let speedup = e.serial.as_secs_f64() / e.parallel.as_secs_f64().max(1e-9);
+        writeln!(f, "    {{")?;
+        writeln!(f, "      \"family\": \"{}\",", e.family)?;
+        writeln!(f, "      \"k_input\": {},", e.k)?;
+        writeln!(f, "      \"pairs\": {},", e.pairs)?;
+        writeln!(f, "      \"jobs\": {},", e.stats.jobs)?;
+        writeln!(f, "      \"serial_micros\": {},", e.serial.as_micros())?;
+        writeln!(f, "      \"parallel_micros\": {},", e.parallel.as_micros())?;
+        writeln!(f, "      \"speedup\": {speedup:.3},")?;
+        writeln!(f, "      \"memo_hits\": {},", e.stats.memo_hits)?;
+        writeln!(f, "      \"memo_misses\": {},", e.stats.memo_misses)?;
+        writeln!(f, "      \"memo_hit_rate\": {hit_rate:.3}")?;
+        writeln!(f, "    }}{}", if i + 1 < entries.len() { "," } else { "" })?;
+    }
+    writeln!(f, "  ]")?;
+    writeln!(f, "}}")?;
+    Ok(())
+}
+
+fn main() {
+    let cores = congest_par::max_jobs();
+    println!("== group: verify_family (available cores: {cores}) ==");
+
+    let mds = MdsFamily::new(2);
+    let ham = HamPathFamily::new(2);
+    let width = mds.input_len(); // 4 for both families at gadget size 2
+    assert_eq!(width, ham.input_len());
+
+    let mut entries = Vec::new();
+    for k in [3usize, 4] {
+        let inputs = if k == width {
+            all_inputs(k)
+        } else {
+            prefix_inputs(k, width)
+        };
+        entries.push(bench_one("mds", &mds, k, &inputs));
+        entries.push(bench_one("hamiltonian_path", &ham, k, &inputs));
+    }
+    println!();
+
+    let out = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_verify_family.json"
+    );
+    match write_json(out, cores, &entries) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => eprintln!("cannot write {out}: {e}"),
+    }
+}

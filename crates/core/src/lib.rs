@@ -51,6 +51,7 @@ pub mod steiner;
 pub mod steiner_variants;
 
 pub use family::{
-    all_inputs, sample_inputs, verify_family, EdgeListGraph, FamilyReport, FamilyViolation,
-    LowerBoundFamily,
+    all_inputs, all_inputs_iter, sample_inputs, try_all_inputs, verify_family, verify_family_with,
+    AllInputs, EdgeListGraph, FamilyReport, FamilyViolation, InputEnumerationError,
+    LowerBoundFamily, VerifyOptions, VerifyStats, MAX_EXHAUSTIVE_K,
 };

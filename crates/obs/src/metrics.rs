@@ -27,6 +27,12 @@ impl Counter {
         self.value += n;
     }
 
+    /// Folds another counter's total into this one — the reduction step
+    /// when each parallel worker kept its own counter.
+    pub fn merge(&mut self, other: &Counter) {
+        self.value += other.value;
+    }
+
     /// The current value.
     pub fn get(&self) -> u64 {
         self.value
@@ -93,6 +99,18 @@ impl Histogram {
             64 => (1 << 63, u64::MAX),
             _ => (1 << (i - 1), 1 << i),
         }
+    }
+
+    /// Folds another histogram into this one bucket-by-bucket — the
+    /// reduction step when each parallel worker kept its own histogram.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, &c) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += c;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
     }
 
     /// Records one observation.
@@ -255,6 +273,39 @@ mod tests {
         let r = h.to_record("sim", "edge_bits");
         assert_eq!(r.u64_field("count"), Some(6));
         assert_eq!(r.u64_field("b2"), Some(2)); // values 2 and 3
+    }
+
+    #[test]
+    fn merge_equals_observing_everything_in_one() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for v in [0u64, 1, 5, 9, 1 << 40] {
+            a.observe(v);
+            whole.observe(v);
+        }
+        for v in [3u64, 3, 7, 1024] {
+            b.observe(v);
+            whole.observe(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.sum(), whole.sum());
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+        assert_eq!(a.nonzero_buckets(), whole.nonzero_buckets());
+        // Merging an empty histogram changes nothing (min stays valid).
+        let before = a.clone();
+        a.merge(&Histogram::new());
+        assert_eq!(a.nonzero_buckets(), before.nonzero_buckets());
+        assert_eq!(a.min(), before.min());
+
+        let mut c1 = Counter::new("items");
+        c1.add(3);
+        let mut c2 = Counter::new("items");
+        c2.add(4);
+        c1.merge(&c2);
+        assert_eq!(c1.get(), 7);
     }
 
     #[test]

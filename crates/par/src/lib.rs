@@ -1,0 +1,397 @@
+//! A std-only scoped worker pool for the `congest-hardness` workspace.
+//!
+//! The build environment is offline (no rayon), but the workspace's hot
+//! loops — `verify_family`'s `2^{2K}` build-and-decide sweeps, curated
+//! input grids, benchmark fan-outs — are embarrassingly parallel. This
+//! crate provides the minimal primitive they need:
+//!
+//! * [`par_map`] / [`par_try_map`] — order-preserving parallel maps over a
+//!   slice, built on [`std::thread::scope`]. Workers claim items from a
+//!   shared atomic cursor, so load-balancing is dynamic, yet the output
+//!   `Vec` is always in input order.
+//! * **Deterministic failure reporting.** [`par_try_map`] returns the
+//!   *lowest-index* error regardless of thread scheduling, so a parallel
+//!   run reports the same failure as the serial sweep, run after run.
+//!   Panics inside a worker are caught per-item and re-raised on the
+//!   caller thread — again for the lowest panicking index — instead of
+//!   aborting the scope or hanging siblings.
+//! * [`PoolStats`] — per-worker item counters, exportable as
+//!   `congest-obs` records for trace inspection.
+//!
+//! Claims are handed out in increasing index order, so once a failure at
+//! index `i` is observed every index `< i` has already been claimed; the
+//! pool stops claiming past the lowest failure and still sees every
+//! earlier one. That is what makes the lowest-index guarantee cheap: no
+//! barrier, no retry, just a monotone cursor plus an atomic failure floor.
+//!
+//! # Example
+//!
+//! ```
+//! let squares = congest_par::par_map(4, &[1u64, 2, 3, 4], |_, &v| v * v);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//!
+//! let r: Result<Vec<u64>, (usize, String)> =
+//!     congest_par::par_try_map(4, &[1u64, 0, 0, 7], |i, &v| {
+//!         if v == 0 { Err(format!("zero at {i}")) } else { Ok(v) }
+//!     });
+//! assert_eq!(r.unwrap_err(), (1, "zero at 1".to_string()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use congest_obs::{Histogram, Record};
+
+/// The number of workers to use when the caller does not care: the
+/// machine's available parallelism, or `1` when it cannot be determined.
+pub fn max_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Normalizes a `--jobs`-style request: `0` means [`max_jobs`].
+pub fn resolve_jobs(jobs: usize) -> usize {
+    if jobs == 0 {
+        max_jobs()
+    } else {
+        jobs
+    }
+}
+
+/// Per-worker counters from one pool invocation.
+///
+/// Worker-to-item assignment is scheduling-dependent, so these counters
+/// are observability data (how well did the load balance?), never part of
+/// a deterministic result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Number of workers the pool ran with.
+    pub workers: usize,
+    /// Items fully processed by each worker (`len() == workers`).
+    pub items_per_worker: Vec<u64>,
+}
+
+impl PoolStats {
+    /// Total items processed across all workers.
+    pub fn total_items(&self) -> u64 {
+        self.items_per_worker.iter().sum()
+    }
+
+    /// Exports the counters as `congest-obs` records: one `pool` summary
+    /// (worker count, total items, min/max/mean per-worker load via a
+    /// log₂ histogram) plus one `worker` record per worker.
+    pub fn to_records(&self, target: &'static str) -> Vec<Record> {
+        let mut load = Histogram::new();
+        for &n in &self.items_per_worker {
+            load.observe(n);
+        }
+        let mut out = vec![load
+            .to_record(target, "items_per_worker")
+            .with("workers", self.workers)
+            .with("items", self.total_items())];
+        for (w, &n) in self.items_per_worker.iter().enumerate() {
+            out.push(
+                Record::new(target, "worker")
+                    .with("worker", w)
+                    .with("items", n),
+            );
+        }
+        out
+    }
+}
+
+/// How one item failed: a recoverable error or a caught panic payload.
+enum Failure<E> {
+    Err(E),
+    Panic(Box<dyn std::any::Any + Send + 'static>),
+}
+
+/// Per-index outcomes, the failures observed (by index), and pool counters.
+type RunOutcome<U, E> = (Vec<Option<U>>, Vec<(usize, Failure<E>)>, PoolStats);
+
+/// Shared engine: maps `f` over `items` on `jobs` workers, recording each
+/// item's outcome, and returns the per-index outcomes plus pool counters.
+/// On the first observed failure the cursor stops advancing past it, so
+/// trailing items are skipped (mirroring a serial sweep's short-circuit).
+fn run<'s, T, U, E, F>(jobs: usize, items: &'s [T], f: &F) -> RunOutcome<U, E>
+where
+    T: Sync,
+    U: Send,
+    E: Send,
+    F: Fn(usize, &'s T) -> Result<U, E> + Sync,
+{
+    let jobs = resolve_jobs(jobs).min(items.len()).max(1);
+    let mut slots: Vec<Option<U>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    let mut failures: Vec<(usize, Failure<E>)> = Vec::new();
+    let mut stats = PoolStats {
+        workers: jobs,
+        items_per_worker: vec![0; jobs],
+    };
+
+    if jobs == 1 {
+        // Serial fast path: no threads, natural panic propagation, and
+        // byte-identical behaviour for `--jobs 1` reproduction runs.
+        for (i, item) in items.iter().enumerate() {
+            let outcome = f(i, item);
+            stats.items_per_worker[0] += 1;
+            match outcome {
+                Ok(v) => slots[i] = Some(v),
+                Err(e) => {
+                    failures.push((i, Failure::Err(e)));
+                    break;
+                }
+            }
+        }
+        return (slots, failures, stats);
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let failure_floor = AtomicUsize::new(usize::MAX);
+    let worker_outputs = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, Result<U, Failure<E>>)> = Vec::new();
+                    let mut processed = 0u64;
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() || i >= failure_floor.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        match catch_unwind(AssertUnwindSafe(|| f(i, &items[i]))) {
+                            Ok(Ok(v)) => local.push((i, Ok(v))),
+                            Ok(Err(e)) => {
+                                failure_floor.fetch_min(i, Ordering::Relaxed);
+                                local.push((i, Err(Failure::Err(e))));
+                            }
+                            Err(payload) => {
+                                failure_floor.fetch_min(i, Ordering::Relaxed);
+                                local.push((i, Err(Failure::Panic(payload))));
+                            }
+                        }
+                        processed += 1;
+                    }
+                    (local, processed)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("pool workers catch their own panics"))
+            .collect::<Vec<_>>()
+    });
+
+    for (w, (local, processed)) in worker_outputs.into_iter().enumerate() {
+        stats.items_per_worker[w] = processed;
+        for (i, outcome) in local {
+            match outcome {
+                Ok(v) => slots[i] = Some(v),
+                Err(fail) => failures.push((i, fail)),
+            }
+        }
+    }
+    (slots, failures, stats)
+}
+
+/// Picks the lowest-index failure; panics are re-raised on the caller.
+fn settle<U, E>(
+    slots: Vec<Option<U>>,
+    mut failures: Vec<(usize, Failure<E>)>,
+) -> Result<Vec<U>, (usize, E)> {
+    failures.sort_by_key(|(i, _)| *i);
+    match failures.into_iter().next() {
+        None => Ok(slots
+            .into_iter()
+            .map(|s| s.expect("no failures ⇒ every slot filled"))
+            .collect()),
+        Some((i, Failure::Err(e))) => Err((i, e)),
+        Some((_, Failure::Panic(payload))) => resume_unwind(payload),
+    }
+}
+
+/// Maps `f` over `items` on `jobs` workers (`0` = all cores), preserving
+/// input order.
+///
+/// # Panics
+///
+/// If `f` panics for some items, the panic of the *lowest* index is
+/// re-raised on the caller thread after all workers have drained — never
+/// a hang, and deterministic across runs.
+pub fn par_map<'s, T, U, F>(jobs: usize, items: &'s [T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &'s T) -> U + Sync,
+{
+    par_map_stats(jobs, items, f).0
+}
+
+/// [`par_map`] variant that also returns the per-worker [`PoolStats`].
+pub fn par_map_stats<'s, T, U, F>(jobs: usize, items: &'s [T], f: F) -> (Vec<U>, PoolStats)
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &'s T) -> U + Sync,
+{
+    let wrapped = |i: usize, item: &'s T| -> Result<U, std::convert::Infallible> { Ok(f(i, item)) };
+    let (slots, failures, stats) = run(jobs, items, &wrapped);
+    match settle(slots, failures) {
+        Ok(v) => (v, stats),
+        Err((_, e)) => match e {},
+    }
+}
+
+/// Fallible [`par_map`]: on failure returns `Err((index, error))` for the
+/// *lowest* failing index, independent of thread scheduling.
+///
+/// Items past the first observed failure are skipped (as a serial sweep
+/// would), but every item before it is always evaluated, so the reported
+/// failure is exactly the one the serial sweep would have hit first.
+///
+/// # Panics
+///
+/// As for [`par_map`]: the lowest-index worker panic is re-raised cleanly
+/// on the caller thread.
+pub fn par_try_map<'s, T, U, E, F>(jobs: usize, items: &'s [T], f: F) -> Result<Vec<U>, (usize, E)>
+where
+    T: Sync,
+    U: Send,
+    E: Send,
+    F: Fn(usize, &'s T) -> Result<U, E> + Sync,
+{
+    par_try_map_stats(jobs, items, f).0
+}
+
+/// [`par_try_map`] variant that also returns the per-worker [`PoolStats`].
+pub fn par_try_map_stats<'s, T, U, E, F>(
+    jobs: usize,
+    items: &'s [T],
+    f: F,
+) -> (Result<Vec<U>, (usize, E)>, PoolStats)
+where
+    T: Sync,
+    U: Send,
+    E: Send,
+    F: Fn(usize, &'s T) -> Result<U, E> + Sync,
+{
+    let (slots, failures, stats) = run(jobs, items, &f);
+    (settle(slots, failures), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u64> = par_map(4, &[][..], |_, &v: &u64| v);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn jobs_zero_means_all_cores() {
+        assert_eq!(resolve_jobs(0), max_jobs());
+        assert_eq!(resolve_jobs(3), 3);
+        let out = par_map(0, &[1u64, 2, 3], |_, &v| v + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn stats_account_for_every_item() {
+        let items: Vec<u64> = (0..97).collect();
+        let (out, stats) = par_map_stats(5, &items, |i, &v| {
+            assert_eq!(i as u64, v);
+            v
+        });
+        assert_eq!(out, items);
+        assert_eq!(stats.workers, 5);
+        assert_eq!(stats.total_items(), 97);
+        let recs = stats.to_records("par.pool");
+        assert_eq!(recs.len(), 1 + 5);
+        assert_eq!(recs[0].u64_field("items"), Some(97));
+    }
+
+    #[test]
+    fn lowest_index_error_beats_scheduling() {
+        // Errors at several indices; later ones are allowed to finish
+        // first, the reported one must still be the lowest.
+        let items: Vec<u64> = (0..64).collect();
+        for jobs in [1usize, 2, 3, 8] {
+            for _ in 0..8 {
+                let r: Result<Vec<u64>, (usize, String)> = par_try_map(jobs, &items, |i, &v| {
+                    if v % 13 == 5 {
+                        // Make high-index failures *fast* and the lowest
+                        // one slow, to tempt a racy implementation.
+                        if v == 5 {
+                            std::thread::sleep(std::time::Duration::from_millis(2));
+                        }
+                        Err(format!("bad {i}"))
+                    } else {
+                        Ok(v)
+                    }
+                });
+                assert_eq!(r.unwrap_err(), (5, "bad 5".to_string()), "jobs = {jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn worker_panic_surfaces_cleanly_not_a_hang() {
+        let items: Vec<u64> = (0..32).collect();
+        for jobs in [2usize, 4] {
+            let caught = std::panic::catch_unwind(|| {
+                par_map(jobs, &items, |_, &v| {
+                    if v == 7 || v == 20 {
+                        panic!("predicate exploded on item {v}");
+                    }
+                    v
+                })
+            });
+            let payload = caught.expect_err("panic must propagate");
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .expect("panic message preserved");
+            // Lowest panicking index wins deterministically.
+            assert_eq!(msg, "predicate exploded on item 7");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Output order equals input order for arbitrary sizes/job counts.
+        #[test]
+        fn par_map_preserves_order(len in 0usize..200, jobs in 1usize..9) {
+            let items: Vec<u64> = (0..len as u64).map(|v| v.wrapping_mul(0x9E3779B9)).collect();
+            let out = par_map(jobs, &items, |_, &v| v ^ 0xABCD);
+            let want: Vec<u64> = items.iter().map(|&v| v ^ 0xABCD).collect();
+            prop_assert_eq!(out, want);
+        }
+
+        /// The reported error index is the minimum failing index, for any
+        /// failure set and any worker count.
+        #[test]
+        fn par_try_map_reports_min_failing_index(
+            len in 1usize..120,
+            jobs in 1usize..9,
+            seed in any::<u64>(),
+        ) {
+            let fail = |i: usize| (i as u64).wrapping_mul(seed | 1).is_multiple_of(7);
+            let items: Vec<usize> = (0..len).collect();
+            let expected = items.iter().position(|&i| fail(i));
+            let r: Result<Vec<usize>, (usize, usize)> =
+                par_try_map(jobs, &items, |i, &v| if fail(i) { Err(i) } else { Ok(v) });
+            match expected {
+                None => prop_assert_eq!(r.unwrap(), items),
+                Some(first) => prop_assert_eq!(r.unwrap_err(), (first, first)),
+            }
+        }
+    }
+}

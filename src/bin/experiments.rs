@@ -8,7 +8,11 @@
 //!   of stdout;
 //! * `--trace <path.jsonl>` — additionally stream structured
 //!   `congest-obs` records (simulator rounds, protocol transcripts,
-//!   solver search counters, per-phase timings) as JSON lines.
+//!   solver search counters, verification sweep counters, per-phase
+//!   timings) as JSON lines;
+//! * `--jobs <N>` — worker threads for the family-verification sweeps
+//!   (default: all available cores; `--jobs 1` runs the historical
+//!   serial verifier and produces a byte-identical report).
 //!
 //! Each section corresponds to an experiment id (E1–E22) from the
 //! DESIGN.md index; the output is the paper-vs-measured record, followed
@@ -36,7 +40,9 @@ use congest_hardness::core::restricted_mds::RestrictedMdsFamily;
 use congest_hardness::core::simulate::generic_exact_attack;
 use congest_hardness::core::steiner::SteinerFamily;
 use congest_hardness::core::steiner_variants::{DirectedSteinerFamily, NodeWeightedSteinerFamily};
-use congest_hardness::core::{all_inputs, sample_inputs, verify_family, LowerBoundFamily};
+use congest_hardness::core::{
+    all_inputs, sample_inputs, verify_family_with, LowerBoundFamily, VerifyOptions,
+};
 use congest_hardness::graph::{generators, metrics};
 use congest_hardness::limits::nogo::corollary_5_3_ceiling;
 use congest_hardness::limits::protocols as lim;
@@ -121,12 +127,15 @@ fn sink_of(trace: &mut Option<TraceSink>) -> Box<dyn Recorder + '_> {
     }
 }
 
-fn report_family<F: LowerBoundFamily>(
+fn report_family<F: LowerBoundFamily + Sync>(
     out: &mut dyn Write,
+    trace: &mut Option<TraceSink>,
     fam: &F,
     inputs: &[(BitString, BitString)],
+    jobs: usize,
 ) {
-    match verify_family(fam, inputs) {
+    let (res, stats) = verify_family_with(fam, inputs, &VerifyOptions::with_jobs(jobs));
+    match res {
         Ok(r) => writeln!(
             out,
             "  {:<55} n = {:4}  K = {:5}  |Ecut| = {:3}  pairs = {:3}  VERIFIED",
@@ -139,28 +148,39 @@ fn report_family<F: LowerBoundFamily>(
         Err(e) => writeln!(out, "  {} VIOLATION: {e}", fam.name()),
     }
     .expect("write output");
+    for rec in stats.to_records("core.verify") {
+        sink_of(trace).record(rec.with("family", fam.name()));
+    }
 }
 
-fn parse_args() -> (Option<String>, Option<String>) {
+fn parse_args() -> (Option<String>, Option<String>, usize) {
     let mut out_path = None;
     let mut trace_path = None;
+    let mut jobs = 0usize; // 0 = all available cores
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--out" => out_path = Some(args.next().expect("--out requires a path")),
             "--trace" => trace_path = Some(args.next().expect("--trace requires a path")),
+            "--jobs" => {
+                jobs = args
+                    .next()
+                    .expect("--jobs requires a worker count")
+                    .parse()
+                    .expect("--jobs requires a number (0 = all cores)");
+            }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: experiments [--out <path>] [--trace <path.jsonl>]");
+                eprintln!("usage: experiments [--out <path>] [--trace <path.jsonl>] [--jobs <N>]");
                 std::process::exit(2);
             }
         }
     }
-    (out_path, trace_path)
+    (out_path, trace_path, jobs)
 }
 
 fn main() {
-    let (out_path, trace_path) = parse_args();
+    let (out_path, trace_path, jobs) = parse_args();
     let mut out: Box<dyn Write> = match &out_path {
         Some(p) => Box::new(BufWriter::new(
             File::create(p).unwrap_or_else(|e| panic!("cannot create {p}: {e}")),
@@ -170,7 +190,7 @@ fn main() {
     let mut trace: Option<TraceSink> = trace_path.as_ref().map(|p| {
         jsonl_file_sink(p).unwrap_or_else(|e| panic!("cannot create trace file {p}: {e}"))
     });
-    run(&mut *out, &mut trace);
+    run(&mut *out, &mut trace, jobs);
     if let Some(sink) = trace {
         let written = sink.written();
         let errors = sink.errors();
@@ -183,7 +203,7 @@ fn main() {
     out.flush().expect("flush output");
 }
 
-fn run(out: &mut dyn Write, trace: &mut Option<TraceSink>) {
+fn run(out: &mut dyn Write, trace: &mut Option<TraceSink>, jobs: usize) {
     let mut rng = StdRng::seed_from_u64(20260706);
     let mut sections = Sections::new();
 
@@ -223,8 +243,14 @@ fn run(out: &mut dyn Write, trace: &mut Option<TraceSink>) {
     }
 
     sections.start(out, "E1", "MDS family (Theorem 2.1, Figure 1)");
-    report_family(out, &MdsFamily::new(2), &all_inputs(4));
-    report_family(out, &MdsFamily::new(4), &sample_inputs(16, 3, &mut rng));
+    report_family(out, trace, &MdsFamily::new(2), &all_inputs(4), jobs);
+    report_family(
+        out,
+        trace,
+        &MdsFamily::new(4),
+        &sample_inputs(16, 3, &mut rng),
+        jobs,
+    );
     writeln!(out, "  Ω(n²/log²n) shape (K = k², |Ecut| = 4·log k):").expect("write output");
     for logk in [4u32, 6, 8, 10] {
         let k = 1usize << logk;
@@ -245,7 +271,7 @@ fn run(out: &mut dyn Write, trace: &mut Option<TraceSink>) {
         "E2/E3/E4",
         "Hamiltonian path/cycle + 2-ECSS (Theorems 2.2-2.5, Figure 2)",
     );
-    report_family(out, &HamPathFamily::new(2), &all_inputs(4));
+    report_family(out, trace, &HamPathFamily::new(2), &all_inputs(4), jobs);
     let fam = HamPathFamily::new(4);
     let (x, y) = hit(4);
     let g = fam.build(&x, &y);
@@ -349,7 +375,7 @@ fn run(out: &mut dyn Write, trace: &mut Option<TraceSink>) {
         let fam = StructuralMaxCutFamily(MaxCutFamily::new(4));
         let mut rng2 = StdRng::seed_from_u64(99);
         let inputs = sample_inputs(16, 4, &mut rng2);
-        report_family(out, &fam, &inputs);
+        report_family(out, trace, &fam, &inputs, jobs);
     }
 
     sections.start(out, "E7", "(1-ε) max-cut in the simulator (Theorem 2.9)");
@@ -390,7 +416,7 @@ fn run(out: &mut dyn Write, trace: &mut Option<TraceSink>) {
     }
 
     sections.start(out, "E8/E9", "bounded-degree chain (Section 3)");
-    report_family(out, &MvcMaxIsFamily::new(2), &all_inputs(4));
+    report_family(out, trace, &MvcMaxIsFamily::new(2), &all_inputs(4), jobs);
     let bd = BoundedDegreeMaxIs::new(2);
     let (x, y) = hit(2);
     let b = bd.build(&x, &y);

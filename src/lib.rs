@@ -50,7 +50,8 @@ pub use congest_solvers as solvers;
 pub mod prelude {
     pub use congest_comm::{BitString, BooleanFunction, Channel, Disjointness, Equality};
     pub use congest_core::{
-        all_inputs, sample_inputs, verify_family, FamilyReport, LowerBoundFamily,
+        all_inputs, sample_inputs, verify_family, verify_family_with, FamilyReport,
+        LowerBoundFamily, VerifyOptions,
     };
     pub use congest_graph::{DiGraph, Graph, NodeId, Weight};
     pub use congest_sim::{CongestAlgorithm, Simulator};

@@ -6,7 +6,9 @@ use congest_hardness::core::hamiltonian::{HamCycleFamily, HamPathFamily};
 use congest_hardness::core::maxcut::MaxCutFamily;
 use congest_hardness::core::mds::MdsFamily;
 use congest_hardness::core::mvc_ckp::MvcMaxIsFamily;
-use congest_hardness::core::{sample_inputs, verify_family, LowerBoundFamily};
+use congest_hardness::core::{
+    sample_inputs, verify_family, verify_family_with, LowerBoundFamily, VerifyOptions,
+};
 use congest_hardness::prelude::BitString;
 use congest_hardness::solvers::hamilton::has_directed_ham_path;
 use rand::rngs::StdRng;
@@ -19,7 +21,8 @@ fn mds_family_k8_sampled() {
     let fam = MdsFamily::new(8);
     let mut rng = StdRng::seed_from_u64(88);
     let inputs = sample_inputs(64, 2, &mut rng);
-    let report = verify_family(&fam, &inputs).expect("Lemma 2.1, k = 8");
+    let (result, _stats) = verify_family_with(&fam, &inputs, &VerifyOptions::parallel());
+    let report = result.expect("Lemma 2.1, k = 8");
     assert_eq!(report.n, 68);
     assert_eq!(report.cut_size(), 12);
 }
@@ -31,7 +34,8 @@ fn mvc_family_k8_sampled() {
     let fam = MvcMaxIsFamily::new(8);
     let mut rng = StdRng::seed_from_u64(89);
     let inputs = sample_inputs(64, 2, &mut rng);
-    let report = verify_family(&fam, &inputs).expect("[10] family, k = 8");
+    let (result, _stats) = verify_family_with(&fam, &inputs, &VerifyOptions::parallel());
+    let report = result.expect("[10] family, k = 8");
     assert_eq!(report.cut_size(), 12);
 }
 
@@ -85,4 +89,36 @@ fn maxcut_family_k2_random_sweep() {
     let inputs = sample_inputs(4, 20, &mut rng);
     let report = verify_family(&fam, &inputs).expect("Lemma 2.4");
     assert_eq!(report.n, 21);
+}
+
+/// `experiments --jobs 1` must reproduce the committed report byte for
+/// byte: the serial engine is the reference semantics, and the report
+/// (unlike timings, which go to stderr) is fully deterministic.
+#[test]
+#[ignore = "full experiments run, minutes; run with --ignored"]
+fn experiments_jobs_1_is_byte_identical_to_committed_report() {
+    let exe = env!("CARGO_BIN_EXE_experiments");
+    let output = std::process::Command::new(exe)
+        .args(["--jobs", "1"])
+        .output()
+        .expect("run experiments binary");
+    assert!(
+        output.status.success(),
+        "experiments exited with {:?}:\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let committed = std::fs::read(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/experiments_output.txt"
+    ))
+    .expect("read committed experiments_output.txt");
+    assert!(
+        output.stdout == committed,
+        "experiments --jobs 1 stdout differs from experiments_output.txt \
+         ({} vs {} bytes); regenerate the committed report if the change \
+         is intentional",
+        output.stdout.len(),
+        committed.len()
+    );
 }
