@@ -7,6 +7,36 @@ pub enum Direction {
     BobToAlice,
 }
 
+/// A typed accounting failure on the Alice–Bob channel.
+///
+/// The counters are `u64`; at realistic protocol sizes they cannot
+/// overflow, but adversarial or fault-injected inputs can push them past
+/// `u64::MAX`. [`Channel::try_send`] reports that instead of wrapping
+/// (or panicking in debug builds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelError {
+    /// Recording `bits` more bits would overflow the directional counter.
+    BitOverflow {
+        /// Direction whose counter would overflow.
+        direction: Direction,
+        /// Size of the offending transmission.
+        bits: u64,
+    },
+}
+
+impl std::fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChannelError::BitOverflow { direction, bits } => write!(
+                f,
+                "channel accounting overflow: {bits} more bits in direction {direction:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ChannelError {}
+
 /// A metered channel between Alice and Bob.
 ///
 /// Protocols in this workspace are simulated in a single process, so the
@@ -41,12 +71,33 @@ impl Channel {
     }
 
     /// Records a transmission of `bits` bits in the given direction.
+    ///
+    /// Saturates at `u64::MAX` if the counter would overflow; use
+    /// [`Channel::try_send`] to detect that instead.
     pub fn send(&mut self, dir: Direction, bits: u64) {
-        match dir {
-            Direction::AliceToBob => self.a2b += bits,
-            Direction::BobToAlice => self.b2a += bits,
+        if self.try_send(dir, bits).is_err() {
+            match dir {
+                Direction::AliceToBob => self.a2b = u64::MAX,
+                Direction::BobToAlice => self.b2a = u64::MAX,
+            }
+            self.messages = self.messages.saturating_add(1);
         }
+    }
+
+    /// Records a transmission of `bits` bits, reporting counter overflow
+    /// as a typed [`ChannelError`] instead of wrapping or saturating.
+    pub fn try_send(&mut self, dir: Direction, bits: u64) -> Result<(), ChannelError> {
+        let counter = match dir {
+            Direction::AliceToBob => &mut self.a2b,
+            Direction::BobToAlice => &mut self.b2a,
+        };
+        let next = counter.checked_add(bits).ok_or(ChannelError::BitOverflow {
+            direction: dir,
+            bits,
+        })?;
+        *counter = next;
         self.messages += 1;
+        Ok(())
     }
 
     /// Records the end of a synchronous communication round (used when
@@ -105,6 +156,39 @@ mod tests {
         assert_eq!(ch.bits(Direction::BobToAlice), 1);
         assert_eq!(ch.messages(), 3);
         assert_eq!(ch.rounds(), 1);
+    }
+
+    #[test]
+    fn try_send_reports_overflow_and_send_saturates() {
+        let mut ch = Channel::new();
+        ch.send(Direction::AliceToBob, u64::MAX - 1);
+        assert_eq!(
+            ch.try_send(Direction::AliceToBob, 2),
+            Err(ChannelError::BitOverflow {
+                direction: Direction::AliceToBob,
+                bits: 2
+            })
+        );
+        // The failed try_send recorded nothing.
+        assert_eq!(ch.messages(), 1);
+        assert_eq!(ch.bits(Direction::AliceToBob), u64::MAX - 1);
+        // The panicking-free convenience path saturates instead.
+        ch.send(Direction::AliceToBob, 2);
+        assert_eq!(ch.bits(Direction::AliceToBob), u64::MAX);
+        assert_eq!(ch.messages(), 2);
+        // The other direction is unaffected.
+        ch.try_send(Direction::BobToAlice, 7).unwrap();
+        assert_eq!(ch.bits(Direction::BobToAlice), 7);
+    }
+
+    #[test]
+    fn channel_error_display() {
+        let e = ChannelError::BitOverflow {
+            direction: Direction::BobToAlice,
+            bits: 9,
+        };
+        assert!(e.to_string().contains("overflow"));
+        assert!(e.to_string().contains('9'));
     }
 
     #[test]

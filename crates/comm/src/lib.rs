@@ -42,6 +42,6 @@ mod function;
 pub mod protocols;
 pub mod trace;
 
-pub use channel::{Channel, Direction};
+pub use channel::{Channel, ChannelError, Direction};
 pub use function::{BitString, BooleanFunction, Complement, Disjointness, Equality};
 pub use trace::TracedChannel;

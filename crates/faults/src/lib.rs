@@ -1,0 +1,53 @@
+//! Deterministic fault injection for the CONGEST simulator.
+//!
+//! The paper's model is fault-free — synchronous rounds, reliable links —
+//! and that remains the default everywhere in this workspace. This crate
+//! is a hardening layer around it: a seeded [`FaultPlan`] plugs into the
+//! simulator's [`congest_sim::LinkLayer`] hook and injects message drops,
+//! single-bit payload corruption, duplication, per-message delivery
+//! delays, scheduled crash-stop failures, and bandwidth throttling —
+//! all *deterministically*: the plan's RNG is rebuilt from its seed at
+//! every run start, so a (seed, algorithm, graph) triple always replays
+//! the identical execution, fault for fault.
+//!
+//! Every injected fault is surfaced twice: counted per kind in
+//! [`congest_sim::SimStats::faults`] and emitted as a structured
+//! `fault` record through the observer hook, so traces show exactly
+//! where an execution was perturbed.
+//!
+//! On top of the plan sits [`run_certified_with_retry`]: algorithms that
+//! implement [`congest_sim::SelfCertify`] re-validate their own output
+//! after a faulty run and are retried under a reseeded plan, turning
+//! silent wrong answers into typed [`CertifiedError`]s.
+//!
+//! # Examples
+//!
+//! ```
+//! use congest_faults::FaultPlan;
+//! use congest_graph::generators;
+//! use congest_sim::algorithms::LeaderElection;
+//! use congest_sim::{NoopRoundObserver, Simulator};
+//!
+//! let g = generators::cycle(8);
+//! let sim = Simulator::new(&g);
+//! let mut plan = FaultPlan::seeded(42);
+//! let mut alg = LeaderElection::new(8);
+//! let stats = sim
+//!     .try_run_with(&mut alg, 1_000, &mut NoopRoundObserver, &mut plan)
+//!     .expect("CONGEST-legal algorithm");
+//! // Deterministic: running again under the same plan replays exactly.
+//! let mut again = LeaderElection::new(8);
+//! let stats2 = sim
+//!     .try_run_with(&mut again, 1_000, &mut NoopRoundObserver, &mut plan)
+//!     .unwrap();
+//! assert_eq!(stats, stats2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod plan;
+mod retry;
+
+pub use plan::{FaultAction, FaultPlan, RoundFilter, TargetedFault};
+pub use retry::{run_certified_with_retry, CertifiedError, CertifiedRun, RetryPolicy};

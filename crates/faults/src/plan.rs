@@ -1,0 +1,394 @@
+//! Deterministic, seeded fault plans.
+//!
+//! A [`FaultPlan`] is a pure function of its configuration and seed: the
+//! internal RNG is rebuilt from the seed at every run start (see
+//! [`LinkLayer::on_run_start`]), so the same plan applied to the same
+//! algorithm on the same graph produces the identical fault schedule,
+//! identical [`congest_sim::SimStats`], and an identical observation
+//! trace. An [`FaultPlan::empty`] plan is behaviourally indistinguishable
+//! from [`congest_sim::PerfectLink`].
+
+use congest_graph::NodeId;
+use congest_sim::{LinkFate, LinkLayer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which rounds a [`TargetedFault`] applies to.
+///
+/// Rounds here are the engine's dispatch rounds: the init burst is round
+/// 0 and the k-th algorithm round dispatches as round k.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoundFilter {
+    /// Every round.
+    Any,
+    /// Exactly the given round.
+    At(u64),
+    /// The given round and every later one.
+    From(u64),
+    /// An inclusive round range.
+    Range(u64, u64),
+}
+
+impl RoundFilter {
+    /// Does `round` satisfy the filter?
+    pub fn matches(&self, round: u64) -> bool {
+        match *self {
+            RoundFilter::Any => true,
+            RoundFilter::At(r) => round == r,
+            RoundFilter::From(r) => round >= r,
+            RoundFilter::Range(lo, hi) => (lo..=hi).contains(&round),
+        }
+    }
+}
+
+/// What a [`TargetedFault`] does to a matching message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Silently discard the message.
+    Drop,
+    /// Flip the given bit of the payload (via
+    /// [`congest_sim::CongestAlgorithm::corrupt`]).
+    CorruptBit(u32),
+    /// Deliver the message twice.
+    Duplicate,
+    /// Deliver the message the given number of rounds late (≥ 1).
+    Delay(u64),
+}
+
+impl FaultAction {
+    fn to_fate(self) -> LinkFate {
+        match self {
+            FaultAction::Drop => LinkFate::Drop,
+            FaultAction::CorruptBit(bit) => LinkFate::Corrupt { bit },
+            FaultAction::Duplicate => LinkFate::Duplicate,
+            FaultAction::Delay(rounds) => LinkFate::Delay { rounds },
+        }
+    }
+}
+
+/// A deterministic fault aimed at specific traffic: rounds matching
+/// `round`, sender matching `from`, recipient matching `to` (`None`
+/// matches everything). Used by tests to plant one precise fault and by
+/// experiments to model adversarial links.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TargetedFault {
+    /// Rounds the fault is armed in.
+    pub round: RoundFilter,
+    /// Required sender, or `None` for any.
+    pub from: Option<NodeId>,
+    /// Required recipient, or `None` for any.
+    pub to: Option<NodeId>,
+    /// What happens to a matching message.
+    pub action: FaultAction,
+}
+
+impl TargetedFault {
+    fn matches(&self, round: u64, from: NodeId, to: NodeId) -> bool {
+        self.round.matches(round)
+            && self.from.is_none_or(|f| f == from)
+            && self.to.is_none_or(|t| t == to)
+    }
+}
+
+/// A seeded, reproducible fault-injection schedule.
+///
+/// Combines probabilistic link faults (drop / corrupt / duplicate /
+/// delay, decided per message by a seeded RNG), scheduled crash-stops,
+/// an optional bandwidth throttle, and deterministic [`TargetedFault`]s.
+/// Decision order per message: targeted faults first (first match wins),
+/// then throttle, then drop, corrupt, duplicate, delay.
+///
+/// # Examples
+///
+/// ```
+/// use congest_faults::FaultPlan;
+///
+/// let plan = FaultPlan::new(42).with_drop_prob(0.01).with_crash(3, 10);
+/// assert!(!plan.is_empty());
+/// assert!(FaultPlan::empty().is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    drop_prob: f64,
+    corrupt_prob: f64,
+    duplicate_prob: f64,
+    delay_prob: f64,
+    max_delay: u64,
+    crashes: Vec<(NodeId, u64)>,
+    throttle: Option<(u64, u64)>,
+    targeted: Vec<TargetedFault>,
+    rng: StdRng,
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and no faults armed; arm faults with
+    /// the `with_*` builders.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            drop_prob: 0.0,
+            corrupt_prob: 0.0,
+            duplicate_prob: 0.0,
+            delay_prob: 0.0,
+            max_delay: 1,
+            crashes: Vec::new(),
+            throttle: None,
+            targeted: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The no-fault plan: behaves exactly like
+    /// [`congest_sim::PerfectLink`].
+    pub fn empty() -> Self {
+        FaultPlan::new(0)
+    }
+
+    /// A randomized mild plan derived entirely from `seed`: small drop /
+    /// corrupt / duplicate / delay probabilities (each below 5%). Crash
+    /// and throttle faults are never armed by this constructor — add
+    /// them explicitly where wanted.
+    pub fn seeded(seed: u64) -> Self {
+        let mut cfg = StdRng::seed_from_u64(seed ^ 0xFAB1_7FAB_17FA_B17F);
+        FaultPlan::new(seed)
+            .with_drop_prob(cfg.gen_range(0.0..0.05))
+            .with_corrupt_prob(cfg.gen_range(0.0..0.03))
+            .with_duplicate_prob(cfg.gen_range(0.0..0.03))
+            .with_delay_prob(cfg.gen_range(0.0..0.05), cfg.gen_range(1..=3))
+    }
+
+    /// Rebuilds the plan around a different seed (same armed faults).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self.rng = StdRng::seed_from_u64(seed);
+        self
+    }
+
+    /// The seed the per-run RNG is rebuilt from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Drops each message with probability `p`.
+    pub fn with_drop_prob(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.drop_prob = p;
+        self
+    }
+
+    /// Flips one random bit of each message with probability `p`.
+    pub fn with_corrupt_prob(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.corrupt_prob = p;
+        self
+    }
+
+    /// Delivers each message twice with probability `p`.
+    pub fn with_duplicate_prob(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.duplicate_prob = p;
+        self
+    }
+
+    /// Delays each message with probability `p` by a uniform
+    /// `1..=max_delay` rounds.
+    pub fn with_delay_prob(mut self, p: f64, max_delay: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        assert!(max_delay >= 1, "a delay of zero rounds is a delivery");
+        self.delay_prob = p;
+        self.max_delay = max_delay;
+        self
+    }
+
+    /// Crash-stops `node` at the start of algorithm round `round`: the
+    /// node takes no further steps and its pending inbox is dropped,
+    /// exactly like a node that halted (the semantics pinned by the sim
+    /// crate's halt tests).
+    pub fn with_crash(mut self, node: NodeId, round: u64) -> Self {
+        self.crashes.push((node, round));
+        self
+    }
+
+    /// From dispatch round `from_round` on, messages wider than
+    /// `max_bits` are discarded (counted as throttle faults). Models a
+    /// link degrading below the CONGEST bandwidth; the model's own
+    /// bandwidth check still applies first.
+    pub fn with_throttle(mut self, max_bits: u64, from_round: u64) -> Self {
+        self.throttle = Some((max_bits, from_round));
+        self
+    }
+
+    /// Adds a deterministic targeted fault (checked before all
+    /// probabilistic faults; first match wins).
+    pub fn with_targeted(mut self, fault: TargetedFault) -> Self {
+        self.targeted.push(fault);
+        self
+    }
+
+    /// Does this plan inject nothing at all?
+    pub fn is_empty(&self) -> bool {
+        self.drop_prob == 0.0
+            && self.corrupt_prob == 0.0
+            && self.duplicate_prob == 0.0
+            && self.delay_prob == 0.0
+            && self.crashes.is_empty()
+            && self.throttle.is_none()
+            && self.targeted.is_empty()
+    }
+}
+
+impl LinkLayer for FaultPlan {
+    fn on_run_start(&mut self, _n: usize) {
+        // Rebuilding the RNG here — not at construction — is what makes
+        // a plan reusable: every run of the same plan value sees the
+        // identical random stream.
+        self.rng = StdRng::seed_from_u64(self.seed);
+    }
+
+    fn fate(&mut self, round: u64, from: NodeId, to: NodeId, bits: u64) -> LinkFate {
+        for t in &self.targeted {
+            if t.matches(round, from, to) {
+                return t.action.to_fate();
+            }
+        }
+        if let Some((max_bits, from_round)) = self.throttle {
+            if round >= from_round && bits > max_bits {
+                return LinkFate::Throttle;
+            }
+        }
+        // Each probability is sampled only when armed, so plans with
+        // disjoint fault sets do not perturb each other's streams.
+        if self.drop_prob > 0.0 && self.rng.gen_bool(self.drop_prob) {
+            return LinkFate::Drop;
+        }
+        if self.corrupt_prob > 0.0 && self.rng.gen_bool(self.corrupt_prob) {
+            return LinkFate::Corrupt {
+                bit: self.rng.gen_range(0..64),
+            };
+        }
+        if self.duplicate_prob > 0.0 && self.rng.gen_bool(self.duplicate_prob) {
+            return LinkFate::Duplicate;
+        }
+        if self.delay_prob > 0.0 && self.rng.gen_bool(self.delay_prob) {
+            return LinkFate::Delay {
+                rounds: self.rng.gen_range(1..=self.max_delay),
+            };
+        }
+        LinkFate::Deliver
+    }
+
+    fn crashes_at(&mut self, round: u64) -> Vec<NodeId> {
+        self.crashes
+            .iter()
+            .filter(|&&(_, r)| r == round)
+            .map(|&(v, _)| v)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_filters() {
+        assert!(RoundFilter::Any.matches(0));
+        assert!(RoundFilter::At(3).matches(3));
+        assert!(!RoundFilter::At(3).matches(4));
+        assert!(RoundFilter::From(2).matches(2));
+        assert!(RoundFilter::From(2).matches(9));
+        assert!(!RoundFilter::From(2).matches(1));
+        assert!(RoundFilter::Range(2, 4).matches(4));
+        assert!(!RoundFilter::Range(2, 4).matches(5));
+    }
+
+    #[test]
+    fn empty_plan_always_delivers() {
+        let mut plan = FaultPlan::empty();
+        assert!(plan.is_empty());
+        plan.on_run_start(8);
+        for round in 0..50 {
+            assert_eq!(plan.fate(round, 0, 1, 10), LinkFate::Deliver);
+            assert!(plan.crashes_at(round).is_empty());
+        }
+    }
+
+    #[test]
+    fn same_seed_same_fates() {
+        let mk = || {
+            FaultPlan::new(99)
+                .with_drop_prob(0.3)
+                .with_corrupt_prob(0.2)
+                .with_delay_prob(0.2, 4)
+        };
+        let (mut a, mut b) = (mk(), mk());
+        a.on_run_start(4);
+        b.on_run_start(4);
+        for round in 0..200 {
+            assert_eq!(a.fate(round, 0, 1, 8), b.fate(round, 0, 1, 8));
+        }
+    }
+
+    #[test]
+    fn rerun_replays_the_same_schedule() {
+        let mut plan = FaultPlan::seeded(7).with_drop_prob(0.5);
+        plan.on_run_start(4);
+        let first: Vec<LinkFate> = (0..100).map(|r| plan.fate(r, 1, 2, 8)).collect();
+        plan.on_run_start(4);
+        let second: Vec<LinkFate> = (0..100).map(|r| plan.fate(r, 1, 2, 8)).collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn targeted_faults_win_over_probabilistic() {
+        let mut plan = FaultPlan::new(1)
+            .with_drop_prob(1.0)
+            .with_targeted(TargetedFault {
+                round: RoundFilter::At(5),
+                from: Some(2),
+                to: None,
+                action: FaultAction::Duplicate,
+            });
+        plan.on_run_start(4);
+        assert_eq!(plan.fate(5, 2, 3, 8), LinkFate::Duplicate);
+        assert_eq!(plan.fate(5, 3, 2, 8), LinkFate::Drop);
+        assert_eq!(plan.fate(4, 2, 3, 8), LinkFate::Drop);
+    }
+
+    #[test]
+    fn throttle_cuts_wide_messages_only() {
+        let mut plan = FaultPlan::new(1).with_throttle(8, 3);
+        plan.on_run_start(4);
+        assert_eq!(plan.fate(2, 0, 1, 100), LinkFate::Deliver);
+        assert_eq!(plan.fate(3, 0, 1, 100), LinkFate::Throttle);
+        assert_eq!(plan.fate(3, 0, 1, 8), LinkFate::Deliver);
+    }
+
+    #[test]
+    fn crash_schedule() {
+        let mut plan = FaultPlan::new(1)
+            .with_crash(2, 4)
+            .with_crash(0, 4)
+            .with_crash(1, 9);
+        assert_eq!(plan.crashes_at(4), vec![2, 0]);
+        assert_eq!(plan.crashes_at(9), vec![1]);
+        assert!(plan.crashes_at(5).is_empty());
+    }
+
+    #[test]
+    fn seeded_plans_differ_across_seeds_but_not_within() {
+        let a = FaultPlan::seeded(1);
+        let b = FaultPlan::seeded(1);
+        let c = FaultPlan::seeded(2);
+        assert_eq!(a.drop_prob, b.drop_prob);
+        assert_eq!(a.max_delay, b.max_delay);
+        // Two u64-seeded draws from disjoint seeds colliding on all four
+        // probabilities would be a broken RNG.
+        let same = a.drop_prob == c.drop_prob
+            && a.corrupt_prob == c.corrupt_prob
+            && a.duplicate_prob == c.duplicate_prob
+            && a.delay_prob == c.delay_prob;
+        assert!(!same);
+    }
+}

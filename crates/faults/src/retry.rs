@@ -1,0 +1,218 @@
+//! Retry-with-reseed for self-certifying protocols.
+//!
+//! A [`congest_sim::SelfCertify`] algorithm can detect that a faulty run
+//! produced wrong output. When the faults are probabilistic, rerunning
+//! under a reseeded plan usually succeeds; [`run_certified_with_retry`]
+//! packages that loop with a bounded [`RetryPolicy`] and typed
+//! [`CertifiedError`]s.
+
+use congest_sim::{ProtocolFailure, SelfCertify, SimError, SimStats, Simulator};
+
+use crate::FaultPlan;
+
+/// How many end-to-end attempts a certified run may take.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (must be ≥ 1).
+    pub max_attempts: u32,
+}
+
+impl RetryPolicy {
+    /// Exactly one attempt: certify, never retry.
+    pub fn no_retry() -> Self {
+        RetryPolicy { max_attempts: 1 }
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 3 }
+    }
+}
+
+/// Why a certified run did not produce certified output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CertifiedError {
+    /// The run violated the CONGEST model itself. Model violations are
+    /// algorithm bugs, not transient faults, so they are never retried.
+    Sim(SimError),
+    /// Every attempt ran to completion but none certified.
+    Exhausted {
+        /// Attempts made.
+        attempts: u32,
+        /// The failure reported by the last attempt.
+        last: ProtocolFailure,
+    },
+}
+
+impl std::fmt::Display for CertifiedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CertifiedError::Sim(e) => write!(f, "{e}"),
+            CertifiedError::Exhausted { attempts, last } => {
+                write!(
+                    f,
+                    "no certified run after {attempts} attempts; last: {last}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CertifiedError {}
+
+impl From<SimError> for CertifiedError {
+    fn from(e: SimError) -> Self {
+        CertifiedError::Sim(e)
+    }
+}
+
+/// The product of a successful certified run.
+#[derive(Debug)]
+pub struct CertifiedRun<A> {
+    /// The algorithm after its certified run.
+    pub alg: A,
+    /// Stats of the certified run (earlier failed attempts not included).
+    pub stats: SimStats,
+    /// 1-based index of the attempt that certified.
+    pub attempts: u32,
+}
+
+/// Runs `make_alg()` under `plan` until [`SelfCertify::certify`] accepts,
+/// reseeding the plan with `seed + attempt` for each retry (attempt 0
+/// keeps the plan's own seed, so a first-try success is bit-identical to
+/// a plain run under the plan).
+///
+/// The whole procedure is deterministic: same simulator, plan, and
+/// policy ⇒ same sequence of attempts and same result.
+pub fn run_certified_with_retry<A: SelfCertify>(
+    sim: &Simulator<'_>,
+    mut make_alg: impl FnMut() -> A,
+    max_rounds: u64,
+    plan: &FaultPlan,
+    policy: RetryPolicy,
+) -> Result<CertifiedRun<A>, CertifiedError> {
+    assert!(policy.max_attempts >= 1, "at least one attempt");
+    let base_seed = plan.seed();
+    let mut last: Option<ProtocolFailure> = None;
+    for attempt in 0..policy.max_attempts {
+        let mut link = plan
+            .clone()
+            .with_seed(base_seed.wrapping_add(attempt as u64));
+        let mut alg = make_alg();
+        let stats = sim.try_run_with(
+            &mut alg,
+            max_rounds,
+            &mut congest_sim::NoopRoundObserver,
+            &mut link,
+        )?;
+        match alg.certify(sim.graph()) {
+            Ok(()) => {
+                return Ok(CertifiedRun {
+                    alg,
+                    stats,
+                    attempts: attempt + 1,
+                })
+            }
+            Err(failure) => last = Some(failure),
+        }
+    }
+    Err(CertifiedError::Exhausted {
+        attempts: policy.max_attempts,
+        last: last.expect("max_attempts >= 1 ran at least once"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::generators;
+    use congest_sim::algorithms::LeaderElection;
+
+    #[test]
+    fn fault_free_certifies_first_try() {
+        let g = generators::cycle(8);
+        let sim = Simulator::new(&g);
+        let run = run_certified_with_retry(
+            &sim,
+            || LeaderElection::new(8),
+            1_000,
+            &FaultPlan::empty(),
+            RetryPolicy::default(),
+        )
+        .expect("fault-free run certifies");
+        assert_eq!(run.attempts, 1);
+        assert_eq!(run.alg.leader(3), 0);
+        assert_eq!(run.stats.faults.total(), 0);
+    }
+
+    #[test]
+    fn hopeless_plan_exhausts_with_typed_error() {
+        // Dropping everything leaves every node electing itself.
+        let g = generators::cycle(6);
+        let sim = Simulator::new(&g);
+        let err = run_certified_with_retry(
+            &sim,
+            || LeaderElection::new(6),
+            1_000,
+            &FaultPlan::new(5).with_drop_prob(1.0),
+            RetryPolicy { max_attempts: 2 },
+        )
+        .expect_err("nothing can certify under 100% loss");
+        match err {
+            CertifiedError::Exhausted { attempts, .. } => assert_eq!(attempts, 2),
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn model_violations_are_not_retried() {
+        use congest_graph::NodeId;
+        use congest_sim::{CongestAlgorithm, NodeContext, ProtocolFailure, RoundOutcome};
+
+        #[derive(Debug)]
+        struct Loudmouth;
+        impl CongestAlgorithm for Loudmouth {
+            type Msg = u64;
+            type Output = ();
+            fn message_bits(_: &u64) -> u64 {
+                1_000_000
+            }
+            fn init(&mut self, node: NodeId, ctx: &NodeContext<'_>) -> Vec<(NodeId, u64)> {
+                ctx.neighbors(node).iter().map(|&u| (u, 0)).collect()
+            }
+            fn round(
+                &mut self,
+                _: NodeId,
+                _: &NodeContext<'_>,
+                _: usize,
+                _: &[(NodeId, u64)],
+            ) -> (Vec<(NodeId, u64)>, RoundOutcome) {
+                (Vec::new(), RoundOutcome::Halt)
+            }
+            fn output(&self, _: NodeId) -> Option<()> {
+                None
+            }
+        }
+        impl SelfCertify for Loudmouth {
+            fn certify(&self, _: &congest_graph::Graph) -> Result<(), ProtocolFailure> {
+                Ok(())
+            }
+        }
+
+        let g = generators::cycle(4);
+        let sim = Simulator::new(&g);
+        let err = run_certified_with_retry(
+            &sim,
+            || Loudmouth,
+            10,
+            &FaultPlan::empty(),
+            RetryPolicy::default(),
+        )
+        .expect_err("bandwidth violation");
+        assert!(matches!(
+            err,
+            CertifiedError::Sim(SimError::BandwidthExceeded { .. })
+        ));
+    }
+}

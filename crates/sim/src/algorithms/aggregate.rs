@@ -73,6 +73,11 @@ impl AggregateSum {
         self.states[node].total
     }
 
+    /// The per-node input values being aggregated.
+    pub fn values(&self) -> &[Weight] {
+        &self.values
+    }
+
     fn barrier(&self) -> usize {
         self.n + 1
     }
@@ -181,6 +186,16 @@ impl CongestAlgorithm for AggregateSum {
 
     fn output(&self, node: NodeId) -> Option<Weight> {
         self.states[node].total
+    }
+
+    fn corrupt(msg: &AggMsg, bit: u32) -> Option<AggMsg> {
+        match *msg {
+            AggMsg::Depth(d) => Some(AggMsg::Depth(d ^ (1 << (bit % 8)))),
+            // A child notice carries no payload to flip.
+            AggMsg::Child => None,
+            AggMsg::Partial(w) => Some(AggMsg::Partial(w ^ ((1 as Weight) << (bit % 8)))),
+            AggMsg::Total(w) => Some(AggMsg::Total(w ^ ((1 as Weight) << (bit % 8)))),
+        }
     }
 }
 

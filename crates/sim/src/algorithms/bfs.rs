@@ -119,6 +119,16 @@ impl CongestAlgorithm for BfsTree {
     fn output(&self, node: NodeId) -> Option<(Option<NodeId>, usize)> {
         self.depth[node].map(|d| (self.parent[node], d))
     }
+
+    fn corrupt(msg: &BfsMsg, bit: u32) -> Option<BfsMsg> {
+        match *msg {
+            // Flip a low bit of the depth (low bits keep the corrupted
+            // announcement within the model bandwidth).
+            BfsMsg::Depth(d) => Some(BfsMsg::Depth(d ^ (1 << (bit % 8)))),
+            // A child notice carries no payload to flip.
+            BfsMsg::Child => None,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -40,6 +40,11 @@ impl<F: Fn(&Graph) -> bool> GenericExactDecision<F> {
     pub fn verdict(&self, node: NodeId) -> Option<bool> {
         self.verdict[node]
     }
+
+    /// The inner whole-graph learner (e.g. for certification).
+    pub fn learner(&self) -> &LearnGraph {
+        &self.learner
+    }
 }
 
 impl<F: Fn(&Graph) -> bool> CongestAlgorithm for GenericExactDecision<F> {
@@ -81,6 +86,10 @@ impl<F: Fn(&Graph) -> bool> CongestAlgorithm for GenericExactDecision<F> {
 
     fn output(&self, node: NodeId) -> Option<bool> {
         self.verdict[node]
+    }
+
+    fn corrupt(msg: &EdgeMsg, bit: u32) -> Option<EdgeMsg> {
+        LearnGraph::corrupt(msg, bit)
     }
 }
 

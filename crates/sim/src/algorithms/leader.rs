@@ -74,6 +74,11 @@ impl CongestAlgorithm for LeaderElection {
     fn output(&self, node: NodeId) -> Option<NodeId> {
         Some(self.best[node])
     }
+
+    fn corrupt(msg: &NodeId, bit: u32) -> Option<NodeId> {
+        // Flip a low bit of the flooded identifier.
+        Some(*msg ^ (1 << (bit % 8)))
+    }
 }
 
 #[cfg(test)]

@@ -115,6 +115,13 @@ impl CongestAlgorithm for LearnGraph {
     fn output(&self, node: NodeId) -> Option<usize> {
         Some(self.known[node].len())
     }
+
+    fn corrupt(msg: &EdgeMsg, bit: u32) -> Option<EdgeMsg> {
+        // Only the weight is perturbed: corrupted endpoint ids would make
+        // the announcement refer to vertices outside the graph, which the
+        // model's locality checks can't even express.
+        Some((msg.0, msg.1, msg.2 ^ ((1 as Weight) << (bit % 8))))
+    }
 }
 
 #[cfg(test)]

@@ -113,6 +113,16 @@ impl SampledMaxCut {
         self.states[node].cut_value.map(|c| c as f64 / self.p)
     }
 
+    /// The raw sampled optimum `c*_p` known at `node`.
+    pub fn cut_value(&self, node: NodeId) -> Option<Weight> {
+        self.states[node].cut_value
+    }
+
+    /// The sampled edges collected at the root (defined after the run).
+    pub fn sampled_edges(&self) -> &[(NodeId, NodeId, Weight)] {
+        &self.states[0].collected
+    }
+
     fn barrier(&self) -> usize {
         self.n + 1
     }
@@ -296,6 +306,19 @@ impl CongestAlgorithm for SampledMaxCut {
         match (self.states[node].side, self.estimate(node)) {
             (Some(s), Some(e)) => Some((s, e)),
             _ => None,
+        }
+    }
+
+    fn corrupt(msg: &McMsg, bit: u32) -> Option<McMsg> {
+        match *msg {
+            McMsg::Depth(d) => Some(McMsg::Depth(d ^ (1 << (bit % 8)))),
+            // Only the weight of an edge announcement is perturbed:
+            // corrupted endpoint ids would point outside the graph.
+            McMsg::Edge(u, v, w) => Some(McMsg::Edge(u, v, w ^ ((1 as Weight) << (bit % 8)))),
+            McMsg::Assign(v, side) => Some(McMsg::Assign(v, !side)),
+            McMsg::CutValue(c) => Some(McMsg::CutValue(c ^ ((1 as Weight) << (bit % 8)))),
+            // Tag-only messages carry no payload to flip.
+            McMsg::Child | McMsg::UpDone => None,
         }
     }
 }

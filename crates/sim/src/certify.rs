@@ -1,0 +1,456 @@
+//! Self-certification: algorithms re-validate their own output.
+//!
+//! Under fault injection a protocol can terminate cleanly with a silently
+//! wrong answer — a corrupted depth announcement yields a plausible but
+//! bogus BFS tree. [`SelfCertify`] closes that hole: after a run, the host
+//! (which, unlike the nodes, knows the real graph) asks the algorithm to
+//! check its output against ground truth and reports the first
+//! discrepancy as a typed [`ProtocolFailure`]. The fault-free executions
+//! of `crates/sim/src/algorithms` all certify cleanly, so a failure
+//! implies either a fault or a protocol bug — never a false alarm.
+//!
+//! Certification assumes the algorithm's own preconditions (e.g.
+//! [`crate::algorithms::AggregateSum`] requires a connected graph); it
+//! validates outputs, not preconditions.
+
+use std::collections::HashSet;
+
+use congest_graph::{Graph, NodeId, Weight};
+
+use crate::algorithms::{
+    AggregateSum, BfsTree, GenericExactDecision, LeaderElection, LearnGraph, SampledMaxCut,
+};
+use crate::CongestAlgorithm;
+
+/// A certification failure: the protocol's output disagrees with ground
+/// truth. Each variant names the first offending node/edge found (node
+/// ids ascending), so failures are deterministic for a deterministic run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolFailure {
+    /// A node that should have produced output has none.
+    MissingOutput {
+        /// The silent node.
+        node: NodeId,
+    },
+    /// A node produced output it should not have (e.g. an unreachable
+    /// node claims a depth).
+    SpuriousOutput {
+        /// The over-eager node.
+        node: NodeId,
+    },
+    /// A claimed BFS depth differs from the true graph distance.
+    DepthMismatch {
+        /// The mistaken node.
+        node: NodeId,
+        /// The depth the node believes.
+        claimed: usize,
+        /// The true BFS distance.
+        actual: usize,
+    },
+    /// A claimed tree parent is not one hop closer to the root, or not a
+    /// neighbor at all.
+    NotATreeEdge {
+        /// The child.
+        node: NodeId,
+        /// The claimed parent.
+        parent: NodeId,
+    },
+    /// A node's claimed parent does not list it as a child.
+    OrphanChild {
+        /// The child.
+        node: NodeId,
+        /// The claimed parent.
+        parent: NodeId,
+    },
+    /// A node elected someone other than its component's minimum id.
+    WrongLeader {
+        /// The mistaken node.
+        node: NodeId,
+        /// Who the node elected.
+        claimed: NodeId,
+        /// The true component minimum.
+        expected: NodeId,
+    },
+    /// An aggregate total differs from the true sum.
+    WrongTotal {
+        /// The mistaken node.
+        node: NodeId,
+        /// The total the node believes.
+        claimed: Weight,
+        /// The true sum.
+        expected: Weight,
+    },
+    /// A learned edge set differs from the real graph.
+    GraphMismatch {
+        /// The mistaken node.
+        node: NodeId,
+        /// Real edges the node never learned.
+        missing: usize,
+        /// Learned "edges" that do not exist (or carry a wrong weight).
+        spurious: usize,
+    },
+    /// Nodes disagree on a value that must be network-wide (e.g. the
+    /// sampled max-cut estimate).
+    EstimateDisagreement {
+        /// The first node disagreeing with node 0's value.
+        node: NodeId,
+    },
+    /// A collected sampled edge does not exist in the real graph (or its
+    /// weight was altered in transit).
+    PhantomEdge {
+        /// Claimed endpoint.
+        u: NodeId,
+        /// Claimed endpoint.
+        v: NodeId,
+    },
+    /// The broadcast cut value does not match the cut the assignment
+    /// actually achieves on the sampled subgraph.
+    CutValueMismatch {
+        /// The broadcast value.
+        claimed: Weight,
+        /// The value the assignment achieves.
+        actual: Weight,
+    },
+}
+
+impl std::fmt::Display for ProtocolFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            ProtocolFailure::MissingOutput { node } => {
+                write!(f, "protocol failure: node {node} produced no output")
+            }
+            ProtocolFailure::SpuriousOutput { node } => {
+                write!(f, "protocol failure: node {node} produced spurious output")
+            }
+            ProtocolFailure::DepthMismatch {
+                node,
+                claimed,
+                actual,
+            } => write!(
+                f,
+                "protocol failure: node {node} claims depth {claimed}, true distance is {actual}"
+            ),
+            ProtocolFailure::NotATreeEdge { node, parent } => write!(
+                f,
+                "protocol failure: node {node}'s claimed parent {parent} is not a valid tree edge"
+            ),
+            ProtocolFailure::OrphanChild { node, parent } => write!(
+                f,
+                "protocol failure: node {node} is not listed as a child of its parent {parent}"
+            ),
+            ProtocolFailure::WrongLeader {
+                node,
+                claimed,
+                expected,
+            } => write!(
+                f,
+                "protocol failure: node {node} elected {claimed}, component minimum is {expected}"
+            ),
+            ProtocolFailure::WrongTotal {
+                node,
+                claimed,
+                expected,
+            } => write!(
+                f,
+                "protocol failure: node {node} holds total {claimed}, true sum is {expected}"
+            ),
+            ProtocolFailure::GraphMismatch {
+                node,
+                missing,
+                spurious,
+            } => write!(
+                f,
+                "protocol failure: node {node} learned a wrong graph \
+                 ({missing} edges missing, {spurious} spurious)"
+            ),
+            ProtocolFailure::EstimateDisagreement { node } => write!(
+                f,
+                "protocol failure: node {node} disagrees with the network-wide estimate"
+            ),
+            ProtocolFailure::PhantomEdge { u, v } => write!(
+                f,
+                "protocol failure: collected edge ({u}, {v}) does not match the real graph"
+            ),
+            ProtocolFailure::CutValueMismatch { claimed, actual } => write!(
+                f,
+                "protocol failure: broadcast cut value {claimed} but the assignment achieves {actual}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolFailure {}
+
+/// An algorithm that can re-validate its own output against the real
+/// graph after a run. `Ok(())` means every node's output is consistent
+/// with ground truth; `Err` reports the first discrepancy.
+pub trait SelfCertify: CongestAlgorithm {
+    /// Checks this instance's post-run outputs against `g`.
+    fn certify(&self, g: &Graph) -> Result<(), ProtocolFailure>;
+}
+
+impl SelfCertify for BfsTree {
+    fn certify(&self, g: &Graph) -> Result<(), ProtocolFailure> {
+        let dist = g.bfs_distances(self.root());
+        for v in 0..g.num_nodes() {
+            match (self.depth(v), dist[v]) {
+                (None, None) => continue,
+                (None, Some(_)) => return Err(ProtocolFailure::MissingOutput { node: v }),
+                (Some(_), None) => return Err(ProtocolFailure::SpuriousOutput { node: v }),
+                (Some(claimed), Some(actual)) => {
+                    if claimed != actual {
+                        return Err(ProtocolFailure::DepthMismatch {
+                            node: v,
+                            claimed,
+                            actual,
+                        });
+                    }
+                }
+            }
+            if v == self.root() {
+                continue;
+            }
+            let p = match self.parent(v) {
+                Some(p) => p,
+                None => return Err(ProtocolFailure::MissingOutput { node: v }),
+            };
+            let parent_ok = g.has_edge(v, p)
+                && self.depth(p).is_some()
+                && self.depth(p) == dist[v].map(|d| d - 1);
+            if !parent_ok {
+                return Err(ProtocolFailure::NotATreeEdge { node: v, parent: p });
+            }
+            if !self.children(p).contains(&v) {
+                return Err(ProtocolFailure::OrphanChild { node: v, parent: p });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl SelfCertify for LeaderElection {
+    fn certify(&self, g: &Graph) -> Result<(), ProtocolFailure> {
+        let (comp, k) = g.connected_components();
+        let mut minimum = vec![NodeId::MAX; k];
+        for v in 0..g.num_nodes() {
+            minimum[comp[v]] = minimum[comp[v]].min(v);
+        }
+        for v in 0..g.num_nodes() {
+            let expected = minimum[comp[v]];
+            let claimed = self.leader(v);
+            if claimed != expected {
+                return Err(ProtocolFailure::WrongLeader {
+                    node: v,
+                    claimed,
+                    expected,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl SelfCertify for AggregateSum {
+    fn certify(&self, g: &Graph) -> Result<(), ProtocolFailure> {
+        let reach = g.bfs_distances(0);
+        let expected: Weight = (0..g.num_nodes())
+            .filter(|&v| reach[v].is_some())
+            .map(|v| self.values()[v])
+            .sum();
+        for v in 0..g.num_nodes() {
+            match (self.total(v), reach[v].is_some()) {
+                (None, false) => {}
+                (Some(_), false) => return Err(ProtocolFailure::SpuriousOutput { node: v }),
+                (None, true) => return Err(ProtocolFailure::MissingOutput { node: v }),
+                (Some(claimed), true) => {
+                    if claimed != expected {
+                        return Err(ProtocolFailure::WrongTotal {
+                            node: v,
+                            claimed,
+                            expected,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl SelfCertify for LearnGraph {
+    fn certify(&self, g: &Graph) -> Result<(), ProtocolFailure> {
+        let (comp, _) = g.connected_components();
+        for v in 0..g.num_nodes() {
+            let expected: HashSet<(NodeId, NodeId, Weight)> = g
+                .edges()
+                .filter(|&(a, _, _)| comp[a] == comp[v])
+                .map(|(a, b, w)| (a.min(b), a.max(b), w))
+                .collect();
+            let known = self.known_edges(v);
+            let missing = expected.difference(known).count();
+            let spurious = known.difference(&expected).count();
+            if missing > 0 || spurious > 0 {
+                return Err(ProtocolFailure::GraphMismatch {
+                    node: v,
+                    missing,
+                    spurious,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<F: Fn(&Graph) -> bool> SelfCertify for GenericExactDecision<F> {
+    fn certify(&self, g: &Graph) -> Result<(), ProtocolFailure> {
+        self.learner().certify(g)?;
+        // Verdicts must agree network-wide (they all decide the same
+        // predicate on the same learned graph).
+        let reference = self.verdict(0);
+        for v in 0..g.num_nodes() {
+            match (self.verdict(v), reference) {
+                (None, _) => return Err(ProtocolFailure::MissingOutput { node: v }),
+                (Some(a), Some(b)) if a != b => {
+                    return Err(ProtocolFailure::EstimateDisagreement { node: v })
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+impl SelfCertify for SampledMaxCut {
+    fn certify(&self, g: &Graph) -> Result<(), ProtocolFailure> {
+        let n = g.num_nodes();
+        let reference = match self.cut_value(0) {
+            Some(c) => c,
+            None => return Err(ProtocolFailure::MissingOutput { node: 0 }),
+        };
+        let mut side = Vec::with_capacity(n);
+        for v in 0..n {
+            match self.side(v) {
+                Some(s) => side.push(s),
+                None => return Err(ProtocolFailure::MissingOutput { node: v }),
+            }
+            match self.cut_value(v) {
+                Some(c) if c == reference => {}
+                Some(_) => return Err(ProtocolFailure::EstimateDisagreement { node: v }),
+                None => return Err(ProtocolFailure::MissingOutput { node: v }),
+            }
+        }
+        // The collected sample must be a genuine subgraph of g.
+        let mut gp = Graph::new(n);
+        for &(u, v, w) in self.sampled_edges() {
+            if u >= n || v >= n || g.edge_weight(u, v) != Some(w) {
+                return Err(ProtocolFailure::PhantomEdge { u, v });
+            }
+            gp.add_weighted_edge(u, v, w);
+        }
+        // The broadcast optimum must be what the assignment achieves on
+        // the sample (the solver's cut is optimal for gp by construction,
+        // so any corruption of Assign or CutValue breaks this equality).
+        let actual = gp.cut_weight(&side);
+        if actual != reference {
+            return Err(ProtocolFailure::CutValueMismatch {
+                claimed: reference,
+                actual,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::LocalCutSolver;
+    use crate::Simulator;
+    use congest_graph::generators;
+    use rand::SeedableRng;
+
+    /// Every fault-free run certifies cleanly: certification has no false
+    /// alarms.
+    #[test]
+    fn fault_free_runs_certify() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let g = generators::connected_gnp(12, 0.3, &mut rng);
+
+        let mut bfs = BfsTree::new(12, 0);
+        Simulator::new(&g).run(&mut bfs, 1000);
+        assert_eq!(bfs.certify(&g), Ok(()));
+
+        let mut leader = LeaderElection::new(12);
+        Simulator::new(&g).run(&mut leader, 1000);
+        assert_eq!(leader.certify(&g), Ok(()));
+
+        let values: Vec<Weight> = (0..12).map(|v| v as Weight + 1).collect();
+        let mut agg = AggregateSum::new(12, values);
+        Simulator::with_bandwidth(&g, 96)
+            .stop_on_quiescence(false)
+            .run(&mut agg, 100_000);
+        assert_eq!(agg.certify(&g), Ok(()));
+
+        let mut learn = LearnGraph::new(12);
+        Simulator::with_bandwidth(&g, 64).run(&mut learn, 100_000);
+        assert_eq!(learn.certify(&g), Ok(()));
+
+        let mut mc = SampledMaxCut::new(12, 1.0, LocalCutSolver::Exact, 7);
+        Simulator::with_bandwidth(&g, 96)
+            .stop_on_quiescence(false)
+            .run(&mut mc, 1_000_000);
+        assert_eq!(mc.certify(&g), Ok(()));
+
+        let m = g.num_edges();
+        let mut dec = GenericExactDecision::new(12, m, |h| h.num_edges() > 0);
+        Simulator::with_bandwidth(&g, 64).run(&mut dec, 100_000);
+        assert_eq!(dec.certify(&g), Ok(()));
+    }
+
+    /// Certification catches hand-planted corruption without a simulator
+    /// in the loop (unit-level sanity; end-to-end injection lives in
+    /// `tests/fault_injection.rs`).
+    #[test]
+    fn certify_rejects_planted_corruption() {
+        let g = generators::path(4);
+
+        // A leader that never heard from node 0.
+        let mut leader = LeaderElection::new(4);
+        Simulator::new(&g).run(&mut leader, 100);
+        assert_eq!(leader.certify(&g), Ok(()));
+        let fresh = LeaderElection::new(4); // nobody flooded: everyone claims self
+        assert_eq!(
+            fresh.certify(&g),
+            Err(ProtocolFailure::WrongLeader {
+                node: 1,
+                claimed: 1,
+                expected: 0
+            })
+        );
+
+        // An un-run BFS claims nothing despite a reachable graph.
+        let unrun = BfsTree::new(4, 0);
+        assert!(matches!(
+            unrun.certify(&g),
+            Err(ProtocolFailure::MissingOutput { .. })
+        ));
+    }
+
+    #[test]
+    fn failure_displays_are_informative() {
+        let f = ProtocolFailure::DepthMismatch {
+            node: 3,
+            claimed: 5,
+            actual: 2,
+        };
+        assert_eq!(
+            f.to_string(),
+            "protocol failure: node 3 claims depth 5, true distance is 2"
+        );
+        let f = ProtocolFailure::CutValueMismatch {
+            claimed: 9,
+            actual: 7,
+        };
+        assert!(f.to_string().contains("broadcast cut value 9"));
+    }
+}

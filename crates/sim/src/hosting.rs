@@ -20,6 +20,7 @@ use std::collections::HashMap;
 
 use congest_graph::{Graph, NodeId};
 
+use crate::error::HostingError;
 use crate::{CongestAlgorithm, NodeContext, RoundOutcome};
 
 /// The assignment of reduced-graph vertices to host vertices.
@@ -36,14 +37,22 @@ impl HostMapping {
     ///
     /// # Panics
     ///
-    /// Panics if `owner.len() != reduced.num_nodes()`.
+    /// Panics if `owner.len() != reduced.num_nodes()`; see
+    /// [`HostMapping::try_new`] for the fallible variant.
     pub fn new(reduced: Graph, owner: Vec<NodeId>) -> Self {
-        assert_eq!(
-            owner.len(),
-            reduced.num_nodes(),
-            "one owner per reduced vertex"
-        );
-        HostMapping { owner, reduced }
+        Self::try_new(reduced, owner).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`HostMapping::new`]: a mismatched owner vector is
+    /// a typed [`HostingError`] instead of a panic.
+    pub fn try_new(reduced: Graph, owner: Vec<NodeId>) -> Result<Self, HostingError> {
+        if owner.len() != reduced.num_nodes() {
+            return Err(HostingError::OwnerArity {
+                owners: owner.len(),
+                vertices: reduced.num_nodes(),
+            });
+        }
+        Ok(HostMapping { owner, reduced })
     }
 
     /// The Lemma 2.2 mapping: host vertex `v` simulates `3v` (in),
@@ -83,10 +92,24 @@ impl HostMapping {
     /// Checks that the mapping is realizable on the host graph: every
     /// cross-owner reduced edge must map onto a host edge.
     pub fn validate_against(&self, host: &Graph) -> bool {
-        self.reduced.edges().all(|(u, v, _)| {
+        self.try_validate_against(host).is_ok()
+    }
+
+    /// Like [`HostMapping::validate_against`], but reports the first
+    /// unrealizable reduced edge as a typed [`HostingError`].
+    pub fn try_validate_against(&self, host: &Graph) -> Result<(), HostingError> {
+        for (u, v, _) in self.reduced.edges() {
             let (a, b) = (self.owner[u], self.owner[v]);
-            a == b || host.has_edge(a, b)
-        })
+            if a != b && !host.has_edge(a, b) {
+                return Err(HostingError::UnrealizableEdge {
+                    u,
+                    v,
+                    host_u: a,
+                    host_v: b,
+                });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -121,6 +144,7 @@ pub struct HostedAlgorithm<A: CongestAlgorithm> {
     inner_round: usize,
     transport_left: usize,
     inner_halted: Vec<bool>,
+    inner_aborted: bool,
 }
 
 impl<A: CongestAlgorithm> HostedAlgorithm<A> {
@@ -137,6 +161,7 @@ impl<A: CongestAlgorithm> HostedAlgorithm<A> {
             inner_round: 0,
             transport_left: 0,
             inner_halted: vec![false; n_prime],
+            inner_aborted: false,
             mapping,
         }
     }
@@ -174,8 +199,14 @@ impl<A: CongestAlgorithm> HostedAlgorithm<A> {
             }
             let inbox = std::mem::take(&mut self.inboxes[vp]);
             let (out, action) = self.inner.round(vp, &ctx.ctx, self.inner_round, &inbox);
-            if action == RoundOutcome::Halt {
-                self.inner_halted[vp] = true;
+            match action {
+                RoundOutcome::Halt => self.inner_halted[vp] = true,
+                RoundOutcome::Aborted => {
+                    // Propagate: the host run ends after this round too.
+                    self.inner_halted[vp] = true;
+                    self.inner_aborted = true;
+                }
+                RoundOutcome::Continue => {}
             }
             self.route(vp, out);
         }
@@ -219,9 +250,13 @@ impl<A: CongestAlgorithm> CongestAlgorithm for HostedAlgorithm<A> {
         _round: usize,
         inbox: &[(NodeId, Self::Msg)],
     ) -> (Vec<(NodeId, Self::Msg)>, RoundOutcome) {
-        // Deliver transported messages to simulated inboxes.
+        // Deliver transported messages to simulated inboxes. A routing
+        // header pointing outside the reduced graph (possible only under
+        // payload corruption) is discarded rather than indexed blindly.
         for (_, m) in inbox {
-            self.inboxes[m.to].push((m.from, m.inner.clone()));
+            if let Some(inbox) = self.inboxes.get_mut(m.to) {
+                inbox.push((m.from, m.inner.clone()));
+            }
         }
         // On a compute activation (no pure-transport rounds left), every
         // simulated vertex advances one inner round first; the freshly
@@ -263,7 +298,9 @@ impl<A: CongestAlgorithm> CongestAlgorithm for HostedAlgorithm<A> {
             self.outboxes.iter().all(Vec::is_empty) && self.inboxes.iter().all(Vec::is_empty);
         (
             out,
-            if all_halted && quiet {
+            if self.inner_aborted {
+                RoundOutcome::Aborted
+            } else if all_halted && quiet {
                 RoundOutcome::Halt
             } else {
                 RoundOutcome::Continue

@@ -11,7 +11,15 @@
 //! metered, so benches can compare measured costs against the bounds.
 //!
 //! The engine enforces the model: messages may only travel along graph
-//! edges and may not exceed the configured bandwidth; violations panic.
+//! edges and may not exceed the configured bandwidth. The `try_run`
+//! entry points surface violations as typed [`SimError`]s; the classic
+//! `run` entry points panic with the same messages for convenience.
+//!
+//! A pluggable [`LinkLayer`] sits *below* the model checks and can drop,
+//! corrupt, duplicate, delay, or throttle messages and crash-stop nodes —
+//! the hook used by the `congest-faults` crate for deterministic fault
+//! injection. The default [`PerfectLink`] delivers everything verbatim,
+//! reproducing the fault-free model exactly.
 
 #![forbid(unsafe_code)]
 // Index loops over gadget positions are kept explicit: the indices are
@@ -20,12 +28,18 @@
 #![warn(missing_docs)]
 
 pub mod algorithms;
+pub mod certify;
+mod error;
 pub mod hosting;
+mod link;
 mod model;
 pub mod observer;
 
+pub use certify::{ProtocolFailure, SelfCertify};
+pub use error::{HostingError, SimError};
+pub use link::{FaultCounters, FaultEvent, FaultKind, LinkFate, LinkLayer, PerfectLink};
 pub use model::{
-    default_bandwidth, CongestAlgorithm, NodeContext, RoundOutcome, RoundTraffic, SimStats,
-    Simulator,
+    default_bandwidth, CongestAlgorithm, NodeContext, RoundOutcome, RoundTraffic, RunOutcome,
+    SimStats, Simulator,
 };
 pub use observer::{NoopRoundObserver, RoundDelta, RoundObserver, TraceObserver};

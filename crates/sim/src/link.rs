@@ -1,0 +1,281 @@
+//! Link-layer hook: a pluggable message-fate policy below the CONGEST model.
+//!
+//! The simulator dispatches every send through a [`LinkLayer`]. The default
+//! [`PerfectLink`] delivers everything unchanged — that path is bit-for-bit
+//! identical to the historical engine and is what `run`/`run_observed` use.
+//! A non-trivial link (e.g. `congest_faults::FaultPlan`) can drop, corrupt,
+//! duplicate, delay, or throttle individual messages and crash-stop nodes at
+//! chosen rounds.
+//!
+//! Ordering contract: model-violation checks (neighborhood, duplicate send,
+//! bandwidth) run *before* the link layer, and traffic is metered *before*
+//! the fate is applied — a dropped message still cost its sender the bits.
+//! Faults therefore never mask a CONGEST violation and never perturb the
+//! bit accounting of the original sends.
+
+use congest_graph::NodeId;
+use congest_obs::Record;
+
+/// What the link layer decides to do with one in-flight message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkFate {
+    /// Deliver unchanged next round (the fault-free default).
+    Deliver,
+    /// Silently lose the message.
+    Drop,
+    /// Lose the message because a bandwidth throttle is in effect.
+    ///
+    /// Behaviourally identical to [`LinkFate::Drop`] but counted and traced
+    /// separately so throttling shows up as its own fault class.
+    Throttle,
+    /// Flip one bit of the payload before delivery.
+    ///
+    /// The bit index is interpreted by [`crate::CongestAlgorithm::corrupt`];
+    /// if the message type declares itself opaque to corruption (returns
+    /// `None`), the message is lost instead — still counted as a corruption.
+    Corrupt {
+        /// Bit index to flip (algorithm-interpreted, typically `bit % width`).
+        bit: u32,
+    },
+    /// Deliver two copies next round; the extra copy is metered as traffic.
+    Duplicate,
+    /// Deliver after `rounds` extra rounds (0 behaves like `Deliver`).
+    Delay {
+        /// Extra rounds the message sits in the link before delivery.
+        rounds: u64,
+    },
+}
+
+/// The class of an injected fault, for counters and trace records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Message silently lost.
+    Drop,
+    /// Message payload bit-flipped (or lost, if the type is opaque).
+    Corrupt,
+    /// Message delivered twice.
+    Duplicate,
+    /// Message delivery postponed.
+    Delay,
+    /// Node crash-stopped at the start of a round.
+    Crash,
+    /// Message lost to a bandwidth throttle.
+    Throttle,
+}
+
+impl FaultKind {
+    /// Stable lowercase name used in obs records and CLI summaries.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultKind::Drop => "drop",
+            FaultKind::Corrupt => "corrupt",
+            FaultKind::Duplicate => "duplicate",
+            FaultKind::Delay => "delay",
+            FaultKind::Crash => "crash",
+            FaultKind::Throttle => "throttle",
+        }
+    }
+}
+
+/// One injected fault, as reported to [`crate::RoundObserver::on_fault`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Timeline round the fault fired in (0 = init burst, like `RoundTraffic`).
+    pub round: u64,
+    /// The fault class.
+    pub kind: FaultKind,
+    /// The sending node, or the crashed node for [`FaultKind::Crash`].
+    pub from: NodeId,
+    /// The receiving node (`None` for node-level faults).
+    pub to: Option<NodeId>,
+    /// Size in bits of the affected message (0 for node-level faults).
+    pub bits: u64,
+    /// Kind-specific detail: flipped bit index for `Corrupt`, extra rounds
+    /// for `Delay`, scheduled crash round for `Crash`, 0 otherwise.
+    pub detail: u64,
+}
+
+impl FaultEvent {
+    /// Renders this event as a `congest-obs` record
+    /// (`target = "sim"`, `event = "fault"`).
+    pub fn to_record(&self) -> Record {
+        let mut r = Record::new("sim", "fault")
+            .with("round", self.round)
+            .with("kind", self.kind.as_str())
+            .with("from", self.from as u64)
+            .with("bits", self.bits)
+            .with("detail", self.detail);
+        if let Some(to) = self.to {
+            r = r.with("to", to as u64);
+        }
+        r
+    }
+}
+
+/// Per-class totals of injected faults, carried in [`crate::SimStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Messages silently lost.
+    pub drops: u64,
+    /// Messages bit-flipped (or lost as corruption-opaque).
+    pub corruptions: u64,
+    /// Messages delivered twice.
+    pub duplications: u64,
+    /// Messages postponed by at least one round.
+    pub delays: u64,
+    /// Nodes crash-stopped.
+    pub crashes: u64,
+    /// Messages lost to bandwidth throttling.
+    pub throttles: u64,
+}
+
+impl FaultCounters {
+    /// Total number of injected faults across all classes.
+    pub fn total(&self) -> u64 {
+        self.drops
+            + self.corruptions
+            + self.duplications
+            + self.delays
+            + self.crashes
+            + self.throttles
+    }
+
+    /// `(name, count)` pairs in a stable order, for summaries.
+    pub fn entries(&self) -> [(&'static str, u64); 6] {
+        [
+            ("drop", self.drops),
+            ("corrupt", self.corruptions),
+            ("duplicate", self.duplications),
+            ("delay", self.delays),
+            ("crash", self.crashes),
+            ("throttle", self.throttles),
+        ]
+    }
+
+    /// Increments the counter for `kind`.
+    pub fn bump(&mut self, kind: FaultKind) {
+        match kind {
+            FaultKind::Drop => self.drops += 1,
+            FaultKind::Corrupt => self.corruptions += 1,
+            FaultKind::Duplicate => self.duplications += 1,
+            FaultKind::Delay => self.delays += 1,
+            FaultKind::Crash => self.crashes += 1,
+            FaultKind::Throttle => self.throttles += 1,
+        }
+    }
+
+    /// Renders the counters as a `congest-obs` record
+    /// (`event = "fault_counters"`).
+    pub fn to_record(&self, target: &'static str) -> Record {
+        let mut r = Record::new(target, "fault_counters").with("total", self.total());
+        for (name, count) in self.entries() {
+            r = r.with(name, count);
+        }
+        r
+    }
+}
+
+/// A message-fate policy plugged into the simulator below the model checks.
+///
+/// Implementations must be deterministic functions of their own state and
+/// the call arguments: the engine calls `fate` in a fixed order (nodes
+/// ascending, each node's sends in emission order), so a seeded
+/// implementation yields byte-identical runs for identical seeds.
+pub trait LinkLayer {
+    /// Called once before the init burst with the node count; lets seeded
+    /// implementations rebuild their RNG state so one plan value can be
+    /// reused across runs deterministically.
+    fn on_run_start(&mut self, n: usize) {
+        let _ = n;
+    }
+
+    /// Decides the fate of one message crossing the link.
+    ///
+    /// `round` is the timeline round of the dispatch (0 = init burst),
+    /// matching `RoundTraffic::round` and [`FaultEvent::round`].
+    fn fate(&mut self, round: u64, from: NodeId, to: NodeId, bits: u64) -> LinkFate {
+        let _ = (round, from, to, bits);
+        LinkFate::Deliver
+    }
+
+    /// Nodes to crash-stop at the start of algorithm round `round`
+    /// (0-based, i.e. before the `round`-th message-delivery step).
+    ///
+    /// Crash-stopped nodes behave exactly like halted nodes: pending inbound
+    /// messages addressed to them are dropped and they take no further steps.
+    fn crashes_at(&mut self, round: u64) -> Vec<NodeId> {
+        let _ = round;
+        Vec::new()
+    }
+}
+
+impl<L: LinkLayer + ?Sized> LinkLayer for &mut L {
+    fn on_run_start(&mut self, n: usize) {
+        (**self).on_run_start(n);
+    }
+    fn fate(&mut self, round: u64, from: NodeId, to: NodeId, bits: u64) -> LinkFate {
+        (**self).fate(round, from, to, bits)
+    }
+    fn crashes_at(&mut self, round: u64) -> Vec<NodeId> {
+        (**self).crashes_at(round)
+    }
+}
+
+/// The fault-free link: delivers every message unchanged.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PerfectLink;
+
+impl LinkLayer for PerfectLink {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_bump_and_total() {
+        let mut c = FaultCounters::default();
+        for kind in [
+            FaultKind::Drop,
+            FaultKind::Corrupt,
+            FaultKind::Duplicate,
+            FaultKind::Delay,
+            FaultKind::Crash,
+            FaultKind::Throttle,
+            FaultKind::Drop,
+        ] {
+            c.bump(kind);
+        }
+        assert_eq!(c.drops, 2);
+        assert_eq!(c.total(), 7);
+        let names: Vec<&str> = c.entries().iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            ["drop", "corrupt", "duplicate", "delay", "crash", "throttle"]
+        );
+    }
+
+    #[test]
+    fn fault_event_record_has_fields() {
+        let ev = FaultEvent {
+            round: 3,
+            kind: FaultKind::Corrupt,
+            from: 1,
+            to: Some(2),
+            bits: 17,
+            detail: 4,
+        };
+        let r = ev.to_record();
+        assert_eq!(r.u64_field("round"), Some(3));
+        assert_eq!(r.u64_field("to"), Some(2));
+        assert_eq!(r.u64_field("detail"), Some(4));
+        assert!(r.to_json().contains("\"kind\":\"corrupt\""));
+    }
+
+    #[test]
+    fn perfect_link_delivers() {
+        let mut link = PerfectLink;
+        link.on_run_start(8);
+        assert_eq!(link.fate(0, 0, 1, 12), LinkFate::Deliver);
+        assert!(link.crashes_at(5).is_empty());
+    }
+}

@@ -2,6 +2,8 @@ use std::collections::HashMap;
 
 use congest_graph::{Graph, NodeId};
 
+use crate::error::SimError;
+use crate::link::{FaultCounters, FaultEvent, FaultKind, LinkFate, LinkLayer, PerfectLink};
 use crate::observer::{RoundDelta, RoundObserver};
 
 /// The default CONGEST bandwidth: `2·⌈log₂ n⌉ + 16` bits per edge per
@@ -74,9 +76,63 @@ impl<'g> NodeContext<'g> {
 pub enum RoundOutcome {
     /// Keep participating.
     Continue,
-    /// Terminate locally (a halted node neither sends nor is woken again;
-    /// pending inbound messages to halted nodes are dropped).
+    /// Terminate locally. A halted node neither sends nor is woken again,
+    /// and pending inbound messages addressed to it are dropped at the
+    /// delivery step (the sender still paid the bits). Crash-stopped nodes
+    /// (see [`LinkLayer::crashes_at`]) get exactly the same semantics.
     Halt,
+    /// Abort the entire run: the current round completes (messages already
+    /// emitted this round are still dispatched and metered), the observer
+    /// sees the final partial round, and the run ends with
+    /// [`RunOutcome::NodeAborted`] instead of spinning to `max_rounds`.
+    Aborted,
+}
+
+/// Why a run ended (recorded in [`SimStats::outcome`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Every node halted.
+    Halted,
+    /// The network went quiescent with quiescence-stopping enabled.
+    Quiescent,
+    /// The round budget (`max_rounds`) was exhausted first.
+    RoundBudget,
+    /// The bit budget ([`Simulator::with_bit_budget`]) was exceeded and the
+    /// run ended gracefully after the offending round.
+    BitBudget,
+    /// A node returned [`RoundOutcome::Aborted`]; the run ended after that
+    /// round.
+    NodeAborted(
+        /// The aborting node.
+        NodeId,
+    ),
+}
+
+impl RunOutcome {
+    /// Stable lowercase name used in obs records and CLI summaries.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RunOutcome::Halted => "halted",
+            RunOutcome::Quiescent => "quiescent",
+            RunOutcome::RoundBudget => "round_budget",
+            RunOutcome::BitBudget => "bit_budget",
+            RunOutcome::NodeAborted(_) => "node_aborted",
+        }
+    }
+
+    /// True for the outcomes that cut a run short (budget guards and node
+    /// aborts) rather than letting it converge.
+    pub fn aborted(&self) -> bool {
+        matches!(self, RunOutcome::BitBudget | RunOutcome::NodeAborted(_))
+    }
+}
+
+impl Default for RunOutcome {
+    /// `RoundBudget` — the outcome of a run that never got to decide
+    /// anything else (also what `SimStats::default()` carries).
+    fn default() -> Self {
+        RunOutcome::RoundBudget
+    }
 }
 
 /// A distributed algorithm in the CONGEST model.
@@ -111,6 +167,18 @@ pub trait CongestAlgorithm {
 
     /// The node's final output, if it has decided one.
     fn output(&self, node: NodeId) -> Option<Self::Output>;
+
+    /// Applies a single-bit perturbation to a message in transit, for
+    /// fault injection ([`LinkFate::Corrupt`]). `bit` is a free index the
+    /// implementation maps onto its payload (typically `bit % width`).
+    ///
+    /// Returning `None` — the default — declares the message type opaque
+    /// to corruption; the fault layer then loses the message instead
+    /// (still counted as a corruption).
+    fn corrupt(msg: &Self::Msg, bit: u32) -> Option<Self::Msg> {
+        let _ = (msg, bit);
+        None
+    }
 }
 
 /// Traffic totals for one round of a run (an entry of
@@ -127,7 +195,7 @@ pub struct RoundTraffic {
 }
 
 /// Execution statistics with exact bit accounting.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SimStats {
     /// Number of rounds executed (a round = one synchronous delivery).
     pub rounds: u64,
@@ -140,6 +208,11 @@ pub struct SimStats {
     /// Per-round traffic, one entry per executed round plus the round-0
     /// init burst (`round_timeline.len() == rounds + 1` after a run).
     pub round_timeline: Vec<RoundTraffic>,
+    /// Per-class totals of injected faults (all zero on the fault-free
+    /// [`PerfectLink`] path).
+    pub faults: FaultCounters,
+    /// Why the run ended.
+    pub outcome: RunOutcome,
 }
 
 impl SimStats {
@@ -184,12 +257,91 @@ impl SimStats {
     }
 }
 
+/// Mutable run state threaded through the engine: in-flight and delayed
+/// messages, the stats under construction, and the observer/link hooks.
+struct Engine<'o, A: CongestAlgorithm, O, L> {
+    /// `in_flight[v]` = messages to deliver to `v` next round.
+    in_flight: Vec<Vec<(NodeId, A::Msg)>>,
+    /// Delayed messages as `(rounds_remaining, to, from, msg)`; matured
+    /// into `in_flight` after each delivery swap.
+    delayed: Vec<(u64, NodeId, NodeId, A::Msg)>,
+    stats: SimStats,
+    /// Per-round per-edge traffic, collected only when the observer asks
+    /// (one hash insert per message otherwise avoided).
+    round_edges: Option<HashMap<(NodeId, NodeId), u64>>,
+    /// (messages, bits) totals at the end of the previous round.
+    prev: (u64, u64),
+    observer: &'o mut O,
+    link: &'o mut L,
+}
+
+impl<A: CongestAlgorithm, O: RoundObserver, L: LinkLayer> Engine<'_, A, O, L> {
+    /// Accounts one message crossing `(from, to)` in the global stats.
+    fn meter(&mut self, from: NodeId, to: NodeId, bits: u64) {
+        self.stats.messages += 1;
+        self.stats.total_bits += bits;
+        let key = (from.min(to), from.max(to));
+        *self.stats.bits_per_edge.entry(key).or_insert(0) += bits;
+        if let Some(map) = self.round_edges.as_mut() {
+            *map.entry(key).or_insert(0) += bits;
+        }
+    }
+
+    /// Counts an injected fault and reports it to the observer.
+    fn fault(&mut self, ev: FaultEvent) {
+        self.stats.faults.bump(ev.kind);
+        self.observer.on_fault(&ev);
+    }
+
+    /// Closes out one round: appends the timeline entry, hands the
+    /// observer its [`RoundDelta`], and clears the per-round edge map.
+    fn flush_round(&mut self, round: u64) {
+        let messages = self.stats.messages - self.prev.0;
+        let bits = self.stats.total_bits - self.prev.1;
+        self.prev = (self.stats.messages, self.stats.total_bits);
+        self.stats.round_timeline.push(RoundTraffic {
+            round,
+            messages,
+            bits,
+        });
+        self.observer.on_round(&RoundDelta {
+            round,
+            messages,
+            bits,
+            total_bits: self.stats.total_bits,
+            edge_bits: self.round_edges.as_ref(),
+        });
+        if let Some(map) = self.round_edges.as_mut() {
+            map.clear();
+        }
+    }
+
+    /// Advances delayed messages by one round, delivering those that
+    /// matured. Called after the delivery swap, so a message delayed by
+    /// `d` arrives exactly `d` rounds later than it would have.
+    fn mature_delays(&mut self) {
+        if self.delayed.is_empty() {
+            return;
+        }
+        let mut still = Vec::with_capacity(self.delayed.len());
+        for (remaining, to, from, msg) in self.delayed.drain(..) {
+            if remaining <= 1 {
+                self.in_flight[to].push((from, msg));
+            } else {
+                still.push((remaining - 1, to, from, msg));
+            }
+        }
+        self.delayed = still;
+    }
+}
+
 /// The synchronous executor.
 #[derive(Debug)]
 pub struct Simulator<'g> {
     graph: &'g Graph,
     bandwidth: u64,
     stop_on_quiescence: bool,
+    bit_budget: Option<u64>,
 }
 
 impl<'g> Simulator<'g> {
@@ -205,6 +357,7 @@ impl<'g> Simulator<'g> {
             graph,
             bandwidth,
             stop_on_quiescence: true,
+            bit_budget: None,
         }
     }
 
@@ -219,6 +372,24 @@ impl<'g> Simulator<'g> {
         self
     }
 
+    /// Caps the total bits a run may dispatch. When the cap is exceeded
+    /// the run ends gracefully after the offending round with
+    /// [`RunOutcome::BitBudget`] instead of spinning to `max_rounds`.
+    pub fn with_bit_budget(mut self, bits: u64) -> Self {
+        self.bit_budget = Some(bits);
+        self
+    }
+
+    /// The graph this simulator executes over.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// The configured per-edge per-round bandwidth in bits.
+    pub fn bandwidth(&self) -> u64 {
+        self.bandwidth
+    }
+
     /// Runs `alg` until every node halts, the network goes quiescent
     /// (if configured), or `max_rounds` passes.
     ///
@@ -226,7 +397,9 @@ impl<'g> Simulator<'g> {
     ///
     /// Panics if a node sends to a non-neighbor, a message exceeds the
     /// bandwidth, or two messages are sent over the same edge in the same
-    /// direction in one round (all CONGEST-model violations).
+    /// direction in one round (all CONGEST-model violations). Prefer
+    /// [`Simulator::try_run`] for a typed [`SimError`] instead; this
+    /// wrapper panics with exactly the error's display string.
     pub fn run<A: CongestAlgorithm>(&self, alg: &mut A, max_rounds: u64) -> SimStats {
         self.run_observed(alg, max_rounds, &mut crate::observer::NoopRoundObserver)
     }
@@ -236,39 +409,115 @@ impl<'g> Simulator<'g> {
     /// per round (including the round-0 init burst) and the final stats.
     ///
     /// The execution itself is identical to `run` — the hook is additive.
+    ///
+    /// # Panics
+    ///
+    /// Same model violations as [`Simulator::run`].
     pub fn run_observed<A: CongestAlgorithm, O: RoundObserver>(
         &self,
         alg: &mut A,
         max_rounds: u64,
         observer: &mut O,
     ) -> SimStats {
+        match self.try_run_with(alg, max_rounds, observer, &mut PerfectLink) {
+            Ok(stats) => stats,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible twin of [`Simulator::run`]: model violations surface as a
+    /// typed [`SimError`] instead of a panic. Fault-free and unobserved.
+    pub fn try_run<A: CongestAlgorithm>(
+        &self,
+        alg: &mut A,
+        max_rounds: u64,
+    ) -> Result<SimStats, SimError> {
+        self.try_run_with(
+            alg,
+            max_rounds,
+            &mut crate::observer::NoopRoundObserver,
+            &mut PerfectLink,
+        )
+    }
+
+    /// Fallible twin of [`Simulator::run_observed`].
+    pub fn try_run_observed<A: CongestAlgorithm, O: RoundObserver>(
+        &self,
+        alg: &mut A,
+        max_rounds: u64,
+        observer: &mut O,
+    ) -> Result<SimStats, SimError> {
+        self.try_run_with(alg, max_rounds, observer, &mut PerfectLink)
+    }
+
+    /// The full engine: runs `alg` with a [`RoundObserver`] and a
+    /// [`LinkLayer`] deciding the fate of every message. With
+    /// [`PerfectLink`] the execution is bit-for-bit identical to
+    /// [`Simulator::run`] (same `SimStats`, same observer callbacks).
+    ///
+    /// On a model violation the run stops where the violation occurred and
+    /// the error is returned; the observer's `on_done` is *not* called
+    /// (there are no final stats for a rejected run).
+    pub fn try_run_with<A: CongestAlgorithm, O: RoundObserver, L: LinkLayer>(
+        &self,
+        alg: &mut A,
+        max_rounds: u64,
+        observer: &mut O,
+        link: &mut L,
+    ) -> Result<SimStats, SimError> {
         let n = self.graph.num_nodes();
         let ctx = NodeContext {
             graph: self.graph,
             n,
             bandwidth: self.bandwidth,
         };
-        let mut stats = SimStats::default();
         let mut halted = vec![false; n];
-        // Per-round per-edge traffic, collected only when the observer
-        // asks (one hash insert per message otherwise avoided).
-        let mut round_edges: Option<HashMap<(NodeId, NodeId), u64>> =
-            observer.wants_edge_traffic().then(HashMap::new);
-        // (messages, bits) totals at the end of the previous round.
-        let mut prev = (0u64, 0u64);
-        // in_flight[v] = messages to deliver to v next round.
-        let mut in_flight: Vec<Vec<(NodeId, A::Msg)>> = vec![Vec::new(); n];
+        link.on_run_start(n);
+        let round_edges = observer.wants_edge_traffic().then(HashMap::new);
+        let mut eng: Engine<'_, A, O, L> = Engine {
+            in_flight: vec![Vec::new(); n],
+            delayed: Vec::new(),
+            stats: SimStats::default(),
+            round_edges,
+            prev: (0, 0),
+            observer,
+            link,
+        };
+        let mut outcome: Option<RunOutcome> = None;
         for v in 0..n {
             let out = alg.init(v, &ctx);
-            self.dispatch::<A>(v, out, &mut in_flight, &mut stats, round_edges.as_mut());
+            self.dispatch::<A, O, L>(&mut eng, v, out, 0)?;
         }
-        flush_round(observer, &mut stats, &mut round_edges, &mut prev, 0);
+        eng.flush_round(0);
+        if self.budget_exceeded(&eng.stats) {
+            outcome = Some(RunOutcome::BitBudget);
+        }
         let mut round = 0usize;
-        while stats.rounds < max_rounds {
-            if halted.iter().all(|&h| h) {
+        let mut node_abort: Option<NodeId> = None;
+        while outcome.is_none() {
+            if eng.stats.rounds >= max_rounds {
+                outcome = Some(RunOutcome::RoundBudget);
                 break;
             }
-            let was_quiet = in_flight.iter().all(Vec::is_empty);
+            for v in eng.link.crashes_at(round as u64) {
+                if v < n && !halted[v] {
+                    halted[v] = true;
+                    let ev = FaultEvent {
+                        round: eng.stats.rounds + 1,
+                        kind: FaultKind::Crash,
+                        from: v,
+                        to: None,
+                        bits: 0,
+                        detail: round as u64,
+                    };
+                    eng.fault(ev);
+                }
+            }
+            if halted.iter().all(|&h| h) {
+                outcome = Some(RunOutcome::Halted);
+                break;
+            }
+            let was_quiet = eng.in_flight.iter().all(Vec::is_empty) && eng.delayed.is_empty();
             if was_quiet && self.stop_on_quiescence && round > 0 {
                 // One final activation; stop if it produces nothing.
                 let mut any = false;
@@ -278,109 +527,176 @@ impl<'g> Simulator<'g> {
                     }
                     let (out, action) = alg.round(v, &ctx, round, &[]);
                     any |= !out.is_empty();
-                    self.dispatch::<A>(v, out, &mut in_flight, &mut stats, round_edges.as_mut());
-                    if action == RoundOutcome::Halt {
-                        halted[v] = true;
+                    let event_round = eng.stats.rounds + 1;
+                    self.dispatch::<A, O, L>(&mut eng, v, out, event_round)?;
+                    match action {
+                        RoundOutcome::Halt => halted[v] = true,
+                        RoundOutcome::Aborted => {
+                            halted[v] = true;
+                            node_abort.get_or_insert(v);
+                        }
+                        RoundOutcome::Continue => {}
                     }
                 }
-                stats.rounds += 1;
+                eng.stats.rounds += 1;
                 round += 1;
+                let r = eng.stats.rounds;
+                eng.flush_round(r);
+                if let Some(v) = node_abort {
+                    outcome = Some(RunOutcome::NodeAborted(v));
+                } else if self.budget_exceeded(&eng.stats) {
+                    outcome = Some(RunOutcome::BitBudget);
+                } else if !any && eng.in_flight.iter().all(Vec::is_empty) && eng.delayed.is_empty()
                 {
-                    let r = stats.rounds;
-                    flush_round(observer, &mut stats, &mut round_edges, &mut prev, r);
-                }
-                if !any && in_flight.iter().all(Vec::is_empty) {
-                    break;
+                    outcome = Some(RunOutcome::Quiescent);
                 }
                 continue;
             }
             let deliveries: Vec<Vec<(NodeId, A::Msg)>> =
-                std::mem::replace(&mut in_flight, vec![Vec::new(); n]);
+                std::mem::replace(&mut eng.in_flight, vec![Vec::new(); n]);
+            eng.mature_delays();
             for (v, inbox) in deliveries.into_iter().enumerate() {
                 if halted[v] {
+                    // Pending inbound messages to halted (or crash-stopped)
+                    // nodes are dropped; the sender already paid the bits.
                     continue;
                 }
                 let (out, action) = alg.round(v, &ctx, round, &inbox);
-                self.dispatch::<A>(v, out, &mut in_flight, &mut stats, round_edges.as_mut());
-                if action == RoundOutcome::Halt {
-                    halted[v] = true;
+                let event_round = eng.stats.rounds + 1;
+                self.dispatch::<A, O, L>(&mut eng, v, out, event_round)?;
+                match action {
+                    RoundOutcome::Halt => halted[v] = true,
+                    RoundOutcome::Aborted => {
+                        halted[v] = true;
+                        node_abort.get_or_insert(v);
+                    }
+                    RoundOutcome::Continue => {}
                 }
             }
-            stats.rounds += 1;
+            eng.stats.rounds += 1;
             round += 1;
-            {
-                let r = stats.rounds;
-                flush_round(observer, &mut stats, &mut round_edges, &mut prev, r);
+            let r = eng.stats.rounds;
+            eng.flush_round(r);
+            if let Some(v) = node_abort {
+                outcome = Some(RunOutcome::NodeAborted(v));
+            } else if self.budget_exceeded(&eng.stats) {
+                outcome = Some(RunOutcome::BitBudget);
             }
         }
-        observer.on_done(&stats);
-        stats
+        let mut stats = eng.stats;
+        let mut outcome = outcome.unwrap_or(RunOutcome::RoundBudget);
+        // A run that used its whole round budget but ended with every node
+        // halted converged; report it as such.
+        if outcome == RunOutcome::RoundBudget && halted.iter().all(|&h| h) {
+            outcome = RunOutcome::Halted;
+        }
+        stats.outcome = outcome;
+        eng.observer.on_done(&stats);
+        Ok(stats)
     }
 
-    fn dispatch<A: CongestAlgorithm>(
+    fn budget_exceeded(&self, stats: &SimStats) -> bool {
+        self.bit_budget.is_some_and(|b| stats.total_bits > b)
+    }
+
+    /// Validates, meters, and routes one node's outgoing messages through
+    /// the link layer. Model checks run before the link hook and traffic is
+    /// metered before the fate applies: faults never mask a CONGEST
+    /// violation and a lost message still cost its sender the bits.
+    fn dispatch<A: CongestAlgorithm, O: RoundObserver, L: LinkLayer>(
         &self,
+        eng: &mut Engine<'_, A, O, L>,
         from: NodeId,
         out: Vec<(NodeId, A::Msg)>,
-        in_flight: &mut [Vec<(NodeId, A::Msg)>],
-        stats: &mut SimStats,
-        round_edges: Option<&mut HashMap<(NodeId, NodeId), u64>>,
-    ) {
+        round: u64,
+    ) -> Result<(), SimError> {
         let mut used: Vec<NodeId> = Vec::with_capacity(out.len());
-        let mut round_edges = round_edges;
         for (to, msg) in out {
-            assert!(
-                self.graph.has_edge(from, to),
-                "CONGEST violation: {from} sent to non-neighbor {to}"
-            );
-            assert!(
-                !used.contains(&to),
-                "CONGEST violation: {from} sent two messages to {to} in one round"
-            );
+            if !self.graph.has_edge(from, to) {
+                return Err(SimError::NonNeighborSend { from, to, round });
+            }
+            if used.contains(&to) {
+                return Err(SimError::DuplicateSend { from, to, round });
+            }
             used.push(to);
             let bits = A::message_bits(&msg);
-            assert!(
-                bits <= self.bandwidth,
-                "CONGEST violation: message of {bits} bits exceeds bandwidth {}",
-                self.bandwidth
-            );
-            stats.messages += 1;
-            stats.total_bits += bits;
-            let key = (from.min(to), from.max(to));
-            *stats.bits_per_edge.entry(key).or_insert(0) += bits;
-            if let Some(map) = round_edges.as_deref_mut() {
-                *map.entry(key).or_insert(0) += bits;
+            if bits > self.bandwidth {
+                return Err(SimError::BandwidthExceeded {
+                    from,
+                    to,
+                    bits,
+                    bandwidth: self.bandwidth,
+                    round,
+                });
             }
-            in_flight[to].push((from, msg));
+            eng.meter(from, to, bits);
+            match eng.link.fate(round, from, to, bits) {
+                LinkFate::Deliver | LinkFate::Delay { rounds: 0 } => {
+                    eng.in_flight[to].push((from, msg));
+                }
+                LinkFate::Drop => {
+                    eng.fault(FaultEvent {
+                        round,
+                        kind: FaultKind::Drop,
+                        from,
+                        to: Some(to),
+                        bits,
+                        detail: 0,
+                    });
+                }
+                LinkFate::Throttle => {
+                    eng.fault(FaultEvent {
+                        round,
+                        kind: FaultKind::Throttle,
+                        from,
+                        to: Some(to),
+                        bits,
+                        detail: 0,
+                    });
+                }
+                LinkFate::Corrupt { bit } => {
+                    eng.fault(FaultEvent {
+                        round,
+                        kind: FaultKind::Corrupt,
+                        from,
+                        to: Some(to),
+                        bits,
+                        detail: u64::from(bit),
+                    });
+                    // Corruption-opaque message types lose the message
+                    // instead of delivering a forged payload.
+                    if let Some(corrupted) = A::corrupt(&msg, bit) {
+                        eng.in_flight[to].push((from, corrupted));
+                    }
+                }
+                LinkFate::Duplicate => {
+                    eng.fault(FaultEvent {
+                        round,
+                        kind: FaultKind::Duplicate,
+                        from,
+                        to: Some(to),
+                        bits,
+                        detail: 0,
+                    });
+                    // The extra copy is real traffic on the wire.
+                    eng.meter(from, to, bits);
+                    eng.in_flight[to].push((from, msg.clone()));
+                    eng.in_flight[to].push((from, msg));
+                }
+                LinkFate::Delay { rounds } => {
+                    eng.fault(FaultEvent {
+                        round,
+                        kind: FaultKind::Delay,
+                        from,
+                        to: Some(to),
+                        bits,
+                        detail: rounds,
+                    });
+                    eng.delayed.push((rounds, to, from, msg));
+                }
+            }
         }
-    }
-}
-
-/// Closes out one round: appends the timeline entry, hands the observer
-/// its [`RoundDelta`], and clears the per-round edge map.
-fn flush_round<O: RoundObserver>(
-    observer: &mut O,
-    stats: &mut SimStats,
-    round_edges: &mut Option<HashMap<(NodeId, NodeId), u64>>,
-    prev: &mut (u64, u64),
-    round: u64,
-) {
-    let messages = stats.messages - prev.0;
-    let bits = stats.total_bits - prev.1;
-    *prev = (stats.messages, stats.total_bits);
-    stats.round_timeline.push(RoundTraffic {
-        round,
-        messages,
-        bits,
-    });
-    observer.on_round(&RoundDelta {
-        round,
-        messages,
-        bits,
-        total_bits: stats.total_bits,
-        edge_bits: round_edges.as_ref(),
-    });
-    if let Some(map) = round_edges.as_mut() {
-        map.clear();
+        Ok(())
     }
 }
 
@@ -458,6 +774,8 @@ mod tests {
         // Path diameter 9; quiescence detection adds O(1).
         assert!(stats.rounds <= 12, "rounds = {}", stats.rounds);
         assert!(stats.total_bits > 0);
+        assert_eq!(stats.outcome, RunOutcome::Quiescent);
+        assert_eq!(stats.faults, FaultCounters::default());
     }
 
     #[test]
@@ -505,6 +823,27 @@ mod tests {
         let g = congest_graph::generators::path(3); // 0-1-2: (0,2) not an edge
         let sim = Simulator::new(&g);
         sim.run(&mut NonNeighborSender, 10);
+    }
+
+    /// The same violation through the fallible entry point is a typed
+    /// error, not a panic.
+    #[test]
+    fn locality_violation_is_a_typed_error() {
+        let g = congest_graph::generators::path(3);
+        let sim = Simulator::new(&g);
+        let err = sim.try_run(&mut NonNeighborSender, 10).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::NonNeighborSend {
+                from: 0,
+                to: 2,
+                round: 0
+            }
+        );
+        assert_eq!(
+            err.to_string(),
+            "CONGEST violation: 0 sent to non-neighbor 2"
+        );
     }
 
     struct FatSender;
@@ -593,5 +932,229 @@ mod tests {
         let hottest = stats.hottest_edges(2);
         assert_eq!(hottest.len(), 2);
         assert!(hottest[0].1 >= hottest[1].1);
+    }
+
+    /// The fallible engine with the perfect link reproduces `run` exactly,
+    /// including the new fault/outcome fields.
+    #[test]
+    fn try_run_matches_run_on_perfect_link() {
+        let g = congest_graph::generators::cycle(9);
+        let sim = Simulator::new(&g);
+        let baseline = sim.run(&mut MinIdFlood::new(9), 100);
+        let typed = sim.try_run(&mut MinIdFlood::new(9), 100).unwrap();
+        assert_eq!(baseline, typed);
+    }
+
+    /// Node 0 keeps streaming to node 1, which halts immediately: every
+    /// message addressed to node 1 after its halt round is dropped at the
+    /// delivery step (the sender still pays the bits). This pins the
+    /// halted-inbox semantics documented on [`RoundOutcome::Halt`].
+    struct StreamToHalted {
+        delivered_to_1: usize,
+    }
+    impl CongestAlgorithm for StreamToHalted {
+        type Msg = ();
+        type Output = usize;
+        fn message_bits(_: &()) -> u64 {
+            1
+        }
+        fn init(&mut self, node: NodeId, _: &NodeContext<'_>) -> Vec<(NodeId, ())> {
+            if node == 0 {
+                vec![(1, ())]
+            } else {
+                Vec::new()
+            }
+        }
+        fn round(
+            &mut self,
+            node: NodeId,
+            _: &NodeContext<'_>,
+            _: usize,
+            inbox: &[(NodeId, ())],
+        ) -> (Vec<(NodeId, ())>, RoundOutcome) {
+            if node == 0 {
+                (vec![(1, ())], RoundOutcome::Continue)
+            } else {
+                self.delivered_to_1 += inbox.len();
+                (Vec::new(), RoundOutcome::Halt)
+            }
+        }
+        fn output(&self, _: NodeId) -> Option<usize> {
+            Some(self.delivered_to_1)
+        }
+    }
+
+    #[test]
+    fn inbox_of_halted_node_is_dropped() {
+        let g = congest_graph::generators::path(2);
+        let sim = Simulator::new(&g);
+        let mut alg = StreamToHalted { delivered_to_1: 0 };
+        let stats = sim.run(&mut alg, 6);
+        // Node 1 saw exactly the one init message delivered in round 1,
+        // then halted; node 0's five later sends were dropped unseen.
+        assert_eq!(alg.delivered_to_1, 1);
+        assert_eq!(stats.rounds, 6);
+        // Every send is still metered: 1 init + one per loop round.
+        assert_eq!(stats.messages, 1 + stats.rounds);
+        assert_eq!(stats.outcome, RunOutcome::RoundBudget);
+    }
+
+    /// A crash-stopped node gets exactly the halted-node semantics: its
+    /// pending inbox is dropped and it takes no further steps.
+    struct CrashAt {
+        round: u64,
+        node: NodeId,
+        done: bool,
+    }
+    impl LinkLayer for CrashAt {
+        fn on_run_start(&mut self, _: usize) {
+            self.done = false;
+        }
+        fn crashes_at(&mut self, round: u64) -> Vec<NodeId> {
+            if round == self.round && !self.done {
+                self.done = true;
+                vec![self.node]
+            } else {
+                Vec::new()
+            }
+        }
+    }
+
+    struct CountInbox {
+        seen: Vec<usize>,
+    }
+    impl CongestAlgorithm for CountInbox {
+        type Msg = ();
+        type Output = usize;
+        fn message_bits(_: &()) -> u64 {
+            1
+        }
+        fn init(&mut self, node: NodeId, ctx: &NodeContext<'_>) -> Vec<(NodeId, ())> {
+            ctx.neighbors(node).iter().map(|&u| (u, ())).collect()
+        }
+        fn round(
+            &mut self,
+            node: NodeId,
+            ctx: &NodeContext<'_>,
+            _: usize,
+            inbox: &[(NodeId, ())],
+        ) -> (Vec<(NodeId, ())>, RoundOutcome) {
+            self.seen[node] += inbox.len();
+            (
+                ctx.neighbors(node).iter().map(|&u| (u, ())).collect(),
+                RoundOutcome::Continue,
+            )
+        }
+        fn output(&self, node: NodeId) -> Option<usize> {
+            Some(self.seen[node])
+        }
+    }
+
+    #[test]
+    fn crash_stopped_node_drops_pending_inbox_like_halt() {
+        let g = congest_graph::generators::path(3);
+        let sim = Simulator::new(&g);
+        let mut alg = CountInbox { seen: vec![0; 3] };
+        let mut link = CrashAt {
+            round: 2,
+            node: 1,
+            done: false,
+        };
+        let stats = sim
+            .try_run_with(
+                &mut alg,
+                6,
+                &mut crate::observer::NoopRoundObserver,
+                &mut link,
+            )
+            .unwrap();
+        assert_eq!(stats.faults.crashes, 1);
+        // Node 1 ran rounds 0 and 1 (two neighbors each), then crashed at
+        // round 2 with a full inbox that was dropped.
+        assert_eq!(alg.seen[1], 4);
+        // The endpoints keep exchanging with each other? They only border
+        // node 1, so their inboxes stop growing after the crash round too:
+        // messages sent to node 1 vanish, and node 1 sends nothing.
+        let seen_after = alg.seen[0];
+        assert_eq!(seen_after, 3); // rounds 0..=2 delivered, then silence
+        assert_eq!(stats.rounds, 6);
+    }
+
+    /// A node returning `Aborted` ends the run after its round, with the
+    /// timeline still accounting the final partial round.
+    struct AbortAtRound {
+        at: usize,
+    }
+    impl CongestAlgorithm for AbortAtRound {
+        type Msg = ();
+        type Output = ();
+        fn message_bits(_: &()) -> u64 {
+            1
+        }
+        fn init(&mut self, node: NodeId, ctx: &NodeContext<'_>) -> Vec<(NodeId, ())> {
+            ctx.neighbors(node).iter().map(|&u| (u, ())).collect()
+        }
+        fn round(
+            &mut self,
+            node: NodeId,
+            ctx: &NodeContext<'_>,
+            round: usize,
+            _: &[(NodeId, ())],
+        ) -> (Vec<(NodeId, ())>, RoundOutcome) {
+            let out = ctx.neighbors(node).iter().map(|&u| (u, ())).collect();
+            if node == 1 && round == self.at {
+                (out, RoundOutcome::Aborted)
+            } else {
+                (out, RoundOutcome::Continue)
+            }
+        }
+        fn output(&self, _: NodeId) -> Option<()> {
+            None
+        }
+    }
+
+    #[test]
+    fn node_abort_ends_run_gracefully() {
+        let g = congest_graph::generators::cycle(4);
+        let sim = Simulator::new(&g);
+        let mut alg = AbortAtRound { at: 2 };
+        let stats = sim.try_run(&mut alg, 50).unwrap();
+        assert_eq!(stats.outcome, RunOutcome::NodeAborted(1));
+        assert!(stats.outcome.aborted());
+        // Rounds 1, 2, 3 ran (abort at algorithm round index 2 = timeline
+        // round 3), and the timeline covers them all plus the init burst.
+        assert_eq!(stats.rounds, 3);
+        assert_eq!(stats.round_timeline.len(), 4);
+    }
+
+    /// The bit budget ends a chatty run gracefully instead of letting it
+    /// spin to `max_rounds`.
+    #[test]
+    fn bit_budget_aborts_gracefully() {
+        let g = congest_graph::generators::complete(6);
+        let unbounded = Simulator::new(&g);
+        let mut alg = CountInbox { seen: vec![0; 6] };
+        let full = unbounded.run(&mut alg, 20);
+        assert_eq!(full.rounds, 20); // CountInbox never halts
+
+        let sim = Simulator::new(&g).with_bit_budget(full.total_bits / 4);
+        let mut alg = CountInbox { seen: vec![0; 6] };
+        let stats = sim.try_run(&mut alg, 20).unwrap();
+        assert_eq!(stats.outcome, RunOutcome::BitBudget);
+        assert!(stats.outcome.aborted());
+        assert!(stats.rounds < 20, "rounds = {}", stats.rounds);
+        // The budget guard stops after the offending round, so the
+        // overshoot is at most one round's traffic.
+        assert!(stats.total_bits > full.total_bits / 4);
+    }
+
+    #[test]
+    fn run_outcome_names_are_stable() {
+        assert_eq!(RunOutcome::Halted.as_str(), "halted");
+        assert_eq!(RunOutcome::Quiescent.as_str(), "quiescent");
+        assert_eq!(RunOutcome::RoundBudget.as_str(), "round_budget");
+        assert_eq!(RunOutcome::BitBudget.as_str(), "bit_budget");
+        assert_eq!(RunOutcome::NodeAborted(3).as_str(), "node_aborted");
+        assert!(!RunOutcome::Quiescent.aborted());
     }
 }

@@ -12,6 +12,7 @@ use std::collections::{HashMap, HashSet};
 use congest_graph::NodeId;
 use congest_obs::{Record, Recorder};
 
+use crate::link::FaultEvent;
 use crate::SimStats;
 
 /// Traffic emitted during one round of a run.
@@ -62,6 +63,11 @@ pub trait RoundObserver {
     /// Called after every round (including the round-0 init burst).
     fn on_round(&mut self, delta: &RoundDelta<'_>);
 
+    /// Called once per injected fault, at injection time — i.e. before the
+    /// `on_round` of the round the fault fired in. Fault-free runs never
+    /// call this. Defaults to a no-op.
+    fn on_fault(&mut self, _event: &FaultEvent) {}
+
     /// Called once when the run terminates, with the final statistics.
     fn on_done(&mut self, _stats: &SimStats) {}
 }
@@ -81,8 +87,12 @@ impl RoundObserver for NoopRoundObserver {
 /// * one `round` record per round —
 ///   `{round, messages, bits, cum_bits}` plus `cut_bits` when a cut was
 ///   designated;
-/// * at termination, a `summary` record, a `histogram` record over
-///   per-edge totals, and one `hot_edge` record per heaviest edge.
+/// * one `fault` record per injected fault, interleaved before the
+///   `round` record of the round it fired in (fault-free runs emit none);
+/// * at termination, a `summary` record (carrying the run `outcome` and
+///   total `faults`), a `histogram` record over per-edge totals, and one
+///   `hot_edge` record per heaviest edge; runs that saw faults also get a
+///   `fault_counters` record.
 #[derive(Debug)]
 pub struct TraceObserver<R: Recorder> {
     rec: R,
@@ -140,6 +150,10 @@ impl<R: Recorder> RoundObserver for TraceObserver<R> {
         self.rec.record(r);
     }
 
+    fn on_fault(&mut self, event: &FaultEvent) {
+        self.rec.record(event.to_record());
+    }
+
     fn on_done(&mut self, stats: &SimStats) {
         let cut_total: u64 = if self.cut.is_empty() {
             0
@@ -152,8 +166,13 @@ impl<R: Recorder> RoundObserver for TraceObserver<R> {
                 .with("messages", stats.messages)
                 .with("total_bits", stats.total_bits)
                 .with("edges_used", stats.bits_per_edge.len())
-                .with("cut_bits", cut_total),
+                .with("cut_bits", cut_total)
+                .with("outcome", stats.outcome.as_str())
+                .with("faults", stats.faults.total()),
         );
+        if stats.faults.total() > 0 {
+            self.rec.record(stats.faults.to_record("sim"));
+        }
         self.rec
             .record(stats.congestion_histogram().to_record("sim", "edge_bits"));
         for ((u, v), bits) in stats.hottest_edges(self.hot_edges) {
@@ -208,6 +227,110 @@ mod tests {
         assert_eq!(summary.u64_field("total_bits"), Some(stats.total_bits));
         assert!(mem.by_event("histogram").next().is_some());
         assert!(mem.by_event("hot_edge").count() >= 1);
+    }
+
+    /// Node 1 aborts mid-run: the observer still sees the final partial
+    /// round and `on_done`, and the summary carries the abort outcome.
+    struct AbortingFlood;
+    impl crate::CongestAlgorithm for AbortingFlood {
+        type Msg = ();
+        type Output = ();
+        fn message_bits(_: &()) -> u64 {
+            1
+        }
+        fn init(&mut self, node: usize, ctx: &crate::NodeContext<'_>) -> Vec<(usize, ())> {
+            ctx.neighbors(node).iter().map(|&u| (u, ())).collect()
+        }
+        fn round(
+            &mut self,
+            node: usize,
+            ctx: &crate::NodeContext<'_>,
+            round: usize,
+            _: &[(usize, ())],
+        ) -> (Vec<(usize, ())>, crate::RoundOutcome) {
+            let out = ctx.neighbors(node).iter().map(|&u| (u, ())).collect();
+            if node == 1 && round == 2 {
+                (out, crate::RoundOutcome::Aborted)
+            } else {
+                (out, crate::RoundOutcome::Continue)
+            }
+        }
+        fn output(&self, _: usize) -> Option<()> {
+            None
+        }
+    }
+
+    #[test]
+    fn observer_sees_final_partial_round_on_abort() {
+        let g = generators::cycle(5);
+        let sim = Simulator::new(&g);
+        let mut obs = TraceObserver::new(MemoryRecorder::new());
+        let stats = sim
+            .try_run_observed(&mut AbortingFlood, 50, &mut obs)
+            .unwrap();
+        assert_eq!(stats.outcome, crate::RunOutcome::NodeAborted(1));
+        let mem = obs.into_recorder();
+        let rounds: Vec<_> = mem.by_event("round").collect();
+        // The aborting round is still flushed to the observer.
+        assert_eq!(rounds.len() as u64, stats.rounds + 1);
+        assert_eq!(
+            rounds.last().unwrap().u64_field("round"),
+            Some(stats.rounds)
+        );
+        let summary = mem.by_event("summary").next().expect("summary record");
+        assert!(summary.to_json().contains("\"outcome\":\"node_aborted\""));
+    }
+
+    /// Drops every message dispatched from round 2 on.
+    struct DropAllLate;
+    impl crate::LinkLayer for DropAllLate {
+        fn fate(&mut self, round: u64, _from: usize, _to: usize, _bits: u64) -> crate::LinkFate {
+            if round >= 2 {
+                crate::LinkFate::Drop
+            } else {
+                crate::LinkFate::Deliver
+            }
+        }
+    }
+
+    #[test]
+    fn fault_records_interleave_with_round_deltas() {
+        let g = generators::cycle(6);
+        let sim = Simulator::new(&g);
+        let mut alg = LeaderElection::new(6);
+        let mut obs = TraceObserver::new(MemoryRecorder::new());
+        let stats = sim
+            .try_run_with(&mut alg, 100, &mut obs, &mut DropAllLate)
+            .unwrap();
+        assert!(stats.faults.drops > 0);
+        let mem = obs.into_recorder();
+        let faults: Vec<_> = mem.by_event("fault").collect();
+        assert_eq!(faults.len() as u64, stats.faults.drops);
+        // A fault fired in round r is recorded before round r's delta:
+        // walking the stream, each fault's round is exactly one past the
+        // last round record seen (its round is still being accumulated).
+        let mut last_round_flushed: Option<u64> = None;
+        for rec in mem.records() {
+            match &*rec.event {
+                "round" => last_round_flushed = rec.u64_field("round"),
+                "fault" => {
+                    let fr = rec.u64_field("round").unwrap();
+                    assert_eq!(
+                        fr,
+                        last_round_flushed.map_or(0, |r| r + 1),
+                        "fault record out of order"
+                    );
+                }
+                _ => {}
+            }
+        }
+        let summary = mem.by_event("summary").next().expect("summary record");
+        assert_eq!(summary.u64_field("faults"), Some(stats.faults.total()));
+        let counters = mem
+            .by_event("fault_counters")
+            .next()
+            .expect("fault_counters record");
+        assert_eq!(counters.u64_field("drop"), Some(stats.faults.drops));
     }
 
     #[test]

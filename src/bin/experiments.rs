@@ -12,7 +12,12 @@
 //!   timings) as JSON lines;
 //! * `--jobs <N>` — worker threads for the family-verification sweeps
 //!   (default: all available cores; `--jobs 1` runs the historical
-//!   serial verifier and produces a byte-identical report).
+//!   serial verifier and produces a byte-identical report);
+//! * `--faults <seed>` — additionally run one demo protocol under the
+//!   seeded fault plan `FaultPlan::seeded(seed)` and print per-fault-type
+//!   counters after the phase summary. The demo writes to stderr (and the
+//!   trace, when `--trace` is given), so the main report stays
+//!   byte-identical whether or not the flag is present.
 //!
 //! Each section corresponds to an experiment id (E1–E22) from the
 //! DESIGN.md index; the output is the paper-vs-measured record, followed
@@ -153,10 +158,11 @@ fn report_family<F: LowerBoundFamily + Sync>(
     }
 }
 
-fn parse_args() -> (Option<String>, Option<String>, usize) {
+fn parse_args() -> (Option<String>, Option<String>, usize, Option<u64>) {
     let mut out_path = None;
     let mut trace_path = None;
     let mut jobs = 0usize; // 0 = all available cores
+    let mut faults_seed = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -169,18 +175,71 @@ fn parse_args() -> (Option<String>, Option<String>, usize) {
                     .parse()
                     .expect("--jobs requires a number (0 = all cores)");
             }
+            "--faults" => {
+                faults_seed = Some(
+                    args.next()
+                        .expect("--faults requires a seed")
+                        .parse()
+                        .expect("--faults requires a u64 seed"),
+                );
+            }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: experiments [--out <path>] [--trace <path.jsonl>] [--jobs <N>]");
+                eprintln!(
+                    "usage: experiments [--out <path>] [--trace <path.jsonl>] [--jobs <N>] \
+                     [--faults <seed>]"
+                );
                 std::process::exit(2);
             }
         }
     }
-    (out_path, trace_path, jobs)
+    (out_path, trace_path, jobs, faults_seed)
+}
+
+/// The `--faults <seed>` demo: leader election on a ring under the seeded
+/// plan, with per-fault-type counters and a self-certification verdict.
+/// Everything prints to stderr so the main report is unaffected.
+fn run_fault_demo(seed: u64, trace: &mut Option<TraceSink>) {
+    use congest_hardness::faults::{run_certified_with_retry, FaultPlan, RetryPolicy};
+    use congest_hardness::sim::algorithms::LeaderElection;
+
+    let g = generators::cycle(12);
+    let sim = Simulator::new(&g);
+    let plan = FaultPlan::seeded(seed);
+    let mut link = plan.clone();
+    let mut alg = LeaderElection::new(12);
+    let mut obs = TraceObserver::new(sink_of(trace));
+    let stats = sim
+        .try_run_with(&mut alg, 10_000, &mut obs, &mut link)
+        .expect("leader election is CONGEST-legal");
+    eprintln!("\n==== fault injection demo (seed {seed}) ====");
+    eprintln!(
+        "  leader election on cycle(12): {} rounds, {} messages, outcome = {}",
+        stats.rounds,
+        stats.messages,
+        stats.outcome.as_str()
+    );
+    eprintln!("  injected faults ({} total):", stats.faults.total());
+    for (kind, count) in stats.faults.entries() {
+        eprintln!("    {kind:<10} {count:>6}");
+    }
+    match run_certified_with_retry(
+        &sim,
+        || LeaderElection::new(12),
+        10_000,
+        &plan,
+        RetryPolicy::default(),
+    ) {
+        Ok(run) => eprintln!(
+            "  self-certification: output certified after {} attempt(s)",
+            run.attempts
+        ),
+        Err(e) => eprintln!("  self-certification: {e}"),
+    }
 }
 
 fn main() {
-    let (out_path, trace_path, jobs) = parse_args();
+    let (out_path, trace_path, jobs, faults_seed) = parse_args();
     let mut out: Box<dyn Write> = match &out_path {
         Some(p) => Box::new(BufWriter::new(
             File::create(p).unwrap_or_else(|e| panic!("cannot create {p}: {e}")),
@@ -191,6 +250,9 @@ fn main() {
         jsonl_file_sink(p).unwrap_or_else(|e| panic!("cannot create trace file {p}: {e}"))
     });
     run(&mut *out, &mut trace, jobs);
+    if let Some(seed) = faults_seed {
+        run_fault_demo(seed, &mut trace);
+    }
     if let Some(sink) = trace {
         let written = sink.written();
         let errors = sink.errors();

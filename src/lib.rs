@@ -12,8 +12,11 @@
 //! * every lower-bound graph family in the paper ([`core`]), each
 //!   machine-checked against exact solvers ([`solvers`]),
 //! * the coding/combinatorial substrates the gadgets need ([`codes`]),
-//! * and the Section 5 limitation machinery ([`limits`]): limitation
-//!   protocols, nondeterministic certificates, proof labeling schemes.
+//! * the Section 5 limitation machinery ([`limits`]): limitation
+//!   protocols, nondeterministic certificates, proof labeling schemes,
+//! * and an out-of-paper hardening layer ([`faults`]): deterministic
+//!   fault injection plus self-certifying protocol harnesses (the
+//!   paper's model itself is fault-free, and stays the default).
 //!
 //! ## Quickstart
 //!
@@ -40,6 +43,7 @@
 pub use congest_codes as codes;
 pub use congest_comm as comm;
 pub use congest_core as core;
+pub use congest_faults as faults;
 pub use congest_graph as graph;
 pub use congest_limits as limits;
 pub use congest_obs as obs;
@@ -53,6 +57,7 @@ pub mod prelude {
         all_inputs, sample_inputs, verify_family, verify_family_with, FamilyReport,
         LowerBoundFamily, VerifyOptions,
     };
+    pub use congest_faults::{FaultPlan, RetryPolicy};
     pub use congest_graph::{DiGraph, Graph, NodeId, Weight};
-    pub use congest_sim::{CongestAlgorithm, Simulator};
+    pub use congest_sim::{CongestAlgorithm, SelfCertify, SimError, Simulator};
 }
