@@ -1,0 +1,193 @@
+//! Simulator hot-path throughput: `learn_graph` and `maxcut_sampling` on
+//! fixed seeded instances at several `n` — the perf trajectory of the
+//! CONGEST engine itself.
+//!
+//! Besides the printed medians, this bench writes `BENCH_sim_round.json`
+//! at the workspace root (CI uploads it next to `BENCH_verify_family.json`):
+//! per-entry wall time, rounds/sec, bits/sec, messages/sec, and the peak
+//! inbox size any single node saw in one round. Workloads are seeded, so
+//! the executed rounds/messages/bits are deterministic across machines —
+//! only the wall-clock columns vary.
+
+use congest_graph::generators;
+use congest_sim::algorithms::{LearnGraph, LocalCutSolver, SampledMaxCut};
+use congest_sim::{CongestAlgorithm, NodeContext, RoundOutcome, SimStats, Simulator};
+use criterion::black_box;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+const SAMPLES: usize = 7;
+
+/// Transparent wrapper recording the largest inbox any node received in
+/// a single round — the quantity the inbox arenas are sized by.
+struct PeakInbox<A> {
+    inner: A,
+    peak: usize,
+}
+
+impl<A: CongestAlgorithm> PeakInbox<A> {
+    fn new(inner: A) -> Self {
+        PeakInbox { inner, peak: 0 }
+    }
+}
+
+impl<A: CongestAlgorithm> CongestAlgorithm for PeakInbox<A> {
+    type Msg = A::Msg;
+    type Output = A::Output;
+
+    fn message_bits(msg: &A::Msg) -> u64 {
+        A::message_bits(msg)
+    }
+
+    fn init(&mut self, node: usize, ctx: &NodeContext<'_>) -> Vec<(usize, A::Msg)> {
+        self.inner.init(node, ctx)
+    }
+
+    fn round(
+        &mut self,
+        node: usize,
+        ctx: &NodeContext<'_>,
+        round: usize,
+        inbox: &[(usize, A::Msg)],
+    ) -> (Vec<(usize, A::Msg)>, RoundOutcome) {
+        self.peak = self.peak.max(inbox.len());
+        self.inner.round(node, ctx, round, inbox)
+    }
+
+    fn output(&self, node: usize) -> Option<A::Output> {
+        self.inner.output(node)
+    }
+
+    fn corrupt(msg: &A::Msg, bit: u32) -> Option<A::Msg> {
+        A::corrupt(msg, bit)
+    }
+}
+
+struct Entry {
+    alg: &'static str,
+    n: usize,
+    edges: usize,
+    wall: Duration,
+    stats: SimStats,
+    peak_inbox: usize,
+}
+
+/// Median wall time of `SAMPLES` runs, each on a fresh identically-seeded
+/// algorithm instance; the executed work is identical across samples.
+fn measure<A: CongestAlgorithm, F: Fn() -> A>(
+    alg: &'static str,
+    g: &congest_graph::Graph,
+    bandwidth: u64,
+    quiescence: bool,
+    max_rounds: u64,
+    fresh: F,
+) -> Entry {
+    let mut times = Vec::with_capacity(SAMPLES);
+    let mut last: Option<(SimStats, usize)> = None;
+    for _ in 0..SAMPLES {
+        let sim = Simulator::with_bandwidth(g, bandwidth).stop_on_quiescence(quiescence);
+        let mut wrapped = PeakInbox::new(fresh());
+        let start = Instant::now();
+        let stats = sim.run(&mut wrapped, max_rounds);
+        times.push(start.elapsed());
+        black_box(&stats);
+        last = Some((stats, wrapped.peak));
+    }
+    times.sort_unstable();
+    let wall = times[times.len() / 2];
+    let (stats, peak_inbox) = last.expect("SAMPLES > 0");
+    let secs = wall.as_secs_f64().max(1e-9);
+    println!(
+        "sim_round/{alg}/n={n:<4} rounds: {rounds:>6}  bits: {bits:>9}  wall: {wall:>10.3?}  \
+         rounds/s: {rps:>12.0}  bits/s: {bps:>14.0}  peak inbox: {peak_inbox}",
+        n = g.num_nodes(),
+        rounds = stats.rounds,
+        bits = stats.total_bits,
+        rps = stats.rounds as f64 / secs,
+        bps = stats.total_bits as f64 / secs,
+    );
+    Entry {
+        alg,
+        n: g.num_nodes(),
+        edges: g.num_edges(),
+        wall,
+        stats,
+        peak_inbox,
+    }
+}
+
+fn write_json(path: &str, entries: &[Entry]) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "{{")?;
+    writeln!(f, "  \"bench\": \"sim_round\",")?;
+    writeln!(f, "  \"samples_per_point\": {SAMPLES},")?;
+    writeln!(f, "  \"entries\": [")?;
+    for (i, e) in entries.iter().enumerate() {
+        let secs = e.wall.as_secs_f64().max(1e-9);
+        writeln!(f, "    {{")?;
+        writeln!(f, "      \"alg\": \"{}\",", e.alg)?;
+        writeln!(f, "      \"n\": {},", e.n)?;
+        writeln!(f, "      \"edges\": {},", e.edges)?;
+        writeln!(f, "      \"rounds\": {},", e.stats.rounds)?;
+        writeln!(f, "      \"messages\": {},", e.stats.messages)?;
+        writeln!(f, "      \"total_bits\": {},", e.stats.total_bits)?;
+        writeln!(f, "      \"wall_micros\": {},", e.wall.as_micros())?;
+        writeln!(
+            f,
+            "      \"rounds_per_sec\": {:.1},",
+            e.stats.rounds as f64 / secs
+        )?;
+        writeln!(
+            f,
+            "      \"bits_per_sec\": {:.1},",
+            e.stats.total_bits as f64 / secs
+        )?;
+        writeln!(
+            f,
+            "      \"messages_per_sec\": {:.1},",
+            e.stats.messages as f64 / secs
+        )?;
+        writeln!(f, "      \"peak_inbox\": {}", e.peak_inbox)?;
+        writeln!(f, "    }}{}", if i + 1 < entries.len() { "," } else { "" })?;
+    }
+    writeln!(f, "  ]")?;
+    writeln!(f, "}}")?;
+    Ok(())
+}
+
+fn main() {
+    println!("== group: sim_round (simulator hot-path throughput) ==");
+    let mut entries = Vec::new();
+
+    // Whole-graph learning (the O(m + D) generic exact algorithm): the
+    // round count scales with m, so these runs exercise many thousands of
+    // engine rounds on sparse seeded G(n, p) instances.
+    for (i, n) in [32usize, 64, 128, 192].into_iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(1000 + i as u64);
+        let p = 6.0 / (n as f64 - 1.0);
+        let g = generators::connected_gnp(n, p, &mut rng);
+        entries.push(measure("learn_graph", &g, 64, true, 1_000_000, || {
+            LearnGraph::new(n)
+        }));
+    }
+
+    // Theorem 2.9 sampled max-cut (local-search root solver so larger n
+    // stays feasible): n-round BFS barrier + pipelined convergecast.
+    for (i, n) in [32usize, 64, 128].into_iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(2000 + i as u64);
+        let p = 6.0 / (n as f64 - 1.0);
+        let g = generators::connected_gnp(n, p, &mut rng);
+        entries.push(measure("maxcut_sampling", &g, 96, false, 1_000_000, || {
+            SampledMaxCut::new(n, 0.5, LocalCutSolver::LocalSearch, 42)
+        }));
+    }
+    println!();
+
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim_round.json");
+    match write_json(out, &entries) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => eprintln!("cannot write {out}: {e}"),
+    }
+}

@@ -1,0 +1,253 @@
+//! Compressed-sparse-row adjacency with dense edge identifiers — the
+//! flat, cache-friendly view the simulator's hot path runs on.
+//!
+//! A [`Csr`] is an immutable snapshot of a [`Graph`]: adjacency flattened
+//! into one `targets` array indexed by per-node `offsets`, every
+//! undirected edge assigned a dense id in `0..m`, and a sorted copy of
+//! each neighborhood for `O(log deg)` membership/edge-id lookup. The
+//! insertion-order `neighbors` slices are byte-identical to
+//! [`Graph::neighbors`], so code switching between the two views sees the
+//! same neighbor enumeration order.
+//!
+//! The payoff downstream: per-edge counters become `Vec<u64>` indexed by
+//! edge id instead of `HashMap<(NodeId, NodeId), u64>` — no hashing per
+//! message, one flat array per run.
+
+use std::collections::HashMap;
+
+use crate::{Graph, NodeId, Weight};
+
+/// Dense undirected-edge identifier in `0..m`, assigned by
+/// [`Csr::from_graph`] in lexicographic `(min, max)` endpoint order.
+pub type EdgeId = u32;
+
+/// An immutable CSR snapshot of a [`Graph`]. See the module docs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csr {
+    /// `offsets[v]..offsets[v + 1]` indexes `v`'s slices; length `n + 1`.
+    offsets: Vec<usize>,
+    /// Flattened adjacency in the graph's insertion order.
+    targets: Vec<NodeId>,
+    /// Flattened adjacency in ascending neighbor order (binary-searched).
+    sorted_targets: Vec<NodeId>,
+    /// Edge id of each `sorted_targets` entry.
+    sorted_edge_ids: Vec<EdgeId>,
+    /// Per edge id: its endpoints as `(min, max)`.
+    endpoints: Vec<(NodeId, NodeId)>,
+    /// Per edge id: its weight.
+    weights: Vec<Weight>,
+}
+
+impl Csr {
+    /// Builds the CSR snapshot of `graph`. `O(n + m log Δ)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has more than `u32::MAX` edges (edge ids are
+    /// dense `u32`).
+    pub fn from_graph(graph: &Graph) -> Self {
+        let n = graph.num_nodes();
+        let m = graph.num_edges();
+        assert!(
+            u32::try_from(m).is_ok(),
+            "graph has {m} edges; CSR edge ids are u32"
+        );
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        let mut targets = Vec::with_capacity(2 * m);
+        for v in 0..n {
+            targets.extend_from_slice(graph.neighbors(v));
+            offsets.push(targets.len());
+        }
+
+        // Assign edge ids in lexicographic (min, max) order: walk nodes
+        // ascending, counting each sorted neighbor above the node.
+        let mut endpoints = Vec::with_capacity(m);
+        let mut weights = Vec::with_capacity(m);
+        let mut id_of: HashMap<(NodeId, NodeId), EdgeId> = HashMap::with_capacity(m);
+        for u in 0..n {
+            for &v in graph.sorted_neighbors(u) {
+                if u < v {
+                    let id = endpoints.len() as EdgeId;
+                    endpoints.push((u, v));
+                    weights.push(graph.edge_weight(u, v).expect("adjacent edge exists"));
+                    id_of.insert((u, v), id);
+                }
+            }
+        }
+        debug_assert_eq!(endpoints.len(), m);
+
+        let mut sorted_targets = Vec::with_capacity(2 * m);
+        let mut sorted_edge_ids = Vec::with_capacity(2 * m);
+        for u in 0..n {
+            for &v in graph.sorted_neighbors(u) {
+                sorted_targets.push(v);
+                sorted_edge_ids.push(id_of[&(u.min(v), u.max(v))]);
+            }
+        }
+
+        Csr {
+            offsets,
+            targets,
+            sorted_targets,
+            sorted_edge_ids,
+            endpoints,
+            weights,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges (also the exclusive upper bound on
+    /// [`EdgeId`]s).
+    pub fn num_edges(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// The neighbors of `v`, in the source graph's insertion order
+    /// (identical slice content to [`Graph::neighbors`]).
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.targets[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// The degree of `v`.
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// The edge id of `(u, v)`, if the edge exists. `O(log min-deg)`:
+    /// binary search over the sorted neighborhood of the lower-degree
+    /// endpoint. Out-of-range or self queries return `None`.
+    pub fn edge_id(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        let n = self.num_nodes();
+        if u >= n || v >= n || u == v {
+            return None;
+        }
+        let (probe, key) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        let lo = self.offsets[probe];
+        let hi = self.offsets[probe + 1];
+        self.sorted_targets[lo..hi]
+            .binary_search(&key)
+            .ok()
+            .map(|i| self.sorted_edge_ids[lo + i])
+    }
+
+    /// Whether `(u, v)` is an edge.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.edge_id(u, v).is_some()
+    }
+
+    /// The `(min, max)` endpoints of edge `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn endpoints(&self, id: EdgeId) -> (NodeId, NodeId) {
+        self.endpoints[id as usize]
+    }
+
+    /// The weight of edge `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn weight(&self, id: EdgeId) -> Weight {
+        self.weights[id as usize]
+    }
+
+    /// The weight of edge `(u, v)`, if present.
+    pub fn edge_weight(&self, u: NodeId, v: NodeId) -> Option<Weight> {
+        self.edge_id(u, v).map(|id| self.weight(id))
+    }
+
+    /// Iterates `(u, v, w)` with `u < v` in edge-id order — unlike
+    /// [`Graph::edges`], the order is deterministic (lexicographic).
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, Weight)> + '_ {
+        self.endpoints
+            .iter()
+            .zip(&self.weights)
+            .map(|(&(u, v), &w)| (u, v, w))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_graph() -> Graph {
+        // Deliberately out-of-order insertions to exercise the split
+        // between insertion-order and sorted views.
+        let mut g = Graph::new(6);
+        g.add_weighted_edge(4, 1, 7);
+        g.add_edge(0, 5);
+        g.add_edge(0, 1);
+        g.add_weighted_edge(2, 0, -3);
+        g.add_edge(3, 4);
+        g.add_edge(5, 4);
+        g
+    }
+
+    #[test]
+    fn csr_matches_graph_queries() {
+        let g = sample_graph();
+        let csr = Csr::from_graph(&g);
+        assert_eq!(csr.num_nodes(), g.num_nodes());
+        assert_eq!(csr.num_edges(), g.num_edges());
+        for u in 0..g.num_nodes() {
+            assert_eq!(csr.neighbors(u), g.neighbors(u), "node {u}");
+            assert_eq!(csr.degree(u), g.degree(u));
+            for v in 0..g.num_nodes() {
+                assert_eq!(csr.has_edge(u, v), g.has_edge(u, v), "({u}, {v})");
+                assert_eq!(csr.edge_weight(u, v), g.edge_weight(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn edge_ids_are_dense_and_lexicographic() {
+        let g = sample_graph();
+        let csr = Csr::from_graph(&g);
+        let edges: Vec<_> = csr.edges().collect();
+        assert_eq!(edges.len(), g.num_edges());
+        // Edge-id order is lexicographic on (min, max).
+        let keys: Vec<_> = edges.iter().map(|&(u, v, _)| (u, v)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+        // Ids round-trip through endpoints/weight.
+        for (id, &(u, v, w)) in edges.iter().enumerate() {
+            let id = id as EdgeId;
+            assert_eq!(csr.edge_id(u, v), Some(id));
+            assert_eq!(csr.edge_id(v, u), Some(id), "order-insensitive lookup");
+            assert_eq!(csr.endpoints(id), (u, v));
+            assert_eq!(csr.weight(id), w);
+        }
+    }
+
+    #[test]
+    fn degenerate_lookups_are_none() {
+        let csr = Csr::from_graph(&sample_graph());
+        assert_eq!(csr.edge_id(0, 0), None);
+        assert_eq!(csr.edge_id(0, 99), None);
+        assert_eq!(csr.edge_id(99, 0), None);
+        assert!(!csr.has_edge(1, 2));
+    }
+
+    #[test]
+    fn empty_and_isolated_graphs() {
+        let csr = Csr::from_graph(&Graph::new(0));
+        assert_eq!(csr.num_nodes(), 0);
+        assert_eq!(csr.num_edges(), 0);
+        let csr = Csr::from_graph(&Graph::new(4));
+        assert_eq!(csr.num_nodes(), 4);
+        assert_eq!(csr.neighbors(2), &[] as &[NodeId]);
+        assert_eq!(csr.edge_id(0, 1), None);
+    }
+}

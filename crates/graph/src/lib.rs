@@ -4,10 +4,13 @@
 //! weighted graph types that every other crate builds on, together with
 //! generators ([`generators`]) and structural metrics ([`metrics`]).
 //!
-//! Both graph types use dense `usize` node identifiers in `0..n`, adjacency
-//! lists for traversal, and hash sets for `O(1)` edge queries. Edge and node
-//! weights are `i64` (all constructions in the paper use integral weights;
-//! see Section 2.4 of the paper where weights such as `k⁴` appear).
+//! Both graph types use dense `usize` node identifiers in `0..n` and
+//! adjacency lists for traversal; the undirected [`Graph`] additionally
+//! keeps each neighborhood in sorted order so edge queries are hash-free
+//! binary searches, and [`Csr`] offers a flat compressed-sparse-row
+//! snapshot with dense [`EdgeId`]s for hot loops. Edge and node weights
+//! are `i64` (all constructions in the paper use integral weights; see
+//! Section 2.4 of the paper where weights such as `k⁴` appear).
 //!
 //! # Examples
 //!
@@ -25,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod csr;
 mod directed;
 pub mod dot;
 mod error;
@@ -32,6 +36,7 @@ pub mod generators;
 pub mod metrics;
 mod undirected;
 
+pub use csr::{Csr, EdgeId};
 pub use directed::DiGraph;
 pub use error::GraphError;
 pub use undirected::Graph;

@@ -22,6 +22,10 @@ use crate::{GraphError, NodeId, Weight};
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Graph {
     adj: Vec<Vec<NodeId>>,
+    /// `sorted_adj[u]` holds the same neighbor set as `adj[u]`, kept in
+    /// ascending order, so `has_edge` is a binary search instead of a
+    /// hash of the endpoint pair (the simulator checks it per message).
+    sorted_adj: Vec<Vec<NodeId>>,
     weights: HashMap<(NodeId, NodeId), Weight>,
     node_weights: Vec<Weight>,
 }
@@ -31,6 +35,7 @@ impl Graph {
     pub fn new(n: usize) -> Self {
         Graph {
             adj: vec![Vec::new(); n],
+            sorted_adj: vec![Vec::new(); n],
             weights: HashMap::new(),
             node_weights: vec![1; n],
         }
@@ -49,6 +54,7 @@ impl Graph {
     /// Adds a fresh node and returns its id.
     pub fn add_node(&mut self) -> NodeId {
         self.adj.push(Vec::new());
+        self.sorted_adj.push(Vec::new());
         self.node_weights.push(1);
         self.adj.len() - 1
     }
@@ -110,6 +116,10 @@ impl Graph {
         if self.weights.insert(Self::key(u, v), w).is_none() {
             self.adj[u].push(v);
             self.adj[v].push(u);
+            let pos = self.sorted_adj[u].partition_point(|&x| x < v);
+            self.sorted_adj[u].insert(pos, v);
+            let pos = self.sorted_adj[v].partition_point(|&x| x < u);
+            self.sorted_adj[v].insert(pos, u);
         }
         Ok(())
     }
@@ -119,12 +129,34 @@ impl Graph {
         let w = self.weights.remove(&Self::key(u, v))?;
         self.adj[u].retain(|&x| x != v);
         self.adj[v].retain(|&x| x != u);
+        if let Ok(pos) = self.sorted_adj[u].binary_search(&v) {
+            self.sorted_adj[u].remove(pos);
+        }
+        if let Ok(pos) = self.sorted_adj[v].binary_search(&u) {
+            self.sorted_adj[v].remove(pos);
+        }
         Some(w)
     }
 
-    /// Whether the edge `(u, v)` exists.
+    /// Whether the edge `(u, v)` exists: a binary search over the sorted
+    /// adjacency of the lower-degree endpoint, `O(log min-deg)` with no
+    /// hashing — this runs once per message in the simulator's model check.
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
-        self.weights.contains_key(&Self::key(u, v))
+        if u >= self.adj.len() || v >= self.adj.len() || u == v {
+            return false;
+        }
+        let (probe, key) = if self.sorted_adj[u].len() <= self.sorted_adj[v].len() {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.sorted_adj[probe].binary_search(&key).is_ok()
+    }
+
+    /// The neighbors of `u` in ascending id order (a parallel view of
+    /// [`Graph::neighbors`], which preserves insertion order).
+    pub fn sorted_neighbors(&self, u: NodeId) -> &[NodeId] {
+        &self.sorted_adj[u]
     }
 
     /// The weight of edge `(u, v)`, if present.
@@ -457,6 +489,52 @@ mod tests {
         assert_eq!(h.edge_weight(0, 1), Some(9));
         assert_eq!(h.node_weight(1), 42);
         assert_eq!(map, vec![0, 2]);
+    }
+
+    #[test]
+    fn sorted_adjacency_tracks_insertions_and_removals() {
+        let mut g = Graph::new(6);
+        // Insert in deliberately descending order.
+        for v in [5, 3, 1, 4, 2] {
+            g.add_edge(0, v);
+        }
+        assert_eq!(g.neighbors(0), &[5, 3, 1, 4, 2], "insertion order kept");
+        assert_eq!(g.sorted_neighbors(0), &[1, 2, 3, 4, 5]);
+        for v in 1..6 {
+            assert!(g.has_edge(0, v));
+            assert!(g.has_edge(v, 0));
+        }
+        assert!(!g.has_edge(1, 2));
+
+        g.remove_edge(0, 3);
+        assert_eq!(g.sorted_neighbors(0), &[1, 2, 4, 5]);
+        assert!(!g.has_edge(0, 3));
+        assert!(!g.has_edge(3, 0));
+        assert_eq!(g.sorted_neighbors(3), &[] as &[NodeId]);
+
+        // Re-inserting a removed edge restores membership.
+        g.add_weighted_edge(3, 0, 9);
+        assert!(g.has_edge(0, 3));
+        assert_eq!(g.sorted_neighbors(0), &[1, 2, 3, 4, 5]);
+
+        // Duplicate insertion only overwrites the weight.
+        g.add_weighted_edge(0, 3, 11);
+        assert_eq!(g.sorted_neighbors(0), &[1, 2, 3, 4, 5]);
+        assert_eq!(g.edge_weight(0, 3), Some(11));
+    }
+
+    #[test]
+    fn has_edge_handles_degenerate_queries() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1);
+        assert!(!g.has_edge(0, 0), "self-queries are never edges");
+        assert!(!g.has_edge(0, 7), "out-of-range is false, not a panic");
+        assert!(!g.has_edge(7, 0));
+        let fresh = g.add_node();
+        assert!(!g.has_edge(0, fresh));
+        g.add_edge(fresh, 0);
+        assert!(g.has_edge(0, fresh));
+        assert_eq!(g.sorted_neighbors(0), &[1, fresh]);
     }
 
     #[test]

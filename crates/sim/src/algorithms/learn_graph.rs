@@ -8,10 +8,9 @@
 //! (Section 1). Benches run this algorithm on the lower-bound families and
 //! measure the bits it pushes across the Alice–Bob cut.
 
-use std::collections::HashSet;
-
 use congest_graph::{Graph, NodeId, Weight};
 
+use crate::fxhash::FxHashSet;
 use crate::{CongestAlgorithm, NodeContext, RoundOutcome};
 
 /// An edge announcement `(u, v, w)` with `u < v`.
@@ -22,7 +21,7 @@ pub type EdgeMsg = (NodeId, NodeId, Weight);
 #[derive(Debug)]
 pub struct LearnGraph {
     n: usize,
-    known: Vec<HashSet<EdgeMsg>>,
+    known: Vec<FxHashSet<EdgeMsg>>,
     /// Per node, per incident-neighbor index: queue of edges not yet
     /// forwarded on that link.
     queues: Vec<Vec<Vec<EdgeMsg>>>,
@@ -33,13 +32,15 @@ impl LearnGraph {
     pub fn new(n: usize) -> Self {
         LearnGraph {
             n,
-            known: vec![HashSet::new(); n],
+            known: vec![FxHashSet::default(); n],
             queues: vec![Vec::new(); n],
         }
     }
 
-    /// The set of edges `node` has learned.
-    pub fn known_edges(&self, node: NodeId) -> &HashSet<EdgeMsg> {
+    /// The set of edges `node` has learned. Keyed by the deterministic
+    /// [`crate::fxhash::FxHasher`] — one dedup lookup per received message
+    /// is the hottest operation in whole-graph learning.
+    pub fn known_edges(&self, node: NodeId) -> &FxHashSet<EdgeMsg> {
         &self.known[node]
     }
 
@@ -103,8 +104,7 @@ impl CongestAlgorithm for LearnGraph {
             self.learn(node, edge, Some(from), ctx);
         }
         let mut out = Vec::new();
-        let neighbors: Vec<NodeId> = ctx.neighbors(node).to_vec();
-        for (i, &u) in neighbors.iter().enumerate() {
+        for (i, &u) in ctx.neighbors(node).iter().enumerate() {
             if let Some(e) = self.queues[node][i].pop() {
                 out.push((u, e));
             }

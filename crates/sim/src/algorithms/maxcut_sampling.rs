@@ -136,8 +136,7 @@ impl SampledMaxCut {
     fn solve_at_root(&mut self, ctx: &NodeContext<'_>) {
         let root = 0;
         let mut gp = Graph::new(self.n);
-        let edges = self.states[root].collected.clone();
-        for (u, v, w) in edges {
+        for &(u, v, w) in &self.states[root].collected {
             gp.add_weighted_edge(u, v, w);
         }
         let cut = match self.solver {
@@ -277,9 +276,15 @@ impl CongestAlgorithm for SampledMaxCut {
             }
         }
         // Downcast phase: forward one queued message per child per round.
-        let children = self.states[node].children.clone();
+        // Disjoint field borrows of the node state, so no clone of the
+        // child list.
+        let NodeState {
+            children,
+            down_queues,
+            ..
+        } = &mut self.states[node];
         for (i, &c) in children.iter().enumerate() {
-            if let Some(m) = self.states[node].down_queues[i].pop() {
+            if let Some(m) = down_queues[i].pop() {
                 out.push((c, m));
             }
         }

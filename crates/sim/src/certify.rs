@@ -13,8 +13,6 @@
 //! [`crate::algorithms::AggregateSum`] requires a connected graph); it
 //! validates outputs, not preconditions.
 
-use std::collections::HashSet;
-
 use congest_graph::{Graph, NodeId, Weight};
 
 use crate::algorithms::{
@@ -281,7 +279,7 @@ impl SelfCertify for LearnGraph {
     fn certify(&self, g: &Graph) -> Result<(), ProtocolFailure> {
         let (comp, _) = g.connected_components();
         for v in 0..g.num_nodes() {
-            let expected: HashSet<(NodeId, NodeId, Weight)> = g
+            let expected: crate::fxhash::FxHashSet<(NodeId, NodeId, Weight)> = g
                 .edges()
                 .filter(|&(a, _, _)| comp[a] == comp[v])
                 .map(|(a, b, w)| (a.min(b), a.max(b), w))

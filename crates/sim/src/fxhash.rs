@@ -1,0 +1,143 @@
+//! A fast, deterministic, non-cryptographic hasher for hot-path sets.
+//!
+//! `std`'s default `RandomState` is SipHash-1-3: DoS-resistant but ~25 ns
+//! per small key, which dominates profiles of algorithms that dedupe one
+//! tuple per received message (e.g. [`crate::algorithms::LearnGraph`]).
+//! This module provides the Firefox/rustc multiply-rotate hash — one
+//! `rotate + xor + mul` per 8-byte word — for containers whose keys come
+//! from the simulation itself, never from an adversary.
+//!
+//! The hasher is deterministic (no per-process seed). Nothing in the
+//! workspace may depend on container *iteration order* regardless of
+//! hasher — the model's byte-exact trace guarantee rests on emission
+//! order, not set order — so swapping hashers is observationally safe.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier from the FxHash family (a 64-bit odd constant derived from
+/// the golden ratio, chosen for good bit dispersion under multiplication).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The rustc/Firefox `FxHasher`: folds each written word into the state
+/// with a rotate-xor-multiply. Not DoS-resistant; use only on trusted
+/// keys.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashSet` keyed by [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// A `HashMap` keyed by [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(value: &T) -> u64 {
+        FxBuildHasher::default().hash_one(value)
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        let key = (3usize, 7usize, -5i64);
+        assert_eq!(hash_of(&key), hash_of(&key));
+        assert_eq!(hash_of(&"trace"), hash_of(&"trace"));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        let a = hash_of(&(0usize, 1usize, 1i64));
+        let b = hash_of(&(1usize, 0usize, 1i64));
+        let c = hash_of(&(0usize, 1usize, 2i64));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn unaligned_byte_writes_cover_the_tail() {
+        let mut h1 = FxHasher::default();
+        h1.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11]);
+        let mut h2 = FxHasher::default();
+        h2.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 12]);
+        assert_ne!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn set_behaves_like_std_set() {
+        let mut fx: FxHashSet<(usize, usize, i64)> = FxHashSet::default();
+        let mut std_set = std::collections::HashSet::new();
+        for u in 0..20 {
+            for v in 0..20 {
+                let e = (u, v, (u * v) as i64);
+                assert_eq!(fx.insert(e), std_set.insert(e));
+                assert_eq!(fx.insert(e), std_set.insert(e));
+            }
+        }
+        assert_eq!(fx.len(), std_set.len());
+        for e in &std_set {
+            assert!(fx.contains(e));
+        }
+    }
+}

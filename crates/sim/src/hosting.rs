@@ -145,6 +145,36 @@ pub struct HostedAlgorithm<A: CongestAlgorithm> {
     transport_left: usize,
     inner_halted: Vec<bool>,
     inner_aborted: bool,
+    /// Epoch stamps marking host targets already used this transport
+    /// activation (one message per host edge direction per round).
+    transport_seen: Vec<u64>,
+    transport_epoch: u64,
+}
+
+/// Routes one simulated vertex's outgoing messages: intra-owner messages
+/// short-circuit into the target's inbox, cross-owner messages queue on
+/// the owning host vertex for transport. Free function over the split
+/// fields so callers can hold the reduced-graph context (an immutable
+/// borrow of `mapping`) at the same time.
+fn route_msgs<M>(
+    mapping: &HostMapping,
+    inboxes: &mut [Vec<(NodeId, M)>],
+    outboxes: &mut [Vec<HostedMsg<M>>],
+    from: NodeId,
+    out: Vec<(NodeId, M)>,
+) {
+    for (to, msg) in out {
+        let (oa, ob) = (mapping.owner(from), mapping.owner(to));
+        if oa == ob {
+            inboxes[to].push((from, msg));
+        } else {
+            outboxes[oa].push(HostedMsg {
+                from,
+                to,
+                inner: msg,
+            });
+        }
+    }
 }
 
 impl<A: CongestAlgorithm> HostedAlgorithm<A> {
@@ -162,6 +192,8 @@ impl<A: CongestAlgorithm> HostedAlgorithm<A> {
             transport_left: 0,
             inner_halted: vec![false; n_prime],
             inner_aborted: false,
+            transport_seen: vec![0; host_n],
+            transport_epoch: 0,
             mapping,
         }
     }
@@ -175,47 +207,6 @@ impl<A: CongestAlgorithm> HostedAlgorithm<A> {
     pub fn inner_rounds(&self) -> usize {
         self.inner_round
     }
-
-    fn route(&mut self, from: NodeId, out: Vec<(NodeId, A::Msg)>) {
-        for (to, msg) in out {
-            let (oa, ob) = (self.mapping.owner(from), self.mapping.owner(to));
-            if oa == ob {
-                self.inboxes[to].push((from, msg));
-            } else {
-                self.outboxes[oa].push(HostedMsg {
-                    from,
-                    to,
-                    inner: msg,
-                });
-            }
-        }
-    }
-
-    /// Executes one inner round for every reduced vertex owned by `host`.
-    fn compute_for(&mut self, host: NodeId, ctx: &InnerContext<'_>) {
-        for vp in 0..self.mapping.reduced().num_nodes() {
-            if self.mapping.owner(vp) != host || self.inner_halted[vp] {
-                continue;
-            }
-            let inbox = std::mem::take(&mut self.inboxes[vp]);
-            let (out, action) = self.inner.round(vp, &ctx.ctx, self.inner_round, &inbox);
-            match action {
-                RoundOutcome::Halt => self.inner_halted[vp] = true,
-                RoundOutcome::Aborted => {
-                    // Propagate: the host run ends after this round too.
-                    self.inner_halted[vp] = true;
-                    self.inner_aborted = true;
-                }
-                RoundOutcome::Continue => {}
-            }
-            self.route(vp, out);
-        }
-    }
-}
-
-/// Context adapter: the inner algorithm sees the *reduced* topology.
-struct InnerContext<'g> {
-    ctx: NodeContext<'g>,
 }
 
 impl<A: CongestAlgorithm> CongestAlgorithm for HostedAlgorithm<A> {
@@ -230,13 +221,21 @@ impl<A: CongestAlgorithm> CongestAlgorithm for HostedAlgorithm<A> {
 
     fn init(&mut self, node: NodeId, _host_ctx: &NodeContext<'_>) -> Vec<(NodeId, Self::Msg)> {
         // Inner init for the simulated vertices; messages queue for the
-        // first compute+transport activation.
-        let reduced = self.mapping.reduced().clone();
-        let inner_ctx = crate::model::make_context(&reduced);
-        for vp in 0..reduced.num_nodes() {
-            if self.mapping.owner(vp) == node {
-                let out = self.inner.init(vp, &inner_ctx);
-                self.route(vp, out);
+        // first compute+transport activation. Destructuring splits the
+        // borrows — the inner context reads `mapping` while the algorithm
+        // and queues advance mutably — so no clone of the reduced graph.
+        let HostedAlgorithm {
+            inner,
+            mapping,
+            inboxes,
+            outboxes,
+            ..
+        } = self;
+        let inner_ctx = crate::model::make_context(mapping.reduced());
+        for vp in 0..mapping.reduced().num_nodes() {
+            if mapping.owner(vp) == node {
+                let out = inner.init(vp, &inner_ctx);
+                route_msgs(mapping, inboxes, outboxes, vp, out);
             }
         }
         self.transport_left = self.capacity.saturating_sub(1);
@@ -266,11 +265,38 @@ impl<A: CongestAlgorithm> CongestAlgorithm for HostedAlgorithm<A> {
         // simulator's quiescence detection fires only when the inner
         // algorithm is genuinely done.
         if self.transport_left == 0 {
-            let reduced = self.mapping.reduced().clone();
-            let inner_ctx = InnerContext {
-                ctx: crate::model::make_context(&reduced),
-            };
-            self.compute_for(node, &inner_ctx);
+            // One inner round for every reduced vertex owned by `node`.
+            // The split borrow (immutable `mapping`, mutable everything
+            // else) replaces the per-node reduced-graph clone this branch
+            // used to pay.
+            let HostedAlgorithm {
+                inner,
+                mapping,
+                inboxes,
+                outboxes,
+                inner_round,
+                inner_halted,
+                inner_aborted,
+                ..
+            } = self;
+            let inner_ctx = crate::model::make_context(mapping.reduced());
+            for vp in 0..mapping.reduced().num_nodes() {
+                if mapping.owner(vp) != node || inner_halted[vp] {
+                    continue;
+                }
+                let inbox = std::mem::take(&mut inboxes[vp]);
+                let (out, action) = inner.round(vp, &inner_ctx, *inner_round, &inbox);
+                match action {
+                    RoundOutcome::Halt => inner_halted[vp] = true,
+                    RoundOutcome::Aborted => {
+                        // Propagate: the host run ends after this round too.
+                        inner_halted[vp] = true;
+                        *inner_aborted = true;
+                    }
+                    RoundOutcome::Continue => {}
+                }
+                route_msgs(mapping, inboxes, outboxes, vp, out);
+            }
             if node + 1 == self.outboxes.len() {
                 self.inner_round += 1;
                 self.transport_left = self.capacity.saturating_sub(1);
@@ -279,16 +305,19 @@ impl<A: CongestAlgorithm> CongestAlgorithm for HostedAlgorithm<A> {
             self.transport_left -= 1;
         }
         // Transport: send one pending message per host edge direction.
+        // Targets already used this activation are marked with an epoch
+        // stamp instead of scanned in a `used` vector.
+        self.transport_epoch += 1;
+        let epoch = self.transport_epoch;
         let mut out = Vec::new();
-        let mut used: Vec<NodeId> = Vec::new();
         let pending = std::mem::take(&mut self.outboxes[node]);
         let mut rest = Vec::new();
         for m in pending {
             let target = self.mapping.owner(m.to);
-            if used.contains(&target) {
+            if self.transport_seen[target] == epoch {
                 rest.push(m);
             } else {
-                used.push(target);
+                self.transport_seen[target] = epoch;
                 out.push((target, m));
             }
         }

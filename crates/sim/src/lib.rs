@@ -30,6 +30,7 @@
 pub mod algorithms;
 pub mod certify;
 mod error;
+pub mod fxhash;
 pub mod hosting;
 mod link;
 mod model;

@@ -1,6 +1,6 @@
 use std::collections::HashMap;
 
-use congest_graph::{Graph, NodeId};
+use congest_graph::{Csr, EdgeId, Graph, NodeId};
 
 use crate::error::SimError;
 use crate::link::{FaultCounters, FaultEvent, FaultKind, LinkFate, LinkLayer, PerfectLink};
@@ -257,33 +257,99 @@ impl SimStats {
     }
 }
 
+/// Per-round per-edge traffic accumulator, allocated only when the
+/// observer asks for edge deltas.
+///
+/// Bits live in a dense edge-id-indexed array; `stamp[e] == epoch` marks
+/// entries valid for the current round, so clearing between rounds is a
+/// counter bump plus a walk of the (usually short) `touched` list — never
+/// an `O(m)` reset. The `HashMap` the observer sees ([`RoundDelta`]'s
+/// public type) is rebuilt from `touched` once per flush: one hash insert
+/// per *touched edge* per round instead of one per message.
+struct RoundEdges {
+    /// Bits metered this round, valid only where `stamp[e] == epoch`.
+    bits: Vec<u64>,
+    /// Round-epoch stamp per edge id.
+    stamp: Vec<u64>,
+    /// Edge ids metered this round, in first-touch order.
+    touched: Vec<EdgeId>,
+    /// The observer-facing view, rebuilt at each flush and then cleared.
+    map: HashMap<(NodeId, NodeId), u64>,
+    /// Current round epoch (starts at 1 so a zeroed `stamp` is invalid).
+    epoch: u64,
+}
+
+impl RoundEdges {
+    fn new(m: usize) -> Self {
+        RoundEdges {
+            bits: vec![0; m],
+            stamp: vec![0; m],
+            touched: Vec::new(),
+            map: HashMap::new(),
+            epoch: 1,
+        }
+    }
+
+    fn meter(&mut self, eid: EdgeId, bits: u64) {
+        let i = eid as usize;
+        if self.stamp[i] == self.epoch {
+            self.bits[i] += bits;
+        } else {
+            self.stamp[i] = self.epoch;
+            self.bits[i] = bits;
+            self.touched.push(eid);
+        }
+    }
+}
+
 /// Mutable run state threaded through the engine: in-flight and delayed
-/// messages, the stats under construction, and the observer/link hooks.
-struct Engine<'o, A: CongestAlgorithm, O, L> {
-    /// `in_flight[v]` = messages to deliver to `v` next round.
+/// messages, the stats under construction, dense per-edge meters, and the
+/// observer/link hooks.
+///
+/// All hot-path state is flat and reused across rounds: per-edge bit
+/// totals are `Vec<u64>` indexed by CSR [`EdgeId`] (the public
+/// `bits_per_edge` map is rebuilt once at finalization), inbox arenas are
+/// swapped rather than reallocated, and duplicate-send detection is an
+/// epoch-stamped array instead of a per-dispatch scan.
+struct Engine<'a, A: CongestAlgorithm, O, L> {
+    /// `in_flight[v]` = messages to deliver to `v` next round. Swapped
+    /// with the caller's delivery arena each round; capacities persist.
     in_flight: Vec<Vec<(NodeId, A::Msg)>>,
     /// Delayed messages as `(rounds_remaining, to, from, msg)`; matured
     /// into `in_flight` after each delivery swap.
     delayed: Vec<(u64, NodeId, NodeId, A::Msg)>,
+    /// Spare buffer swapped with `delayed` by [`Engine::mature_delays`].
+    delayed_spare: Vec<(u64, NodeId, NodeId, A::Msg)>,
     stats: SimStats,
-    /// Per-round per-edge traffic, collected only when the observer asks
-    /// (one hash insert per message otherwise avoided).
-    round_edges: Option<HashMap<(NodeId, NodeId), u64>>,
+    /// Total bits per edge, indexed by CSR edge id.
+    edge_bits: Vec<u64>,
+    /// Whether an edge was ever metered. A zero-bit message still creates
+    /// a `bits_per_edge` entry, exactly like the historical per-message
+    /// `HashMap` accounting.
+    edge_touched: Vec<bool>,
+    /// Per-round edge traffic, collected only when the observer asks.
+    round_edges: Option<RoundEdges>,
+    /// `seen[v] == seen_epoch` marks `v` as already targeted within the
+    /// current dispatch call (duplicate-send detection).
+    seen: Vec<u64>,
+    seen_epoch: u64,
     /// (messages, bits) totals at the end of the previous round.
     prev: (u64, u64),
-    observer: &'o mut O,
-    link: &'o mut L,
+    csr: &'a Csr,
+    observer: &'a mut O,
+    link: &'a mut L,
 }
 
 impl<A: CongestAlgorithm, O: RoundObserver, L: LinkLayer> Engine<'_, A, O, L> {
-    /// Accounts one message crossing `(from, to)` in the global stats.
-    fn meter(&mut self, from: NodeId, to: NodeId, bits: u64) {
+    /// Accounts one message crossing edge `eid` in the global stats.
+    fn meter(&mut self, eid: EdgeId, bits: u64) {
         self.stats.messages += 1;
         self.stats.total_bits += bits;
-        let key = (from.min(to), from.max(to));
-        *self.stats.bits_per_edge.entry(key).or_insert(0) += bits;
-        if let Some(map) = self.round_edges.as_mut() {
-            *map.entry(key).or_insert(0) += bits;
+        let i = eid as usize;
+        self.edge_bits[i] += bits;
+        self.edge_touched[i] = true;
+        if let Some(re) = self.round_edges.as_mut() {
+            re.meter(eid, bits);
         }
     }
 
@@ -294,7 +360,7 @@ impl<A: CongestAlgorithm, O: RoundObserver, L: LinkLayer> Engine<'_, A, O, L> {
     }
 
     /// Closes out one round: appends the timeline entry, hands the
-    /// observer its [`RoundDelta`], and clears the per-round edge map.
+    /// observer its [`RoundDelta`], and resets the per-round edge meters.
     fn flush_round(&mut self, round: u64) {
         let messages = self.stats.messages - self.prev.0;
         let bits = self.stats.total_bits - self.prev.1;
@@ -304,16 +370,41 @@ impl<A: CongestAlgorithm, O: RoundObserver, L: LinkLayer> Engine<'_, A, O, L> {
             messages,
             bits,
         });
+        let edge_bits = match self.round_edges.as_mut() {
+            None => None,
+            Some(re) => {
+                for &eid in &re.touched {
+                    re.map
+                        .insert(self.csr.endpoints(eid), re.bits[eid as usize]);
+                }
+                Some(&re.map)
+            }
+        };
         self.observer.on_round(&RoundDelta {
             round,
             messages,
             bits,
             total_bits: self.stats.total_bits,
-            edge_bits: self.round_edges.as_ref(),
+            edge_bits,
         });
-        if let Some(map) = self.round_edges.as_mut() {
-            map.clear();
+        if let Some(re) = self.round_edges.as_mut() {
+            re.map.clear();
+            re.touched.clear();
+            re.epoch += 1;
         }
+    }
+
+    /// Materializes the public `bits_per_edge` map from the dense
+    /// edge-id-indexed meters — called once, at run finalization.
+    fn finalize_edge_map(&mut self) {
+        let touched = self.edge_touched.iter().filter(|&&t| t).count();
+        let mut map = HashMap::with_capacity(touched);
+        for (i, &t) in self.edge_touched.iter().enumerate() {
+            if t {
+                map.insert(self.csr.endpoints(i as EdgeId), self.edge_bits[i]);
+            }
+        }
+        self.stats.bits_per_edge = map;
     }
 
     /// Advances delayed messages by one round, delivering those that
@@ -323,22 +414,29 @@ impl<A: CongestAlgorithm, O: RoundObserver, L: LinkLayer> Engine<'_, A, O, L> {
         if self.delayed.is_empty() {
             return;
         }
-        let mut still = Vec::with_capacity(self.delayed.len());
+        debug_assert!(self.delayed_spare.is_empty());
         for (remaining, to, from, msg) in self.delayed.drain(..) {
             if remaining <= 1 {
                 self.in_flight[to].push((from, msg));
             } else {
-                still.push((remaining - 1, to, from, msg));
+                self.delayed_spare.push((remaining - 1, to, from, msg));
             }
         }
-        self.delayed = still;
+        std::mem::swap(&mut self.delayed, &mut self.delayed_spare);
     }
 }
 
 /// The synchronous executor.
+///
+/// Construction snapshots the graph into a [`Csr`] view (dense edge ids,
+/// sorted neighborhoods), which the engine's inner loop runs on: model
+/// checks are binary searches and per-edge metering is flat array
+/// arithmetic. One `Simulator` value can be reused across runs to
+/// amortize the snapshot.
 #[derive(Debug)]
 pub struct Simulator<'g> {
     graph: &'g Graph,
+    csr: Csr,
     bandwidth: u64,
     stop_on_quiescence: bool,
     bit_budget: Option<u64>,
@@ -355,6 +453,7 @@ impl<'g> Simulator<'g> {
     pub fn with_bandwidth(graph: &'g Graph, bandwidth: u64) -> Self {
         Simulator {
             graph,
+            csr: Csr::from_graph(graph),
             bandwidth,
             stop_on_quiescence: true,
             bit_budget: None,
@@ -383,6 +482,12 @@ impl<'g> Simulator<'g> {
     /// The graph this simulator executes over.
     pub fn graph(&self) -> &'g Graph {
         self.graph
+    }
+
+    /// The CSR snapshot the engine runs on (edge ids index
+    /// per-edge meters; see [`Csr`]).
+    pub fn csr(&self) -> &Csr {
+        &self.csr
     }
 
     /// The configured per-edge per-round bandwidth in bits.
@@ -466,6 +571,7 @@ impl<'g> Simulator<'g> {
         link: &mut L,
     ) -> Result<SimStats, SimError> {
         let n = self.graph.num_nodes();
+        let m = self.csr.num_edges();
         let ctx = NodeContext {
             graph: self.graph,
             n,
@@ -473,16 +579,27 @@ impl<'g> Simulator<'g> {
         };
         let mut halted = vec![false; n];
         link.on_run_start(n);
-        let round_edges = observer.wants_edge_traffic().then(HashMap::new);
+        let round_edges = observer.wants_edge_traffic().then(|| RoundEdges::new(m));
         let mut eng: Engine<'_, A, O, L> = Engine {
             in_flight: vec![Vec::new(); n],
             delayed: Vec::new(),
+            delayed_spare: Vec::new(),
             stats: SimStats::default(),
+            edge_bits: vec![0; m],
+            edge_touched: vec![false; m],
             round_edges,
+            seen: vec![0; n],
+            seen_epoch: 0,
             prev: (0, 0),
+            csr: &self.csr,
             observer,
             link,
         };
+        // The second inbox arena: swapped with `eng.in_flight` at each
+        // delivery step, read as this round's inboxes, then cleared (the
+        // per-node capacities survive, so steady-state rounds allocate
+        // nothing).
+        let mut deliveries: Vec<Vec<(NodeId, A::Msg)>> = vec![Vec::new(); n];
         let mut outcome: Option<RunOutcome> = None;
         for v in 0..n {
             let out = alg.init(v, &ctx);
@@ -538,30 +655,25 @@ impl<'g> Simulator<'g> {
                         RoundOutcome::Continue => {}
                     }
                 }
-                eng.stats.rounds += 1;
-                round += 1;
-                let r = eng.stats.rounds;
-                eng.flush_round(r);
-                if let Some(v) = node_abort {
-                    outcome = Some(RunOutcome::NodeAborted(v));
-                } else if self.budget_exceeded(&eng.stats) {
-                    outcome = Some(RunOutcome::BitBudget);
-                } else if !any && eng.in_flight.iter().all(Vec::is_empty) && eng.delayed.is_empty()
+                outcome = self.round_epilogue(&mut eng, &mut round, node_abort);
+                if outcome.is_none()
+                    && !any
+                    && eng.in_flight.iter().all(Vec::is_empty)
+                    && eng.delayed.is_empty()
                 {
                     outcome = Some(RunOutcome::Quiescent);
                 }
                 continue;
             }
-            let deliveries: Vec<Vec<(NodeId, A::Msg)>> =
-                std::mem::replace(&mut eng.in_flight, vec![Vec::new(); n]);
+            std::mem::swap(&mut eng.in_flight, &mut deliveries);
             eng.mature_delays();
-            for (v, inbox) in deliveries.into_iter().enumerate() {
+            for (v, inbox) in deliveries.iter().enumerate() {
                 if halted[v] {
                     // Pending inbound messages to halted (or crash-stopped)
                     // nodes are dropped; the sender already paid the bits.
                     continue;
                 }
-                let (out, action) = alg.round(v, &ctx, round, &inbox);
+                let (out, action) = alg.round(v, &ctx, round, inbox);
                 let event_round = eng.stats.rounds + 1;
                 self.dispatch::<A, O, L>(&mut eng, v, out, event_round)?;
                 match action {
@@ -573,16 +685,12 @@ impl<'g> Simulator<'g> {
                     RoundOutcome::Continue => {}
                 }
             }
-            eng.stats.rounds += 1;
-            round += 1;
-            let r = eng.stats.rounds;
-            eng.flush_round(r);
-            if let Some(v) = node_abort {
-                outcome = Some(RunOutcome::NodeAborted(v));
-            } else if self.budget_exceeded(&eng.stats) {
-                outcome = Some(RunOutcome::BitBudget);
+            for inbox in &mut deliveries {
+                inbox.clear();
             }
+            outcome = self.round_epilogue(&mut eng, &mut round, node_abort);
         }
+        eng.finalize_edge_map();
         let mut stats = eng.stats;
         let mut outcome = outcome.unwrap_or(RunOutcome::RoundBudget);
         // A run that used its whole round budget but ended with every node
@@ -593,6 +701,30 @@ impl<'g> Simulator<'g> {
         stats.outcome = outcome;
         eng.observer.on_done(&stats);
         Ok(stats)
+    }
+
+    /// The shared end-of-round bookkeeping: advance the round counters,
+    /// flush the timeline/observer, and decide whether a node abort or the
+    /// bit budget ends the run. Both delivery paths (ordinary and
+    /// quiescence-probe) funnel through here so the invariants live in one
+    /// place.
+    fn round_epilogue<A: CongestAlgorithm, O: RoundObserver, L: LinkLayer>(
+        &self,
+        eng: &mut Engine<'_, A, O, L>,
+        round: &mut usize,
+        node_abort: Option<NodeId>,
+    ) -> Option<RunOutcome> {
+        eng.stats.rounds += 1;
+        *round += 1;
+        let r = eng.stats.rounds;
+        eng.flush_round(r);
+        if let Some(v) = node_abort {
+            Some(RunOutcome::NodeAborted(v))
+        } else if self.budget_exceeded(&eng.stats) {
+            Some(RunOutcome::BitBudget)
+        } else {
+            None
+        }
     }
 
     fn budget_exceeded(&self, stats: &SimStats) -> bool {
@@ -610,15 +742,19 @@ impl<'g> Simulator<'g> {
         out: Vec<(NodeId, A::Msg)>,
         round: u64,
     ) -> Result<(), SimError> {
-        let mut used: Vec<NodeId> = Vec::with_capacity(out.len());
+        // Duplicate-send detection via epoch-stamped per-node marks: one
+        // array comparison per recipient instead of an O(deg) scan, and no
+        // per-call clearing (bumping the epoch invalidates all stamps).
+        eng.seen_epoch += 1;
+        let epoch = eng.seen_epoch;
         for (to, msg) in out {
-            if !self.graph.has_edge(from, to) {
+            let Some(eid) = self.csr.edge_id(from, to) else {
                 return Err(SimError::NonNeighborSend { from, to, round });
-            }
-            if used.contains(&to) {
+            };
+            if eng.seen[to] == epoch {
                 return Err(SimError::DuplicateSend { from, to, round });
             }
-            used.push(to);
+            eng.seen[to] = epoch;
             let bits = A::message_bits(&msg);
             if bits > self.bandwidth {
                 return Err(SimError::BandwidthExceeded {
@@ -629,7 +765,7 @@ impl<'g> Simulator<'g> {
                     round,
                 });
             }
-            eng.meter(from, to, bits);
+            eng.meter(eid, bits);
             match eng.link.fate(round, from, to, bits) {
                 LinkFate::Deliver | LinkFate::Delay { rounds: 0 } => {
                     eng.in_flight[to].push((from, msg));
@@ -679,7 +815,7 @@ impl<'g> Simulator<'g> {
                         detail: 0,
                     });
                     // The extra copy is real traffic on the wire.
-                    eng.meter(from, to, bits);
+                    eng.meter(eid, bits);
                     eng.in_flight[to].push((from, msg.clone()));
                     eng.in_flight[to].push((from, msg));
                 }

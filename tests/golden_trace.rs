@@ -1,0 +1,74 @@
+//! Golden-trace regression: the byte-exact observed JSONL trace of one
+//! seeded `run_observed` is pinned as a fixture.
+//!
+//! The simulator's hot path promises *observational equivalence* across
+//! refactors: same `SimStats`, same per-round `RoundDelta`s, same summary
+//! records. This test freezes that promise into bytes — a seeded
+//! `maxcut_sampling` run on a fixed `G(n, p)` graph, traced through
+//! `TraceObserver` with a designated cut, serialized record-by-record to
+//! JSON lines. Only the wall-clock `ts` field is normalized to zero
+//! (recorder sinks stamp it with elapsed time by design); everything else
+//! must match the fixture exactly.
+//!
+//! To regenerate after an *intentional* observable change:
+//!
+//! ```bash
+//! GOLDEN_REWRITE=1 cargo test --test golden_trace
+//! ```
+
+use congest_hardness::graph::generators;
+use congest_hardness::obs::MemoryRecorder;
+use congest_hardness::sim::algorithms::{LocalCutSolver, SampledMaxCut};
+use congest_hardness::sim::{Simulator, TraceObserver};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const FIXTURE_PATH: &str = "tests/fixtures/sim_maxcut_golden.jsonl";
+const FIXTURE: &str = include_str!("fixtures/sim_maxcut_golden.jsonl");
+
+/// Runs the pinned scenario and renders its trace as JSONL with `ts`
+/// normalized to zero.
+fn golden_trace() -> String {
+    let mut rng = StdRng::seed_from_u64(2019);
+    let g = generators::connected_gnp(12, 0.35, &mut rng);
+    // The designated cut: node 0's incident edges (the BFS root side).
+    let cut: Vec<(usize, usize)> = g.neighbors(0).iter().map(|&u| (0, u)).collect();
+    let sim = Simulator::with_bandwidth(&g, 96).stop_on_quiescence(false);
+    let mut alg = SampledMaxCut::new(12, 0.6, LocalCutSolver::Exact, 7);
+    let mut obs = TraceObserver::new(MemoryRecorder::new()).with_cut(&cut);
+    let stats = sim.run_observed(&mut alg, 100_000, &mut obs);
+    // Sanity: the run must have actually converged and carried traffic,
+    // otherwise the fixture pins a degenerate trace.
+    assert!(stats.rounds > 12, "run too short: {} rounds", stats.rounds);
+    assert!(stats.total_bits > 0);
+    let mut out = String::new();
+    for mut rec in obs.into_recorder().into_records() {
+        rec.ts = 0;
+        out.push_str(&rec.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn observed_trace_matches_golden_fixture() {
+    let trace = golden_trace();
+    if std::env::var_os("GOLDEN_REWRITE").is_some() {
+        std::fs::write(FIXTURE_PATH, &trace).expect("write fixture");
+        eprintln!("rewrote {FIXTURE_PATH} ({} bytes)", trace.len());
+        return;
+    }
+    if trace != FIXTURE {
+        // Locate the first differing line for an actionable failure.
+        let got: Vec<&str> = trace.lines().collect();
+        let want: Vec<&str> = FIXTURE.lines().collect();
+        for (i, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+            assert_eq!(g, w, "first divergence at trace line {}", i + 1);
+        }
+        panic!(
+            "trace length changed: got {} lines, fixture has {}",
+            got.len(),
+            want.len()
+        );
+    }
+}

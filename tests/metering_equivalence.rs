@@ -1,0 +1,181 @@
+//! Property: the simulator's dense edge-id metering is indistinguishable
+//! from per-message hash-map accounting.
+//!
+//! The hot path meters traffic into a `Vec<u64>` indexed by CSR edge id
+//! and only materializes the public `HashMap<(NodeId, NodeId), u64>`
+//! (`SimStats::bits_per_edge`) at finalization; observers requesting
+//! per-round edge traffic get a map rebuilt from the touched-edge list.
+//! These tests drive random graphs, algorithms, and fault plans through
+//! the simulator and check that every externally visible accounting
+//! identity still holds:
+//!
+//! * `total_bits == Σ bits_per_edge` and `messages`/`bits` match the
+//!   round timeline,
+//! * every `bits_per_edge` key is a real edge in `(min, max)` form,
+//! * `bits_across` is endpoint-order-insensitive,
+//! * per-round observer edge maps accumulate exactly to the final
+//!   `bits_per_edge`.
+
+use std::collections::HashMap;
+
+use congest_hardness::faults::FaultPlan;
+use congest_hardness::graph::{generators, Graph, NodeId};
+use congest_hardness::sim::algorithms::{
+    LeaderElection, LearnGraph, LocalCutSolver, SampledMaxCut,
+};
+use congest_hardness::sim::{CongestAlgorithm, RoundDelta, RoundObserver, SimStats, Simulator};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Accumulates the per-round edge maps and running totals an observer
+/// sees, for comparison against the final stats.
+#[derive(Default)]
+struct EdgeAccounting {
+    acc: HashMap<(NodeId, NodeId), u64>,
+    bits_seen: u64,
+    messages_seen: u64,
+    rounds_seen: u64,
+}
+
+impl RoundObserver for EdgeAccounting {
+    fn wants_edge_traffic(&self) -> bool {
+        true
+    }
+
+    fn on_round(&mut self, delta: &RoundDelta<'_>) {
+        self.rounds_seen += 1;
+        self.bits_seen += delta.bits;
+        self.messages_seen += delta.messages;
+        // The cumulative counter in the delta must agree with our own sum.
+        assert_eq!(delta.total_bits, self.bits_seen, "round {}", delta.round);
+        let map = delta.edge_bits.expect("edge traffic was requested");
+        let round_sum: u64 = map.values().sum();
+        assert_eq!(round_sum, delta.bits, "round {} map sum", delta.round);
+        for (&k, &v) in map {
+            *self.acc.entry(k).or_insert(0) += v;
+        }
+    }
+}
+
+/// Asserts every metering identity linking `stats`, the observer's
+/// accumulated view, and the graph.
+fn assert_accounting(g: &Graph, stats: &SimStats, obs: &EdgeAccounting) {
+    // Dense array totals == hash map totals.
+    let edge_sum: u64 = stats.bits_per_edge.values().sum();
+    assert_eq!(stats.total_bits, edge_sum, "total_bits vs Σ bits_per_edge");
+    // Keys are normalized (min, max) pairs naming real edges.
+    for &(u, v) in stats.bits_per_edge.keys() {
+        assert!(u < v, "key ({u}, {v}) not normalized");
+        assert!(g.has_edge(u, v), "key ({u}, {v}) is not an edge");
+    }
+    // bits_across is endpoint-order-insensitive, matches the map, and
+    // the all-edges cut recovers the total.
+    let mut all_edges = Vec::new();
+    for (&(u, v), &bits) in &stats.bits_per_edge {
+        assert_eq!(stats.bits_across(&[(v, u)]), bits, "reversed ({u}, {v})");
+        all_edges.push((v, u));
+    }
+    assert_eq!(stats.bits_across(&all_edges), stats.total_bits);
+    // Timeline totals agree with the scalar counters.
+    assert_eq!(stats.round_timeline.len() as u64, stats.rounds + 1);
+    let tl_bits: u64 = stats.round_timeline.iter().map(|t| t.bits).sum();
+    let tl_msgs: u64 = stats.round_timeline.iter().map(|t| t.messages).sum();
+    assert_eq!(tl_bits, stats.total_bits);
+    assert_eq!(tl_msgs, stats.messages);
+    // The observer's accumulated per-round maps are exactly the final map.
+    assert_eq!(obs.acc, stats.bits_per_edge, "Σ round maps vs final map");
+    assert_eq!(obs.bits_seen, stats.total_bits);
+    assert_eq!(obs.messages_seen, stats.messages);
+    assert_eq!(obs.rounds_seen, stats.rounds + 1);
+}
+
+/// Runs `alg` on `g` under `plan` and checks the identities.
+fn check<A: CongestAlgorithm>(
+    g: &Graph,
+    mut alg: A,
+    mut plan: FaultPlan,
+    bandwidth: u64,
+    quiesce: bool,
+) {
+    let sim = Simulator::with_bandwidth(g, bandwidth).stop_on_quiescence(quiesce);
+    let mut obs = EdgeAccounting::default();
+    let stats = sim
+        .try_run_with(&mut alg, 400, &mut obs, &mut plan)
+        .expect("run violates no model checks");
+    assert_accounting(g, &stats, &obs);
+}
+
+/// A random fault plan covering every fault class the link can inject.
+fn arb_plan(n: usize) -> impl Strategy<Value = FaultPlan> {
+    (
+        any::<u64>(),
+        0.0f64..0.25,
+        0.0f64..0.2,
+        0.0f64..0.2,
+        0.0f64..0.2,
+        (any::<bool>(), 0usize..n, 1u64..20),
+    )
+        .prop_map(|(seed, drop, corrupt, dup, delay, (crash, node, round))| {
+            let mut plan = FaultPlan::seeded(seed)
+                .with_drop_prob(drop)
+                .with_corrupt_prob(corrupt)
+                .with_duplicate_prob(dup)
+                .with_delay_prob(delay, 3);
+            if crash {
+                plan = plan.with_crash(node, round);
+            }
+            plan
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// LearnGraph (quiescence-terminated, heaviest per-edge traffic).
+    #[test]
+    fn learn_graph_accounting(
+        n in 3usize..14,
+        seed in any::<u64>(),
+        plan in arb_plan(14),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::connected_gnp(n, 0.35, &mut rng);
+        check(&g, LearnGraph::new(n), plan, 128, true);
+    }
+
+    /// LeaderElection (halt-terminated broadcast/echo traffic).
+    #[test]
+    fn leader_election_accounting(
+        n in 3usize..16,
+        seed in any::<u64>(),
+        plan in arb_plan(16),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::connected_gnp(n, 0.3, &mut rng);
+        check(&g, LeaderElection::new(n), plan, 128, false);
+    }
+
+    /// SampledMaxCut (convergecast + downcast over a BFS tree).
+    #[test]
+    fn sampled_maxcut_accounting(
+        n in 4usize..12,
+        seed in any::<u64>(),
+        alg_seed in any::<u64>(),
+        plan in arb_plan(12),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::connected_gnp(n, 0.4, &mut rng);
+        let alg = SampledMaxCut::new(n, 0.5, LocalCutSolver::LocalSearch, alg_seed);
+        check(&g, alg, plan, 128, false);
+    }
+
+    /// The fault-free path through the same harness (PerfectLink fates,
+    /// empty plan) — the configuration the golden trace pins.
+    #[test]
+    fn fault_free_accounting(n in 3usize..16, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::connected_gnp(n, 0.3, &mut rng);
+        check(&g, LearnGraph::new(n), FaultPlan::empty(), 128, true);
+    }
+}
