@@ -13,6 +13,13 @@
 //! The numeric *tables* (parameters, gaps, implied bounds) are produced
 //! by the `experiments` binary of the root crate:
 //! `cargo run --release --bin experiments`.
+//!
+//! The `sim_round` and `verify_family` reporters also write
+//! `BENCH_*.json` snapshots at the workspace root; the [`regress`]
+//! module diffs a fresh snapshot against the committed baseline (see the
+//! `benchdiff` binary) and gates CI on regressions.
+
+pub mod regress;
 
 /// Shared bench inputs: a deterministic intersecting pair at index (0, 0).
 pub fn intersecting_pair(k: usize) -> (congest_comm::BitString, congest_comm::BitString) {

@@ -48,6 +48,8 @@
 
 mod plan;
 mod retry;
+mod timeline;
 
 pub use plan::{FaultAction, FaultPlan, RoundFilter, TargetedFault};
 pub use retry::{run_certified_with_retry, CertifiedError, CertifiedRun, RetryPolicy};
+pub use timeline::FaultTimeline;

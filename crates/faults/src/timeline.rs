@@ -1,0 +1,251 @@
+//! Fault-event timelines: when, where, and what kind.
+//!
+//! [`congest_sim::SimStats::faults`] says *how many* faults a run saw;
+//! a [`FaultTimeline`] says *when* — per-round counters per
+//! [`FaultKind`], the affected node pairs, and the bits at stake. It can
+//! be driven live as a [`RoundObserver`] (plug it straight into
+//! `try_run_with`), fed individual events, or rebuilt offline from the
+//! `fault` records of a JSONL trace — the `tracectl faults` view.
+
+use std::collections::BTreeMap;
+
+use congest_obs::{Record, Value};
+use congest_sim::{FaultCounters, FaultEvent, FaultKind, RoundDelta, RoundObserver};
+
+/// Per-round fault accounting for one run (see module docs).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultTimeline {
+    /// Counters per round, keyed by round number (sorted).
+    rounds: BTreeMap<u64, FaultCounters>,
+    /// Bits carried by faulted messages, per round.
+    bits: BTreeMap<u64, u64>,
+    totals: FaultCounters,
+}
+
+impl FaultTimeline {
+    /// An empty timeline.
+    pub fn new() -> Self {
+        FaultTimeline::default()
+    }
+
+    /// Accounts one fault event.
+    pub fn observe(&mut self, ev: &FaultEvent) {
+        self.rounds.entry(ev.round).or_default().bump(ev.kind);
+        *self.bits.entry(ev.round).or_default() += ev.bits;
+        self.totals.bump(ev.kind);
+    }
+
+    /// Rebuilds a timeline from trace records, using the `fault` events
+    /// (as emitted by [`FaultEvent::to_record`]). Unrelated records are
+    /// ignored, so the whole trace can be passed.
+    pub fn from_records<'a>(records: impl IntoIterator<Item = &'a Record>) -> Self {
+        let mut tl = FaultTimeline::new();
+        for rec in records {
+            if rec.event != "fault" {
+                continue;
+            }
+            let (Some(round), Some(kind)) = (
+                rec.u64_field("round"),
+                rec.field("kind").and_then(|v| match v {
+                    Value::Str(s) => kind_from_str(s),
+                    _ => None,
+                }),
+            ) else {
+                continue;
+            };
+            tl.rounds.entry(round).or_default().bump(kind);
+            *tl.bits.entry(round).or_default() += rec.u64_field("bits").unwrap_or(0);
+            tl.totals.bump(kind);
+        }
+        tl
+    }
+
+    /// Total faults accounted.
+    pub fn total(&self) -> u64 {
+        self.totals.total()
+    }
+
+    /// The accumulated per-kind totals.
+    pub fn totals(&self) -> &FaultCounters {
+        &self.totals
+    }
+
+    /// Rounds that saw at least one fault, with their counters, in round
+    /// order.
+    pub fn rounds(&self) -> impl Iterator<Item = (u64, &FaultCounters)> {
+        self.rounds.iter().map(|(&r, c)| (r, c))
+    }
+
+    /// The first and last faulty round (`None` on a clean run).
+    pub fn span(&self) -> Option<(u64, u64)> {
+        let first = self.rounds.keys().next()?;
+        let last = self.rounds.keys().next_back()?;
+        Some((*first, *last))
+    }
+
+    /// The round with the most faults (ties: earliest), with its count.
+    pub fn peak(&self) -> Option<(u64, u64)> {
+        self.rounds
+            .iter()
+            .map(|(&r, c)| (r, c.total()))
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+    }
+
+    /// Renders the timeline as text: one row per faulty round with
+    /// per-kind counts and the bits at stake.
+    pub fn render(&self) -> String {
+        if self.rounds.is_empty() {
+            return "no faults\n".to_string();
+        }
+        let mut out = String::new();
+        let (first, last) = self.span().expect("non-empty");
+        out.push_str(&format!(
+            "{} faults over rounds {first}..={last}\n",
+            self.total()
+        ));
+        for (&round, counters) in &self.rounds {
+            let mut kinds = String::new();
+            for (name, n) in counters.entries() {
+                if n > 0 {
+                    if !kinds.is_empty() {
+                        kinds.push_str(", ");
+                    }
+                    kinds.push_str(&format!("{name}×{n}"));
+                }
+            }
+            out.push_str(&format!(
+                "  round {round:>6}: {kinds} ({} bits)\n",
+                self.bits.get(&round).copied().unwrap_or(0)
+            ));
+        }
+        out
+    }
+
+    /// Renders as records: one `fault_round` per faulty round (kind
+    /// counts + bits) and a closing `fault_timeline` summary.
+    pub fn to_records(&self, target: &'static str) -> Vec<Record> {
+        let mut out = Vec::with_capacity(self.rounds.len() + 1);
+        for (&round, counters) in &self.rounds {
+            let mut r = Record::new(target, "fault_round")
+                .with("round", round)
+                .with("faults", counters.total())
+                .with("bits", self.bits.get(&round).copied().unwrap_or(0));
+            for (name, n) in counters.entries() {
+                if n > 0 {
+                    r = r.with(name, n);
+                }
+            }
+            out.push(r);
+        }
+        let mut summary = Record::new(target, "fault_timeline")
+            .with("faults", self.total())
+            .with("faulty_rounds", self.rounds.len() as u64);
+        if let Some((first, last)) = self.span() {
+            summary = summary.with("first_round", first).with("last_round", last);
+        }
+        if let Some((round, n)) = self.peak() {
+            summary = summary.with("peak_round", round).with("peak_faults", n);
+        }
+        out.push(summary);
+        out
+    }
+}
+
+/// Observer impl so a timeline can ride a run directly; round deltas are
+/// ignored, only faults accumulate.
+impl RoundObserver for FaultTimeline {
+    fn on_round(&mut self, _delta: &RoundDelta<'_>) {}
+
+    fn on_fault(&mut self, event: &FaultEvent) {
+        self.observe(event);
+    }
+}
+
+/// Inverse of [`FaultKind::as_str`], for trace replays.
+fn kind_from_str(s: &str) -> Option<FaultKind> {
+    Some(match s {
+        "drop" => FaultKind::Drop,
+        "corrupt" => FaultKind::Corrupt,
+        "duplicate" => FaultKind::Duplicate,
+        "delay" => FaultKind::Delay,
+        "crash" => FaultKind::Crash,
+        "throttle" => FaultKind::Throttle,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FaultPlan;
+    use congest_graph::generators;
+    use congest_sim::algorithms::LeaderElection;
+    use congest_sim::Simulator;
+
+    fn event(round: u64, kind: FaultKind, bits: u64) -> FaultEvent {
+        FaultEvent {
+            round,
+            kind,
+            from: 0,
+            to: Some(1),
+            bits,
+            detail: 0,
+        }
+    }
+
+    #[test]
+    fn accumulates_per_round_and_total() {
+        let mut tl = FaultTimeline::new();
+        tl.observe(&event(2, FaultKind::Drop, 16));
+        tl.observe(&event(2, FaultKind::Drop, 16));
+        tl.observe(&event(5, FaultKind::Corrupt, 8));
+        assert_eq!(tl.total(), 3);
+        assert_eq!(tl.span(), Some((2, 5)));
+        assert_eq!(tl.peak(), Some((2, 2)));
+        let rows: Vec<(u64, u64)> = tl.rounds().map(|(r, c)| (r, c.total())).collect();
+        assert_eq!(rows, vec![(2, 2), (5, 1)]);
+        let text = tl.render();
+        assert!(text.contains("drop×2"), "{text}");
+        assert!(text.contains("round      2"), "{text}");
+        let recs = tl.to_records("faults");
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[2].u64_field("faults"), Some(3));
+    }
+
+    #[test]
+    fn live_observer_matches_trace_replay() {
+        let g = generators::cycle(8);
+        let sim = Simulator::new(&g);
+
+        // Live: timeline rides the run as the observer.
+        let mut plan = FaultPlan::seeded(7).with_drop_prob(0.3);
+        let mut alg = LeaderElection::new(8);
+        let mut live = FaultTimeline::new();
+        let stats = sim
+            .try_run_with(&mut alg, 200, &mut live, &mut plan)
+            .expect("legal run");
+        assert!(stats.faults.drops > 0, "plan injected drops");
+        assert_eq!(live.total(), stats.faults.total());
+        assert_eq!(live.totals(), &stats.faults);
+
+        // Replay: same run traced to records, timeline rebuilt offline.
+        let mut plan2 = FaultPlan::seeded(7).with_drop_prob(0.3);
+        let mut alg2 = LeaderElection::new(8);
+        let mut obs = congest_sim::TraceObserver::new(congest_obs::MemoryRecorder::new());
+        sim.try_run_with(&mut alg2, 200, &mut obs, &mut plan2)
+            .expect("legal run");
+        let mem = obs.into_recorder();
+        let replayed = FaultTimeline::from_records(mem.records());
+        assert_eq!(replayed, live, "offline replay equals live observation");
+    }
+
+    #[test]
+    fn clean_run_renders_empty() {
+        let tl = FaultTimeline::new();
+        assert_eq!(tl.render(), "no faults\n");
+        assert_eq!(tl.span(), None);
+        let recs = tl.to_records("faults");
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].u64_field("faults"), Some(0));
+    }
+}

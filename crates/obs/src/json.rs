@@ -272,6 +272,155 @@ pub fn parse_jsonl(text: &str) -> Result<Vec<Record>, ParseError> {
         .collect()
 }
 
+/// A generic JSON value, for documents that are *not* flat records —
+/// `BENCH_*.json` benchmark reports, `summary.json`, config files.
+///
+/// Objects keep insertion order (a `Vec` of pairs), which keeps
+/// round-trip diffs readable; [`JsonValue::get`] does the common
+/// key lookup.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number, widened to `f64`.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, in source order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Object member lookup (`None` on non-objects or missing keys).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value (`None` on non-numbers).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= u64::MAX as f64 => {
+                Some(*x as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string value (`None` on non-strings).
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array elements (`None` on non-arrays).
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The object members (`None` on non-objects).
+    pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Object(members) => Some(members),
+            _ => None,
+        }
+    }
+}
+
+impl<'a> Parser<'a> {
+    fn value(&mut self, depth: usize) -> Result<JsonValue, ParseError> {
+        if depth > 64 {
+            return self.err("nesting too deep");
+        }
+        match self.peek() {
+            Some(b'{') => {
+                self.pos += 1;
+                let mut members = Vec::new();
+                let mut first = true;
+                loop {
+                    if self.peek() == Some(b'}') {
+                        self.pos += 1;
+                        break;
+                    }
+                    if !first {
+                        self.expect(b',')?;
+                    }
+                    first = false;
+                    let key = self.string()?;
+                    self.expect(b':')?;
+                    let val = self.value(depth + 1)?;
+                    members.push((key, val));
+                }
+                Ok(JsonValue::Object(members))
+            }
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                let mut first = true;
+                loop {
+                    if self.peek() == Some(b']') {
+                        self.pos += 1;
+                        break;
+                    }
+                    if !first {
+                        self.expect(b',')?;
+                    }
+                    first = false;
+                    items.push(self.value(depth + 1)?);
+                }
+                Ok(JsonValue::Array(items))
+            }
+            Some(b'n') => {
+                self.literal("null", Value::Bool(false))?;
+                Ok(JsonValue::Null)
+            }
+            _ => Ok(match self.scalar()? {
+                Value::U64(v) => JsonValue::Num(v as f64),
+                Value::I64(v) => JsonValue::Num(v as f64),
+                Value::F64(v) => JsonValue::Num(v),
+                Value::Bool(b) => JsonValue::Bool(b),
+                Value::Str(s) => JsonValue::Str(s),
+            }),
+        }
+    }
+}
+
+/// Parses an arbitrary JSON document into a [`JsonValue`] tree.
+///
+/// This is the reader for nested documents ([`parse_record`] stays the
+/// strict fast path for JSONL trace lines).
+pub fn parse_value(text: &str) -> Result<JsonValue, ParseError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing content");
+    }
+    Ok(v)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -333,5 +482,46 @@ mod tests {
         assert!(parse_record(r#"{"ts":1}extra"#).is_err());
         assert!(parse_record(r#"{"nope":1}"#).is_err());
         assert!(parse_record(r#"{"fields":{"a":[1]}}"#).is_err());
+    }
+
+    #[test]
+    fn parse_value_handles_nested_documents() {
+        let doc = r#"
+        {
+          "bench": "sim_round",
+          "entries": [
+            {"name": "learn_graph_n32", "median_micros": 1250.5, "rounds": 6},
+            {"name": "learn_graph_n64", "median_micros": 4801.0, "rounds": 7}
+          ],
+          "meta": {"samples": 7, "release": true, "note": null}
+        }"#;
+        let v = parse_value(doc).expect("parses");
+        assert_eq!(
+            v.get("bench").and_then(JsonValue::as_str),
+            Some("sim_round")
+        );
+        let entries = v.get("entries").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(
+            entries[0].get("rounds").and_then(JsonValue::as_u64),
+            Some(6)
+        );
+        assert_eq!(
+            entries[1].get("median_micros").and_then(JsonValue::as_f64),
+            Some(4801.0)
+        );
+        let meta = v.get("meta").unwrap();
+        assert_eq!(meta.get("release"), Some(&JsonValue::Bool(true)));
+        assert_eq!(meta.get("note"), Some(&JsonValue::Null));
+        assert_eq!(meta.get("missing"), None);
+    }
+
+    #[test]
+    fn parse_value_rejects_malformed_documents() {
+        assert!(parse_value("[1,2").is_err());
+        assert!(parse_value("{\"a\":}").is_err());
+        assert!(parse_value("[] trailing").is_err());
+        let deep = "[".repeat(100) + &"]".repeat(100);
+        assert!(parse_value(&deep).is_err(), "depth limit enforced");
     }
 }

@@ -13,8 +13,17 @@
 //!   external dependencies), and [`NullRecorder`];
 //! * [`Counter`], [`Histogram`] (log₂ buckets), and [`Span`] wall-time
 //!   timers for the metric side;
-//! * [`json`] — the escaping writer plus a small parser, so traces can be
-//!   read back and diffed against paper bounds inside the test-suite.
+//! * [`Clock`] — pluggable time for the sinks: [`MonotonicClock`] by
+//!   default, [`VirtualClock`] for byte-stable golden traces;
+//! * [`SpanTree`] — a hierarchical profiler with drop-guard scopes,
+//!   self-vs-cumulative attribution, and flame-style rendering;
+//! * [`QuantileSketch`] — a mergeable DDSketch-style quantile sketch
+//!   (relative-error quantiles, exactly associative merges);
+//! * [`Aggregator`] — a streaming fold of JSONL records into
+//!   per-`(target, event)` summaries, powering `tracectl`;
+//! * [`json`] — the escaping writer plus two parsers: the strict flat
+//!   record reader and a generic [`json::JsonValue`] tree for nested
+//!   documents (`BENCH_*.json`, `summary.json`).
 //!
 //! Everything is std-only: build environments for this workspace may be
 //! fully offline.
@@ -46,14 +55,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod aggregate;
+mod clock;
 pub mod json;
 mod metrics;
+mod profile;
 mod record;
 mod recorder;
+mod sketch;
 
+pub use aggregate::{Aggregator, GroupSummary, NumericSummary, ValueTally};
+pub use clock::{Clock, MonotonicClock, VirtualClock};
 pub use metrics::{Counter, Histogram, Span};
+pub use profile::{SpanEntry, SpanGuard, SpanTree};
 pub use record::{Record, Value};
 pub use recorder::{JsonlSink, MemoryRecorder, NullRecorder, Recorder};
+pub use sketch::QuantileSketch;
 
 use std::fs::File;
 use std::io::BufWriter;

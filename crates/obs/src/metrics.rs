@@ -56,7 +56,7 @@ impl Counter {
 /// Bucket `0` holds the value `0`; bucket `i ≥ 1` holds values in
 /// `[2^(i-1), 2^i)`. Per-edge bit totals and message sizes span several
 /// orders of magnitude, which is exactly what log buckets resolve.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     buckets: [u64; 65],
     count: u64,

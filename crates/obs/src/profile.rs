@@ -1,0 +1,432 @@
+//! Hierarchical span-tree profiling: enter/exit scopes with parent
+//! links, self vs. cumulative time, and flame-style reporting.
+//!
+//! A [`SpanTree`] is a tree of named scopes. [`SpanTree::enter`] opens a
+//! scope and returns a guard; dropping the guard closes it — including
+//! during unwinding, so a panicking scope still attributes the time it
+//! spent before the panic (the drop-guard exit the tests pin). Re-entering
+//! a name under the same parent *aggregates* into the existing node
+//! (`calls` increments, elapsed time accumulates), which is what keeps a
+//! million-round loop's tree bounded by its distinct phase names rather
+//! than its iteration count.
+//!
+//! Two accounting views per node:
+//!
+//! * **cumulative** — all time spent while the node was on the stack,
+//!   including descendants;
+//! * **self** — cumulative minus the children's cumulative: the time the
+//!   node spent in its *own* code.
+//!
+//! Trees can also be assembled directly from already-measured totals via
+//! [`SpanTree::add_measured`] — the path used by samplers that accumulate
+//! flat nanosecond counters in a hot loop and only build the tree at
+//! reporting time.
+//!
+//! Timing goes through the pluggable [`Clock`] (monotonic by default), so
+//! tests drive the tree with a [`crate::VirtualClock`] and assert exact
+//! durations.
+
+use std::borrow::Cow;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::clock::{Clock, MonotonicClock};
+use crate::Record;
+
+/// One node of the tree.
+#[derive(Debug, Clone)]
+struct Node {
+    name: Cow<'static, str>,
+    parent: Option<usize>,
+    children: Vec<usize>,
+    /// Cumulative microseconds (includes descendants).
+    cum_micros: u64,
+    /// Times this scope was entered.
+    calls: u64,
+    /// Open-entry bookkeeping: the clock reading at the latest enter.
+    opened_at: Option<u64>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    nodes: Vec<Node>,
+    /// Indices of root nodes (no parent), in first-seen order.
+    roots: Vec<usize>,
+    /// The currently open scope, innermost last.
+    stack: Vec<usize>,
+    clock: Box<dyn ClockObj>,
+}
+
+/// Object-safe clock adapter (the public [`Clock`] trait is not dyn-safe
+/// restricted, but keep the box private regardless).
+trait ClockObj {
+    fn now_micros(&mut self) -> u64;
+}
+
+impl std::fmt::Debug for dyn ClockObj {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Clock")
+    }
+}
+
+impl<C: Clock> ClockObj for C {
+    fn now_micros(&mut self) -> u64 {
+        Clock::now_micros(self)
+    }
+}
+
+/// A hierarchical profiler of named scopes (see module docs).
+///
+/// Cloning is shallow: clones share the same tree, which is what lets a
+/// guard outlive the borrow that created it.
+#[derive(Debug, Clone)]
+pub struct SpanTree {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl Default for SpanTree {
+    fn default() -> Self {
+        SpanTree::new()
+    }
+}
+
+impl SpanTree {
+    /// An empty tree timing through a [`MonotonicClock`].
+    pub fn new() -> Self {
+        SpanTree::with_clock(MonotonicClock::new())
+    }
+
+    /// An empty tree timing through `clock`.
+    pub fn with_clock(clock: impl Clock + 'static) -> Self {
+        SpanTree {
+            inner: Rc::new(RefCell::new(Inner {
+                nodes: Vec::new(),
+                roots: Vec::new(),
+                stack: Vec::new(),
+                clock: Box::new(clock),
+            })),
+        }
+    }
+
+    /// Opens a scope named `name` under the currently open scope (or as a
+    /// root). Dropping the returned guard closes it — also on panic.
+    pub fn enter(&self, name: impl Into<Cow<'static, str>>) -> SpanGuard {
+        let name = name.into();
+        let mut inner = self.inner.borrow_mut();
+        let parent = inner.stack.last().copied();
+        let idx = inner.find_or_insert(parent, name);
+        let now = inner.clock.now_micros();
+        let node = &mut inner.nodes[idx];
+        node.calls += 1;
+        debug_assert!(node.opened_at.is_none(), "scope re-entered while open");
+        node.opened_at = Some(now);
+        inner.stack.push(idx);
+        SpanGuard {
+            tree: Rc::clone(&self.inner),
+            idx,
+        }
+    }
+
+    /// Runs `f` inside a scope named `name` (convenience over [`enter`]).
+    ///
+    /// [`enter`]: SpanTree::enter
+    pub fn scope<T>(&self, name: impl Into<Cow<'static, str>>, f: impl FnOnce() -> T) -> T {
+        let _guard = self.enter(name);
+        f()
+    }
+
+    /// Adds (or merges into) the node at `path`, crediting `micros` of
+    /// already-measured cumulative time and `calls` entries. Ancestors are
+    /// created as zero-cost structural nodes when missing; a sampler that
+    /// wants the parent to cover its children should `add_measured` the
+    /// parent's own total too.
+    pub fn add_measured(&self, path: &[&str], micros: u64, calls: u64) {
+        assert!(!path.is_empty(), "add_measured needs a non-empty path");
+        let mut inner = self.inner.borrow_mut();
+        let mut parent = None;
+        let mut idx = 0;
+        for seg in path {
+            idx = inner.find_or_insert(parent, Cow::Owned(seg.to_string()));
+            parent = Some(idx);
+        }
+        let node = &mut inner.nodes[idx];
+        node.cum_micros += micros;
+        node.calls += calls;
+    }
+
+    /// The flattened tree, depth-first, parents before children.
+    ///
+    /// Open scopes are reported with the time elapsed so far.
+    pub fn snapshot(&self) -> Vec<SpanEntry> {
+        let mut inner = self.inner.borrow_mut();
+        let now = inner.clock.now_micros();
+        let mut out = Vec::with_capacity(inner.nodes.len());
+        let roots = inner.roots.clone();
+        for r in roots {
+            Inner::flatten(&inner.nodes, r, 0, now, &mut out);
+        }
+        out
+    }
+
+    /// Renders a flame-style indented breakdown: one line per node with
+    /// cumulative/self microseconds, call counts, and the share of its
+    /// root's cumulative time.
+    pub fn render(&self) -> String {
+        let entries = self.snapshot();
+        let mut out = String::new();
+        let mut denom = 1.0f64;
+        for (i, e) in entries.iter().enumerate() {
+            if e.depth == 0 {
+                // Percentages are per root subtree. A structural root
+                // (assembled via `add_measured` with no total of its own)
+                // has cum 0; its direct children's sum is the real base.
+                let children: u64 = entries[i + 1..]
+                    .iter()
+                    .take_while(|c| c.depth > 0)
+                    .filter(|c| c.depth == 1)
+                    .map(|c| c.cum_micros)
+                    .sum();
+                denom = e.cum_micros.max(children).max(1) as f64;
+            }
+            let pct = 100.0 * e.cum_micros as f64 / denom;
+            out.push_str(&format!(
+                "{:indent$}{:<width$} {:>10} µs cum  {:>10} µs self  {:>8} calls  {:>5.1}%\n",
+                "",
+                e.name,
+                e.cum_micros,
+                e.self_micros,
+                e.calls,
+                pct,
+                indent = 2 * e.depth,
+                width = 24usize.saturating_sub(2 * e.depth),
+            ));
+        }
+        out
+    }
+
+    /// Exports one `span_tree` record per node on `target`: `path`
+    /// (slash-joined), `depth`, `calls`, `cum_micros`, `self_micros`.
+    pub fn to_records(&self, target: &'static str) -> Vec<Record> {
+        self.snapshot()
+            .iter()
+            .map(|e| {
+                Record::new(target, "span_tree")
+                    .with("path", e.path.clone())
+                    .with("depth", e.depth)
+                    .with("calls", e.calls)
+                    .with("cum_micros", e.cum_micros)
+                    .with("self_micros", e.self_micros)
+            })
+            .collect()
+    }
+}
+
+impl Inner {
+    fn find_or_insert(&mut self, parent: Option<usize>, name: Cow<'static, str>) -> usize {
+        let siblings: &[usize] = match parent {
+            Some(p) => &self.nodes[p].children,
+            None => &self.roots,
+        };
+        if let Some(&idx) = siblings.iter().find(|&&i| self.nodes[i].name == name) {
+            return idx;
+        }
+        let idx = self.nodes.len();
+        self.nodes.push(Node {
+            name,
+            parent,
+            children: Vec::new(),
+            cum_micros: 0,
+            calls: 0,
+            opened_at: None,
+        });
+        match parent {
+            Some(p) => self.nodes[p].children.push(idx),
+            None => self.roots.push(idx),
+        }
+        idx
+    }
+
+    fn flatten(nodes: &[Node], idx: usize, depth: usize, now: u64, out: &mut Vec<SpanEntry>) {
+        let node = &nodes[idx];
+        // An open node's running entry counts up to "now".
+        let open_extra = node.opened_at.map_or(0, |t| now.saturating_sub(t));
+        let cum = node.cum_micros + open_extra;
+        let children_cum: u64 = node
+            .children
+            .iter()
+            .map(|&c| {
+                let ch = &nodes[c];
+                ch.cum_micros + ch.opened_at.map_or(0, |t| now.saturating_sub(t))
+            })
+            .sum();
+        let path = {
+            let mut segs = vec![node.name.as_ref()];
+            let mut p = node.parent;
+            while let Some(i) = p {
+                segs.push(nodes[i].name.as_ref());
+                p = nodes[i].parent;
+            }
+            segs.reverse();
+            segs.join("/")
+        };
+        out.push(SpanEntry {
+            name: node.name.to_string(),
+            path,
+            depth,
+            calls: node.calls,
+            cum_micros: cum,
+            self_micros: cum.saturating_sub(children_cum),
+        });
+        for &c in &node.children {
+            Self::flatten(nodes, c, depth + 1, now, out);
+        }
+    }
+}
+
+/// One node of a [`SpanTree::snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEntry {
+    /// The node's own name.
+    pub name: String,
+    /// Slash-joined path from the root, e.g. `sim.run/rounds/deliver`.
+    pub path: String,
+    /// Depth in the tree (roots are 0).
+    pub depth: usize,
+    /// Times the scope was entered (or sampler-credited).
+    pub calls: u64,
+    /// Cumulative microseconds, descendants included.
+    pub cum_micros: u64,
+    /// Cumulative minus children's cumulative.
+    pub self_micros: u64,
+}
+
+/// Closes its scope on drop — including during panic unwinding.
+#[must_use = "dropping the guard immediately closes the scope"]
+pub struct SpanGuard {
+    tree: Rc<RefCell<Inner>>,
+    idx: usize,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let mut inner = self.tree.borrow_mut();
+        let now = inner.clock.now_micros();
+        // Unwind any scopes opened inside this one whose guards were
+        // leaked past ours (drop order in one stack frame closes the
+        // innermost first, so this loop normally pops exactly one).
+        while let Some(top) = inner.stack.pop() {
+            let node = &mut inner.nodes[top];
+            if let Some(t) = node.opened_at.take() {
+                node.cum_micros += now.saturating_sub(t);
+            }
+            if top == self.idx {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VirtualClock;
+
+    /// Finds a snapshot entry by path.
+    fn entry<'a>(snap: &'a [SpanEntry], path: &str) -> &'a SpanEntry {
+        snap.iter()
+            .find(|e| e.path == path)
+            .unwrap_or_else(|| panic!("no span at {path}"))
+    }
+
+    #[test]
+    fn nesting_and_self_vs_cumulative() {
+        // Virtual clock: every reading advances 1µs, so durations are the
+        // number of readings between enter and exit.
+        let tree = SpanTree::with_clock(VirtualClock::sequence());
+        {
+            let _run = tree.enter("run"); // reading 0
+            {
+                let _a = tree.enter("a"); // 1
+                let _ = tree.inner.borrow_mut().clock.now_micros(); // 2: 1µs of work
+            } // a exits at 3 → cum 2
+            {
+                let _b = tree.enter("b"); // 4
+            } // b exits at 5 → cum 1
+        } // run exits at 6 → cum 6
+        let snap = tree.snapshot();
+        let run = entry(&snap, "run");
+        let a = entry(&snap, "run/a");
+        let b = entry(&snap, "run/b");
+        assert_eq!(run.cum_micros, 6);
+        assert_eq!(a.cum_micros, 2);
+        assert_eq!(b.cum_micros, 1);
+        assert_eq!(run.self_micros, 6 - 2 - 1);
+        assert_eq!(a.depth, 1);
+        assert_eq!(run.calls, 1);
+    }
+
+    #[test]
+    fn reentering_a_name_aggregates() {
+        let tree = SpanTree::with_clock(VirtualClock::sequence());
+        let _run = tree.enter("run");
+        for _ in 0..5 {
+            let _phase = tree.enter("phase");
+        }
+        drop(_run);
+        let snap = tree.snapshot();
+        assert_eq!(snap.len(), 2, "one run node, one aggregated phase node");
+        let phase = entry(&snap, "run/phase");
+        assert_eq!(phase.calls, 5);
+    }
+
+    #[test]
+    fn drop_guard_closes_scopes_on_panic() {
+        let tree = SpanTree::with_clock(VirtualClock::sequence());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _outer = tree.enter("outer");
+            let _inner = tree.enter("inner");
+            panic!("scope explodes");
+        }));
+        assert!(result.is_err());
+        // Both scopes were closed by unwinding; the stack is empty and a
+        // fresh scope nests at the root, not under a leaked "outer".
+        {
+            let _after = tree.enter("after");
+        }
+        let snap = tree.snapshot();
+        assert!(snap.iter().all(|e| e.path != "outer/after"));
+        let outer = entry(&snap, "outer");
+        let inner = entry(&snap, "outer/inner");
+        assert!(outer.cum_micros >= inner.cum_micros);
+        assert_eq!(entry(&snap, "after").depth, 0);
+    }
+
+    #[test]
+    fn measured_totals_build_a_tree_without_scopes() {
+        let tree = SpanTree::with_clock(VirtualClock::sequence());
+        tree.add_measured(&["sim.run"], 100, 1);
+        tree.add_measured(&["sim.run", "rounds", "deliver"], 30, 10);
+        tree.add_measured(&["sim.run", "rounds", "compute"], 50, 10);
+        tree.add_measured(&["sim.run", "rounds"], 85, 10);
+        let snap = tree.snapshot();
+        let run = entry(&snap, "sim.run");
+        // add_measured credits are cumulative values as given; structural
+        // parents report self = own - children.
+        assert_eq!(run.cum_micros, 100);
+        assert_eq!(run.self_micros, 100 - 85);
+        let rounds = entry(&snap, "sim.run/rounds");
+        assert_eq!(rounds.self_micros, 85 - 30 - 50);
+        let render = tree.render();
+        assert!(render.contains("deliver"));
+        assert!(
+            render.contains("100.0%") || render.contains("100%"),
+            "{render}"
+        );
+        let recs = tree.to_records("profile");
+        assert_eq!(recs.len(), 4);
+        assert!(recs
+            .iter()
+            .any(|r| r.field("path").and_then(crate::Value::as_str)
+                == Some("sim.run/rounds/compute")));
+    }
+}

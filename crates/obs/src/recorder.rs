@@ -2,14 +2,16 @@
 //! implementations.
 
 use std::io::Write;
-use std::time::Instant;
 
+use crate::clock::{Clock, MonotonicClock};
 use crate::Record;
 
 /// A pluggable sink for [`Record`]s.
 ///
-/// Receivers stamp `ts` (microseconds since the sink's creation) so that
-/// emitting code stays clock-free and deterministic.
+/// Receivers stamp `ts` through their [`Clock`] (microseconds since the
+/// sink's creation by default) so that emitting code stays clock-free and
+/// deterministic; a [`crate::VirtualClock`] makes the stamps themselves
+/// deterministic.
 pub trait Recorder {
     /// Consumes one record.
     fn record(&mut self, rec: Record);
@@ -27,10 +29,17 @@ impl Recorder for NullRecorder {
 }
 
 /// Collects records in memory, for tests and in-process analysis.
-#[derive(Debug)]
 pub struct MemoryRecorder {
-    epoch: Instant,
+    clock: Box<dyn Clock>,
     records: Vec<Record>,
+}
+
+impl std::fmt::Debug for MemoryRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoryRecorder")
+            .field("records", &self.records.len())
+            .finish_non_exhaustive()
+    }
 }
 
 impl Default for MemoryRecorder {
@@ -40,10 +49,16 @@ impl Default for MemoryRecorder {
 }
 
 impl MemoryRecorder {
-    /// An empty in-memory sink.
+    /// An empty in-memory sink stamping with a [`MonotonicClock`].
     pub fn new() -> Self {
+        MemoryRecorder::with_clock(MonotonicClock::new())
+    }
+
+    /// An empty in-memory sink stamping through `clock` (pass a
+    /// [`crate::VirtualClock`] for deterministic `ts` values).
+    pub fn with_clock(clock: impl Clock + 'static) -> Self {
         MemoryRecorder {
-            epoch: Instant::now(),
+            clock: Box::new(clock),
             records: Vec::new(),
         }
     }
@@ -71,7 +86,7 @@ impl MemoryRecorder {
 
 impl Recorder for MemoryRecorder {
     fn record(&mut self, mut rec: Record) {
-        rec.ts = self.epoch.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        rec.ts = self.clock.now_micros();
         self.records.push(rec);
     }
 }
@@ -81,19 +96,32 @@ impl Recorder for MemoryRecorder {
 /// JSON is emitted by [`Record::to_json`] — hand-rolled escaping, no
 /// external dependencies. Write errors are counted rather than panicking,
 /// so instrumentation can never take down a run.
-#[derive(Debug)]
 pub struct JsonlSink<W: Write> {
-    epoch: Instant,
+    clock: Box<dyn Clock>,
     out: W,
     written: u64,
     errors: u64,
 }
 
+impl<W: Write> std::fmt::Debug for JsonlSink<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink")
+            .field("written", &self.written)
+            .field("errors", &self.errors)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<W: Write> JsonlSink<W> {
-    /// A sink writing to `out`.
+    /// A sink writing to `out`, stamping with a [`MonotonicClock`].
     pub fn new(out: W) -> Self {
+        JsonlSink::with_clock(out, MonotonicClock::new())
+    }
+
+    /// A sink writing to `out`, stamping through `clock`.
+    pub fn with_clock(out: W, clock: impl Clock + 'static) -> Self {
         JsonlSink {
-            epoch: Instant::now(),
+            clock: Box::new(clock),
             out,
             written: 0,
             errors: 0,
@@ -119,7 +147,7 @@ impl<W: Write> JsonlSink<W> {
 
 impl<W: Write> Recorder for JsonlSink<W> {
     fn record(&mut self, mut rec: Record) {
-        rec.ts = self.epoch.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        rec.ts = self.clock.now_micros();
         let line = rec.to_json();
         match self
             .out
@@ -194,6 +222,33 @@ mod tests {
         assert_eq!(parsed.len(), 2);
         assert_eq!(parsed[0].u64_field("bits"), Some(96));
         assert_eq!(parsed[1].target, "comm.transcript");
+    }
+
+    #[test]
+    fn virtual_clock_makes_stamps_deterministic() {
+        let run = || {
+            let mut rec = MemoryRecorder::with_clock(crate::VirtualClock::sequence());
+            rec.record(Record::new("sim", "round"));
+            rec.record(Record::new("sim", "round"));
+            rec.record(Record::new("sim", "summary"));
+            rec.into_records()
+                .iter()
+                .map(|r| r.to_json())
+                .collect::<Vec<_>>()
+        };
+        let a = run();
+        assert_eq!(a, run(), "virtual-clock traces are byte-stable");
+        assert!(a[0].starts_with("{\"ts\":0,"));
+        assert!(a[1].starts_with("{\"ts\":1,"));
+        assert!(a[2].starts_with("{\"ts\":2,"));
+
+        let mut sink = JsonlSink::with_clock(Vec::new(), crate::VirtualClock::new(5, 10));
+        sink.record(Record::new("a", "b"));
+        sink.record(Record::new("a", "b"));
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let parsed = parse_jsonl(&text).unwrap();
+        assert_eq!(parsed[0].ts, 5);
+        assert_eq!(parsed[1].ts, 15);
     }
 
     #[test]

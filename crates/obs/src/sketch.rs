@@ -1,0 +1,256 @@
+//! A mergeable quantile sketch for latency and bit-count distributions.
+//!
+//! DDSketch-style log-bucket design: values land in geometric buckets
+//! `γ^i ≤ v < γ^(i+1)` with `γ = (1 + α)/(1 - α)`, so any reported
+//! quantile is within **relative error α** of a true sample value at that
+//! rank (the classic "quantile-accurate, not mean-accurate" guarantee;
+//! defaults to α = 1%). The [`crate::Histogram`]'s log₂ buckets answer
+//! "what order of magnitude"; this sketch answers "what is p99, to 1%".
+//!
+//! Merging is bucket-wise counter addition, which makes it *exactly*
+//! associative and commutative — each parallel worker keeps its own
+//! sketch and the reduction is deterministic regardless of merge order
+//! (the property the proptests pin). Memory is bounded by the number of
+//! distinct occupied buckets: ~capped by `log_γ(max/min)`, a few hundred
+//! entries across the full `u64` range at α = 1%.
+
+use std::collections::BTreeMap;
+
+use crate::Record;
+
+/// A mergeable quantile sketch over `u64` observations (see module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantileSketch {
+    /// Relative-accuracy parameter α (quantiles are within `±α·value`).
+    alpha: f64,
+    /// ln γ with γ = (1+α)/(1-α), precomputed for bucket indexing.
+    ln_gamma: f64,
+    /// Occupied buckets: index `i` covers `(γ^(i-1), γ^i]`.
+    buckets: BTreeMap<i64, u64>,
+    /// Zero is exact (it has no log bucket).
+    zero_count: u64,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        QuantileSketch::new(0.01)
+    }
+}
+
+impl QuantileSketch {
+    /// An empty sketch with relative accuracy `alpha` (`0 < alpha < 1`).
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0, 1)");
+        let gamma = (1.0 + alpha) / (1.0 - alpha);
+        QuantileSketch {
+            alpha,
+            ln_gamma: gamma.ln(),
+            buckets: BTreeMap::new(),
+            zero_count: 0,
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The sketch's relative-accuracy parameter.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The bucket index of a non-zero value: `ceil(ln v / ln γ)`.
+    fn bucket_index(&self, v: u64) -> i64 {
+        ((v as f64).ln() / self.ln_gamma).ceil() as i64
+    }
+
+    /// A representative value for bucket `i`: the geometric midpoint
+    /// `2γ^i/(γ+1) = γ^(i-1)·(2γ/(γ+1))`, within α of everything the
+    /// bucket covers.
+    fn bucket_value(&self, i: i64) -> f64 {
+        let gamma = (1.0 + self.alpha) / (1.0 - self.alpha);
+        2.0 * (self.ln_gamma * i as f64).exp() / (gamma + 1.0)
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, v: u64) {
+        if v == 0 {
+            self.zero_count += 1;
+        } else {
+            *self.buckets.entry(self.bucket_index(v)).or_insert(0) += 1;
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Folds another sketch into this one (bucket-wise addition — exactly
+    /// associative and commutative).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two sketches were built with different `alpha`
+    /// (their buckets are incompatible).
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        assert!(
+            (self.alpha - other.alpha).abs() < 1e-12,
+            "cannot merge sketches with different alpha"
+        );
+        for (&i, &c) in &other.buckets {
+            *self.buckets.entry(i).or_insert(0) += c;
+        }
+        self.zero_count += other.zero_count;
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// The `q`-quantile (`0 ≤ q ≤ 1`), within relative error α of the
+    /// sample value at rank `⌈q·count⌉`. `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if rank <= self.zero_count {
+            return Some(0.0);
+        }
+        let mut seen = self.zero_count;
+        for (&i, &c) in &self.buckets {
+            seen += c;
+            if seen >= rank {
+                // Clamp into the observed range so p0/p100 never stray
+                // outside actual samples.
+                return Some(self.bucket_value(i).clamp(self.min as f64, self.max as f64));
+            }
+        }
+        Some(self.max as f64)
+    }
+
+    /// Renders as a `sketch` record: count/sum/min/max plus `p50`, `p90`,
+    /// `p99`, and `p100` estimates.
+    pub fn to_record(&self, target: &'static str, name: &'static str) -> Record {
+        let q = |x| self.quantile(x).unwrap_or(0.0);
+        Record::new(target, "sketch")
+            .with("name", name)
+            .with("alpha", self.alpha)
+            .with("count", self.count)
+            .with("sum", self.sum)
+            .with("min", self.min().unwrap_or(0))
+            .with("max", self.max().unwrap_or(0))
+            .with("p50", q(0.5))
+            .with("p90", q(0.9))
+            .with("p99", q(0.99))
+            .with("p100", q(1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The true q-quantile of a sorted sample (rank ⌈q·n⌉, 1-based).
+    fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    #[test]
+    fn quantiles_within_relative_error() {
+        let alpha = 0.01;
+        let mut sk = QuantileSketch::new(alpha);
+        let mut values: Vec<u64> = (0..10_000u64)
+            .map(|i| (i.wrapping_mul(0x9E3779B97F4A7C15) >> 40) + 1)
+            .collect();
+        for &v in &values {
+            sk.observe(v);
+        }
+        values.sort_unstable();
+        for q in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let est = sk.quantile(q).unwrap();
+            let exact = exact_quantile(&values, q) as f64;
+            let rel = (est - exact).abs() / exact;
+            assert!(
+                rel <= alpha + 1e-9,
+                "q={q}: est {est} vs exact {exact} (rel {rel})"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_and_extremes() {
+        let mut sk = QuantileSketch::new(0.02);
+        assert_eq!(sk.quantile(0.5), None);
+        for _ in 0..10 {
+            sk.observe(0);
+        }
+        sk.observe(u64::MAX);
+        assert_eq!(sk.quantile(0.5), Some(0.0));
+        assert_eq!(sk.min(), Some(0));
+        assert_eq!(sk.max(), Some(u64::MAX));
+        // p100 clamps to the observed max, not the bucket's upper edge.
+        assert!(sk.quantile(1.0).unwrap() <= u64::MAX as f64);
+    }
+
+    #[test]
+    fn merge_is_exact_bucket_addition() {
+        let mut a = QuantileSketch::new(0.01);
+        let mut b = QuantileSketch::new(0.01);
+        let mut whole = QuantileSketch::new(0.01);
+        for v in [1u64, 5, 5, 1000, 0] {
+            a.observe(v);
+            whole.observe(v);
+        }
+        for v in [2u64, 99, 12345] {
+            b.observe(v);
+            whole.observe(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole, "merge == observing everything in one sketch");
+    }
+
+    #[test]
+    #[should_panic(expected = "different alpha")]
+    fn merge_rejects_mismatched_alpha() {
+        let mut a = QuantileSketch::new(0.01);
+        a.merge(&QuantileSketch::new(0.02));
+    }
+
+    #[test]
+    fn record_has_quantile_fields() {
+        let mut sk = QuantileSketch::default();
+        for v in 1..=100u64 {
+            sk.observe(v);
+        }
+        let r = sk.to_record("sim", "round_micros");
+        assert_eq!(r.u64_field("count"), Some(100));
+        let p50 = r.field("p50").and_then(crate::Value::as_f64).unwrap();
+        assert!((p50 - 50.0).abs() <= 1.0, "p50 = {p50}");
+    }
+}

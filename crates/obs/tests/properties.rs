@@ -1,0 +1,177 @@
+//! Property tests for the mergeable metric types and the streaming
+//! aggregator: `Histogram::merge` and `QuantileSketch::merge` must be
+//! associative and commutative (parallel workers reduce in arbitrary
+//! order), sketch quantiles must honor the relative-error bound, and a
+//! streaming [`Aggregator`] fold must equal a full-buffer fold however
+//! the record stream is chunked.
+
+use congest_obs::{Aggregator, Histogram, QuantileSketch, Record};
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random values derived from a seed (splitmix64),
+/// spanning several orders of magnitude like bit counts do.
+fn values_from_seed(seed: u64, len: usize) -> Vec<u64> {
+    let mut x = seed;
+    (0..len)
+        .map(|_| {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            // Vary magnitude: shift by 0..48 bits so buckets across the
+            // whole log range get exercised (including zero).
+            z >> (z % 49)
+        })
+        .collect()
+}
+
+fn hist_of(values: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.observe(v);
+    }
+    h
+}
+
+fn sketch_of(values: &[u64]) -> QuantileSketch {
+    let mut s = QuantileSketch::new(0.01);
+    for &v in values {
+        s.observe(v);
+    }
+    s
+}
+
+fn records_from_seed(seed: u64, len: usize) -> Vec<Record> {
+    values_from_seed(seed, len)
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| {
+            let (target, event) = match v % 3 {
+                0 => ("sim", "round"),
+                1 => ("sim", "fault"),
+                _ => ("solver.mds", "search"),
+            };
+            let mut r = Record::new(target, event)
+                .with("i", i as u64)
+                .with("v", v)
+                .with("half", v as f64 / 2.0)
+                .with("odd", v % 2 == 1);
+            r.ts = i as u64;
+            r
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn histogram_merge_is_commutative(sa in 0u64..1_000_000, sb in 0u64..1_000_000,
+                                      la in 0usize..200, lb in 0usize..200) {
+        let a = hist_of(&values_from_seed(sa, la));
+        let b = hist_of(&values_from_seed(sb, lb));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn histogram_merge_is_associative(sa in 0u64..1_000_000, sb in 0u64..1_000_000,
+                                      sc in 0u64..1_000_000, len in 0usize..150) {
+        let a = hist_of(&values_from_seed(sa, len));
+        let b = hist_of(&values_from_seed(sb, len / 2 + 1));
+        let c = hist_of(&values_from_seed(sc, len / 3 + 1));
+        // (a ⊔ b) ⊔ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a ⊔ (b ⊔ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn histogram_merge_equals_single_pass(sa in 0u64..1_000_000, sb in 0u64..1_000_000,
+                                          la in 0usize..200, lb in 0usize..200) {
+        let va = values_from_seed(sa, la);
+        let vb = values_from_seed(sb, lb);
+        let mut merged = hist_of(&va);
+        merged.merge(&hist_of(&vb));
+        let mut whole: Vec<u64> = va;
+        whole.extend_from_slice(&vb);
+        prop_assert_eq!(merged, hist_of(&whole));
+    }
+
+    #[test]
+    fn sketch_merge_is_associative_and_commutative(sa in 0u64..1_000_000,
+                                                   sb in 0u64..1_000_000,
+                                                   sc in 0u64..1_000_000,
+                                                   len in 1usize..120) {
+        let a = sketch_of(&values_from_seed(sa, len));
+        let b = sketch_of(&values_from_seed(sb, len));
+        let c = sketch_of(&values_from_seed(sc, len));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+        let mut left = ab;
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn sketch_quantiles_stay_within_alpha(seed in 0u64..1_000_000, len in 1usize..400) {
+        let mut values = values_from_seed(seed, len);
+        let sk = sketch_of(&values);
+        values.sort_unstable();
+        for q in [0.25, 0.5, 0.9, 0.99, 1.0] {
+            let rank = ((q * len as f64).ceil() as usize).clamp(1, len);
+            let exact = values[rank - 1];
+            let est = sk.quantile(q).unwrap();
+            if exact == 0 {
+                prop_assert_eq!(est, 0.0, "q={} of all-zero prefix", q);
+            } else {
+                let rel = (est - exact as f64).abs() / exact as f64;
+                prop_assert!(
+                    rel <= sk.alpha() + 1e-9,
+                    "q={}: est {} vs exact {} (rel {})", q, est, exact, rel
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn aggregator_streaming_equals_full_buffer(seed in 0u64..1_000_000,
+                                               len in 0usize..250,
+                                               split in 0usize..250) {
+        let records = records_from_seed(seed, len);
+        // Stream one record at a time.
+        let mut streamed = Aggregator::new();
+        for r in &records {
+            streamed.fold(r);
+        }
+        // Fold the whole buffer at once.
+        let mut buffered = Aggregator::new();
+        buffered.fold_all(&records);
+        prop_assert_eq!(&streamed, &buffered);
+        // Any chunking in between gives the same state and the same
+        // summary document.
+        let cut = split.min(len);
+        let mut chunked = Aggregator::new();
+        chunked.fold_all(&records[..cut]);
+        chunked.fold_all(&records[cut..]);
+        prop_assert_eq!(&streamed, &chunked);
+        prop_assert_eq!(streamed.summary_json(), buffered.summary_json());
+    }
+}

@@ -15,8 +15,9 @@
 //!   Panics inside a worker are caught per-item and re-raised on the
 //!   caller thread — again for the lowest panicking index — instead of
 //!   aborting the scope or hanging siblings.
-//! * [`PoolStats`] — per-worker item counters, exportable as
-//!   `congest-obs` records for trace inspection.
+//! * [`PoolStats`] — per-worker item counters plus busy/idle wall time
+//!   (how well did the load balance?), exportable as `congest-obs`
+//!   records for trace inspection.
 //!
 //! Claims are handed out in increasing index order, so once a failure at
 //! index `i` is observed every index `< i` has already been claimed; the
@@ -42,6 +43,7 @@
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 use congest_obs::{Histogram, Record};
 
@@ -73,6 +75,13 @@ pub struct PoolStats {
     pub workers: usize,
     /// Items fully processed by each worker (`len() == workers`).
     pub items_per_worker: Vec<u64>,
+    /// Microseconds each worker spent inside the mapped closure.
+    pub busy_micros_per_worker: Vec<u64>,
+    /// Microseconds each worker spent *not* inside the closure — claim
+    /// contention plus the tail wait after its last item while siblings
+    /// finished. High idle on some workers with low idle on others means
+    /// the items were too coarse to balance.
+    pub idle_micros_per_worker: Vec<u64>,
 }
 
 impl PoolStats {
@@ -81,9 +90,44 @@ impl PoolStats {
         self.items_per_worker.iter().sum()
     }
 
+    /// Total microseconds spent inside the mapped closure.
+    pub fn busy_micros(&self) -> u64 {
+        self.busy_micros_per_worker.iter().sum()
+    }
+
+    /// Total microseconds of worker idle time.
+    pub fn idle_micros(&self) -> u64 {
+        self.idle_micros_per_worker.iter().sum()
+    }
+
+    /// Busy fraction of total worker wall time, in `[0, 1]` (`None` when
+    /// nothing was measured).
+    pub fn utilization(&self) -> Option<f64> {
+        let busy = self.busy_micros();
+        let wall = busy + self.idle_micros();
+        (wall > 0).then(|| busy as f64 / wall as f64)
+    }
+
+    /// Folds another invocation's counters into this one (for
+    /// accumulating utilization across a sweep of pool calls). Workers
+    /// are matched by index; the wider invocation decides the width.
+    pub fn absorb(&mut self, other: &PoolStats) {
+        self.workers = self.workers.max(other.workers);
+        grow_add(&mut self.items_per_worker, &other.items_per_worker);
+        grow_add(
+            &mut self.busy_micros_per_worker,
+            &other.busy_micros_per_worker,
+        );
+        grow_add(
+            &mut self.idle_micros_per_worker,
+            &other.idle_micros_per_worker,
+        );
+    }
+
     /// Exports the counters as `congest-obs` records: one `pool` summary
     /// (worker count, total items, min/max/mean per-worker load via a
-    /// log₂ histogram) plus one `worker` record per worker.
+    /// log₂ histogram, busy/idle totals and utilization) plus one
+    /// `worker` record per worker.
     pub fn to_records(&self, target: &'static str) -> Vec<Record> {
         let mut load = Histogram::new();
         for &n in &self.items_per_worker {
@@ -92,15 +136,36 @@ impl PoolStats {
         let mut out = vec![load
             .to_record(target, "items_per_worker")
             .with("workers", self.workers)
-            .with("items", self.total_items())];
+            .with("items", self.total_items())
+            .with("busy_micros", self.busy_micros())
+            .with("idle_micros", self.idle_micros())
+            .with("utilization", self.utilization().unwrap_or(0.0))];
         for (w, &n) in self.items_per_worker.iter().enumerate() {
             out.push(
                 Record::new(target, "worker")
                     .with("worker", w)
-                    .with("items", n),
+                    .with("items", n)
+                    .with(
+                        "busy_micros",
+                        self.busy_micros_per_worker.get(w).copied().unwrap_or(0),
+                    )
+                    .with(
+                        "idle_micros",
+                        self.idle_micros_per_worker.get(w).copied().unwrap_or(0),
+                    ),
             );
         }
         out
+    }
+}
+
+/// Element-wise add, growing `into` to `from`'s length as needed.
+fn grow_add(into: &mut Vec<u64>, from: &[u64]) {
+    if into.len() < from.len() {
+        into.resize(from.len(), 0);
+    }
+    for (a, &b) in into.iter_mut().zip(from) {
+        *a += b;
     }
 }
 
@@ -131,13 +196,19 @@ where
     let mut stats = PoolStats {
         workers: jobs,
         items_per_worker: vec![0; jobs],
+        busy_micros_per_worker: vec![0; jobs],
+        idle_micros_per_worker: vec![0; jobs],
     };
 
     if jobs == 1 {
         // Serial fast path: no threads, natural panic propagation, and
         // byte-identical behaviour for `--jobs 1` reproduction runs.
+        let wall_t0 = Instant::now();
+        let mut busy_nanos = 0u64;
         for (i, item) in items.iter().enumerate() {
+            let t0 = Instant::now();
             let outcome = f(i, item);
+            busy_nanos += t0.elapsed().as_nanos() as u64;
             stats.items_per_worker[0] += 1;
             match outcome {
                 Ok(v) => slots[i] = Some(v),
@@ -147,6 +218,9 @@ where
                 }
             }
         }
+        let wall_nanos = wall_t0.elapsed().as_nanos() as u64;
+        stats.busy_micros_per_worker[0] = busy_nanos / 1_000;
+        stats.idle_micros_per_worker[0] = wall_nanos.saturating_sub(busy_nanos) / 1_000;
         return (slots, failures, stats);
     }
 
@@ -156,14 +230,19 @@ where
         let handles: Vec<_> = (0..jobs)
             .map(|_| {
                 scope.spawn(|| {
+                    let wall_t0 = Instant::now();
                     let mut local: Vec<(usize, Result<U, Failure<E>>)> = Vec::new();
                     let mut processed = 0u64;
+                    let mut busy_nanos = 0u64;
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= items.len() || i >= failure_floor.load(Ordering::Relaxed) {
                             break;
                         }
-                        match catch_unwind(AssertUnwindSafe(|| f(i, &items[i]))) {
+                        let t0 = Instant::now();
+                        let outcome = catch_unwind(AssertUnwindSafe(|| f(i, &items[i])));
+                        busy_nanos += t0.elapsed().as_nanos() as u64;
+                        match outcome {
                             Ok(Ok(v)) => local.push((i, Ok(v))),
                             Ok(Err(e)) => {
                                 failure_floor.fetch_min(i, Ordering::Relaxed);
@@ -176,7 +255,8 @@ where
                         }
                         processed += 1;
                     }
-                    (local, processed)
+                    let wall_nanos = wall_t0.elapsed().as_nanos() as u64;
+                    (local, processed, busy_nanos, wall_nanos)
                 })
             })
             .collect();
@@ -186,8 +266,10 @@ where
             .collect::<Vec<_>>()
     });
 
-    for (w, (local, processed)) in worker_outputs.into_iter().enumerate() {
+    for (w, (local, processed, busy_nanos, wall_nanos)) in worker_outputs.into_iter().enumerate() {
         stats.items_per_worker[w] = processed;
+        stats.busy_micros_per_worker[w] = busy_nanos / 1_000;
+        stats.idle_micros_per_worker[w] = wall_nanos.saturating_sub(busy_nanos) / 1_000;
         for (i, outcome) in local {
             match outcome {
                 Ok(v) => slots[i] = Some(v),
@@ -315,6 +397,41 @@ mod tests {
         let recs = stats.to_records("par.pool");
         assert_eq!(recs.len(), 1 + 5);
         assert_eq!(recs[0].u64_field("items"), Some(97));
+    }
+
+    #[test]
+    fn busy_and_idle_time_are_recorded_per_worker() {
+        let items: Vec<u64> = (0..24).collect();
+        for jobs in [1usize, 4] {
+            let (_, stats) = par_map_stats(jobs, &items, |_, &v| {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                v
+            });
+            assert_eq!(stats.busy_micros_per_worker.len(), stats.workers);
+            assert_eq!(stats.idle_micros_per_worker.len(), stats.workers);
+            // 24 sleeps of ≥1ms split across the workers.
+            assert!(
+                stats.busy_micros() >= 24_000,
+                "jobs={jobs}: busy {}µs",
+                stats.busy_micros()
+            );
+            let util = stats.utilization().expect("time was measured");
+            assert!(util > 0.0 && util <= 1.0, "jobs={jobs}: utilization {util}");
+            let rec = &stats.to_records("par.pool")[0];
+            assert!(rec.u64_field("busy_micros").is_some());
+            assert!(rec.u64_field("idle_micros").is_some());
+        }
+    }
+
+    #[test]
+    fn absorb_accumulates_across_invocations() {
+        let items: Vec<u64> = (0..10).collect();
+        let (_, mut acc) = par_map_stats(2, &items, |_, &v| v);
+        let (_, more) = par_map_stats(4, &items, |_, &v| v);
+        acc.absorb(&more);
+        assert_eq!(acc.workers, 4);
+        assert_eq!(acc.total_items(), 20);
+        assert_eq!(acc.items_per_worker.len(), 4);
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub mod hosting;
 mod link;
 mod model;
 pub mod observer;
+pub mod profile;
 
 pub use certify::{ProtocolFailure, SelfCertify};
 pub use error::{HostingError, SimError};
@@ -44,3 +45,4 @@ pub use model::{
     SimStats, Simulator,
 };
 pub use observer::{NoopRoundObserver, RoundDelta, RoundObserver, TraceObserver};
+pub use profile::{Phase, PhaseProfile};

@@ -1,10 +1,12 @@
 use std::collections::HashMap;
+use std::time::Instant;
 
 use congest_graph::{Csr, EdgeId, Graph, NodeId};
 
 use crate::error::SimError;
 use crate::link::{FaultCounters, FaultEvent, FaultKind, LinkFate, LinkLayer, PerfectLink};
 use crate::observer::{RoundDelta, RoundObserver};
+use crate::profile::{Phase, PhaseProfile};
 
 /// The default CONGEST bandwidth: `2·⌈log₂ n⌉ + 16` bits per edge per
 /// round — enough for a constant number of identifiers plus tags, the
@@ -338,9 +340,27 @@ struct Engine<'a, A: CongestAlgorithm, O, L> {
     csr: &'a Csr,
     observer: &'a mut O,
     link: &'a mut L,
+    /// Phase profiler, when the caller asked for one. `None` keeps the
+    /// hot path allocation- and clock-free; `Some` costs one branch per
+    /// round outside sampled rounds (see [`PhaseProfile`]).
+    prof: Option<&'a mut PhaseProfile>,
 }
 
 impl<A: CongestAlgorithm, O: RoundObserver, L: LinkLayer> Engine<'_, A, O, L> {
+    /// Whether the profiler is attached *and* sampling the current round.
+    #[inline]
+    fn prof_sampling(&self) -> bool {
+        self.prof.as_deref().is_some_and(PhaseProfile::sampling)
+    }
+
+    /// Attributes the time since `t0` (when timing was on) to `phase`.
+    #[inline]
+    fn prof_add(&mut self, phase: Phase, t0: Option<Instant>) {
+        if let (Some(t0), Some(p)) = (t0, self.prof.as_deref_mut()) {
+            p.add(phase, t0.elapsed().as_nanos() as u64);
+        }
+    }
+
     /// Accounts one message crossing edge `eid` in the global stats.
     fn meter(&mut self, eid: EdgeId, bits: u64) {
         self.stats.messages += 1;
@@ -570,6 +590,35 @@ impl<'g> Simulator<'g> {
         observer: &mut O,
         link: &mut L,
     ) -> Result<SimStats, SimError> {
+        self.try_run_inner(alg, max_rounds, observer, link, None)
+    }
+
+    /// Like [`Simulator::try_run_with`], with phase-level profiling: wall
+    /// time of sampled rounds is attributed to the `deliver`/`compute`/
+    /// `meter`/`link_fate`/`epilogue` phases in `profile` (which
+    /// accumulates across runs — reuse one profile to aggregate a
+    /// sweep). The execution and its `SimStats` are identical to the
+    /// unprofiled run; only wall-clock observation is added.
+    pub fn try_run_profiled<A: CongestAlgorithm, O: RoundObserver, L: LinkLayer>(
+        &self,
+        alg: &mut A,
+        max_rounds: u64,
+        observer: &mut O,
+        link: &mut L,
+        profile: &mut PhaseProfile,
+    ) -> Result<SimStats, SimError> {
+        self.try_run_inner(alg, max_rounds, observer, link, Some(profile))
+    }
+
+    fn try_run_inner<A: CongestAlgorithm, O: RoundObserver, L: LinkLayer>(
+        &self,
+        alg: &mut A,
+        max_rounds: u64,
+        observer: &mut O,
+        link: &mut L,
+        prof: Option<&mut PhaseProfile>,
+    ) -> Result<SimStats, SimError> {
+        let run_t0 = prof.is_some().then(Instant::now);
         let n = self.graph.num_nodes();
         let m = self.csr.num_edges();
         let ctx = NodeContext {
@@ -594,6 +643,7 @@ impl<'g> Simulator<'g> {
             csr: &self.csr,
             observer,
             link,
+            prof,
         };
         // The second inbox arena: swapped with `eng.in_flight` at each
         // delivery step, read as this round's inboxes, then cleared (the
@@ -601,11 +651,25 @@ impl<'g> Simulator<'g> {
         // nothing).
         let mut deliveries: Vec<Vec<(NodeId, A::Msg)>> = vec![Vec::new(); n];
         let mut outcome: Option<RunOutcome> = None;
+        // The init burst is profiled as round 0: `init` calls count as
+        // compute, their dispatches as meter/link-fate.
+        let init_sampled = match eng.prof.as_deref_mut() {
+            Some(p) => p.begin_round(0),
+            None => false,
+        };
+        let init_t0 = init_sampled.then(Instant::now);
         for v in 0..n {
+            let t0 = init_sampled.then(Instant::now);
             let out = alg.init(v, &ctx);
+            eng.prof_add(Phase::Compute, t0);
             self.dispatch::<A, O, L>(&mut eng, v, out, 0)?;
         }
+        let ep_t0 = init_sampled.then(Instant::now);
         eng.flush_round(0);
+        eng.prof_add(Phase::Epilogue, ep_t0);
+        if let (Some(t0), Some(p)) = (init_t0, eng.prof.as_deref_mut()) {
+            p.note_round(t0.elapsed().as_nanos() as u64);
+        }
         if self.budget_exceeded(&eng.stats) {
             outcome = Some(RunOutcome::BitBudget);
         }
@@ -616,6 +680,11 @@ impl<'g> Simulator<'g> {
                 outcome = Some(RunOutcome::RoundBudget);
                 break;
             }
+            let sampled = match eng.prof.as_deref_mut() {
+                Some(p) => p.begin_round(eng.stats.rounds + 1),
+                None => false,
+            };
+            let round_t0 = sampled.then(Instant::now);
             for v in eng.link.crashes_at(round as u64) {
                 if v < n && !halted[v] {
                     halted[v] = true;
@@ -642,7 +711,9 @@ impl<'g> Simulator<'g> {
                     if halted[v] {
                         continue;
                     }
+                    let t0 = sampled.then(Instant::now);
                     let (out, action) = alg.round(v, &ctx, round, &[]);
+                    eng.prof_add(Phase::Compute, t0);
                     any |= !out.is_empty();
                     let event_round = eng.stats.rounds + 1;
                     self.dispatch::<A, O, L>(&mut eng, v, out, event_round)?;
@@ -655,7 +726,9 @@ impl<'g> Simulator<'g> {
                         RoundOutcome::Continue => {}
                     }
                 }
+                let t0 = sampled.then(Instant::now);
                 outcome = self.round_epilogue(&mut eng, &mut round, node_abort);
+                eng.prof_add(Phase::Epilogue, t0);
                 if outcome.is_none()
                     && !any
                     && eng.in_flight.iter().all(Vec::is_empty)
@@ -663,17 +736,24 @@ impl<'g> Simulator<'g> {
                 {
                     outcome = Some(RunOutcome::Quiescent);
                 }
+                if let (Some(t0), Some(p)) = (round_t0, eng.prof.as_deref_mut()) {
+                    p.note_round(t0.elapsed().as_nanos() as u64);
+                }
                 continue;
             }
+            let t0 = sampled.then(Instant::now);
             std::mem::swap(&mut eng.in_flight, &mut deliveries);
             eng.mature_delays();
+            eng.prof_add(Phase::Deliver, t0);
             for (v, inbox) in deliveries.iter().enumerate() {
                 if halted[v] {
                     // Pending inbound messages to halted (or crash-stopped)
                     // nodes are dropped; the sender already paid the bits.
                     continue;
                 }
+                let t0 = sampled.then(Instant::now);
                 let (out, action) = alg.round(v, &ctx, round, inbox);
+                eng.prof_add(Phase::Compute, t0);
                 let event_round = eng.stats.rounds + 1;
                 self.dispatch::<A, O, L>(&mut eng, v, out, event_round)?;
                 match action {
@@ -685,12 +765,21 @@ impl<'g> Simulator<'g> {
                     RoundOutcome::Continue => {}
                 }
             }
+            let t0 = sampled.then(Instant::now);
             for inbox in &mut deliveries {
                 inbox.clear();
             }
+            eng.prof_add(Phase::Deliver, t0);
+            let t0 = sampled.then(Instant::now);
             outcome = self.round_epilogue(&mut eng, &mut round, node_abort);
+            eng.prof_add(Phase::Epilogue, t0);
+            if let (Some(t0), Some(p)) = (round_t0, eng.prof.as_deref_mut()) {
+                p.note_round(t0.elapsed().as_nanos() as u64);
+            }
         }
+        let t0 = run_t0.map(|_| Instant::now());
         eng.finalize_edge_map();
+        eng.prof_add(Phase::Epilogue, t0);
         let mut stats = eng.stats;
         let mut outcome = outcome.unwrap_or(RunOutcome::RoundBudget);
         // A run that used its whole round budget but ended with every node
@@ -700,6 +789,9 @@ impl<'g> Simulator<'g> {
         }
         stats.outcome = outcome;
         eng.observer.on_done(&stats);
+        if let (Some(t0), Some(p)) = (run_t0, eng.prof.as_deref_mut()) {
+            p.note_run(t0.elapsed().as_nanos() as u64);
+        }
         Ok(stats)
     }
 
@@ -747,6 +839,16 @@ impl<'g> Simulator<'g> {
         // per-call clearing (bumping the epoch invalidates all stamps).
         eng.seen_epoch += 1;
         let epoch = eng.seen_epoch;
+        // Per-message timing only in sampled rounds; nanos accumulate in
+        // locals and flush to the profiler once per dispatch call. The
+        // meter/fate segments are contiguous, so each boundary is read
+        // once and chained — two clock reads per message, the dominant
+        // profiling cost on hosts with slow clocks.
+        let sampling = eng.prof_sampling();
+        let mut meter_nanos = 0u64;
+        let mut fate_nanos = 0u64;
+        let mut timed_msgs = 0u64;
+        let mut prev = sampling.then(Instant::now);
         for (to, msg) in out {
             let Some(eid) = self.csr.edge_id(from, to) else {
                 return Err(SimError::NonNeighborSend { from, to, round });
@@ -766,6 +868,7 @@ impl<'g> Simulator<'g> {
                 });
             }
             eng.meter(eid, bits);
+            let t_meter = prev.is_some().then(Instant::now);
             match eng.link.fate(round, from, to, bits) {
                 LinkFate::Deliver | LinkFate::Delay { rounds: 0 } => {
                     eng.in_flight[to].push((from, msg));
@@ -830,6 +933,19 @@ impl<'g> Simulator<'g> {
                     });
                     eng.delayed.push((rounds, to, from, msg));
                 }
+            }
+            if let (Some(p0), Some(t1)) = (prev, t_meter) {
+                meter_nanos += t1.duration_since(p0).as_nanos() as u64;
+                let t2 = Instant::now();
+                fate_nanos += t2.duration_since(t1).as_nanos() as u64;
+                prev = Some(t2);
+                timed_msgs += 1;
+            }
+        }
+        if timed_msgs > 0 {
+            if let Some(p) = eng.prof.as_deref_mut() {
+                p.add_n(Phase::Meter, meter_nanos, timed_msgs);
+                p.add_n(Phase::LinkFate, fate_nanos, timed_msgs);
             }
         }
         Ok(())
@@ -896,6 +1012,58 @@ mod tests {
         fn output(&self, node: NodeId) -> Option<NodeId> {
             Some(self.best[node])
         }
+    }
+
+    #[test]
+    fn profiled_run_is_execution_identical_and_attributes_time() {
+        let g = congest_graph::generators::path(12);
+        let sim = Simulator::new(&g).stop_on_quiescence(true);
+        let mut plain_alg = MinIdFlood::new(12);
+        let plain = sim.try_run(&mut plain_alg, 100).expect("runs");
+
+        let mut prof = PhaseProfile::every_round();
+        let mut prof_alg = MinIdFlood::new(12);
+        let profiled = sim
+            .try_run_profiled(
+                &mut prof_alg,
+                100,
+                &mut crate::observer::NoopRoundObserver,
+                &mut PerfectLink,
+                &mut prof,
+            )
+            .expect("runs");
+
+        assert_eq!(profiled.rounds, plain.rounds);
+        assert_eq!(profiled.messages, plain.messages);
+        assert_eq!(profiled.total_bits, plain.total_bits);
+        assert_eq!(profiled.bits_per_edge, plain.bits_per_edge);
+        assert_eq!(profiled.outcome, plain.outcome);
+
+        let (total, sampled) = prof.rounds();
+        assert_eq!(total, sampled, "sample_every=1 samples every round");
+        assert_eq!(total, plain.rounds + 1, "init burst counts as round 0");
+        assert!(
+            prof.phase_calls(Phase::Meter) >= plain.messages,
+            "every message metered under profiling"
+        );
+        assert!(prof.run_micros() > 0);
+
+        // Coarse sampling measures fewer rounds but the same execution.
+        let mut coarse = PhaseProfile::new(4);
+        let mut coarse_alg = MinIdFlood::new(12);
+        let again = sim
+            .try_run_profiled(
+                &mut coarse_alg,
+                100,
+                &mut crate::observer::NoopRoundObserver,
+                &mut PerfectLink,
+                &mut coarse,
+            )
+            .expect("runs");
+        assert_eq!(again.total_bits, plain.total_bits);
+        let (ct, cs) = coarse.rounds();
+        assert_eq!(ct, total);
+        assert!(cs < ct, "guard skips unsampled rounds");
     }
 
     #[test]

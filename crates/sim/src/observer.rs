@@ -99,6 +99,7 @@ pub struct TraceObserver<R: Recorder> {
     cut: Vec<(NodeId, NodeId)>,
     cut_set: HashSet<(NodeId, NodeId)>,
     hot_edges: usize,
+    edge_records: bool,
 }
 
 impl<R: Recorder> TraceObserver<R> {
@@ -109,7 +110,18 @@ impl<R: Recorder> TraceObserver<R> {
             cut: Vec::new(),
             cut_set: HashSet::new(),
             hot_edges: 3,
+            edge_records: false,
         }
+    }
+
+    /// Also emits one `edge_round` record per `(edge, round)` with
+    /// traffic — `{round, u, v, bits}`, sorted by `(u, v)` within the
+    /// round so the stream is deterministic. This is the input for
+    /// congestion heatmaps (`tracectl heatmap`); it scales with
+    /// edges × rounds, so leave it off for big sweeps.
+    pub fn with_edge_records(mut self, on: bool) -> Self {
+        self.edge_records = on;
+        self
     }
 
     /// Designates the Alice↔Bob cut whose per-round crossing traffic is
@@ -134,8 +146,9 @@ impl<R: Recorder> TraceObserver<R> {
 
 impl<R: Recorder> RoundObserver for TraceObserver<R> {
     fn wants_edge_traffic(&self) -> bool {
-        // Needed only to attribute traffic to the designated cut.
-        !self.cut.is_empty()
+        // Needed to attribute traffic to the designated cut and for
+        // per-edge round records.
+        !self.cut.is_empty() || self.edge_records
     }
 
     fn on_round(&mut self, delta: &RoundDelta<'_>) {
@@ -148,6 +161,21 @@ impl<R: Recorder> RoundObserver for TraceObserver<R> {
             r = r.with("cut_bits", delta.bits_across(&self.cut));
         }
         self.rec.record(r);
+        if self.edge_records {
+            if let Some(map) = delta.edge_bits {
+                let mut edges: Vec<(&(NodeId, NodeId), &u64)> = map.iter().collect();
+                edges.sort_unstable_by_key(|(e, _)| **e);
+                for (&(u, v), &bits) in edges {
+                    self.rec.record(
+                        Record::new("sim", "edge_round")
+                            .with("round", delta.round)
+                            .with("u", u)
+                            .with("v", v)
+                            .with("bits", bits),
+                    );
+                }
+            }
+        }
     }
 
     fn on_fault(&mut self, event: &FaultEvent) {
@@ -331,6 +359,39 @@ mod tests {
             .next()
             .expect("fault_counters record");
         assert_eq!(counters.u64_field("drop"), Some(stats.faults.drops));
+    }
+
+    #[test]
+    fn edge_round_records_cover_all_traffic_in_sorted_order() {
+        let g = generators::cycle(6);
+        let sim = Simulator::new(&g);
+        let mut alg = LeaderElection::new(6);
+        let mut obs = TraceObserver::new(MemoryRecorder::new()).with_edge_records(true);
+        let stats = sim.run_observed(&mut alg, 100, &mut obs);
+        let mem = obs.into_recorder();
+        let edge_recs: Vec<_> = mem.by_event("edge_round").collect();
+        assert!(!edge_recs.is_empty());
+        // All traffic is covered: summing per-(edge, round) bits gives the
+        // run total, and per-edge sums match the final per-edge map.
+        let total: u64 = edge_recs.iter().map(|r| r.u64_field("bits").unwrap()).sum();
+        assert_eq!(total, stats.total_bits);
+        let mut per_edge: std::collections::HashMap<(usize, usize), u64> =
+            std::collections::HashMap::new();
+        let mut last: Option<(u64, usize, usize)> = None;
+        for r in &edge_recs {
+            let round = r.u64_field("round").unwrap();
+            let u = r.u64_field("u").unwrap() as usize;
+            let v = r.u64_field("v").unwrap() as usize;
+            *per_edge.entry((u, v)).or_default() += r.u64_field("bits").unwrap();
+            if let Some((lr, lu, lv)) = last {
+                assert!(
+                    (lr, lu, lv) <= (round, u, v),
+                    "edge_round stream sorted by (round, u, v)"
+                );
+            }
+            last = Some((round, u, v));
+        }
+        assert_eq!(per_edge, stats.bits_per_edge);
     }
 
     #[test]

@@ -17,7 +17,18 @@
 //!   seeded fault plan `FaultPlan::seeded(seed)` and print per-fault-type
 //!   counters after the phase summary. The demo writes to stderr (and the
 //!   trace, when `--trace` is given), so the main report stays
-//!   byte-identical whether or not the flag is present.
+//!   byte-identical whether or not the flag is present;
+//! * `--profile` — attach an every-round `PhaseProfile` to the E7
+//!   simulator runs and print the flame-style phase attribution
+//!   (deliver/compute/meter/link_fate/epilogue) plus coverage to stderr
+//!   after the phase summary. Execution is identical with or without the
+//!   profiler; like the other diagnostics this writes only to stderr and
+//!   the trace.
+//!
+//! When the verification sweeps run on the parallel pool (`--jobs` ≠ 1
+//! on a multicore host), a worker utilization summary — per-worker busy
+//! and idle time accumulated across every sweep — is printed to stderr
+//! after the phase summary.
 //!
 //! Each section corresponds to an experiment id (E1–E22) from the
 //! DESIGN.md index; the output is the paper-vs-measured record, followed
@@ -53,9 +64,10 @@ use congest_hardness::limits::nogo::corollary_5_3_ceiling;
 use congest_hardness::limits::protocols as lim;
 use congest_hardness::limits::SplitGraph;
 use congest_hardness::obs::{jsonl_file_sink, JsonlSink, NullRecorder, Record, Recorder};
+use congest_hardness::par::PoolStats;
 use congest_hardness::prelude::BitString;
 use congest_hardness::sim::algorithms::{LocalCutSolver, SampledMaxCut};
-use congest_hardness::sim::{Simulator, TraceObserver};
+use congest_hardness::sim::{PerfectLink, PhaseProfile, Simulator, TraceObserver};
 use congest_hardness::solvers::{maxcut, mds, mis, steiner};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -138,8 +150,15 @@ fn report_family<F: LowerBoundFamily + Sync>(
     fam: &F,
     inputs: &[(BitString, BitString)],
     jobs: usize,
+    pool_acc: &mut Option<PoolStats>,
 ) {
     let (res, stats) = verify_family_with(fam, inputs, &VerifyOptions::with_jobs(jobs));
+    if let Some(pool) = &stats.pool {
+        match pool_acc {
+            Some(acc) => acc.absorb(pool),
+            None => *pool_acc = Some(pool.clone()),
+        }
+    }
     match res {
         Ok(r) => writeln!(
             out,
@@ -158,11 +177,12 @@ fn report_family<F: LowerBoundFamily + Sync>(
     }
 }
 
-fn parse_args() -> (Option<String>, Option<String>, usize, Option<u64>) {
+fn parse_args() -> (Option<String>, Option<String>, usize, Option<u64>, bool) {
     let mut out_path = None;
     let mut trace_path = None;
     let mut jobs = 0usize; // 0 = all available cores
     let mut faults_seed = None;
+    let mut profile = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -183,17 +203,18 @@ fn parse_args() -> (Option<String>, Option<String>, usize, Option<u64>) {
                         .expect("--faults requires a u64 seed"),
                 );
             }
+            "--profile" => profile = true,
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: experiments [--out <path>] [--trace <path.jsonl>] [--jobs <N>] \
-                     [--faults <seed>]"
+                     [--faults <seed>] [--profile]"
                 );
                 std::process::exit(2);
             }
         }
     }
-    (out_path, trace_path, jobs, faults_seed)
+    (out_path, trace_path, jobs, faults_seed, profile)
 }
 
 /// The `--faults <seed>` demo: leader election on a ring under the seeded
@@ -239,7 +260,7 @@ fn run_fault_demo(seed: u64, trace: &mut Option<TraceSink>) {
 }
 
 fn main() {
-    let (out_path, trace_path, jobs, faults_seed) = parse_args();
+    let (out_path, trace_path, jobs, faults_seed, profile) = parse_args();
     let mut out: Box<dyn Write> = match &out_path {
         Some(p) => Box::new(BufWriter::new(
             File::create(p).unwrap_or_else(|e| panic!("cannot create {p}: {e}")),
@@ -249,7 +270,43 @@ fn main() {
     let mut trace: Option<TraceSink> = trace_path.as_ref().map(|p| {
         jsonl_file_sink(p).unwrap_or_else(|e| panic!("cannot create trace file {p}: {e}"))
     });
-    run(&mut *out, &mut trace, jobs);
+    let mut prof = profile.then(PhaseProfile::every_round);
+    let mut pool_acc: Option<PoolStats> = None;
+    run(&mut *out, &mut trace, jobs, prof.as_mut(), &mut pool_acc);
+    if let Some(p) = &prof {
+        eprintln!("\n==== E7 simulator phase profile ====");
+        for line in p.render().lines() {
+            eprintln!("  {line}");
+        }
+        eprintln!(
+            "  run coverage: {:.1}% of simulator wall time attributed to named phases",
+            p.run_coverage().unwrap_or(0.0) * 100.0
+        );
+        for rec in p.to_records("sim.profile") {
+            sink_of(&mut trace).record(rec);
+        }
+    }
+    if let Some(pool) = &pool_acc {
+        eprintln!("\n==== verification pool utilization ====");
+        eprintln!(
+            "  {} workers, busy {:.2} ms, idle {:.2} ms, utilization {:.1}%",
+            pool.workers,
+            pool.busy_micros() as f64 / 1000.0,
+            pool.idle_micros() as f64 / 1000.0,
+            pool.utilization().unwrap_or(0.0) * 100.0
+        );
+        for w in 0..pool.workers {
+            eprintln!(
+                "  worker {w}: {:>5} items, busy {:>10.2} ms, idle {:>10.2} ms",
+                pool.items_per_worker.get(w).copied().unwrap_or(0),
+                pool.busy_micros_per_worker.get(w).copied().unwrap_or(0) as f64 / 1000.0,
+                pool.idle_micros_per_worker.get(w).copied().unwrap_or(0) as f64 / 1000.0,
+            );
+        }
+        for rec in pool.to_records("par.pool") {
+            sink_of(&mut trace).record(rec);
+        }
+    }
     if let Some(seed) = faults_seed {
         run_fault_demo(seed, &mut trace);
     }
@@ -265,7 +322,13 @@ fn main() {
     out.flush().expect("flush output");
 }
 
-fn run(out: &mut dyn Write, trace: &mut Option<TraceSink>, jobs: usize) {
+fn run(
+    out: &mut dyn Write,
+    trace: &mut Option<TraceSink>,
+    jobs: usize,
+    mut prof: Option<&mut PhaseProfile>,
+    pool_acc: &mut Option<PoolStats>,
+) {
     let mut rng = StdRng::seed_from_u64(20260706);
     let mut sections = Sections::new();
 
@@ -305,13 +368,21 @@ fn run(out: &mut dyn Write, trace: &mut Option<TraceSink>, jobs: usize) {
     }
 
     sections.start(out, "E1", "MDS family (Theorem 2.1, Figure 1)");
-    report_family(out, trace, &MdsFamily::new(2), &all_inputs(4), jobs);
+    report_family(
+        out,
+        trace,
+        &MdsFamily::new(2),
+        &all_inputs(4),
+        jobs,
+        pool_acc,
+    );
     report_family(
         out,
         trace,
         &MdsFamily::new(4),
         &sample_inputs(16, 3, &mut rng),
         jobs,
+        pool_acc,
     );
     writeln!(out, "  Ω(n²/log²n) shape (K = k², |Ecut| = 4·log k):").expect("write output");
     for logk in [4u32, 6, 8, 10] {
@@ -333,7 +404,14 @@ fn run(out: &mut dyn Write, trace: &mut Option<TraceSink>, jobs: usize) {
         "E2/E3/E4",
         "Hamiltonian path/cycle + 2-ECSS (Theorems 2.2-2.5, Figure 2)",
     );
-    report_family(out, trace, &HamPathFamily::new(2), &all_inputs(4), jobs);
+    report_family(
+        out,
+        trace,
+        &HamPathFamily::new(2),
+        &all_inputs(4),
+        jobs,
+        pool_acc,
+    );
     let fam = HamPathFamily::new(4);
     let (x, y) = hit(4);
     let g = fam.build(&x, &y);
@@ -437,7 +515,7 @@ fn run(out: &mut dyn Write, trace: &mut Option<TraceSink>, jobs: usize) {
         let fam = StructuralMaxCutFamily(MaxCutFamily::new(4));
         let mut rng2 = StdRng::seed_from_u64(99);
         let inputs = sample_inputs(16, 4, &mut rng2);
-        report_family(out, trace, &fam, &inputs, jobs);
+        report_family(out, trace, &fam, &inputs, jobs, pool_acc);
     }
 
     sections.start(out, "E7", "(1-ε) max-cut in the simulator (Theorem 2.9)");
@@ -461,7 +539,12 @@ fn run(out: &mut dyn Write, trace: &mut Option<TraceSink>, jobs: usize) {
             let sim = Simulator::with_bandwidth(&g, 96).stop_on_quiescence(false);
             let mut alg = SampledMaxCut::new(n, p, LocalCutSolver::Exact, n as u64);
             let mut obs = TraceObserver::new(sink_of(trace)).with_cut(&cut);
-            let stats = sim.run_observed(&mut alg, 1_000_000, &mut obs);
+            let stats = match prof.as_deref_mut() {
+                Some(p) => sim
+                    .try_run_profiled(&mut alg, 1_000_000, &mut obs, &mut PerfectLink, p)
+                    .expect("sampled max-cut is CONGEST-legal"),
+                None => sim.run_observed(&mut alg, 1_000_000, &mut obs),
+            };
             let side: Vec<bool> = (0..n).map(|v| alg.side(v).expect("assigned")).collect();
             writeln!(
                 out,
@@ -478,7 +561,14 @@ fn run(out: &mut dyn Write, trace: &mut Option<TraceSink>, jobs: usize) {
     }
 
     sections.start(out, "E8/E9", "bounded-degree chain (Section 3)");
-    report_family(out, trace, &MvcMaxIsFamily::new(2), &all_inputs(4), jobs);
+    report_family(
+        out,
+        trace,
+        &MvcMaxIsFamily::new(2),
+        &all_inputs(4),
+        jobs,
+        pool_acc,
+    );
     let bd = BoundedDegreeMaxIs::new(2);
     let (x, y) = hit(2);
     let b = bd.build(&x, &y);

@@ -47,6 +47,7 @@ pub use congest_faults as faults;
 pub use congest_graph as graph;
 pub use congest_limits as limits;
 pub use congest_obs as obs;
+pub use congest_par as par;
 pub use congest_sim as sim;
 pub use congest_solvers as solvers;
 

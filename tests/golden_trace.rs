@@ -6,9 +6,9 @@
 //! records. This test freezes that promise into bytes — a seeded
 //! `maxcut_sampling` run on a fixed `G(n, p)` graph, traced through
 //! `TraceObserver` with a designated cut, serialized record-by-record to
-//! JSON lines. Only the wall-clock `ts` field is normalized to zero
-//! (recorder sinks stamp it with elapsed time by design); everything else
-//! must match the fixture exactly.
+//! JSON lines. The recorder runs on a [`VirtualClock`], so the `ts`
+//! field is a deterministic sequence number and the fixture is
+//! byte-stable *including timestamps* — no post-hoc normalization.
 //!
 //! To regenerate after an *intentional* observable change:
 //!
@@ -17,7 +17,7 @@
 //! ```
 
 use congest_hardness::graph::generators;
-use congest_hardness::obs::MemoryRecorder;
+use congest_hardness::obs::{MemoryRecorder, VirtualClock};
 use congest_hardness::sim::algorithms::{LocalCutSolver, SampledMaxCut};
 use congest_hardness::sim::{Simulator, TraceObserver};
 use rand::rngs::StdRng;
@@ -26,8 +26,8 @@ use rand::SeedableRng;
 const FIXTURE_PATH: &str = "tests/fixtures/sim_maxcut_golden.jsonl";
 const FIXTURE: &str = include_str!("fixtures/sim_maxcut_golden.jsonl");
 
-/// Runs the pinned scenario and renders its trace as JSONL with `ts`
-/// normalized to zero.
+/// Runs the pinned scenario and renders its trace as JSONL; the virtual
+/// clock makes `ts` a record sequence number.
 fn golden_trace() -> String {
     let mut rng = StdRng::seed_from_u64(2019);
     let g = generators::connected_gnp(12, 0.35, &mut rng);
@@ -35,15 +35,15 @@ fn golden_trace() -> String {
     let cut: Vec<(usize, usize)> = g.neighbors(0).iter().map(|&u| (0, u)).collect();
     let sim = Simulator::with_bandwidth(&g, 96).stop_on_quiescence(false);
     let mut alg = SampledMaxCut::new(12, 0.6, LocalCutSolver::Exact, 7);
-    let mut obs = TraceObserver::new(MemoryRecorder::new()).with_cut(&cut);
+    let mut obs =
+        TraceObserver::new(MemoryRecorder::with_clock(VirtualClock::sequence())).with_cut(&cut);
     let stats = sim.run_observed(&mut alg, 100_000, &mut obs);
     // Sanity: the run must have actually converged and carried traffic,
     // otherwise the fixture pins a degenerate trace.
     assert!(stats.rounds > 12, "run too short: {} rounds", stats.rounds);
     assert!(stats.total_bits > 0);
     let mut out = String::new();
-    for mut rec in obs.into_recorder().into_records() {
-        rec.ts = 0;
+    for rec in obs.into_recorder().into_records() {
         out.push_str(&rec.to_json());
         out.push('\n');
     }
