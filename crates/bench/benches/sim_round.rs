@@ -8,12 +8,18 @@
 //! inbox size any single node saw in one round. Workloads are seeded, so
 //! the executed rounds/messages/bits are deterministic across machines —
 //! only the wall-clock columns vary.
+//!
+//! A second group drives the *sharded* engine across a threads axis
+//! (`"threads"` in the JSON is part of the entry identity): `learn_graph`
+//! at n ∈ {1k, 10k} × {1, 2, 4, 8} workers and min-ID flooding at
+//! n ∈ {100k, 1M} × {1, 8}, three samples per point. The wall-time
+//! columns of that grid are the engine's scaling curve.
 
 use congest_graph::generators;
-use congest_sim::algorithms::{LearnGraph, LocalCutSolver, SampledMaxCut};
+use congest_sim::algorithms::{LeaderElection, LearnGraph, LocalCutSolver, SampledMaxCut};
 use congest_sim::{
     CongestAlgorithm, NodeContext, NoopRoundObserver, PerfectLink, PhaseProfile, RoundOutcome,
-    SimStats, Simulator,
+    ShardableAlgorithm, SimStats, Simulator,
 };
 use criterion::black_box;
 use rand::rngs::StdRng;
@@ -68,10 +74,26 @@ impl<A: CongestAlgorithm> CongestAlgorithm for PeakInbox<A> {
     }
 }
 
+impl<A: ShardableAlgorithm> ShardableAlgorithm for PeakInbox<A> {
+    fn split_shard(&mut self, lo: usize, hi: usize) -> Self {
+        PeakInbox {
+            inner: self.inner.split_shard(lo, hi),
+            peak: 0,
+        }
+    }
+
+    fn absorb_shard(&mut self, shard: Self, lo: usize, hi: usize) {
+        self.inner.absorb_shard(shard.inner, lo, hi);
+        self.peak = self.peak.max(shard.peak);
+    }
+}
+
 struct Entry {
     alg: &'static str,
     n: usize,
     edges: usize,
+    /// Worker count of a sharded-engine point; `None` for the serial engine.
+    threads: Option<usize>,
     wall: Duration,
     stats: SimStats,
     peak_inbox: usize,
@@ -115,6 +137,63 @@ fn measure<A: CongestAlgorithm, F: Fn() -> A>(
         alg,
         n: g.num_nodes(),
         edges: g.num_edges(),
+        threads: None,
+        wall,
+        stats,
+        peak_inbox,
+    }
+}
+
+/// Sharded-engine twin of [`measure`]: the same workload driven through
+/// `try_run_sharded` at a fixed worker count. Fewer samples than the
+/// serial points — the instances here are big enough that the median
+/// stabilizes quickly and the full grid must stay CI-affordable.
+#[allow(clippy::too_many_arguments)]
+fn measure_sharded<A: ShardableAlgorithm, F: Fn() -> A>(
+    alg: &'static str,
+    g: &congest_graph::Graph,
+    bandwidth: u64,
+    quiescence: bool,
+    max_rounds: u64,
+    threads: usize,
+    samples: usize,
+    fresh: F,
+) -> Entry
+where
+    A::Msg: Send,
+{
+    let mut times = Vec::with_capacity(samples);
+    let mut last: Option<(SimStats, usize)> = None;
+    for _ in 0..samples {
+        let sim = Simulator::with_bandwidth(g, bandwidth)
+            .stop_on_quiescence(quiescence)
+            .with_jobs(threads);
+        let mut wrapped = PeakInbox::new(fresh());
+        let start = Instant::now();
+        let stats = sim
+            .try_run_sharded(&mut wrapped, max_rounds)
+            .expect("bench workloads are CONGEST-legal");
+        times.push(start.elapsed());
+        black_box(&stats);
+        last = Some((stats, wrapped.peak));
+    }
+    times.sort_unstable();
+    let wall = times[times.len() / 2];
+    let (stats, peak_inbox) = last.expect("samples > 0");
+    let secs = wall.as_secs_f64().max(1e-9);
+    println!(
+        "sim_round/{alg}/n={n:<7}/threads={threads} rounds: {rounds:>6}  bits: {bits:>10}  \
+         wall: {wall:>10.3?}  rounds/s: {rps:>10.0}  peak inbox: {peak_inbox}",
+        n = g.num_nodes(),
+        rounds = stats.rounds,
+        bits = stats.total_bits,
+        rps = stats.rounds as f64 / secs,
+    );
+    Entry {
+        alg,
+        n: g.num_nodes(),
+        edges: g.num_edges(),
+        threads: Some(threads),
         wall,
         stats,
         peak_inbox,
@@ -224,6 +303,11 @@ fn write_json(path: &str, entries: &[Entry], overhead: &ProfileOverhead) -> std:
         writeln!(f, "    {{")?;
         writeln!(f, "      \"alg\": \"{}\",", e.alg)?;
         writeln!(f, "      \"n\": {},", e.n)?;
+        if let Some(t) = e.threads {
+            // Part of the entry identity: the same workload at different
+            // worker counts is a scaling curve, not one drifting entry.
+            writeln!(f, "      \"threads\": {t},")?;
+        }
         writeln!(f, "      \"edges\": {},", e.edges)?;
         writeln!(f, "      \"rounds\": {},", e.stats.rounds)?;
         writeln!(f, "      \"messages\": {},", e.stats.messages)?;
@@ -290,6 +374,49 @@ fn main() {
         entries.push(measure("maxcut_sampling", &g, 96, false, 1_000_000, || {
             SampledMaxCut::new(n, 0.5, LocalCutSolver::LocalSearch, 42)
         }));
+    }
+
+    // Sharded-engine scaling: the same seeded workload replayed across a
+    // threads axis. Counters are byte-identical across worker counts (the
+    // equivalence pinned by tests/sharded_trace.rs), so only wall time
+    // moves along the curve. Rounds are capped — the curve measures
+    // steady-state round throughput, not time-to-convergence.
+    for (i, n) in [1_000usize, 10_000].into_iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(3000 + i as u64);
+        let p = 6.0 / (n as f64 - 1.0);
+        let g = generators::connected_gnp(n, p, &mut rng);
+        for threads in [1usize, 2, 4, 8] {
+            entries.push(measure_sharded(
+                "learn_graph",
+                &g,
+                64,
+                true,
+                64,
+                threads,
+                3,
+                || LearnGraph::new(n),
+            ));
+        }
+    }
+
+    // Engine-iteration scale: min-ID flooding on the 3-regular
+    // circulant-plus-matching substrate. At these sizes the per-round
+    // node sweep dominates, which is exactly what sharding parallelizes.
+    for n in [100_000usize, 1_000_000] {
+        let g = generators::cycle_plus_diameters(n);
+        let cap = if n >= 1_000_000 { 8 } else { 32 };
+        for threads in [1usize, 8] {
+            entries.push(measure_sharded(
+                "leader",
+                &g,
+                24,
+                true,
+                cap,
+                threads,
+                3,
+                || LeaderElection::new(n),
+            ));
+        }
     }
 
     // Sampled-profiling overhead on the n=128 learn_graph instance (same

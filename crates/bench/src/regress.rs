@@ -63,8 +63,10 @@ pub struct BenchDoc {
 /// Numeric columns that vary across machines or schedules; never gated.
 const EXCLUDED_COUNTERS: &[&str] = &["jobs", "memo_hits", "memo_misses", "available_cores"];
 
-/// Workload-size fields that belong to the entry's identity.
-const ID_FIELDS: &[&str] = &["n", "k_input"];
+/// Workload-size fields that belong to the entry's identity. `threads`
+/// is identity, not a counter: the same workload at several worker
+/// counts forms a scaling curve of distinct entries.
+const ID_FIELDS: &[&str] = &["n", "k_input", "threads"];
 
 fn is_wall_field(name: &str) -> bool {
     name.ends_with("_micros")
@@ -345,6 +347,25 @@ mod tests {
         // Derived rates are not gated.
         assert!(!e.counters.contains_key("rounds_per_sec"));
         assert!(!e.walls.contains_key("rounds_per_sec"));
+    }
+
+    #[test]
+    fn threads_is_identity_not_a_counter() {
+        let text = r#"{
+            "bench": "sim_round",
+            "entries": [
+                {"alg": "learn_graph", "n": 1000, "threads": 1, "rounds": 64, "wall_micros": 900},
+                {"alg": "learn_graph", "n": 1000, "threads": 8, "rounds": 64, "wall_micros": 200}
+            ]
+        }"#;
+        let doc = BenchDoc::parse(text).expect("parses");
+        assert_eq!(doc.entries[0].id, "learn_graph/n=1000/threads=1");
+        assert_eq!(doc.entries[1].id, "learn_graph/n=1000/threads=8");
+        // Same (alg, n) at two worker counts must be two entries, and the
+        // worker count must not be gated as a deterministic counter.
+        assert!(!doc.entries[0].counters.contains_key("threads"));
+        let report = compare(&doc, &doc, DEFAULT_NOISE_BAND);
+        assert!(!report.is_regression(), "{}", report.render());
     }
 
     #[test]

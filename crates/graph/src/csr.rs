@@ -175,6 +175,128 @@ impl Csr {
             .zip(&self.weights)
             .map(|(&(u, v), &w)| (u, v, w))
     }
+
+    /// Partitions the node set into `k` contiguous id ranges, balancing
+    /// the per-shard load `Σ (degree + 1)` so shards of a skewed graph
+    /// still carry similar message work. Deterministic: the bounds depend
+    /// only on the degree sequence. `O(n + m)`.
+    ///
+    /// Ranges may be empty when `k > n`, so any worker count is valid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn partition(&self, k: usize) -> NodePartition {
+        assert!(k >= 1, "a partition needs at least one shard");
+        let n = self.num_nodes();
+        let total: u64 = (0..n).map(|v| self.degree(v) as u64 + 1).sum();
+        let mut bounds = Vec::with_capacity(k + 1);
+        bounds.push(0);
+        let mut acc = 0u64;
+        let mut v = 0usize;
+        for s in 1..k {
+            // Cut where the load prefix first reaches s/k of the total;
+            // a monotone walk, so bounds are non-decreasing.
+            let target = total * s as u64 / k as u64;
+            while v < n && acc < target {
+                acc += self.degree(v) as u64 + 1;
+                v += 1;
+            }
+            bounds.push(v);
+        }
+        bounds.push(n);
+
+        let mut shard_of = vec![0u32; n];
+        for s in 0..k {
+            for slot in &mut shard_of[bounds[s]..bounds[s + 1]] {
+                *slot = s as u32;
+            }
+        }
+
+        // Cross-edge index: each undirected edge counted once at
+        // (shard(min), shard(max)); contiguous ranges make the matrix
+        // upper-triangular.
+        let mut cross_counts = vec![0u64; k * k];
+        for &(u, v) in &self.endpoints {
+            let (su, sv) = (shard_of[u] as usize, shard_of[v] as usize);
+            cross_counts[su * k + sv] += 1;
+        }
+
+        NodePartition {
+            bounds,
+            shard_of,
+            cross_counts,
+        }
+    }
+}
+
+/// A contiguous node-range partition of a [`Csr`] with a cross-shard
+/// edge index, produced by [`Csr::partition`].
+///
+/// Shard `s` owns the node ids `bounds[s]..bounds[s + 1]`; because the
+/// ranges are contiguous and ascending, `u < v` implies
+/// `shard_of(u) <= shard_of(v)` — the property the sharded simulator's
+/// deterministic merge order relies on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodePartition {
+    /// `bounds[s]..bounds[s + 1]` is shard `s`'s node range; length
+    /// `k + 1`, `bounds[0] == 0`, `bounds[k] == n`.
+    bounds: Vec<NodeId>,
+    /// Per node: the shard that owns it (dense `O(1)` routing lookup).
+    shard_of: Vec<u32>,
+    /// Row-major `k × k` edge counts: entry `(s, t)` with `s <= t` counts
+    /// the edges whose `(min, max)` endpoints live in shards `s` and `t`.
+    cross_counts: Vec<u64>,
+}
+
+impl NodePartition {
+    /// Number of shards `k`.
+    pub fn num_shards(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// The node-id range owned by shard `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= k`.
+    pub fn range(&self, s: usize) -> std::ops::Range<NodeId> {
+        self.bounds[s]..self.bounds[s + 1]
+    }
+
+    /// The shard bounds: `k + 1` non-decreasing node ids from `0` to `n`.
+    pub fn bounds(&self) -> &[NodeId] {
+        &self.bounds
+    }
+
+    /// The shard owning node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    pub fn shard_of(&self, v: NodeId) -> usize {
+        self.shard_of[v] as usize
+    }
+
+    /// Edges between shards `s` and `t` (unordered; `s == t` counts the
+    /// shard's internal edges).
+    pub fn edges_between(&self, s: usize, t: usize) -> u64 {
+        let k = self.num_shards();
+        let (s, t) = (s.min(t), s.max(t));
+        self.cross_counts[s * k + t]
+    }
+
+    /// Total number of edges crossing shard boundaries.
+    pub fn cross_edges(&self) -> u64 {
+        let k = self.num_shards();
+        let mut total = 0;
+        for s in 0..k {
+            for t in s + 1..k {
+                total += self.cross_counts[s * k + t];
+            }
+        }
+        total
+    }
 }
 
 #[cfg(test)]
@@ -249,5 +371,83 @@ mod tests {
         assert_eq!(csr.num_nodes(), 4);
         assert_eq!(csr.neighbors(2), &[] as &[NodeId]);
         assert_eq!(csr.edge_id(0, 1), None);
+    }
+
+    #[test]
+    fn partition_covers_all_nodes_contiguously() {
+        let g = sample_graph();
+        let csr = Csr::from_graph(&g);
+        for k in 1..=8 {
+            let part = csr.partition(k);
+            assert_eq!(part.num_shards(), k);
+            assert_eq!(part.bounds()[0], 0);
+            assert_eq!(part.bounds()[k], csr.num_nodes());
+            let mut covered = 0;
+            for s in 0..k {
+                let r = part.range(s);
+                assert_eq!(r.start, part.bounds()[s]);
+                covered += r.len();
+                for v in r {
+                    assert_eq!(part.shard_of(v), s, "k = {k}, v = {v}");
+                }
+            }
+            assert_eq!(covered, csr.num_nodes(), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn partition_cross_edge_index_counts_every_edge_once() {
+        let g = sample_graph();
+        let csr = Csr::from_graph(&g);
+        for k in [1usize, 2, 3, 6, 9] {
+            let part = csr.partition(k);
+            let mut internal = 0u64;
+            for s in 0..k {
+                internal += part.edges_between(s, s);
+            }
+            assert_eq!(
+                internal + part.cross_edges(),
+                csr.num_edges() as u64,
+                "k = {k}"
+            );
+            // Cross-check against a direct scan.
+            let scanned = csr
+                .edges()
+                .filter(|&(u, v, _)| part.shard_of(u) != part.shard_of(v))
+                .count() as u64;
+            assert_eq!(part.cross_edges(), scanned, "k = {k}");
+            // Symmetric accessor.
+            if k >= 2 {
+                assert_eq!(part.edges_between(0, 1), part.edges_between(1, 0));
+            }
+        }
+    }
+
+    #[test]
+    fn partition_balances_degree_load() {
+        // A path graph: uniform degrees, so shard loads should split
+        // within one node's load of each other.
+        let mut g = Graph::new(64);
+        for v in 0..63 {
+            g.add_edge(v, v + 1);
+        }
+        let csr = Csr::from_graph(&g);
+        let part = csr.partition(4);
+        let load =
+            |s: usize| -> u64 { part.range(s).map(|v| csr.degree(v) as u64 + 1).sum::<u64>() };
+        let loads: Vec<u64> = (0..4).map(load).collect();
+        let (min, max) = (*loads.iter().min().unwrap(), *loads.iter().max().unwrap());
+        assert!(max - min <= 4, "loads {loads:?}");
+    }
+
+    #[test]
+    fn partition_with_more_shards_than_nodes() {
+        let csr = Csr::from_graph(&sample_graph());
+        let part = csr.partition(16);
+        assert_eq!(part.num_shards(), 16);
+        let nonempty: usize = (0..16).filter(|&s| !part.range(s).is_empty()).count();
+        assert!(nonempty <= csr.num_nodes());
+        let covered: usize = (0..16).map(|s| part.range(s).len()).sum();
+        assert_eq!(covered, csr.num_nodes());
     }
 }

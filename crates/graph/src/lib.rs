@@ -36,7 +36,7 @@ pub mod generators;
 pub mod metrics;
 mod undirected;
 
-pub use csr::{Csr, EdgeId};
+pub use csr::{Csr, EdgeId, NodePartition};
 pub use directed::DiGraph;
 pub use error::GraphError;
 pub use undirected::Graph;

@@ -15,6 +15,11 @@
 //!   Panics inside a worker are caught per-item and re-raised on the
 //!   caller thread — again for the lowest panicking index — instead of
 //!   aborting the scope or hanging siblings.
+//! * [`with_shards`] — a reusable round-barrier primitive for
+//!   iterative algorithms: long-lived mutable shard states, a driver on
+//!   the caller thread, and [`ShardHandle::step`] running one fixed body
+//!   over every shard in parallel per barrier. The sharded CONGEST
+//!   simulator is built on it.
 //! * [`PoolStats`] — per-worker item counters plus busy/idle wall time
 //!   (how well did the load balance?), exportable as `congest-obs`
 //!   records for trace inspection.
@@ -42,7 +47,8 @@
 #![warn(missing_docs)]
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::Instant;
 
 use congest_obs::{Histogram, Record};
@@ -365,6 +371,290 @@ where
     (settle(slots, failures), stats)
 }
 
+/// A caught worker panic payload.
+type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+/// Barrier state shared between the [`with_shards`] coordinator and its
+/// workers. Steps are announced by bumping a generation counter (so a
+/// worker that was still parked when two steps were requested cannot miss
+/// one), and completion is a count of *shards* processed, not workers —
+/// a worker that claims nothing still participates correctly.
+struct ShardControl {
+    generation: Mutex<u64>,
+    gen_cv: Condvar,
+    done: Mutex<usize>,
+    done_cv: Condvar,
+    cursor: AtomicUsize,
+    shutdown: AtomicBool,
+}
+
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // Worker panics are caught per shard and re-raised deterministically
+    // by the coordinator; a poisoned mutex carries no extra information.
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Coordinator-side handle to a [`with_shards`] pool: requests barrier
+/// steps and accesses shard state between steps.
+pub struct ShardHandle<'a, S> {
+    shards: &'a [Mutex<S>],
+    body: &'a (dyn Fn(usize, &mut S) + Sync),
+    /// `None` on the thread-free serial path.
+    ctl: Option<&'a ShardControl>,
+    panics: &'a Mutex<Vec<Option<(usize, PanicPayload)>>>,
+    steps: u64,
+    serial_items: u64,
+    serial_busy_nanos: u64,
+}
+
+impl<S> ShardHandle<'_, S> {
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Barrier steps completed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Runs the pool's body once over every shard and returns when all
+    /// shards are done — one barrier step. With one worker the shards run
+    /// in index order on the caller thread; with more, claim order is
+    /// dynamic, which is why the body must not couple shards to each
+    /// other.
+    ///
+    /// # Panics
+    ///
+    /// If the body panicked on some shards, the payload of the *lowest*
+    /// shard index is re-raised here, after every shard of the step has
+    /// settled — deterministic, and never a hang.
+    pub fn step(&mut self) {
+        self.steps += 1;
+        match self.ctl {
+            None => {
+                for (i, cell) in self.shards.iter().enumerate() {
+                    let shard = &mut *lock_ignore_poison(cell);
+                    let t0 = Instant::now();
+                    call_checked(self.body, i, shard, self.panics);
+                    self.serial_busy_nanos += t0.elapsed().as_nanos() as u64;
+                    self.serial_items += 1;
+                }
+            }
+            Some(ctl) => {
+                *lock_ignore_poison(&ctl.done) = 0;
+                ctl.cursor.store(0, Ordering::Relaxed);
+                {
+                    let mut g = lock_ignore_poison(&ctl.generation);
+                    *g += 1;
+                    ctl.gen_cv.notify_all();
+                }
+                let mut done = lock_ignore_poison(&ctl.done);
+                while *done < self.shards.len() {
+                    done = ctl.done_cv.wait(done).unwrap_or_else(|p| p.into_inner());
+                }
+            }
+        }
+        let lowest = {
+            let mut slots = lock_ignore_poison(self.panics);
+            let hit = slots
+                .iter_mut()
+                .filter(|s| s.is_some())
+                .min_by_key(|s| s.as_ref().map(|(i, _)| *i));
+            hit.and_then(Option::take)
+        };
+        if let Some((_, payload)) = lowest {
+            resume_unwind(payload);
+        }
+    }
+
+    /// Locks shard `i` for coordinator access between steps. Never call
+    /// while a guard for the same shard is alive (self-deadlock); a step
+    /// cannot be requested while any guard is held, because [`step`]
+    /// takes `&mut self`.
+    ///
+    /// [`step`]: ShardHandle::step
+    pub fn lock(&self, i: usize) -> MutexGuard<'_, S> {
+        lock_ignore_poison(&self.shards[i])
+    }
+}
+
+/// Runs the step body on one shard, funnelling a panic into that shard's
+/// slot so the coordinator can re-raise the lowest one deterministically.
+fn call_checked<S>(
+    body: &(dyn Fn(usize, &mut S) + Sync),
+    i: usize,
+    shard: &mut S,
+    panics: &Mutex<Vec<Option<(usize, PanicPayload)>>>,
+) {
+    if let Err(payload) = catch_unwind(AssertUnwindSafe(|| body(i, shard))) {
+        lock_ignore_poison(panics)[i] = Some((i, payload));
+    }
+}
+
+/// Runs `driver` on the caller thread against a pool of `jobs` workers
+/// (`0` = all cores, clamped to the shard count) holding the given
+/// mutable shard states. Each [`ShardHandle::step`] call runs `body` once
+/// over every shard — concurrently where workers allow — and returns only
+/// when all shards are done, giving the driver a deterministic barrier
+/// between rounds of an iterative computation.
+///
+/// Between steps the driver owns the world: it can inspect and mutate any
+/// shard through [`ShardHandle::lock`] with no worker racing it, which is
+/// where cross-shard merge work (deterministic, in shard order) belongs.
+///
+/// Returns the driver's result, the final shard states, and the pool's
+/// [`PoolStats`] (busy = time inside `body`; idle = everything else a
+/// worker spent waiting, including barrier waits — the number that shows
+/// shard imbalance).
+///
+/// # Panics
+///
+/// Body panics are re-raised on the caller thread for the lowest shard
+/// index of the step (see [`ShardHandle::step`]); driver panics propagate
+/// after the workers have been shut down and joined. Neither hangs the
+/// pool.
+pub fn with_shards<S, T>(
+    jobs: usize,
+    shards: Vec<S>,
+    body: impl Fn(usize, &mut S) + Sync,
+    driver: impl FnOnce(&mut ShardHandle<'_, S>) -> T,
+) -> (T, Vec<S>, PoolStats)
+where
+    S: Send,
+{
+    let num_shards = shards.len();
+    let jobs = resolve_jobs(jobs).min(num_shards.max(1));
+    let cells: Vec<Mutex<S>> = shards.into_iter().map(Mutex::new).collect();
+    let panics: Mutex<Vec<Option<(usize, PanicPayload)>>> =
+        Mutex::new((0..num_shards).map(|_| None).collect());
+
+    let mut stats = PoolStats {
+        workers: jobs,
+        items_per_worker: vec![0; jobs],
+        busy_micros_per_worker: vec![0; jobs],
+        idle_micros_per_worker: vec![0; jobs],
+    };
+
+    if jobs == 1 {
+        // Thread-free serial path: shards run in index order on the
+        // caller thread, natural panic propagation.
+        let wall_t0 = Instant::now();
+        let mut handle = ShardHandle {
+            shards: &cells,
+            body: &body,
+            ctl: None,
+            panics: &panics,
+            steps: 0,
+            serial_items: 0,
+            serial_busy_nanos: 0,
+        };
+        let out = driver(&mut handle);
+        let (items, busy_nanos) = (handle.serial_items, handle.serial_busy_nanos);
+        let wall_nanos = wall_t0.elapsed().as_nanos() as u64;
+        stats.items_per_worker[0] = items;
+        stats.busy_micros_per_worker[0] = busy_nanos / 1_000;
+        stats.idle_micros_per_worker[0] = wall_nanos.saturating_sub(busy_nanos) / 1_000;
+        return (out, unwrap_cells(cells), stats);
+    }
+
+    let ctl = ShardControl {
+        generation: Mutex::new(0),
+        gen_cv: Condvar::new(),
+        done: Mutex::new(0),
+        done_cv: Condvar::new(),
+        cursor: AtomicUsize::new(0),
+        shutdown: AtomicBool::new(false),
+    };
+
+    let (driver_outcome, worker_stats) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                scope.spawn(|| {
+                    let wall_t0 = Instant::now();
+                    let mut seen_gen = 0u64;
+                    let mut items = 0u64;
+                    let mut busy_nanos = 0u64;
+                    loop {
+                        {
+                            let mut g = lock_ignore_poison(&ctl.generation);
+                            while *g == seen_gen {
+                                g = ctl.gen_cv.wait(g).unwrap_or_else(|p| p.into_inner());
+                            }
+                            seen_gen = *g;
+                        }
+                        if ctl.shutdown.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        loop {
+                            let i = ctl.cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= num_shards {
+                                break;
+                            }
+                            {
+                                let shard = &mut *lock_ignore_poison(&cells[i]);
+                                let t0 = Instant::now();
+                                call_checked(&body, i, shard, &panics);
+                                busy_nanos += t0.elapsed().as_nanos() as u64;
+                            }
+                            items += 1;
+                            let mut done = lock_ignore_poison(&ctl.done);
+                            *done += 1;
+                            if *done == num_shards {
+                                ctl.done_cv.notify_all();
+                            }
+                        }
+                    }
+                    let wall_nanos = wall_t0.elapsed().as_nanos() as u64;
+                    (items, busy_nanos, wall_nanos)
+                })
+            })
+            .collect();
+
+        let mut handle = ShardHandle {
+            shards: &cells,
+            body: &body as &(dyn Fn(usize, &mut S) + Sync),
+            ctl: Some(&ctl),
+            panics: &panics,
+            steps: 0,
+            serial_items: 0,
+            serial_busy_nanos: 0,
+        };
+        // The driver (and step()'s panic re-raise) must not unwind past
+        // the shutdown handshake, or the parked workers would hang the
+        // scope forever.
+        let outcome = catch_unwind(AssertUnwindSafe(|| driver(&mut handle)));
+        ctl.shutdown.store(true, Ordering::Relaxed);
+        {
+            let mut g = lock_ignore_poison(&ctl.generation);
+            *g += 1;
+            ctl.gen_cv.notify_all();
+        }
+        let worker_stats: Vec<_> = handles
+            .into_iter()
+            .map(|h| h.join().expect("shard workers catch their own panics"))
+            .collect();
+        (outcome, worker_stats)
+    });
+
+    for (w, (items, busy_nanos, wall_nanos)) in worker_stats.into_iter().enumerate() {
+        stats.items_per_worker[w] = items;
+        stats.busy_micros_per_worker[w] = busy_nanos / 1_000;
+        stats.idle_micros_per_worker[w] = wall_nanos.saturating_sub(busy_nanos) / 1_000;
+    }
+    match driver_outcome {
+        Ok(out) => (out, unwrap_cells(cells), stats),
+        Err(payload) => resume_unwind(payload),
+    }
+}
+
+fn unwrap_cells<S>(cells: Vec<Mutex<S>>) -> Vec<S> {
+    cells
+        .into_iter()
+        .map(|m| m.into_inner().unwrap_or_else(|p| p.into_inner()))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -478,6 +768,123 @@ mod tests {
             // Lowest panicking index wins deterministically.
             assert_eq!(msg, "predicate exploded on item 7");
         }
+    }
+
+    #[test]
+    fn with_shards_serial_equals_parallel() {
+        // Ten rounds of "add the step number" over eight shard counters,
+        // with a cross-shard reduction between steps.
+        let run = |jobs: usize| -> (Vec<u64>, Vec<u64>) {
+            let shards: Vec<u64> = (0..8).collect();
+            let (sums, final_shards, stats) = with_shards(
+                jobs,
+                shards,
+                |i, s: &mut u64| *s += i as u64 + 1,
+                |handle| {
+                    let mut sums = Vec::new();
+                    for _ in 0..10 {
+                        handle.step();
+                        let total: u64 = (0..handle.num_shards()).map(|i| *handle.lock(i)).sum();
+                        sums.push(total);
+                    }
+                    sums
+                },
+            );
+            assert_eq!(stats.total_items(), 80, "jobs = {jobs}");
+            (sums, final_shards)
+        };
+        let serial = run(1);
+        for jobs in [2usize, 4, 8, 16] {
+            assert_eq!(run(jobs), serial, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn with_shards_driver_sees_barrier_completed_state() {
+        // Every step() return must observe ALL shards' step applied:
+        // the driver checks after each barrier.
+        let (steps, _, _) = with_shards(
+            4,
+            vec![0u64; 7],
+            |_, s: &mut u64| *s += 1,
+            |handle| {
+                for step in 1..=5u64 {
+                    handle.step();
+                    for i in 0..handle.num_shards() {
+                        assert_eq!(*handle.lock(i), step, "shard {i} lagged");
+                    }
+                }
+                handle.steps()
+            },
+        );
+        assert_eq!(steps, 5);
+    }
+
+    #[test]
+    fn with_shards_jobs_clamp_and_stats() {
+        let (_, shards, stats) =
+            with_shards(16, vec![1u64; 3], |_, s: &mut u64| *s *= 2, |h| h.step());
+        assert_eq!(shards, vec![2, 2, 2]);
+        assert_eq!(stats.workers, 3, "jobs clamps to the shard count");
+        assert_eq!(stats.total_items(), 3);
+        assert!(stats.utilization().is_some());
+    }
+
+    #[test]
+    fn with_shards_body_panic_is_lowest_shard_and_no_hang() {
+        for jobs in [1usize, 2, 4] {
+            let caught = std::panic::catch_unwind(|| {
+                with_shards(
+                    jobs,
+                    (0..6u64).collect::<Vec<_>>(),
+                    |i, _s: &mut u64| {
+                        if i == 2 || i == 5 {
+                            panic!("shard {i} exploded");
+                        }
+                    },
+                    |handle| handle.step(),
+                )
+            });
+            let payload = caught.expect_err("panic must propagate");
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .expect("panic message preserved");
+            assert_eq!(msg, "shard 2 exploded", "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn with_shards_driver_panic_shuts_workers_down() {
+        let caught = std::panic::catch_unwind(|| {
+            with_shards(
+                4,
+                vec![0u64; 4],
+                |_, s: &mut u64| *s += 1,
+                |handle| {
+                    handle.step();
+                    panic!("driver bailed");
+                },
+            )
+        });
+        // Reaching here at all proves the workers were joined, not hung.
+        let payload = caught.expect_err("panic must propagate");
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"driver bailed"));
+    }
+
+    #[test]
+    fn with_shards_empty_shard_set() {
+        let ((), shards, stats) = with_shards(
+            4,
+            Vec::<u64>::new(),
+            |_, _s: &mut u64| unreachable!("no shards to run"),
+            |handle| {
+                handle.step();
+                handle.step();
+            },
+        );
+        assert!(shards.is_empty());
+        assert_eq!(stats.total_items(), 0);
     }
 
     proptest! {

@@ -11,7 +11,7 @@
 
 use congest_graph::{NodeId, Weight};
 
-use crate::{CongestAlgorithm, NodeContext, RoundOutcome};
+use crate::{CongestAlgorithm, NodeContext, RoundOutcome, ShardableAlgorithm};
 
 /// Messages of the aggregation algorithm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -195,6 +195,24 @@ impl CongestAlgorithm for AggregateSum {
             AggMsg::Child => None,
             AggMsg::Partial(w) => Some(AggMsg::Partial(w ^ ((1 as Weight) << (bit % 8)))),
             AggMsg::Total(w) => Some(AggMsg::Total(w ^ ((1 as Weight) << (bit % 8)))),
+        }
+    }
+}
+
+impl ShardableAlgorithm for AggregateSum {
+    /// Input values are read-only (each shard keeps a copy); the mutable
+    /// per-node tree state moves with its shard.
+    fn split_shard(&mut self, lo: NodeId, hi: NodeId) -> Self {
+        let mut shard = AggregateSum::new(self.n, self.values.clone());
+        for v in lo..hi {
+            shard.states[v] = std::mem::take(&mut self.states[v]);
+        }
+        shard
+    }
+
+    fn absorb_shard(&mut self, mut shard: Self, lo: NodeId, hi: NodeId) {
+        for v in lo..hi {
+            self.states[v] = std::mem::take(&mut shard.states[v]);
         }
     }
 }

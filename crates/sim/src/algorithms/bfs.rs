@@ -6,7 +6,7 @@
 
 use congest_graph::NodeId;
 
-use crate::{CongestAlgorithm, NodeContext, RoundOutcome};
+use crate::{CongestAlgorithm, NodeContext, RoundOutcome, ShardableAlgorithm};
 
 /// BFS-tree construction from a designated root. After the run each node
 /// knows its parent, depth and children.
@@ -127,6 +127,30 @@ impl CongestAlgorithm for BfsTree {
             BfsMsg::Depth(d) => Some(BfsMsg::Depth(d ^ (1 << (bit % 8)))),
             // A child notice carries no payload to flip.
             BfsMsg::Child => None,
+        }
+    }
+}
+
+impl ShardableAlgorithm for BfsTree {
+    /// The root id is shared (read-only); per-node tree state moves with
+    /// its shard.
+    fn split_shard(&mut self, lo: NodeId, hi: NodeId) -> Self {
+        let mut shard = BfsTree::new(self.depth.len(), self.root);
+        for v in lo..hi {
+            shard.depth[v] = self.depth[v];
+            shard.parent[v] = self.parent[v];
+            shard.children[v] = std::mem::take(&mut self.children[v]);
+            shard.announced[v] = self.announced[v];
+        }
+        shard
+    }
+
+    fn absorb_shard(&mut self, mut shard: Self, lo: NodeId, hi: NodeId) {
+        for v in lo..hi {
+            self.depth[v] = shard.depth[v];
+            self.parent[v] = shard.parent[v];
+            self.children[v] = std::mem::take(&mut shard.children[v]);
+            self.announced[v] = shard.announced[v];
         }
     }
 }

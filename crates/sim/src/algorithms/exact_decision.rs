@@ -10,7 +10,7 @@
 use congest_graph::{Graph, NodeId};
 
 use crate::algorithms::learn_graph::{EdgeMsg, LearnGraph};
-use crate::{CongestAlgorithm, NodeContext, RoundOutcome};
+use crate::{CongestAlgorithm, NodeContext, RoundOutcome, ShardableAlgorithm};
 
 /// Learns the whole graph and applies `decide` locally at every node.
 ///
@@ -90,6 +90,26 @@ impl<F: Fn(&Graph) -> bool> CongestAlgorithm for GenericExactDecision<F> {
 
     fn corrupt(msg: &EdgeMsg, bit: u32) -> Option<EdgeMsg> {
         LearnGraph::corrupt(msg, bit)
+    }
+}
+
+impl<F: Fn(&Graph) -> bool + Clone + Send> ShardableAlgorithm for GenericExactDecision<F> {
+    /// Delegates to the inner [`LearnGraph`] sharding; the decision
+    /// closure is cloned per shard (it must be a pure predicate).
+    fn split_shard(&mut self, lo: NodeId, hi: NodeId) -> Self {
+        let mut verdict = vec![None; self.verdict.len()];
+        verdict[lo..hi].copy_from_slice(&self.verdict[lo..hi]);
+        GenericExactDecision {
+            learner: self.learner.split_shard(lo, hi),
+            decide: self.decide.clone(),
+            m: self.m,
+            verdict,
+        }
+    }
+
+    fn absorb_shard(&mut self, shard: Self, lo: NodeId, hi: NodeId) {
+        self.learner.absorb_shard(shard.learner, lo, hi);
+        self.verdict[lo..hi].copy_from_slice(&shard.verdict[lo..hi]);
     }
 }
 

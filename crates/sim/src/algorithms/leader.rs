@@ -5,7 +5,7 @@
 
 use congest_graph::NodeId;
 
-use crate::{CongestAlgorithm, NodeContext, RoundOutcome};
+use crate::{CongestAlgorithm, NodeContext, RoundOutcome, ShardableAlgorithm};
 
 /// Min-ID flooding. Every node outputs the minimum identifier in its
 /// connected component.
@@ -78,6 +78,22 @@ impl CongestAlgorithm for LeaderElection {
     fn corrupt(msg: &NodeId, bit: u32) -> Option<NodeId> {
         // Flip a low bit of the flooded identifier.
         Some(*msg ^ (1 << (bit % 8)))
+    }
+}
+
+impl ShardableAlgorithm for LeaderElection {
+    /// Per-node state is two plain values; shards carry full-length
+    /// vectors and copy their range.
+    fn split_shard(&mut self, lo: NodeId, hi: NodeId) -> Self {
+        let mut shard = LeaderElection::new(self.best.len());
+        shard.best[lo..hi].copy_from_slice(&self.best[lo..hi]);
+        shard.last_sent[lo..hi].copy_from_slice(&self.last_sent[lo..hi]);
+        shard
+    }
+
+    fn absorb_shard(&mut self, shard: Self, lo: NodeId, hi: NodeId) {
+        self.best[lo..hi].copy_from_slice(&shard.best[lo..hi]);
+        self.last_sent[lo..hi].copy_from_slice(&shard.last_sent[lo..hi]);
     }
 }
 

@@ -11,7 +11,7 @@
 use congest_graph::{Graph, NodeId, Weight};
 
 use crate::fxhash::FxHashSet;
-use crate::{CongestAlgorithm, NodeContext, RoundOutcome};
+use crate::{CongestAlgorithm, NodeContext, RoundOutcome, ShardableAlgorithm};
 
 /// An edge announcement `(u, v, w)` with `u < v`.
 pub type EdgeMsg = (NodeId, NodeId, Weight);
@@ -121,6 +121,26 @@ impl CongestAlgorithm for LearnGraph {
         // the announcement refer to vertices outside the graph, which the
         // model's locality checks can't even express.
         Some((msg.0, msg.1, msg.2 ^ ((1 as Weight) << (bit % 8))))
+    }
+}
+
+impl ShardableAlgorithm for LearnGraph {
+    /// Shards keep full-length vectors with only their node range
+    /// populated; per-node known-sets and forwarding queues move over.
+    fn split_shard(&mut self, lo: NodeId, hi: NodeId) -> Self {
+        let mut shard = LearnGraph::new(self.n);
+        for v in lo..hi {
+            shard.known[v] = std::mem::take(&mut self.known[v]);
+            shard.queues[v] = std::mem::take(&mut self.queues[v]);
+        }
+        shard
+    }
+
+    fn absorb_shard(&mut self, mut shard: Self, lo: NodeId, hi: NodeId) {
+        for v in lo..hi {
+            self.known[v] = std::mem::take(&mut shard.known[v]);
+            self.queues[v] = std::mem::take(&mut shard.queues[v]);
+        }
     }
 }
 

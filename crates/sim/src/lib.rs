@@ -36,6 +36,7 @@ mod link;
 mod model;
 pub mod observer;
 pub mod profile;
+mod shard;
 
 pub use certify::{ProtocolFailure, SelfCertify};
 pub use error::{HostingError, SimError};
@@ -46,3 +47,8 @@ pub use model::{
 };
 pub use observer::{NoopRoundObserver, RoundDelta, RoundObserver, TraceObserver};
 pub use profile::{Phase, PhaseProfile};
+pub use shard::{ShardSafeLink, ShardableAlgorithm};
+
+// Re-exported so sharded-run callers can consume the returned worker
+// utilization without depending on `congest-par` directly.
+pub use congest_par::PoolStats;

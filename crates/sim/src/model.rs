@@ -35,9 +35,9 @@ pub(crate) fn make_context(graph: &Graph) -> NodeContext<'_> {
 /// know their neighbors' identifiers.
 #[derive(Debug)]
 pub struct NodeContext<'g> {
-    graph: &'g Graph,
-    n: usize,
-    bandwidth: u64,
+    pub(crate) graph: &'g Graph,
+    pub(crate) n: usize,
+    pub(crate) bandwidth: u64,
 }
 
 impl<'g> NodeContext<'g> {
@@ -268,21 +268,21 @@ impl SimStats {
 /// an `O(m)` reset. The `HashMap` the observer sees ([`RoundDelta`]'s
 /// public type) is rebuilt from `touched` once per flush: one hash insert
 /// per *touched edge* per round instead of one per message.
-struct RoundEdges {
+pub(crate) struct RoundEdges {
     /// Bits metered this round, valid only where `stamp[e] == epoch`.
-    bits: Vec<u64>,
+    pub(crate) bits: Vec<u64>,
     /// Round-epoch stamp per edge id.
-    stamp: Vec<u64>,
+    pub(crate) stamp: Vec<u64>,
     /// Edge ids metered this round, in first-touch order.
-    touched: Vec<EdgeId>,
+    pub(crate) touched: Vec<EdgeId>,
     /// The observer-facing view, rebuilt at each flush and then cleared.
-    map: HashMap<(NodeId, NodeId), u64>,
+    pub(crate) map: HashMap<(NodeId, NodeId), u64>,
     /// Current round epoch (starts at 1 so a zeroed `stamp` is invalid).
-    epoch: u64,
+    pub(crate) epoch: u64,
 }
 
 impl RoundEdges {
-    fn new(m: usize) -> Self {
+    pub(crate) fn new(m: usize) -> Self {
         RoundEdges {
             bits: vec![0; m],
             stamp: vec![0; m],
@@ -292,7 +292,7 @@ impl RoundEdges {
         }
     }
 
-    fn meter(&mut self, eid: EdgeId, bits: u64) {
+    pub(crate) fn meter(&mut self, eid: EdgeId, bits: u64) {
         let i = eid as usize;
         if self.stamp[i] == self.epoch {
             self.bits[i] += bits;
@@ -455,11 +455,15 @@ impl<A: CongestAlgorithm, O: RoundObserver, L: LinkLayer> Engine<'_, A, O, L> {
 /// amortize the snapshot.
 #[derive(Debug)]
 pub struct Simulator<'g> {
-    graph: &'g Graph,
-    csr: Csr,
-    bandwidth: u64,
-    stop_on_quiescence: bool,
-    bit_budget: Option<u64>,
+    pub(crate) graph: &'g Graph,
+    pub(crate) csr: Csr,
+    pub(crate) bandwidth: u64,
+    pub(crate) stop_on_quiescence: bool,
+    pub(crate) bit_budget: Option<u64>,
+    /// Worker count for the sharded entry points (`try_run_sharded*`);
+    /// `0` means one shard per available core. The serial entry points
+    /// ignore it. See [`Simulator::with_jobs`].
+    pub(crate) jobs: usize,
 }
 
 impl<'g> Simulator<'g> {
@@ -477,6 +481,7 @@ impl<'g> Simulator<'g> {
             bandwidth,
             stop_on_quiescence: true,
             bit_budget: None,
+            jobs: 1,
         }
     }
 
@@ -489,6 +494,27 @@ impl<'g> Simulator<'g> {
     pub fn stop_on_quiescence(mut self, stop: bool) -> Self {
         self.stop_on_quiescence = stop;
         self
+    }
+
+    /// Sets the worker count used by the sharded entry points
+    /// (`try_run_sharded`, `try_run_sharded_observed`,
+    /// `try_run_sharded_with`, `try_run_sharded_profiled`): the node set is
+    /// split into `jobs` contiguous shards, one worker thread per shard.
+    /// `0` means one shard per available core; the default is `1` (serial
+    /// execution on the calling thread, no threads spawned). The sharded
+    /// engine produces byte-identical `SimStats` and observer callbacks at
+    /// every worker count — the knob only changes wall-clock time.
+    ///
+    /// The serial entry points (`run`, `try_run`, ...) ignore this knob.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// The configured worker count for sharded runs (see
+    /// [`Simulator::with_jobs`]); `0` means one shard per available core.
+    pub fn jobs(&self) -> usize {
+        self.jobs
     }
 
     /// Caps the total bits a run may dispatch. When the cap is exceeded
@@ -819,7 +845,7 @@ impl<'g> Simulator<'g> {
         }
     }
 
-    fn budget_exceeded(&self, stats: &SimStats) -> bool {
+    pub(crate) fn budget_exceeded(&self, stats: &SimStats) -> bool {
         self.bit_budget.is_some_and(|b| stats.total_bits > b)
     }
 

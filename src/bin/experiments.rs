@@ -23,7 +23,13 @@
 //!   (deliver/compute/meter/link_fate/epilogue) plus coverage to stderr
 //!   after the phase summary. Execution is identical with or without the
 //!   profiler; like the other diagnostics this writes only to stderr and
-//!   the trace.
+//!   the trace;
+//! * `--sim-jobs <N>` — additionally drive the *sharded* simulator engine
+//!   at `N` workers (0 = all cores) on a seeded whole-graph-learning
+//!   workload, cross-check it against the serial engine (the two are
+//!   byte-equivalent by contract), and print a per-shard utilization
+//!   table to stderr after the phase summary. Stderr-only, so the main
+//!   report stays byte-identical.
 //!
 //! When the verification sweeps run on the parallel pool (`--jobs` ≠ 1
 //! on a multicore host), a worker utilization summary — per-worker busy
@@ -177,44 +183,64 @@ fn report_family<F: LowerBoundFamily + Sync>(
     }
 }
 
-fn parse_args() -> (Option<String>, Option<String>, usize, Option<u64>, bool) {
-    let mut out_path = None;
-    let mut trace_path = None;
-    let mut jobs = 0usize; // 0 = all available cores
-    let mut faults_seed = None;
-    let mut profile = false;
+struct Args {
+    out_path: Option<String>,
+    trace_path: Option<String>,
+    jobs: usize,
+    faults_seed: Option<u64>,
+    profile: bool,
+    sim_jobs: Option<usize>,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        out_path: None,
+        trace_path: None,
+        jobs: 0, // 0 = all available cores
+        faults_seed: None,
+        profile: false,
+        sim_jobs: None,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--out" => out_path = Some(args.next().expect("--out requires a path")),
-            "--trace" => trace_path = Some(args.next().expect("--trace requires a path")),
+            "--out" => parsed.out_path = Some(args.next().expect("--out requires a path")),
+            "--trace" => parsed.trace_path = Some(args.next().expect("--trace requires a path")),
             "--jobs" => {
-                jobs = args
+                parsed.jobs = args
                     .next()
                     .expect("--jobs requires a worker count")
                     .parse()
                     .expect("--jobs requires a number (0 = all cores)");
             }
             "--faults" => {
-                faults_seed = Some(
+                parsed.faults_seed = Some(
                     args.next()
                         .expect("--faults requires a seed")
                         .parse()
                         .expect("--faults requires a u64 seed"),
                 );
             }
-            "--profile" => profile = true,
+            "--profile" => parsed.profile = true,
+            "--sim-jobs" => {
+                parsed.sim_jobs = Some(
+                    args.next()
+                        .expect("--sim-jobs requires a worker count")
+                        .parse()
+                        .expect("--sim-jobs requires a number (0 = all cores)"),
+                );
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: experiments [--out <path>] [--trace <path.jsonl>] [--jobs <N>] \
-                     [--faults <seed>] [--profile]"
+                     [--faults <seed>] [--profile] [--sim-jobs <N>]"
                 );
                 std::process::exit(2);
             }
         }
     }
-    (out_path, trace_path, jobs, faults_seed, profile)
+    parsed
 }
 
 /// The `--faults <seed>` demo: leader election on a ring under the seeded
@@ -259,8 +285,78 @@ fn run_fault_demo(seed: u64, trace: &mut Option<TraceSink>) {
     }
 }
 
+/// The `--sim-jobs <N>` diagnostic: the sharded simulator engine at `N`
+/// workers on a seeded whole-graph-learning workload, cross-checked
+/// against the serial engine, with the per-shard utilization table.
+/// Everything prints to stderr so the main report is unaffected.
+fn run_sharded_demo(sim_jobs: usize, trace: &mut Option<TraceSink>) {
+    use congest_hardness::sim::algorithms::LearnGraph;
+    use congest_hardness::sim::NoopRoundObserver;
+
+    let mut rng = StdRng::seed_from_u64(4242);
+    let n = 512;
+    let g = generators::connected_gnp(n, 6.0 / (n as f64 - 1.0), &mut rng);
+
+    let mut serial_alg = LearnGraph::new(n);
+    let t0 = Instant::now();
+    let serial = Simulator::with_bandwidth(&g, 64).run(&mut serial_alg, 1_000_000);
+    let serial_wall = t0.elapsed();
+
+    let sim = Simulator::with_bandwidth(&g, 64).with_jobs(sim_jobs);
+    let mut alg = LearnGraph::new(n);
+    let t0 = Instant::now();
+    let (stats, pool) = sim
+        .try_run_sharded_with(
+            &mut alg,
+            1_000_000,
+            &mut NoopRoundObserver,
+            &mut PerfectLink,
+        )
+        .expect("whole-graph learning is CONGEST-legal");
+    let sharded_wall = t0.elapsed();
+
+    eprintln!("\n==== sharded simulator demo (--sim-jobs {sim_jobs}) ====");
+    eprintln!(
+        "  learn_graph on connected G({n}, 6/(n-1)): {} rounds, {} messages, {} bits",
+        stats.rounds, stats.messages, stats.total_bits
+    );
+    eprintln!(
+        "  serial engine: {:.2} ms; sharded engine ({} shards): {:.2} ms ({:.2}x)",
+        serial_wall.as_secs_f64() * 1000.0,
+        pool.workers,
+        sharded_wall.as_secs_f64() * 1000.0,
+        serial_wall.as_secs_f64() / sharded_wall.as_secs_f64().max(1e-9),
+    );
+    eprintln!(
+        "  stats identical to serial engine: {}",
+        if stats == serial { "yes" } else { "NO — BUG" }
+    );
+    eprintln!(
+        "  per-shard utilization ({:.1}% overall):",
+        pool.utilization().unwrap_or(0.0) * 100.0
+    );
+    for w in 0..pool.workers {
+        eprintln!(
+            "  shard {w}: {:>6} steps, busy {:>10.2} ms, idle {:>10.2} ms",
+            pool.items_per_worker.get(w).copied().unwrap_or(0),
+            pool.busy_micros_per_worker.get(w).copied().unwrap_or(0) as f64 / 1000.0,
+            pool.idle_micros_per_worker.get(w).copied().unwrap_or(0) as f64 / 1000.0,
+        );
+    }
+    for rec in pool.to_records("sim.pool") {
+        sink_of(trace).record(rec);
+    }
+}
+
 fn main() {
-    let (out_path, trace_path, jobs, faults_seed, profile) = parse_args();
+    let Args {
+        out_path,
+        trace_path,
+        jobs,
+        faults_seed,
+        profile,
+        sim_jobs,
+    } = parse_args();
     let mut out: Box<dyn Write> = match &out_path {
         Some(p) => Box::new(BufWriter::new(
             File::create(p).unwrap_or_else(|e| panic!("cannot create {p}: {e}")),
@@ -306,6 +402,9 @@ fn main() {
         for rec in pool.to_records("par.pool") {
             sink_of(&mut trace).record(rec);
         }
+    }
+    if let Some(j) = sim_jobs {
+        run_sharded_demo(j, &mut trace);
     }
     if let Some(seed) = faults_seed {
         run_fault_demo(seed, &mut trace);

@@ -1,0 +1,478 @@
+//! Sharded-engine equivalence pin: the multi-threaded simulator must be
+//! *observationally indistinguishable* from the serial engine — same
+//! `SimStats` (timeline, per-edge bits, fault counters, outcome) and a
+//! byte-identical observer trace — at every worker count.
+//!
+//! Each case runs once through `try_run_with` (serial) and once through
+//! `try_run_sharded_with` for jobs ∈ {1, 2, 4, 8}, across the algorithm
+//! zoo and a spread of fault plans (probabilistic, crash/throttle,
+//! targeted, delay-heavy). Error paths are pinned too: a CONGEST
+//! violation must surface as the same typed `SimError` with the same
+//! fault trace prefix, regardless of which shard hosts the culprit.
+
+use congest_hardness::faults::{FaultAction, FaultPlan, RoundFilter, TargetedFault};
+use congest_hardness::graph::{generators, Graph, Weight};
+use congest_hardness::obs::{Record, Recorder};
+use congest_hardness::sim::algorithms::{
+    AggregateSum, BfsTree, GenericExactDecision, LeaderElection, LearnGraph,
+};
+use congest_hardness::sim::{
+    CongestAlgorithm, NodeContext, RoundOutcome, ShardSafeLink, ShardableAlgorithm, SimError,
+    SimStats, Simulator, TraceObserver,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Worker counts every case is replayed at (1 = sharded code path with a
+/// single shard, still distinct from the serial engine).
+const JOBS: &[usize] = &[1, 2, 4, 8];
+
+/// Serializes records without wall-clock timestamps so two traces of the
+/// same execution are byte-identical (same trick as `fault_injection.rs`).
+#[derive(Default)]
+struct RawRecorder {
+    lines: Vec<String>,
+}
+
+impl Recorder for RawRecorder {
+    fn record(&mut self, rec: Record) {
+        self.lines.push(rec.to_json());
+    }
+}
+
+fn test_graph(n: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    generators::connected_gnp(n, 0.25, &mut rng)
+}
+
+/// Runs `make_alg()` serially and sharded at every worker count,
+/// asserting identical stats and byte-identical traces. Returns the
+/// serial stats so callers can sanity-check the scenario is
+/// non-degenerate (faults actually fired, rounds actually ran).
+fn check_equivalence<'g, A, L>(
+    label: &str,
+    sim_base: impl Fn() -> Simulator<'g>,
+    make_alg: impl Fn() -> A,
+    link: &L,
+    max_rounds: u64,
+) -> SimStats
+where
+    A: ShardableAlgorithm,
+    A::Msg: Send,
+    L: ShardSafeLink,
+{
+    let sim = sim_base();
+    let mut alg = make_alg();
+    let mut obs = TraceObserver::new(RawRecorder::default());
+    let mut serial_link = link.clone();
+    let serial_stats = sim
+        .try_run_with(&mut alg, max_rounds, &mut obs, &mut serial_link)
+        .unwrap_or_else(|e| panic!("{label}: serial run failed: {e}"));
+    let serial_trace = obs.into_recorder().lines;
+
+    for &jobs in JOBS {
+        let sim = sim_base().with_jobs(jobs);
+        let mut alg = make_alg();
+        let mut obs = TraceObserver::new(RawRecorder::default());
+        let mut sharded_link = link.clone();
+        let (stats, _pool) = sim
+            .try_run_sharded_with(&mut alg, max_rounds, &mut obs, &mut sharded_link)
+            .unwrap_or_else(|e| panic!("{label} jobs={jobs}: sharded run failed: {e}"));
+        assert_eq!(
+            serial_stats, stats,
+            "{label} jobs={jobs}: SimStats diverged from serial"
+        );
+        let trace = obs.into_recorder().lines;
+        for (i, (s, t)) in serial_trace.iter().zip(trace.iter()).enumerate() {
+            assert_eq!(
+                s,
+                t,
+                "{label} jobs={jobs}: trace diverges at line {}",
+                i + 1
+            );
+        }
+        assert_eq!(
+            serial_trace.len(),
+            trace.len(),
+            "{label} jobs={jobs}: trace length diverged"
+        );
+    }
+    serial_stats
+}
+
+// ---------------------------------------------------------------------
+// Fault-free equivalence across the algorithm zoo.
+// ---------------------------------------------------------------------
+
+#[test]
+fn perfect_link_traces_match_serial_for_every_algorithm() {
+    let g = test_graph(24, 5);
+    let n = g.num_nodes();
+    let m = g.num_edges();
+
+    check_equivalence(
+        "leader",
+        || Simulator::new(&g),
+        || LeaderElection::new(n),
+        &FaultPlan::empty(),
+        1_000,
+    );
+    check_equivalence(
+        "bfs",
+        || Simulator::new(&g),
+        || BfsTree::new(n, 0),
+        &FaultPlan::empty(),
+        1_000,
+    );
+    check_equivalence(
+        "aggregate",
+        || Simulator::with_bandwidth(&g, 96).stop_on_quiescence(false),
+        || AggregateSum::new(n, (0..n).map(|v| v as Weight + 1).collect()),
+        &FaultPlan::empty(),
+        100_000,
+    );
+    check_equivalence(
+        "learn_graph",
+        || Simulator::with_bandwidth(&g, 64),
+        || LearnGraph::new(n),
+        &FaultPlan::empty(),
+        100_000,
+    );
+    check_equivalence(
+        "exact_decision",
+        || Simulator::with_bandwidth(&g, 64),
+        || GenericExactDecision::new(n, m, |h: &Graph| h.num_edges() > 0),
+        &FaultPlan::empty(),
+        100_000,
+    );
+}
+
+#[test]
+fn sharded_outputs_match_serial_outputs() {
+    // Equivalence of stats is not enough if shard absorption scrambled
+    // the algorithm state handed back to the caller.
+    let g = test_graph(20, 6);
+    let n = g.num_nodes();
+    let serial = {
+        let mut alg = LearnGraph::new(n);
+        Simulator::with_bandwidth(&g, 64).run(&mut alg, 100_000);
+        (0..n).map(|v| alg.known_edges(v).len()).collect::<Vec<_>>()
+    };
+    for &jobs in JOBS {
+        let mut alg = LearnGraph::new(n);
+        Simulator::with_bandwidth(&g, 64)
+            .with_jobs(jobs)
+            .try_run_sharded(&mut alg, 100_000)
+            .expect("learn-graph is CONGEST-legal");
+        let got = (0..n).map(|v| alg.known_edges(v).len()).collect::<Vec<_>>();
+        assert_eq!(serial, got, "jobs={jobs}: absorbed outputs diverged");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fault plans: the shard-safe per-message RNG must inject the *same*
+// faults at the same points, independent of the shard partition.
+// ---------------------------------------------------------------------
+
+#[test]
+fn probabilistic_plan_traces_match_serial() {
+    let g = test_graph(18, 11);
+    let n = g.num_nodes();
+    let plan = FaultPlan::new(77)
+        .with_drop_prob(0.12)
+        .with_corrupt_prob(0.08)
+        .with_duplicate_prob(0.08);
+    let stats = check_equivalence(
+        "leader+prob",
+        || Simulator::new(&g),
+        || LeaderElection::new(n),
+        &plan,
+        2_000,
+    );
+    assert!(stats.faults.total() > 0, "plan injected nothing — too tame");
+    check_equivalence(
+        "learn_graph+prob",
+        || Simulator::with_bandwidth(&g, 64),
+        || LearnGraph::new(n),
+        &plan,
+        5_000,
+    );
+    check_equivalence(
+        "bfs+prob",
+        || Simulator::new(&g),
+        || BfsTree::new(n, 0),
+        &plan,
+        2_000,
+    );
+}
+
+#[test]
+fn delay_heavy_plan_traces_match_serial() {
+    // Delayed messages cross the barrier through the coordinator's global
+    // maturation queue; its ordering must reproduce the serial queue.
+    let g = test_graph(16, 13);
+    let n = g.num_nodes();
+    let plan = FaultPlan::new(401).with_delay_prob(0.5, 4);
+    let stats = check_equivalence(
+        "learn_graph+delay",
+        || Simulator::with_bandwidth(&g, 64),
+        || LearnGraph::new(n),
+        &plan,
+        10_000,
+    );
+    assert!(stats.faults.delays > 0, "no delays fired — seed too tame");
+    check_equivalence(
+        "leader+delay",
+        || Simulator::new(&g),
+        || LeaderElection::new(n),
+        &plan,
+        2_000,
+    );
+}
+
+#[test]
+fn crash_throttle_targeted_plan_traces_match_serial() {
+    let g = test_graph(16, 17);
+    let n = g.num_nodes();
+    // Crashes land on different shards at different worker counts; the
+    // coordinator must still announce them in the serial order.
+    let plan = FaultPlan::new(5)
+        .with_crash(3, 2)
+        .with_crash(11, 4)
+        .with_throttle(24, 3)
+        .with_targeted(TargetedFault {
+            round: RoundFilter::From(1),
+            from: Some(7),
+            to: None,
+            action: FaultAction::Drop,
+        });
+    let stats = check_equivalence(
+        "leader+crash",
+        || Simulator::new(&g),
+        || LeaderElection::new(n),
+        &plan,
+        2_000,
+    );
+    assert_eq!(stats.faults.crashes, 2);
+    check_equivalence(
+        "aggregate+crash",
+        || Simulator::with_bandwidth(&g, 96).stop_on_quiescence(false),
+        || AggregateSum::new(n, vec![1; n]),
+        &plan,
+        5_000,
+    );
+}
+
+#[test]
+fn edge_traffic_observer_matches_serial() {
+    // A cut-tracking observer flips `wants_edge_traffic`, exercising the
+    // cross-shard per-edge fold at the barrier (an edge metered by both
+    // endpoint shards must sum, not clobber).
+    let g = test_graph(20, 19);
+    let n = g.num_nodes();
+    let cut: Vec<(usize, usize)> = g.neighbors(0).iter().map(|&u| (0, u)).collect();
+    let plan = FaultPlan::new(23).with_drop_prob(0.1);
+
+    let sim = Simulator::with_bandwidth(&g, 64);
+    let mut alg = LearnGraph::new(n);
+    let mut obs = TraceObserver::new(RawRecorder::default()).with_cut(&cut);
+    let serial_stats = sim
+        .try_run_with(&mut alg, 10_000, &mut obs, &mut plan.clone())
+        .expect("legal");
+    let serial_trace = obs.into_recorder().lines;
+
+    for &jobs in JOBS {
+        let sim = Simulator::with_bandwidth(&g, 64).with_jobs(jobs);
+        let mut alg = LearnGraph::new(n);
+        let mut obs = TraceObserver::new(RawRecorder::default()).with_cut(&cut);
+        let (stats, _) = sim
+            .try_run_sharded_with(&mut alg, 10_000, &mut obs, &mut plan.clone())
+            .expect("legal");
+        assert_eq!(serial_stats, stats, "jobs={jobs}");
+        assert_eq!(
+            serial_trace,
+            obs.into_recorder().lines,
+            "jobs={jobs}: cut-traffic trace diverged"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Budget outcomes.
+// ---------------------------------------------------------------------
+
+#[test]
+fn round_and_bit_budget_outcomes_match_serial() {
+    let g = test_graph(16, 29);
+    let n = g.num_nodes();
+    let stats = check_equivalence(
+        "leader+round_budget",
+        || Simulator::new(&g),
+        || LeaderElection::new(n),
+        &FaultPlan::empty(),
+        2,
+    );
+    assert_eq!(
+        stats.outcome,
+        congest_hardness::sim::RunOutcome::RoundBudget
+    );
+    let stats = check_equivalence(
+        "learn_graph+bit_budget",
+        || Simulator::with_bandwidth(&g, 64).with_bit_budget(2_000),
+        || LearnGraph::new(n),
+        &FaultPlan::empty(),
+        100_000,
+    );
+    assert_eq!(stats.outcome, congest_hardness::sim::RunOutcome::BitBudget);
+}
+
+// ---------------------------------------------------------------------
+// Error paths: a model violation surfaces as the same typed error and
+// the same fault-trace prefix at every worker count.
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Copy)]
+enum Misbehavior {
+    /// The culprit sends to `(culprit + 2) % n` — a non-neighbor on a cycle.
+    NonNeighbor,
+    /// The culprit sends twice to the same neighbor in one round.
+    Duplicate,
+}
+
+/// Floods a unit message every round; one culprit node violates the model
+/// at a chosen round. Stateless per node, so shards are plain clones.
+#[derive(Clone)]
+struct Rogue {
+    n: usize,
+    culprit: usize,
+    at_round: usize,
+    kind: Misbehavior,
+}
+
+impl CongestAlgorithm for Rogue {
+    type Msg = u8;
+    type Output = ();
+
+    fn message_bits(_msg: &u8) -> u64 {
+        1
+    }
+
+    fn init(&mut self, node: usize, ctx: &NodeContext<'_>) -> Vec<(usize, u8)> {
+        ctx.neighbors(node).iter().map(|&u| (u, 0)).collect()
+    }
+
+    fn round(
+        &mut self,
+        node: usize,
+        ctx: &NodeContext<'_>,
+        round: usize,
+        _inbox: &[(usize, u8)],
+    ) -> (Vec<(usize, u8)>, RoundOutcome) {
+        let mut out: Vec<(usize, u8)> = ctx.neighbors(node).iter().map(|&u| (u, 0)).collect();
+        if node == self.culprit && round == self.at_round {
+            match self.kind {
+                Misbehavior::NonNeighbor => out.push(((self.culprit + 2) % self.n, 0)),
+                // The flood above already hit every neighbor once; one
+                // extra send to the first neighbor is the duplicate.
+                Misbehavior::Duplicate => out.push((ctx.neighbors(node)[0], 0)),
+            }
+        }
+        (out, RoundOutcome::Continue)
+    }
+
+    fn output(&self, _node: usize) -> Option<()> {
+        None
+    }
+}
+
+impl ShardableAlgorithm for Rogue {
+    fn split_shard(&mut self, _lo: usize, _hi: usize) -> Self {
+        self.clone()
+    }
+
+    fn absorb_shard(&mut self, _shard: Self, _lo: usize, _hi: usize) {}
+}
+
+fn check_error_equivalence(label: &str, g: &Graph, rogue: &Rogue, plan: &FaultPlan) {
+    let sim = Simulator::new(g);
+    let mut obs = TraceObserver::new(RawRecorder::default());
+    let serial_err = sim
+        .try_run_with(&mut rogue.clone(), 100, &mut obs, &mut plan.clone())
+        .expect_err("rogue must trip the model checker");
+    let serial_trace = obs.into_recorder().lines;
+
+    for &jobs in JOBS {
+        let sim = Simulator::new(g).with_jobs(jobs);
+        let mut obs = TraceObserver::new(RawRecorder::default());
+        let err = sim
+            .try_run_sharded_with(&mut rogue.clone(), 100, &mut obs, &mut plan.clone())
+            .expect_err("rogue must trip the sharded checker too");
+        assert_eq!(serial_err, err, "{label} jobs={jobs}: error diverged");
+        assert_eq!(
+            serial_trace,
+            obs.into_recorder().lines,
+            "{label} jobs={jobs}: error-path trace diverged"
+        );
+    }
+}
+
+#[test]
+fn model_violations_surface_identically_across_worker_counts() {
+    let g = generators::cycle(16);
+    for culprit in [0usize, 7, 15] {
+        check_error_equivalence(
+            &format!("non_neighbor@{culprit}"),
+            &g,
+            &Rogue {
+                n: 16,
+                culprit,
+                at_round: 3,
+                kind: Misbehavior::NonNeighbor,
+            },
+            &FaultPlan::empty(),
+        );
+        check_error_equivalence(
+            &format!("duplicate@{culprit}"),
+            &g,
+            &Rogue {
+                n: 16,
+                culprit,
+                at_round: 2,
+                kind: Misbehavior::Duplicate,
+            },
+            &FaultPlan::empty(),
+        );
+    }
+    // With faults in flight the pre-error fault trace must still match.
+    check_error_equivalence(
+        "non_neighbor+faults",
+        &g,
+        &Rogue {
+            n: 16,
+            culprit: 9,
+            at_round: 4,
+            kind: Misbehavior::NonNeighbor,
+        },
+        &FaultPlan::new(31).with_drop_prob(0.2),
+    );
+}
+
+#[test]
+fn bandwidth_violation_surfaces_identically() {
+    // LeaderElection on a graph where some id needs more bits than the
+    // bandwidth allows: node ids ≥ 4 need 3+ bits, so bandwidth 2 trips
+    // `BandwidthExceeded` deterministically.
+    let g = generators::cycle(12);
+    let sim = Simulator::with_bandwidth(&g, 2);
+    let serial_err = sim
+        .try_run(&mut LeaderElection::new(12), 100)
+        .expect_err("ids over 3 bits must trip the bandwidth check");
+    assert!(matches!(serial_err, SimError::BandwidthExceeded { .. }));
+    for &jobs in JOBS {
+        let sim = Simulator::with_bandwidth(&g, 2).with_jobs(jobs);
+        let err = sim
+            .try_run_sharded(&mut LeaderElection::new(12), 100)
+            .expect_err("sharded engine must trip the same check");
+        assert_eq!(serial_err, err, "jobs={jobs}");
+    }
+}
