@@ -65,8 +65,10 @@ const EXCLUDED_COUNTERS: &[&str] = &["jobs", "memo_hits", "memo_misses", "availa
 
 /// Workload-size fields that belong to the entry's identity. `threads`
 /// is identity, not a counter: the same workload at several worker
-/// counts forms a scaling curve of distinct entries.
-const ID_FIELDS: &[&str] = &["n", "k_input", "threads"];
+/// counts forms a scaling curve of distinct entries. Likewise
+/// `adversary` (`BENCH_faults.json`): the same `(alg, n)` point under
+/// the i.i.d. sweep and under the worst-case search are two workloads.
+const ID_FIELDS: &[&str] = &["n", "k_input", "threads", "adversary"];
 
 fn is_wall_field(name: &str) -> bool {
     name.ends_with("_micros")
@@ -364,6 +366,29 @@ mod tests {
         // Same (alg, n) at two worker counts must be two entries, and the
         // worker count must not be gated as a deterministic counter.
         assert!(!doc.entries[0].counters.contains_key("threads"));
+        let report = compare(&doc, &doc, DEFAULT_NOISE_BAND);
+        assert!(!report.is_regression(), "{}", report.render());
+    }
+
+    #[test]
+    fn fault_sweep_entries_key_on_alg_n_adversary() {
+        let text = r#"{
+            "bench": "fault_sweep",
+            "entries": [
+                {"alg": "leader_election", "adversary": "iid", "n": 16,
+                 "caught": 40, "wall_micros": 9000},
+                {"alg": "leader_election", "adversary": "search", "n": 16,
+                 "evals": 44, "wall_micros": 3000}
+            ]
+        }"#;
+        let doc = BenchDoc::parse(text).expect("parses");
+        // Same (alg, n) under two adversaries must stay two entries, and
+        // the adversary tag is identity, never a gated counter.
+        assert_eq!(doc.entries[0].id, "leader_election/iid/n=16");
+        assert_eq!(doc.entries[1].id, "leader_election/search/n=16");
+        assert!(!doc.entries[0].counters.contains_key("adversary"));
+        assert_eq!(doc.entries[0].counters.get("caught"), Some(&40));
+        assert_eq!(doc.entries[1].counters.get("evals"), Some(&44));
         let report = compare(&doc, &doc, DEFAULT_NOISE_BAND);
         assert!(!report.is_regression(), "{}", report.render());
     }

@@ -1,0 +1,450 @@
+//! Worst-case adversaries: f-bounded fault-placement search.
+//!
+//! An i.i.d. [`FaultPlan`] asks "how does the protocol fare under ambient
+//! noise?"; this module asks the question the paper's lower bounds are
+//! actually about — *what is the worst the network can do* with a bounded
+//! amount of corruption? An f-bounded adversary owns at most
+//! [`FaultBudget::max_links`] links (omission or Byzantine) and
+//! [`FaultBudget::max_nodes`] crash-stop nodes, and
+//! [`adversarial_search`] searches their placement to maximize the
+//! [`AttackScore`] — forcing a `ProtocolFailure` if it can, otherwise
+//! maximizing retries and rounds-to-certify.
+//!
+//! The search is classic and deterministic: a fault-free profiling run
+//! meters every edge (through the simulator's CSR edge ids), the
+//! heaviest-traffic edges seed a candidate pool (information-theoretic
+//! heuristic: the hardness constructions concentrate communication on cut
+//! edges), greedy placement fills the budget one fault at a time, and a
+//! seeded local search then perturbs placements (edge swaps, kind/bit
+//! flips, round shifts) accepting strict improvements. Same simulator,
+//! algorithm, and config ⇒ same plan, bit for bit.
+
+use congest_graph::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use congest_sim::{NoopRoundObserver, PerfectLink, SelfCertify, Simulator};
+
+use crate::plan::{FaultPlan, LinkFault, LinkFaultKind, RoundFilter};
+use crate::retry::{run_certified_with_retry, RetryPolicy};
+
+/// How much of the network an f-bounded adversary may corrupt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultBudget {
+    /// Maximum distinct faulty (omission/Byzantine) links.
+    pub max_links: usize,
+    /// Maximum distinct crash-stop nodes.
+    pub max_nodes: usize,
+}
+
+impl FaultBudget {
+    /// A link-only budget: `f` faulty links, no faulty nodes.
+    pub fn links(f: usize) -> Self {
+        FaultBudget {
+            max_links: f,
+            max_nodes: 0,
+        }
+    }
+
+    /// A node-only budget: `f` crash-stop nodes, no faulty links.
+    pub fn nodes(f: usize) -> Self {
+        FaultBudget {
+            max_links: 0,
+            max_nodes: f,
+        }
+    }
+
+    /// Does `plan` stay within this budget? Checks the plan's
+    /// deterministic faulty links ([`FaultPlan::faulty_links`]) and crash
+    /// targets ([`FaultPlan::faulty_nodes`]).
+    pub fn admits(&self, plan: &FaultPlan) -> bool {
+        plan.faulty_links().len() <= self.max_links && plan.faulty_nodes().len() <= self.max_nodes
+    }
+}
+
+/// Tuning knobs for [`adversarial_search`]. Everything is seeded; two
+/// searches with equal configs return identical plans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdversaryConfig {
+    /// The f-bounded budget the found plan must respect.
+    pub budget: FaultBudget,
+    /// Seed for the found plan and for the local-search RNG.
+    pub seed: u64,
+    /// How many of the hottest edges (by fault-free metered bits) enter
+    /// the candidate pool. Set ≥ the edge count to consider every edge.
+    pub candidate_pool: usize,
+    /// Local-search mutation steps after the greedy phase.
+    pub search_iters: u64,
+    /// Round budget per evaluation run.
+    pub max_rounds: u64,
+    /// Retry policy each evaluation runs under — the adversary wins
+    /// outright only if *no* reseeded attempt certifies.
+    pub retry: RetryPolicy,
+}
+
+impl AdversaryConfig {
+    /// A config with the given budget and conservative defaults.
+    pub fn new(budget: FaultBudget) -> Self {
+        AdversaryConfig {
+            budget,
+            seed: 0xBAD_F00D,
+            candidate_pool: 16,
+            search_iters: 64,
+            max_rounds: 10_000,
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// How badly a plan hurt the protocol, ordered worst-last: derived
+/// lexicographic order over (forced failure, attempts, rounds), so
+/// `a > b` means `a` is the stronger attack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct AttackScore {
+    /// No attempt certified (or the run broke the model): total win.
+    pub forced_failure: bool,
+    /// Attempts the certified run needed (= `max_attempts` on failure).
+    pub attempts: u32,
+    /// Rounds of the certified attempt (= the round budget on failure).
+    pub rounds: u64,
+}
+
+/// The result of an adversarial placement search.
+#[derive(Debug, Clone)]
+pub struct AdversaryOutcome {
+    /// The worst placement found (seeded with the config's seed).
+    pub plan: FaultPlan,
+    /// Its score.
+    pub score: AttackScore,
+    /// The fault-free score, for reference (1 attempt, baseline rounds).
+    pub baseline: AttackScore,
+    /// Total plan evaluations spent (greedy + local search).
+    pub evals: u64,
+}
+
+/// Scores one plan: run-to-certify under retries, worst case first.
+pub fn evaluate_plan<A: SelfCertify>(
+    sim: &Simulator<'_>,
+    make_alg: impl FnMut() -> A,
+    max_rounds: u64,
+    plan: &FaultPlan,
+    retry: RetryPolicy,
+) -> AttackScore {
+    match run_certified_with_retry(sim, make_alg, max_rounds, plan, retry) {
+        Ok(run) => AttackScore {
+            forced_failure: false,
+            attempts: run.attempts,
+            rounds: run.stats.rounds,
+        },
+        // Exhausted retries and model violations both mean no certified
+        // output came back: a total adversarial win.
+        Err(_) => AttackScore {
+            forced_failure: true,
+            attempts: retry.max_attempts,
+            rounds: max_rounds,
+        },
+    }
+}
+
+/// The candidate repertoire the greedy phase tries per link slot.
+const GREEDY_LINK_KINDS: [LinkFaultKind; 2] =
+    [LinkFaultKind::Omission, LinkFaultKind::Byzantine { bit: 0 }];
+
+/// Searches fault placements within `cfg.budget` to maximize the
+/// [`AttackScore`] against `make_alg` on `sim` (see module docs for the
+/// greedy + local-search procedure). The returned plan respects the
+/// budget and carries `cfg.seed`.
+pub fn adversarial_search<A: SelfCertify>(
+    sim: &Simulator<'_>,
+    make_alg: impl Fn() -> A,
+    cfg: &AdversaryConfig,
+) -> AdversaryOutcome {
+    // Fault-free profiling run: rank candidate edges by metered bits.
+    let mut profile_alg = make_alg();
+    let base_stats = sim
+        .try_run_with(
+            &mut profile_alg,
+            cfg.max_rounds,
+            &mut NoopRoundObserver,
+            &mut PerfectLink,
+        )
+        .expect("the profiling run must be CONGEST-legal");
+    let baseline = AttackScore {
+        forced_failure: false,
+        attempts: 1,
+        rounds: base_stats.rounds,
+    };
+    // hottest_edges keys are undirected (min, max) pairs; the CSR is the
+    // authority on which of them are simulator edges (all, by
+    // construction — asserted cheaply here) and on the dense edge-id
+    // space the local search draws replacement candidates from.
+    let csr = sim.csr();
+    let edges: Vec<(NodeId, NodeId)> = base_stats
+        .hottest_edges(cfg.candidate_pool)
+        .into_iter()
+        .map(|((u, v), _)| {
+            debug_assert!(csr.edge_id(u, v).is_some(), "metered edge not in CSR");
+            (u, v)
+        })
+        .collect();
+    // Crash candidates: endpoints of hot edges, hottest-first, deduped.
+    let mut nodes: Vec<NodeId> = Vec::new();
+    for &(u, v) in &edges {
+        for w in [u, v] {
+            if !nodes.contains(&w) {
+                nodes.push(w);
+            }
+        }
+    }
+
+    let mut evals: u64 = 0;
+    let eval = |plan: &FaultPlan, evals: &mut u64| {
+        *evals += 1;
+        evaluate_plan(sim, &make_alg, cfg.max_rounds, plan, cfg.retry)
+    };
+
+    let mut best_plan = FaultPlan::new(cfg.seed);
+    let mut best_score = baseline;
+
+    // Greedy: add the single best fault until the budget is full or no
+    // candidate strictly improves the score. First-best wins ties, so
+    // the phase is deterministic.
+    loop {
+        let used_links = best_plan.faulty_links();
+        let used_nodes = best_plan.faulty_nodes();
+        if used_links.len() >= cfg.budget.max_links && used_nodes.len() >= cfg.budget.max_nodes {
+            break;
+        }
+        let mut round_best: Option<(FaultPlan, AttackScore)> = None;
+        let consider = |cand: FaultPlan,
+                        round_best: &mut Option<(FaultPlan, AttackScore)>,
+                        evals: &mut u64| {
+            let score = eval(&cand, evals);
+            if round_best.as_ref().is_none_or(|(_, s)| score > *s) {
+                *round_best = Some((cand, score));
+            }
+        };
+        if used_links.len() < cfg.budget.max_links {
+            for &(a, b) in &edges {
+                if used_links.contains(&(a.min(b), a.max(b))) {
+                    continue;
+                }
+                for kind in GREEDY_LINK_KINDS {
+                    let cand = best_plan.clone().with_link_fault(LinkFault {
+                        a,
+                        b,
+                        kind,
+                        rounds: RoundFilter::Any,
+                    });
+                    consider(cand, &mut round_best, &mut evals);
+                }
+            }
+        }
+        if used_nodes.len() < cfg.budget.max_nodes {
+            for &v in &nodes {
+                if used_nodes.contains(&v) {
+                    continue;
+                }
+                let cand = best_plan.clone().with_crash(v, 0);
+                consider(cand, &mut round_best, &mut evals);
+            }
+        }
+        match round_best {
+            Some((plan, score)) if score > best_score => {
+                best_plan = plan;
+                best_score = score;
+            }
+            _ => break,
+        }
+    }
+
+    // Seeded local search: perturb placements, accept strict
+    // improvements. Mutations draw replacement edges from the *dense CSR
+    // edge-id space*, so the refinement can leave the greedy pool.
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xAD5E_ECA5_7AD5_EECA);
+    for _ in 0..cfg.search_iters {
+        let links: Vec<LinkFault> = best_plan.link_faults().to_vec();
+        let crashes: Vec<(NodeId, u64)> = best_plan.crashes().to_vec();
+        let mut new_links = links.clone();
+        let mut new_crashes = crashes.clone();
+        let mutated = match rng.gen_range(0..4u32) {
+            0 if !new_links.is_empty() => {
+                // Re-aim one faulty link at a random CSR edge.
+                let i = rng.gen_range(0..new_links.len());
+                let eid = rng.gen_range(0..csr.num_edges()) as congest_graph::EdgeId;
+                let (a, b) = csr.endpoints(eid);
+                new_links[i].a = a;
+                new_links[i].b = b;
+                true
+            }
+            1 if !new_links.is_empty() => {
+                // Flip the link's kind (or its Byzantine bit).
+                let i = rng.gen_range(0..new_links.len());
+                new_links[i].kind = match new_links[i].kind {
+                    LinkFaultKind::Omission => LinkFaultKind::Byzantine {
+                        bit: rng.gen_range(0..64),
+                    },
+                    LinkFaultKind::Byzantine { .. } => LinkFaultKind::Omission,
+                };
+                true
+            }
+            2 if !new_links.is_empty() => {
+                // Shift the rounds the link is armed in.
+                let i = rng.gen_range(0..new_links.len());
+                let from = rng.gen_range(0..=baseline.rounds);
+                new_links[i].rounds = RoundFilter::From(from);
+                true
+            }
+            3 if !new_crashes.is_empty() && !nodes.is_empty() => {
+                // Move one crash to another hot node / round.
+                let i = rng.gen_range(0..new_crashes.len());
+                new_crashes[i] = (
+                    nodes[rng.gen_range(0..nodes.len())],
+                    rng.gen_range(0..=baseline.rounds / 2),
+                );
+                true
+            }
+            _ => false,
+        };
+        if !mutated {
+            continue;
+        }
+        let mut cand = FaultPlan::new(cfg.seed);
+        for l in new_links {
+            cand = cand.with_link_fault(l);
+        }
+        for (v, r) in new_crashes {
+            cand = cand.with_crash(v, r);
+        }
+        if !cfg.budget.admits(&cand) {
+            continue;
+        }
+        let score = eval(&cand, &mut evals);
+        if score > best_score {
+            best_plan = cand;
+            best_score = score;
+        }
+    }
+
+    debug_assert!(cfg.budget.admits(&best_plan));
+    AdversaryOutcome {
+        plan: best_plan,
+        score: best_score,
+        baseline,
+        evals,
+    }
+}
+
+/// The random-placement control the adversarial search is measured
+/// against: `trials` budget-respecting plans with uniformly random link
+/// and crash placements (seeded per trial), each scored like the search
+/// scores its candidates. Returns the per-trial scores in trial order.
+pub fn random_placements<A: SelfCertify>(
+    sim: &Simulator<'_>,
+    make_alg: impl Fn() -> A,
+    cfg: &AdversaryConfig,
+    trials: u64,
+) -> Vec<AttackScore> {
+    let csr = sim.csr();
+    let n = csr.num_nodes();
+    let m = csr.num_edges();
+    (0..trials)
+        .map(|t| {
+            let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(t).wrapping_mul(0x9E37_79B9));
+            let mut plan = FaultPlan::new(cfg.seed.wrapping_add(t));
+            while plan.faulty_links().len() < cfg.budget.max_links && m > 0 {
+                let (a, b) = csr.endpoints(rng.gen_range(0..m) as congest_graph::EdgeId);
+                let kind = if rng.gen_bool(0.5) {
+                    LinkFaultKind::Omission
+                } else {
+                    LinkFaultKind::Byzantine {
+                        bit: rng.gen_range(0..64),
+                    }
+                };
+                if plan.faulty_links().contains(&(a.min(b), a.max(b))) {
+                    continue;
+                }
+                plan = plan.with_link_fault(LinkFault {
+                    a,
+                    b,
+                    kind,
+                    rounds: RoundFilter::Any,
+                });
+            }
+            while plan.faulty_nodes().len() < cfg.budget.max_nodes && n > 0 {
+                let v = rng.gen_range(0..n) as NodeId;
+                if plan.faulty_nodes().contains(&v) {
+                    continue;
+                }
+                plan = plan.with_crash(v, 0);
+            }
+            evaluate_plan(sim, &make_alg, cfg.max_rounds, &plan, cfg.retry)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::generators;
+    use congest_sim::algorithms::LeaderElection;
+
+    #[test]
+    fn attack_scores_order_worst_last() {
+        let certified = AttackScore {
+            forced_failure: false,
+            attempts: 1,
+            rounds: 10,
+        };
+        let slow = AttackScore {
+            forced_failure: false,
+            attempts: 1,
+            rounds: 20,
+        };
+        let retried = AttackScore {
+            forced_failure: false,
+            attempts: 3,
+            rounds: 10,
+        };
+        let forced = AttackScore {
+            forced_failure: true,
+            attempts: 3,
+            rounds: 10,
+        };
+        assert!(slow > certified);
+        assert!(retried > slow);
+        assert!(forced > retried);
+    }
+
+    #[test]
+    fn budget_admits_checks_both_axes() {
+        let plan = FaultPlan::new(0)
+            .with_omission_link(0, 1, RoundFilter::Any)
+            .with_crash(3, 0);
+        assert!(FaultBudget {
+            max_links: 1,
+            max_nodes: 1
+        }
+        .admits(&plan));
+        assert!(!FaultBudget::links(1).admits(&plan));
+        assert!(!FaultBudget::nodes(1).admits(&plan));
+    }
+
+    #[test]
+    fn search_is_deterministic() {
+        let g = generators::cycle(8);
+        let sim = Simulator::new(&g);
+        let cfg = AdversaryConfig {
+            candidate_pool: 8,
+            search_iters: 16,
+            max_rounds: 1_000,
+            ..AdversaryConfig::new(FaultBudget::links(1))
+        };
+        let a = adversarial_search(&sim, || LeaderElection::new(8), &cfg);
+        let b = adversarial_search(&sim, || LeaderElection::new(8), &cfg);
+        assert_eq!(a.plan, b.plan);
+        assert_eq!(a.score, b.score);
+        assert_eq!(a.evals, b.evals);
+        assert!(cfg.budget.admits(&a.plan));
+    }
+}

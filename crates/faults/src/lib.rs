@@ -20,6 +20,16 @@
 //! after a faulty run and are retried under a reseeded plan, turning
 //! silent wrong answers into typed [`CertifiedError`]s.
 //!
+//! The adversary subsystem extends the taxonomy beyond i.i.d. noise:
+//! adversarially chosen omission/Byzantine [`LinkFault`]s, partition
+//! windows with typed Partition/Heal timeline events, f-bounded
+//! [`FaultBudget`]s, a worst-case placement search
+//! ([`adversarial_search`] — greedy cut-edge targeting plus seeded local
+//! search), and a Monte-Carlo robustness sweep driver ([`run_sweep`]) on
+//! the `congest-par` worker pool. Plans serialize to obs records
+//! ([`FaultPlan::to_records`]) so any sweep's worst case replays exactly
+//! from its trace artifact.
+//!
 //! # Examples
 //!
 //! ```
@@ -46,10 +56,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod adversary;
+mod codec;
 mod plan;
 mod retry;
+mod sweep;
 mod timeline;
 
-pub use plan::{FaultAction, FaultPlan, RoundFilter, TargetedFault};
+pub use adversary::{
+    adversarial_search, evaluate_plan, random_placements, AdversaryConfig, AdversaryOutcome,
+    AttackScore, FaultBudget,
+};
+pub use codec::{partition_events, PlanCodecError, PLAN_TARGET};
+pub use plan::{
+    FaultAction, FaultPlan, LinkFault, LinkFaultKind, PartitionWindow, RoundFilter, TargetedFault,
+};
 pub use retry::{run_certified_with_retry, CertifiedError, CertifiedRun, RetryPolicy};
-pub use timeline::FaultTimeline;
+pub use sweep::{run_sweep, AlgSweep, SweepConfig, SweepReport};
+pub use timeline::{FaultTimeline, NetEvent};

@@ -14,6 +14,8 @@
 //! repeats within a run. An [`FaultPlan::empty`] plan is behaviourally
 //! indistinguishable from [`congest_sim::PerfectLink`].
 
+use std::collections::BTreeSet;
+
 use congest_graph::NodeId;
 use congest_sim::{LinkFate, LinkLayer, ShardSafeLink};
 use rand::rngs::StdRng;
@@ -96,6 +98,102 @@ impl TargetedFault {
     }
 }
 
+/// What an adversarially chosen faulty link does to traffic crossing it.
+///
+/// These are the classical link-fault classes: an *omission* link
+/// silently loses every matching message in both directions; a
+/// *Byzantine* link flips one adversarially chosen payload bit (via
+/// [`congest_sim::CongestAlgorithm::corrupt`]) — a deterministic,
+/// worst-case corruption, unlike the random bit drawn by
+/// [`FaultPlan::with_corrupt_prob`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkFaultKind {
+    /// Lose every matching message (counted as `omission`).
+    Omission,
+    /// Flip the given payload bit of every matching message (counted as
+    /// `corrupt`, like all payload corruption).
+    Byzantine {
+        /// The adversarially chosen bit index to flip.
+        bit: u32,
+    },
+}
+
+/// An adversarially chosen faulty *undirected* link: traffic between `a`
+/// and `b` (both directions) suffers `kind` in every round matching
+/// `rounds`. The unit the f-bounded adversary budget counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkFault {
+    /// One endpoint of the faulty link.
+    pub a: NodeId,
+    /// The other endpoint.
+    pub b: NodeId,
+    /// What the link does to matching traffic.
+    pub kind: LinkFaultKind,
+    /// Rounds the fault is armed in.
+    pub rounds: RoundFilter,
+}
+
+impl LinkFault {
+    fn matches(&self, round: u64, from: NodeId, to: NodeId) -> bool {
+        self.rounds.matches(round)
+            && ((self.a == from && self.b == to) || (self.a == to && self.b == from))
+    }
+
+    /// The link's endpoints as a normalized (min, max) pair.
+    pub fn link(&self) -> (NodeId, NodeId) {
+        (self.a.min(self.b), self.a.max(self.b))
+    }
+}
+
+/// A network-partition window: from round `from_round` until the heal
+/// round (exclusive; `None` = never heals), every message between the
+/// `side` node set and its complement is lost, counted as a `partition`
+/// fault. Typed `Partition`/`Heal` events for the window surface in
+/// [`crate::FaultTimeline`] via [`crate::FaultTimeline::note_plan`] and
+/// in the plan's serialized records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionWindow {
+    /// Nodes on one side of the cut, sorted ascending.
+    side: Vec<NodeId>,
+    /// First round the partition is open (engine dispatch round).
+    pub from_round: u64,
+    /// First round the partition is healed again, or `None` if it never
+    /// heals.
+    pub heal_round: Option<u64>,
+}
+
+impl PartitionWindow {
+    /// Builds a window; `side` is deduplicated and sorted.
+    pub fn new(side: &[NodeId], from_round: u64, heal_round: Option<u64>) -> Self {
+        if let Some(h) = heal_round {
+            assert!(h > from_round, "a partition must be open for ≥ 1 round");
+        }
+        let mut side: Vec<NodeId> = side.to_vec();
+        side.sort_unstable();
+        side.dedup();
+        PartitionWindow {
+            side,
+            from_round,
+            heal_round,
+        }
+    }
+
+    /// The nodes on the cut's named side, sorted ascending.
+    pub fn side(&self) -> &[NodeId] {
+        &self.side
+    }
+
+    /// Is the partition open in `round`?
+    pub fn open_at(&self, round: u64) -> bool {
+        round >= self.from_round && self.heal_round.is_none_or(|h| round < h)
+    }
+
+    fn cuts(&self, round: u64, from: NodeId, to: NodeId) -> bool {
+        self.open_at(round)
+            && (self.side.binary_search(&from).is_ok() != self.side.binary_search(&to).is_ok())
+    }
+}
+
 /// A seeded, reproducible fault-injection schedule.
 ///
 /// Combines probabilistic link faults (drop / corrupt / duplicate /
@@ -103,9 +201,12 @@ impl TargetedFault {
 /// `(seed, round, from, to)` — see the module docs for why that keying
 /// makes the schedule independent of engine call order), scheduled
 /// crash-stops, an optional bandwidth throttle, and deterministic
-/// [`TargetedFault`]s. Decision order per message: targeted faults first
-/// (first match wins), then throttle, then drop, corrupt, duplicate,
-/// delay.
+/// [`TargetedFault`]s — plus the adversarial taxonomy: omission /
+/// Byzantine [`LinkFault`]s and [`PartitionWindow`]s. Decision order per
+/// message: targeted faults first (first match wins), then open
+/// partitions (a separated pair exchanges nothing, whatever else is
+/// armed), then faulty links, then throttle, then drop, corrupt,
+/// duplicate, delay.
 ///
 /// # Examples
 ///
@@ -116,7 +217,7 @@ impl TargetedFault {
 /// assert!(!plan.is_empty());
 /// assert!(FaultPlan::empty().is_empty());
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FaultPlan {
     seed: u64,
     drop_prob: f64,
@@ -127,6 +228,8 @@ pub struct FaultPlan {
     crashes: Vec<(NodeId, u64)>,
     throttle: Option<(u64, u64)>,
     targeted: Vec<TargetedFault>,
+    links: Vec<LinkFault>,
+    partitions: Vec<PartitionWindow>,
 }
 
 impl FaultPlan {
@@ -143,6 +246,8 @@ impl FaultPlan {
             crashes: Vec::new(),
             throttle: None,
             targeted: Vec::new(),
+            links: Vec::new(),
+            partitions: Vec::new(),
         }
     }
 
@@ -232,6 +337,109 @@ impl FaultPlan {
         self
     }
 
+    /// Adds an adversarially chosen faulty link (see [`LinkFault`]).
+    pub fn with_link_fault(mut self, fault: LinkFault) -> Self {
+        self.links.push(fault);
+        self
+    }
+
+    /// Makes the undirected link `a`–`b` an omission link for the rounds
+    /// matching `rounds`: every message across it, in either direction,
+    /// is silently lost.
+    pub fn with_omission_link(self, a: NodeId, b: NodeId, rounds: RoundFilter) -> Self {
+        self.with_link_fault(LinkFault {
+            a,
+            b,
+            kind: LinkFaultKind::Omission,
+            rounds,
+        })
+    }
+
+    /// Makes the undirected link `a`–`b` Byzantine for the rounds
+    /// matching `rounds`: every message across it has the adversarially
+    /// chosen `bit` flipped.
+    pub fn with_byzantine_link(self, a: NodeId, b: NodeId, bit: u32, rounds: RoundFilter) -> Self {
+        self.with_link_fault(LinkFault {
+            a,
+            b,
+            kind: LinkFaultKind::Byzantine { bit },
+            rounds,
+        })
+    }
+
+    /// Opens a partition separating `side` from its complement over
+    /// `[from_round, heal_round)` (`heal_round = None` never heals).
+    pub fn with_partition(
+        mut self,
+        side: &[NodeId],
+        from_round: u64,
+        heal_round: Option<u64>,
+    ) -> Self {
+        self.partitions
+            .push(PartitionWindow::new(side, from_round, heal_round));
+        self
+    }
+
+    /// The scheduled crash-stops, as `(node, round)` pairs in insertion
+    /// order.
+    pub fn crashes(&self) -> &[(NodeId, u64)] {
+        &self.crashes
+    }
+
+    /// The deterministic targeted faults, in match-priority order.
+    pub fn targeted(&self) -> &[TargetedFault] {
+        &self.targeted
+    }
+
+    /// The adversarially chosen faulty links, in match-priority order.
+    pub fn link_faults(&self) -> &[LinkFault] {
+        &self.links
+    }
+
+    /// The partition windows, in match-priority order.
+    pub fn partitions(&self) -> &[PartitionWindow] {
+        &self.partitions
+    }
+
+    /// The armed bandwidth throttle as `(max_bits, from_round)`, if any.
+    pub fn throttle(&self) -> Option<(u64, u64)> {
+        self.throttle
+    }
+
+    /// The armed probabilities as
+    /// `(drop, corrupt, duplicate, delay, max_delay)`.
+    pub fn probabilities(&self) -> (f64, f64, f64, f64, u64) {
+        (
+            self.drop_prob,
+            self.corrupt_prob,
+            self.duplicate_prob,
+            self.delay_prob,
+            self.max_delay,
+        )
+    }
+
+    /// The distinct nodes this plan faults directly (crash-stop targets),
+    /// sorted — the node side of an f-bounded adversary budget.
+    pub fn faulty_nodes(&self) -> BTreeSet<NodeId> {
+        self.crashes.iter().map(|&(v, _)| v).collect()
+    }
+
+    /// The distinct undirected links this plan faults deterministically —
+    /// [`LinkFault`]s plus [`TargetedFault`]s that pin both endpoints —
+    /// as normalized `(min, max)` pairs. Probabilistic faults and
+    /// partitions are *not* counted: an f-bounded adversary budgets
+    /// chosen faulty components, not ambient noise or connectivity
+    /// schedules.
+    pub fn faulty_links(&self) -> BTreeSet<(NodeId, NodeId)> {
+        let mut links: BTreeSet<(NodeId, NodeId)> = self.links.iter().map(|l| l.link()).collect();
+        for t in &self.targeted {
+            if let (Some(f), Some(to)) = (t.from, t.to) {
+                links.insert((f.min(to), f.max(to)));
+            }
+        }
+        links
+    }
+
     /// Does this plan inject nothing at all?
     pub fn is_empty(&self) -> bool {
         self.drop_prob == 0.0
@@ -241,6 +449,8 @@ impl FaultPlan {
             && self.crashes.is_empty()
             && self.throttle.is_none()
             && self.targeted.is_empty()
+            && self.links.is_empty()
+            && self.partitions.is_empty()
     }
 }
 
@@ -249,6 +459,19 @@ impl LinkLayer for FaultPlan {
         for t in &self.targeted {
             if t.matches(round, from, to) {
                 return t.action.to_fate();
+            }
+        }
+        for p in &self.partitions {
+            if p.cuts(round, from, to) {
+                return LinkFate::Partition;
+            }
+        }
+        for l in &self.links {
+            if l.matches(round, from, to) {
+                return match l.kind {
+                    LinkFaultKind::Omission => LinkFate::Omission,
+                    LinkFaultKind::Byzantine { bit } => LinkFate::Corrupt { bit },
+                };
             }
         }
         if let Some((max_bits, from_round)) = self.throttle {
@@ -426,6 +649,85 @@ mod tests {
         assert_eq!(plan.crashes_at(4), vec![2, 0]);
         assert_eq!(plan.crashes_at(9), vec![1]);
         assert!(plan.crashes_at(5).is_empty());
+    }
+
+    #[test]
+    fn omission_link_is_bidirectional_and_round_scoped() {
+        let mut plan = FaultPlan::new(1).with_omission_link(2, 5, RoundFilter::Range(3, 6));
+        plan.on_run_start(8);
+        assert_eq!(plan.fate(3, 2, 5, 8), LinkFate::Omission);
+        assert_eq!(plan.fate(6, 5, 2, 8), LinkFate::Omission);
+        assert_eq!(plan.fate(2, 2, 5, 8), LinkFate::Deliver);
+        assert_eq!(plan.fate(7, 2, 5, 8), LinkFate::Deliver);
+        assert_eq!(plan.fate(4, 2, 4, 8), LinkFate::Deliver);
+    }
+
+    #[test]
+    fn byzantine_link_flips_the_chosen_bit() {
+        let mut plan = FaultPlan::new(1).with_byzantine_link(0, 1, 17, RoundFilter::Any);
+        plan.on_run_start(4);
+        assert_eq!(plan.fate(9, 1, 0, 8), LinkFate::Corrupt { bit: 17 });
+        assert_eq!(plan.fate(9, 0, 1, 8), LinkFate::Corrupt { bit: 17 });
+        assert_eq!(plan.fate(9, 0, 2, 8), LinkFate::Deliver);
+    }
+
+    #[test]
+    fn partition_cuts_only_crossing_traffic_until_heal() {
+        let mut plan = FaultPlan::new(1).with_partition(&[0, 1], 2, Some(5));
+        plan.on_run_start(4);
+        // Crossing the cut while open.
+        assert_eq!(plan.fate(2, 0, 2, 8), LinkFate::Partition);
+        assert_eq!(plan.fate(4, 3, 1, 8), LinkFate::Partition);
+        // Same side: unaffected.
+        assert_eq!(plan.fate(3, 0, 1, 8), LinkFate::Deliver);
+        assert_eq!(plan.fate(3, 2, 3, 8), LinkFate::Deliver);
+        // Before open / after heal: unaffected.
+        assert_eq!(plan.fate(1, 0, 2, 8), LinkFate::Deliver);
+        assert_eq!(plan.fate(5, 0, 2, 8), LinkFate::Deliver);
+    }
+
+    #[test]
+    fn partition_beats_link_faults_and_throttle() {
+        let mut plan = FaultPlan::new(1)
+            .with_partition(&[0], 0, None)
+            .with_byzantine_link(0, 1, 3, RoundFilter::Any)
+            .with_throttle(1, 0);
+        plan.on_run_start(4);
+        assert_eq!(plan.fate(0, 0, 1, 64), LinkFate::Partition);
+        assert_eq!(plan.fate(0, 1, 0, 64), LinkFate::Partition);
+        // Off the cut, the throttle still applies.
+        assert_eq!(plan.fate(0, 2, 3, 64), LinkFate::Throttle);
+    }
+
+    #[test]
+    fn budget_views_normalize_links_and_collect_crashes() {
+        let plan = FaultPlan::new(1)
+            .with_crash(4, 0)
+            .with_crash(4, 9)
+            .with_crash(2, 3)
+            .with_omission_link(5, 3, RoundFilter::Any)
+            .with_byzantine_link(3, 5, 0, RoundFilter::Any)
+            .with_targeted(TargetedFault {
+                round: RoundFilter::Any,
+                from: Some(7),
+                to: Some(6),
+                action: FaultAction::Drop,
+            })
+            .with_targeted(TargetedFault {
+                round: RoundFilter::Any,
+                from: None,
+                to: Some(1),
+                action: FaultAction::Drop,
+            });
+        assert_eq!(
+            plan.faulty_nodes().into_iter().collect::<Vec<_>>(),
+            vec![2, 4]
+        );
+        // The two-sided targeted fault counts; the wildcard one does not.
+        assert_eq!(
+            plan.faulty_links().into_iter().collect::<Vec<_>>(),
+            vec![(3, 5), (6, 7)]
+        );
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //! packages that loop with a bounded [`RetryPolicy`] and typed
 //! [`CertifiedError`]s.
 
-use congest_sim::{ProtocolFailure, SelfCertify, SimError, SimStats, Simulator};
+use congest_obs::Record;
+use congest_sim::{FaultCounters, ProtocolFailure, SelfCertify, SimError, SimStats, Simulator};
 
 use crate::FaultPlan;
 
@@ -42,6 +43,11 @@ pub enum CertifiedError {
         attempts: u32,
         /// The failure reported by the last attempt.
         last: ProtocolFailure,
+        /// The plan seed each attempt ran under, in attempt order — rerun
+        /// any attempt in isolation with `plan.with_seed(seed)`.
+        attempt_seeds: Vec<u64>,
+        /// Faults injected across all attempts.
+        fault_totals: FaultCounters,
     },
 }
 
@@ -49,7 +55,7 @@ impl std::fmt::Display for CertifiedError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CertifiedError::Sim(e) => write!(f, "{e}"),
-            CertifiedError::Exhausted { attempts, last } => {
+            CertifiedError::Exhausted { attempts, last, .. } => {
                 write!(
                     f,
                     "no certified run after {attempts} attempts; last: {last}"
@@ -76,6 +82,36 @@ pub struct CertifiedRun<A> {
     pub stats: SimStats,
     /// 1-based index of the attempt that certified.
     pub attempts: u32,
+    /// The plan seed each attempt ran under, in attempt order (the last
+    /// entry is the certified attempt's seed) — rerun any attempt in
+    /// isolation with `plan.with_seed(seed)`.
+    pub attempt_seeds: Vec<u64>,
+    /// Faults injected across *all* attempts, failed ones included.
+    pub fault_totals: FaultCounters,
+}
+
+impl<A> CertifiedRun<A> {
+    /// Renders the retry history as obs records: one `certified_run`
+    /// summary plus one `retry_attempt` per attempt carrying the reseed
+    /// value, so every failed attempt is reproducible from the trace.
+    pub fn to_records(&self, target: &'static str) -> Vec<Record> {
+        let mut out = Vec::with_capacity(self.attempt_seeds.len() + 1);
+        out.push(
+            Record::new(target, "certified_run")
+                .with("attempts", self.attempts)
+                .with("rounds", self.stats.rounds)
+                .with("faults", self.fault_totals.total()),
+        );
+        for (i, &seed) in self.attempt_seeds.iter().enumerate() {
+            out.push(
+                Record::new(target, "retry_attempt")
+                    .with("attempt", (i + 1) as u64)
+                    .with("seed", seed)
+                    .with("certified", i + 1 == self.attempts as usize),
+            );
+        }
+        out
+    }
 }
 
 /// Runs `make_alg()` under `plan` until [`SelfCertify::certify`] accepts,
@@ -95,10 +131,12 @@ pub fn run_certified_with_retry<A: SelfCertify>(
     assert!(policy.max_attempts >= 1, "at least one attempt");
     let base_seed = plan.seed();
     let mut last: Option<ProtocolFailure> = None;
+    let mut attempt_seeds: Vec<u64> = Vec::new();
+    let mut fault_totals = FaultCounters::default();
     for attempt in 0..policy.max_attempts {
-        let mut link = plan
-            .clone()
-            .with_seed(base_seed.wrapping_add(attempt as u64));
+        let seed = base_seed.wrapping_add(attempt as u64);
+        let mut link = plan.clone().with_seed(seed);
+        attempt_seeds.push(seed);
         let mut alg = make_alg();
         let stats = sim.try_run_with(
             &mut alg,
@@ -106,12 +144,15 @@ pub fn run_certified_with_retry<A: SelfCertify>(
             &mut congest_sim::NoopRoundObserver,
             &mut link,
         )?;
+        absorb_counters(&mut fault_totals, &stats.faults);
         match alg.certify(sim.graph()) {
             Ok(()) => {
                 return Ok(CertifiedRun {
                     alg,
                     stats,
                     attempts: attempt + 1,
+                    attempt_seeds,
+                    fault_totals,
                 })
             }
             Err(failure) => last = Some(failure),
@@ -120,7 +161,21 @@ pub fn run_certified_with_retry<A: SelfCertify>(
     Err(CertifiedError::Exhausted {
         attempts: policy.max_attempts,
         last: last.expect("max_attempts >= 1 ran at least once"),
+        attempt_seeds,
+        fault_totals,
     })
+}
+
+/// Field-wise `a += b` for [`FaultCounters`].
+pub(crate) fn absorb_counters(a: &mut FaultCounters, b: &FaultCounters) {
+    a.drops += b.drops;
+    a.corruptions += b.corruptions;
+    a.duplications += b.duplications;
+    a.delays += b.delays;
+    a.crashes += b.crashes;
+    a.throttles += b.throttles;
+    a.omissions += b.omissions;
+    a.partitions += b.partitions;
 }
 
 #[cfg(test)]
@@ -144,6 +199,12 @@ mod tests {
         assert_eq!(run.attempts, 1);
         assert_eq!(run.alg.leader(3), 0);
         assert_eq!(run.stats.faults.total(), 0);
+        assert_eq!(run.attempt_seeds, vec![0]);
+        assert_eq!(run.fault_totals.total(), 0);
+        let recs = run.to_records("faults.retry");
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].u64_field("attempts"), Some(1));
+        assert_eq!(recs[1].u64_field("seed"), Some(0));
     }
 
     #[test]
@@ -160,7 +221,16 @@ mod tests {
         )
         .expect_err("nothing can certify under 100% loss");
         match err {
-            CertifiedError::Exhausted { attempts, .. } => assert_eq!(attempts, 2),
+            CertifiedError::Exhausted {
+                attempts,
+                attempt_seeds,
+                ..
+            } => {
+                assert_eq!(attempts, 2);
+                // Base seed 5, reseeded 5 + attempt: every failed attempt
+                // is reproducible in isolation.
+                assert_eq!(attempt_seeds, vec![5, 6]);
+            }
             other => panic!("unexpected error: {other}"),
         }
     }

@@ -1,0 +1,450 @@
+//! Monte-Carlo robustness sweeps on the `congest-par` worker pool.
+//!
+//! One faulty run is an anecdote; [`run_sweep`] runs *thousands* of
+//! seeded [`FaultPlan`]s against one algorithm and folds the outcomes
+//! into an [`AlgSweep`] — a statistical picture of how often faults
+//! corrupt output, how often self-certification catches it, how many
+//! reseeded retries recovery takes, and how far rounds inflate over the
+//! fault-free baseline, broken down per fault kind.
+//!
+//! Plans are independent, so they fan out over [`congest_par::par_map`];
+//! results come back in seed order regardless of worker scheduling and
+//! are folded left-to-right, so the report — text and obs records — is
+//! **byte-identical at any `jobs` count** (pinned by
+//! `tests/adversarial_faults.rs`). Per-plan work stays deterministic
+//! because every [`FaultPlan`] fate is a pure function of
+//! `(seed, round, from, to)`.
+
+use congest_obs::Record;
+use congest_par::par_map;
+use congest_sim::{FaultCounters, NoopRoundObserver, PerfectLink, SelfCertify, Simulator};
+
+use crate::adversary::AttackScore;
+use crate::plan::FaultPlan;
+use crate::retry::{absorb_counters, run_certified_with_retry, CertifiedError, RetryPolicy};
+
+/// Shape of one Monte-Carlo robustness sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepConfig {
+    /// Seeded plans to run (plan `i` gets seed `base_seed + i`).
+    pub plans: u64,
+    /// Seed of plan 0.
+    pub base_seed: u64,
+    /// Round budget per attempt.
+    pub max_rounds: u64,
+    /// Retry policy per plan.
+    pub retry: RetryPolicy,
+    /// Worker threads (0 = all cores). Changes wall time only — never
+    /// the report.
+    pub jobs: usize,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            plans: 1_000,
+            base_seed: 0x5EED_CAFE,
+            max_rounds: 10_000,
+            retry: RetryPolicy::default(),
+            jobs: 0,
+        }
+    }
+}
+
+/// How one seeded plan's certified run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RunClass {
+    /// Certified on the first attempt.
+    FirstTry,
+    /// Certified after at least one reseeded retry.
+    Recovered,
+    /// No attempt certified.
+    Exhausted,
+    /// The run violated the CONGEST model (algorithm bug).
+    ModelError,
+}
+
+/// One plan's folded outcome (internal to the deterministic merge).
+struct PlanRun {
+    seed: u64,
+    class: RunClass,
+    attempts: u32,
+    rounds: u64,
+    faults: FaultCounters,
+}
+
+/// The robustness report for one algorithm after a Monte-Carlo sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlgSweep {
+    /// Algorithm name (report key).
+    pub alg: String,
+    /// Plans run.
+    pub runs: u64,
+    /// Runs where at least one fault actually fired.
+    pub faulty_runs: u64,
+    /// Runs certified on the first attempt.
+    pub certified_first_try: u64,
+    /// Runs whose first attempt failed certification — corruption the
+    /// certify step caught.
+    pub caught: u64,
+    /// Caught runs that then certified under a reseeded retry.
+    pub recovered: u64,
+    /// Runs that never certified within the retry budget.
+    pub exhausted: u64,
+    /// Runs that violated the CONGEST model itself.
+    pub model_errors: u64,
+    /// Attempts across all runs.
+    pub total_attempts: u64,
+    /// Runs that eventually certified.
+    pub certified_runs: u64,
+    /// Rounds summed over the certified attempts of certified runs.
+    pub certified_rounds_total: u64,
+    /// Rounds of the fault-free reference run.
+    pub baseline_rounds: u64,
+    /// Faults injected across every attempt of every run, per kind.
+    pub fault_totals: FaultCounters,
+    /// Seed of the worst run (most attempts, then most rounds).
+    pub worst_seed: u64,
+    /// The worst run's score.
+    pub worst: AttackScore,
+}
+
+impl AlgSweep {
+    /// Fraction of faulty runs whose corruption certification caught
+    /// (first attempt failed certify). `None` with no faulty runs.
+    pub fn catch_rate(&self) -> Option<f64> {
+        (self.faulty_runs > 0).then(|| self.caught as f64 / self.faulty_runs as f64)
+    }
+
+    /// Mean attempts per run.
+    pub fn mean_attempts(&self) -> f64 {
+        if self.runs == 0 {
+            return 0.0;
+        }
+        self.total_attempts as f64 / self.runs as f64
+    }
+
+    /// Mean certified rounds over the fault-free baseline rounds.
+    /// `None` when nothing certified (or the baseline is degenerate).
+    pub fn round_inflation(&self) -> Option<f64> {
+        (self.certified_runs > 0 && self.baseline_rounds > 0).then(|| {
+            (self.certified_rounds_total as f64 / self.certified_runs as f64)
+                / self.baseline_rounds as f64
+        })
+    }
+
+    /// The report row as one obs record (`event = "sweep_alg"`). All
+    /// fields are pure functions of the seed sequence, so records are
+    /// byte-identical at any worker count.
+    pub fn to_record(&self, target: &'static str) -> Record {
+        let mut r = Record::new(target, "sweep_alg")
+            .with("alg", self.alg.as_str())
+            .with("runs", self.runs)
+            .with("faulty_runs", self.faulty_runs)
+            .with("certified_first_try", self.certified_first_try)
+            .with("caught", self.caught)
+            .with("recovered", self.recovered)
+            .with("exhausted", self.exhausted)
+            .with("model_errors", self.model_errors)
+            .with("total_attempts", self.total_attempts)
+            .with("certified_runs", self.certified_runs)
+            .with("certified_rounds_total", self.certified_rounds_total)
+            .with("baseline_rounds", self.baseline_rounds)
+            .with("worst_seed", self.worst_seed)
+            .with("worst_attempts", self.worst.attempts)
+            .with("worst_rounds", self.worst.rounds)
+            .with("worst_forced_failure", self.worst.forced_failure);
+        if let Some(rate) = self.catch_rate() {
+            r = r.with("catch_rate", rate);
+        }
+        if let Some(inflation) = self.round_inflation() {
+            r = r.with("round_inflation", inflation);
+        }
+        for (name, count) in self.fault_totals.entries() {
+            r = r.with(name, count);
+        }
+        r
+    }
+
+    /// One human-readable summary line.
+    pub fn render(&self) -> String {
+        format!(
+            "{:<16} runs {:>6}  faulty {:>6}  caught {:>6}  recovered {:>6}  exhausted {:>5}  \
+             mean attempts {:.3}  round inflation {}  faults {}",
+            self.alg,
+            self.runs,
+            self.faulty_runs,
+            self.caught,
+            self.recovered,
+            self.exhausted,
+            self.mean_attempts(),
+            self.round_inflation()
+                .map_or_else(|| "-".to_string(), |x| format!("{x:.3}")),
+            self.fault_totals.total(),
+        )
+    }
+}
+
+/// A whole sweep: one [`AlgSweep`] per swept algorithm plus the config
+/// echo, renderable as text or obs records (the robustness-report JSONL
+/// artifact).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// Plans per algorithm.
+    pub plans: u64,
+    /// Seed of plan 0.
+    pub base_seed: u64,
+    /// Per-algorithm rows, in sweep order.
+    pub algs: Vec<AlgSweep>,
+}
+
+impl SweepReport {
+    /// An empty report for the given config; extend with
+    /// [`SweepReport::push`].
+    pub fn new(cfg: &SweepConfig) -> Self {
+        SweepReport {
+            plans: cfg.plans,
+            base_seed: cfg.base_seed,
+            algs: Vec::new(),
+        }
+    }
+
+    /// Appends one algorithm's sweep row.
+    pub fn push(&mut self, alg: AlgSweep) {
+        self.algs.push(alg);
+    }
+
+    /// The report as obs records: a `sweep` header plus one `sweep_alg`
+    /// row per algorithm. Byte-identical at any worker count.
+    pub fn to_records(&self, target: &'static str) -> Vec<Record> {
+        let mut out = Vec::with_capacity(self.algs.len() + 1);
+        out.push(
+            Record::new(target, "sweep")
+                .with("plans", self.plans)
+                .with("base_seed", self.base_seed)
+                .with("algs", self.algs.len()),
+        );
+        for alg in &self.algs {
+            out.push(alg.to_record(target));
+        }
+        out
+    }
+
+    /// The report as text, one row per algorithm.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "robustness sweep: {} plans per algorithm, base seed {}\n",
+            self.plans, self.base_seed
+        );
+        for alg in &self.algs {
+            out.push_str("  ");
+            out.push_str(&alg.render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Runs `cfg.plans` seeded plans of `plan_for` against `make_alg` on the
+/// worker pool and folds the outcomes into an [`AlgSweep`] (see module
+/// docs for the determinism argument). `plan_for(seed)` builds the plan
+/// for one seed — e.g. `FaultPlan::seeded` for i.i.d. noise, or a fixed
+/// adversarial plan reseeded per run.
+pub fn run_sweep<A: SelfCertify>(
+    sim: &Simulator<'_>,
+    alg_name: &str,
+    make_alg: impl Fn() -> A + Sync,
+    plan_for: impl Fn(u64) -> FaultPlan + Sync,
+    cfg: &SweepConfig,
+) -> AlgSweep {
+    // Fault-free reference for round inflation.
+    let mut baseline_alg = make_alg();
+    let baseline = sim
+        .try_run_with(
+            &mut baseline_alg,
+            cfg.max_rounds,
+            &mut NoopRoundObserver,
+            &mut PerfectLink,
+        )
+        .expect("the fault-free reference run must be CONGEST-legal");
+
+    let seeds: Vec<u64> = (0..cfg.plans)
+        .map(|i| cfg.base_seed.wrapping_add(i))
+        .collect();
+    let runs: Vec<PlanRun> = par_map(cfg.jobs, &seeds, |_, &seed| {
+        let plan = plan_for(seed);
+        match run_certified_with_retry(sim, &make_alg, cfg.max_rounds, &plan, cfg.retry) {
+            Ok(run) => PlanRun {
+                seed,
+                class: if run.attempts == 1 {
+                    RunClass::FirstTry
+                } else {
+                    RunClass::Recovered
+                },
+                attempts: run.attempts,
+                rounds: run.stats.rounds,
+                faults: run.fault_totals,
+            },
+            Err(CertifiedError::Exhausted {
+                attempts,
+                fault_totals,
+                ..
+            }) => PlanRun {
+                seed,
+                class: RunClass::Exhausted,
+                attempts,
+                rounds: cfg.max_rounds,
+                faults: fault_totals,
+            },
+            Err(CertifiedError::Sim(_)) => PlanRun {
+                seed,
+                class: RunClass::ModelError,
+                attempts: 1,
+                rounds: cfg.max_rounds,
+                faults: FaultCounters::default(),
+            },
+        }
+    });
+
+    // Deterministic merge: runs arrive in seed order whatever the worker
+    // count; fold left to right.
+    let mut out = AlgSweep {
+        alg: alg_name.to_string(),
+        runs: 0,
+        faulty_runs: 0,
+        certified_first_try: 0,
+        caught: 0,
+        recovered: 0,
+        exhausted: 0,
+        model_errors: 0,
+        total_attempts: 0,
+        certified_runs: 0,
+        certified_rounds_total: 0,
+        baseline_rounds: baseline.rounds,
+        fault_totals: FaultCounters::default(),
+        worst_seed: cfg.base_seed,
+        worst: AttackScore {
+            forced_failure: false,
+            attempts: 0,
+            rounds: 0,
+        },
+    };
+    for run in &runs {
+        out.runs += 1;
+        if run.faults.total() > 0 {
+            out.faulty_runs += 1;
+        }
+        out.total_attempts += u64::from(run.attempts);
+        match run.class {
+            RunClass::FirstTry => {
+                out.certified_first_try += 1;
+                out.certified_runs += 1;
+                out.certified_rounds_total += run.rounds;
+            }
+            RunClass::Recovered => {
+                out.caught += 1;
+                out.recovered += 1;
+                out.certified_runs += 1;
+                out.certified_rounds_total += run.rounds;
+            }
+            RunClass::Exhausted => {
+                out.caught += 1;
+                out.exhausted += 1;
+            }
+            RunClass::ModelError => out.model_errors += 1,
+        }
+        absorb_counters(&mut out.fault_totals, &run.faults);
+        let score = AttackScore {
+            forced_failure: matches!(run.class, RunClass::Exhausted | RunClass::ModelError),
+            attempts: run.attempts,
+            rounds: run.rounds,
+        };
+        // Strict '>' keeps the earliest worst seed on ties.
+        if score > out.worst {
+            out.worst = score;
+            out.worst_seed = run.seed;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::generators;
+    use congest_sim::algorithms::LeaderElection;
+
+    fn sweep_cfg(plans: u64, jobs: usize) -> SweepConfig {
+        SweepConfig {
+            plans,
+            base_seed: 7,
+            max_rounds: 2_000,
+            retry: RetryPolicy::default(),
+            jobs,
+        }
+    }
+
+    #[test]
+    fn clean_plans_all_certify_first_try() {
+        let g = generators::cycle(8);
+        let sim = Simulator::new(&g);
+        let sweep = run_sweep(
+            &sim,
+            "leader_election",
+            || LeaderElection::new(8),
+            FaultPlan::new,
+            &sweep_cfg(16, 1),
+        );
+        assert_eq!(sweep.runs, 16);
+        assert_eq!(sweep.certified_first_try, 16);
+        assert_eq!(sweep.faulty_runs, 0);
+        assert_eq!(sweep.caught, 0);
+        assert_eq!(sweep.catch_rate(), None);
+        assert_eq!(sweep.round_inflation(), Some(1.0));
+        assert_eq!(sweep.mean_attempts(), 1.0);
+    }
+
+    #[test]
+    fn noisy_sweep_accounts_every_run_once() {
+        let g = generators::cycle(10);
+        let sim = Simulator::new(&g);
+        let sweep = run_sweep(
+            &sim,
+            "leader_election",
+            || LeaderElection::new(10),
+            FaultPlan::seeded,
+            &sweep_cfg(48, 1),
+        );
+        assert_eq!(sweep.runs, 48);
+        assert_eq!(
+            sweep.certified_first_try + sweep.caught + sweep.model_errors,
+            sweep.runs
+        );
+        assert_eq!(sweep.caught, sweep.recovered + sweep.exhausted);
+        assert!(sweep.faulty_runs > 0, "seeded plans inject something");
+        assert!(sweep.fault_totals.total() > 0);
+        assert_eq!(sweep.model_errors, 0);
+        // The worst run is reproducible: its seed is in the swept range.
+        assert!(sweep.worst_seed >= 7 && sweep.worst_seed < 7 + 48);
+    }
+
+    #[test]
+    fn report_is_identical_at_any_worker_count() {
+        let g = generators::cycle(10);
+        let sim = Simulator::new(&g);
+        let run = |jobs| {
+            run_sweep(
+                &sim,
+                "leader_election",
+                || LeaderElection::new(10),
+                FaultPlan::seeded,
+                &sweep_cfg(32, jobs),
+            )
+        };
+        let serial = run(1);
+        let parallel = run(0);
+        assert_eq!(serial, parallel);
+        let to_jsonl = |s: &AlgSweep| s.to_record("faults.sweep").to_json();
+        assert_eq!(to_jsonl(&serial), to_jsonl(&parallel));
+    }
+}

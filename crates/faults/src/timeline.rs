@@ -12,6 +12,32 @@ use std::collections::BTreeMap;
 use congest_obs::{Record, Value};
 use congest_sim::{FaultCounters, FaultEvent, FaultKind, RoundDelta, RoundObserver};
 
+use crate::FaultPlan;
+
+/// A typed network-schedule event on the fault grid: a partition opening
+/// or healing. Unlike per-message faults these describe the *topology
+/// schedule* a plan imposes, so they carry no message bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetEvent {
+    /// A partition opens; `side` nodes sit on the named side of the cut.
+    Partition {
+        /// Number of nodes on the cut's named side.
+        side: u64,
+    },
+    /// A previously opened partition heals.
+    Heal,
+}
+
+impl NetEvent {
+    /// Stable lowercase name used in obs records and grid rows.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            NetEvent::Partition { .. } => "partition",
+            NetEvent::Heal => "heal",
+        }
+    }
+}
+
 /// Per-round fault accounting for one run (see module docs).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultTimeline {
@@ -19,6 +45,9 @@ pub struct FaultTimeline {
     rounds: BTreeMap<u64, FaultCounters>,
     /// Bits carried by faulted messages, per round.
     bits: BTreeMap<u64, u64>,
+    /// Typed partition/heal schedule events, per round (insertion order
+    /// within a round).
+    net: BTreeMap<u64, Vec<NetEvent>>,
     totals: FaultCounters,
 }
 
@@ -35,12 +64,63 @@ impl FaultTimeline {
         self.totals.bump(ev.kind);
     }
 
+    /// Accounts one typed partition/heal schedule event.
+    pub fn observe_net(&mut self, round: u64, ev: NetEvent) {
+        self.net.entry(round).or_default().push(ev);
+    }
+
+    /// Places the plan's partition windows on the grid as typed
+    /// [`NetEvent::Partition`]/[`NetEvent::Heal`] rows, so a timeline
+    /// shows *why* a band of `partition` faults starts and stops.
+    pub fn note_plan(&mut self, plan: &FaultPlan) {
+        for w in plan.partitions() {
+            self.observe_net(
+                w.from_round,
+                NetEvent::Partition {
+                    side: w.side().len() as u64,
+                },
+            );
+            if let Some(h) = w.heal_round {
+                self.observe_net(h, NetEvent::Heal);
+            }
+        }
+    }
+
+    /// The typed partition/heal events, in round order.
+    pub fn net_events(&self) -> impl Iterator<Item = (u64, NetEvent)> + '_ {
+        self.net
+            .iter()
+            .flat_map(|(&r, evs)| evs.iter().map(move |&e| (r, e)))
+    }
+
     /// Rebuilds a timeline from trace records, using the `fault` events
-    /// (as emitted by [`FaultEvent::to_record`]). Unrelated records are
-    /// ignored, so the whole trace can be passed.
+    /// (as emitted by [`FaultEvent::to_record`]) and the `net_event`
+    /// rows of [`FaultTimeline::to_records`]. Unrelated records — and
+    /// `fault` records with unknown kinds, e.g. from a newer writer —
+    /// are ignored, so the whole trace can be passed. Record order does
+    /// not matter: rounds are re-sorted on insertion.
     pub fn from_records<'a>(records: impl IntoIterator<Item = &'a Record>) -> Self {
         let mut tl = FaultTimeline::new();
         for rec in records {
+            if rec.event == "net_event" {
+                let (Some(round), Some(kind)) = (
+                    rec.u64_field("round"),
+                    rec.field("kind").and_then(Value::as_str),
+                ) else {
+                    continue;
+                };
+                match kind {
+                    "partition" => tl.observe_net(
+                        round,
+                        NetEvent::Partition {
+                            side: rec.u64_field("side").unwrap_or(0),
+                        },
+                    ),
+                    "heal" => tl.observe_net(round, NetEvent::Heal),
+                    _ => {}
+                }
+                continue;
+            }
             if rec.event != "fault" {
                 continue;
             }
@@ -92,18 +172,39 @@ impl FaultTimeline {
     }
 
     /// Renders the timeline as text: one row per faulty round with
-    /// per-kind counts and the bits at stake.
+    /// per-kind counts and the bits at stake, plus one row per typed
+    /// partition/heal event.
     pub fn render(&self) -> String {
-        if self.rounds.is_empty() {
+        if self.rounds.is_empty() && self.net.is_empty() {
             return "no faults\n".to_string();
         }
         let mut out = String::new();
-        let (first, last) = self.span().expect("non-empty");
-        out.push_str(&format!(
-            "{} faults over rounds {first}..={last}\n",
-            self.total()
-        ));
-        for (&round, counters) in &self.rounds {
+        if let Some((first, last)) = self.span() {
+            out.push_str(&format!(
+                "{} faults over rounds {first}..={last}\n",
+                self.total()
+            ));
+        } else {
+            out.push_str("0 faults\n");
+        }
+        let grid_rounds: std::collections::BTreeSet<u64> =
+            self.rounds.keys().chain(self.net.keys()).copied().collect();
+        for round in grid_rounds {
+            if let Some(evs) = self.net.get(&round) {
+                for ev in evs {
+                    match ev {
+                        NetEvent::Partition { side } => out.push_str(&format!(
+                            "  round {round:>6}: -- partition opens (side {side}) --\n"
+                        )),
+                        NetEvent::Heal => {
+                            out.push_str(&format!("  round {round:>6}: -- partition heals --\n"))
+                        }
+                    }
+                }
+            }
+            let Some(counters) = self.rounds.get(&round) else {
+                continue;
+            };
             let mut kinds = String::new();
             for (name, n) in counters.entries() {
                 if n > 0 {
@@ -122,9 +223,10 @@ impl FaultTimeline {
     }
 
     /// Renders as records: one `fault_round` per faulty round (kind
-    /// counts + bits) and a closing `fault_timeline` summary.
+    /// counts + bits), one `net_event` per typed partition/heal event,
+    /// and a closing `fault_timeline` summary.
     pub fn to_records(&self, target: &'static str) -> Vec<Record> {
-        let mut out = Vec::with_capacity(self.rounds.len() + 1);
+        let mut out = Vec::with_capacity(self.rounds.len() + self.net.len() + 1);
         for (&round, counters) in &self.rounds {
             let mut r = Record::new(target, "fault_round")
                 .with("round", round)
@@ -134,6 +236,15 @@ impl FaultTimeline {
                 if n > 0 {
                     r = r.with(name, n);
                 }
+            }
+            out.push(r);
+        }
+        for (round, ev) in self.net_events() {
+            let mut r = Record::new(target, "net_event")
+                .with("round", round)
+                .with("kind", ev.as_str());
+            if let NetEvent::Partition { side } = ev {
+                r = r.with("side", side);
             }
             out.push(r);
         }
@@ -170,6 +281,8 @@ fn kind_from_str(s: &str) -> Option<FaultKind> {
         "delay" => FaultKind::Delay,
         "crash" => FaultKind::Crash,
         "throttle" => FaultKind::Throttle,
+        "omission" => FaultKind::Omission,
+        "partition" => FaultKind::Partition,
         _ => return None,
     })
 }
@@ -237,6 +350,86 @@ mod tests {
         let mem = obs.into_recorder();
         let replayed = FaultTimeline::from_records(mem.records());
         assert_eq!(replayed, live, "offline replay equals live observation");
+    }
+
+    #[test]
+    fn from_records_on_an_empty_trace_is_default() {
+        let tl = FaultTimeline::from_records(&[]);
+        assert_eq!(tl, FaultTimeline::new());
+        assert_eq!(tl.total(), 0);
+        assert_eq!(tl.render(), "no faults\n");
+    }
+
+    #[test]
+    fn from_records_skips_unknown_kinds_and_malformed_rows() {
+        let records = vec![
+            // A kind from some future writer: skipped, not a panic.
+            Record::new("sim", "fault")
+                .with("round", 3u64)
+                .with("kind", "gamma_ray")
+                .with("bits", 8u64),
+            // Missing round: skipped.
+            Record::new("sim", "fault").with("kind", "drop"),
+            // Non-string kind: skipped.
+            Record::new("sim", "fault")
+                .with("round", 3u64)
+                .with("kind", 7u64),
+            // One well-formed row.
+            Record::new("sim", "fault")
+                .with("round", 4u64)
+                .with("kind", "omission")
+                .with("bits", 16u64),
+        ];
+        let tl = FaultTimeline::from_records(&records);
+        assert_eq!(tl.total(), 1);
+        assert_eq!(tl.totals().omissions, 1);
+        assert_eq!(tl.span(), Some((4, 4)));
+    }
+
+    #[test]
+    fn from_records_sorts_out_of_order_rounds() {
+        let rec = |round: u64| {
+            Record::new("sim", "fault")
+                .with("round", round)
+                .with("kind", "drop")
+                .with("bits", 4u64)
+        };
+        let shuffled = vec![rec(9), rec(1), rec(5), rec(1)];
+        let tl = FaultTimeline::from_records(&shuffled);
+        let rows: Vec<(u64, u64)> = tl.rounds().map(|(r, c)| (r, c.total())).collect();
+        assert_eq!(rows, vec![(1, 2), (5, 1), (9, 1)]);
+        assert_eq!(tl.span(), Some((1, 9)));
+        // Same records in round order build the identical timeline.
+        let ordered = vec![rec(1), rec(1), rec(5), rec(9)];
+        assert_eq!(FaultTimeline::from_records(&ordered), tl);
+    }
+
+    #[test]
+    fn partition_and_heal_rows_ride_the_grid() {
+        let plan = FaultPlan::new(1).with_partition(&[0, 1, 2], 3, Some(8));
+        let mut tl = FaultTimeline::new();
+        tl.note_plan(&plan);
+        tl.observe(&event(4, FaultKind::Partition, 32));
+        let text = tl.render();
+        assert!(text.contains("partition opens (side 3)"), "{text}");
+        assert!(text.contains("partition heals"), "{text}");
+        assert!(text.contains("partition×1"), "{text}");
+        let events: Vec<(u64, NetEvent)> = tl.net_events().collect();
+        assert_eq!(
+            events,
+            vec![(3, NetEvent::Partition { side: 3 }), (8, NetEvent::Heal)]
+        );
+
+        // The typed rows round-trip through records.
+        let recs = tl.to_records("faults");
+        let replayed = FaultTimeline::from_records(&recs);
+        let replayed_events: Vec<(u64, NetEvent)> = replayed.net_events().collect();
+        assert_eq!(replayed_events, events);
+        assert_eq!(
+            replayed.totals().partitions,
+            0,
+            "fault_round rows are aggregates, not events"
+        );
     }
 
     #[test]

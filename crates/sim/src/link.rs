@@ -44,6 +44,17 @@ pub enum LinkFate {
         /// Extra rounds the message sits in the link before delivery.
         rounds: u64,
     },
+    /// Lose the message because the link is omission-faulty.
+    ///
+    /// Behaviourally identical to [`LinkFate::Drop`] but counted and traced
+    /// separately: an omission link is an adversarially *chosen* silent
+    /// link (the classical omission-fault class), not a probabilistic loss.
+    Omission,
+    /// Lose the message because a network partition separates the endpoints.
+    ///
+    /// Behaviourally identical to [`LinkFate::Drop`] but counted and traced
+    /// separately so partition windows show up as their own fault class.
+    Partition,
 }
 
 /// The class of an injected fault, for counters and trace records.
@@ -61,6 +72,10 @@ pub enum FaultKind {
     Crash,
     /// Message lost to a bandwidth throttle.
     Throttle,
+    /// Message lost on an adversarially chosen omission link.
+    Omission,
+    /// Message lost crossing an open network partition.
+    Partition,
 }
 
 impl FaultKind {
@@ -73,6 +88,8 @@ impl FaultKind {
             FaultKind::Delay => "delay",
             FaultKind::Crash => "crash",
             FaultKind::Throttle => "throttle",
+            FaultKind::Omission => "omission",
+            FaultKind::Partition => "partition",
         }
     }
 }
@@ -127,6 +144,10 @@ pub struct FaultCounters {
     pub crashes: u64,
     /// Messages lost to bandwidth throttling.
     pub throttles: u64,
+    /// Messages lost on adversarially chosen omission links.
+    pub omissions: u64,
+    /// Messages lost crossing an open network partition.
+    pub partitions: u64,
 }
 
 impl FaultCounters {
@@ -138,10 +159,14 @@ impl FaultCounters {
             + self.delays
             + self.crashes
             + self.throttles
+            + self.omissions
+            + self.partitions
     }
 
-    /// `(name, count)` pairs in a stable order, for summaries.
-    pub fn entries(&self) -> [(&'static str, u64); 6] {
+    /// `(name, count)` pairs in a stable order, for summaries. The
+    /// original six classes keep their historical positions; the
+    /// adversarial classes (omission, partition) append after them.
+    pub fn entries(&self) -> [(&'static str, u64); 8] {
         [
             ("drop", self.drops),
             ("corrupt", self.corruptions),
@@ -149,6 +174,8 @@ impl FaultCounters {
             ("delay", self.delays),
             ("crash", self.crashes),
             ("throttle", self.throttles),
+            ("omission", self.omissions),
+            ("partition", self.partitions),
         ]
     }
 
@@ -161,6 +188,8 @@ impl FaultCounters {
             FaultKind::Delay => self.delays += 1,
             FaultKind::Crash => self.crashes += 1,
             FaultKind::Throttle => self.throttles += 1,
+            FaultKind::Omission => self.omissions += 1,
+            FaultKind::Partition => self.partitions += 1,
         }
     }
 
@@ -241,16 +270,27 @@ mod tests {
             FaultKind::Delay,
             FaultKind::Crash,
             FaultKind::Throttle,
+            FaultKind::Omission,
+            FaultKind::Partition,
             FaultKind::Drop,
         ] {
             c.bump(kind);
         }
         assert_eq!(c.drops, 2);
-        assert_eq!(c.total(), 7);
+        assert_eq!(c.total(), 9);
         let names: Vec<&str> = c.entries().iter().map(|(n, _)| *n).collect();
         assert_eq!(
             names,
-            ["drop", "corrupt", "duplicate", "delay", "crash", "throttle"]
+            [
+                "drop",
+                "corrupt",
+                "duplicate",
+                "delay",
+                "crash",
+                "throttle",
+                "omission",
+                "partition"
+            ]
         );
     }
 

@@ -919,6 +919,26 @@ impl<'g> Simulator<'g> {
                         detail: 0,
                     });
                 }
+                LinkFate::Omission => {
+                    eng.fault(FaultEvent {
+                        round,
+                        kind: FaultKind::Omission,
+                        from,
+                        to: Some(to),
+                        bits,
+                        detail: 0,
+                    });
+                }
+                LinkFate::Partition => {
+                    eng.fault(FaultEvent {
+                        round,
+                        kind: FaultKind::Partition,
+                        from,
+                        to: Some(to),
+                        bits,
+                        detail: 0,
+                    });
+                }
                 LinkFate::Corrupt { bit } => {
                     eng.fault(FaultEvent {
                         round,

@@ -356,6 +356,26 @@ impl<A: ShardableAlgorithm, L: ShardSafeLink> ShardState<A, L> {
                         detail: 0,
                     });
                 }
+                LinkFate::Omission => {
+                    self.faults.push(FaultEvent {
+                        round,
+                        kind: FaultKind::Omission,
+                        from,
+                        to: Some(to),
+                        bits,
+                        detail: 0,
+                    });
+                }
+                LinkFate::Partition => {
+                    self.faults.push(FaultEvent {
+                        round,
+                        kind: FaultKind::Partition,
+                        from,
+                        to: Some(to),
+                        bits,
+                        detail: 0,
+                    });
+                }
                 LinkFate::Corrupt { bit } => {
                     self.faults.push(FaultEvent {
                         round,

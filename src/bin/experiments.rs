@@ -29,7 +29,15 @@
 //!   workload, cross-check it against the serial engine (the two are
 //!   byte-equivalent by contract), and print a per-shard utilization
 //!   table to stderr after the phase summary. Stderr-only, so the main
-//!   report stays byte-identical.
+//!   report stays byte-identical;
+//! * `--sweep <plans>` — additionally run the Monte-Carlo robustness
+//!   sweep: `plans` seeded fault plans per algorithm on the worker pool
+//!   (`--jobs` sets the worker count; the report is byte-identical at
+//!   any count), followed by the adversarial fault-placement search with
+//!   its random-placement control. The robustness report prints to
+//!   stderr; with `--trace`, the sweep rows and the serialized worst-case
+//!   adversarial plan are appended to the trace so the attack replays
+//!   exactly from the artifact.
 //!
 //! When the verification sweeps run on the parallel pool (`--jobs` ≠ 1
 //! on a multicore host), a worker utilization summary — per-worker busy
@@ -190,6 +198,7 @@ struct Args {
     faults_seed: Option<u64>,
     profile: bool,
     sim_jobs: Option<usize>,
+    sweep_plans: Option<u64>,
 }
 
 fn parse_args() -> Args {
@@ -200,6 +209,7 @@ fn parse_args() -> Args {
         faults_seed: None,
         profile: false,
         sim_jobs: None,
+        sweep_plans: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -230,11 +240,19 @@ fn parse_args() -> Args {
                         .expect("--sim-jobs requires a number (0 = all cores)"),
                 );
             }
+            "--sweep" => {
+                parsed.sweep_plans = Some(
+                    args.next()
+                        .expect("--sweep requires a plan count")
+                        .parse()
+                        .expect("--sweep requires a u64 plan count"),
+                );
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: experiments [--out <path>] [--trace <path.jsonl>] [--jobs <N>] \
-                     [--faults <seed>] [--profile] [--sim-jobs <N>]"
+                     [--faults <seed>] [--profile] [--sim-jobs <N>] [--sweep <plans>]"
                 );
                 std::process::exit(2);
             }
@@ -282,6 +300,80 @@ fn run_fault_demo(seed: u64, trace: &mut Option<TraceSink>) {
             run.attempts
         ),
         Err(e) => eprintln!("  self-certification: {e}"),
+    }
+}
+
+/// The `--sweep <plans>` driver: Monte-Carlo robustness sweeps over the
+/// self-certifying demo protocols, then the adversarial placement search
+/// with its random control. The report prints to stderr (the main report
+/// stays byte-identical); the sweep rows and the serialized worst-case
+/// plan go to the trace so the attack replays exactly from the artifact.
+fn run_robustness_sweep(plans: u64, jobs: usize, trace: &mut Option<TraceSink>) {
+    use congest_hardness::faults::{
+        adversarial_search, random_placements, AdversaryConfig, FaultBudget, FaultPlan,
+        RetryPolicy, SweepConfig, SweepReport,
+    };
+    use congest_hardness::sim::algorithms::{BfsTree, LeaderElection};
+
+    let cfg = SweepConfig {
+        plans,
+        base_seed: 0x5EED_CAFE,
+        max_rounds: 10_000,
+        retry: RetryPolicy::default(),
+        jobs,
+    };
+    let n = 12;
+    let g = generators::cycle(n);
+    let sim = Simulator::new(&g);
+    let mut report = SweepReport::new(&cfg);
+    report.push(congest_hardness::faults::run_sweep(
+        &sim,
+        "leader_election",
+        || LeaderElection::new(n),
+        FaultPlan::seeded,
+        &cfg,
+    ));
+    report.push(congest_hardness::faults::run_sweep(
+        &sim,
+        "bfs_tree",
+        || BfsTree::new(n, 0),
+        FaultPlan::seeded,
+        &cfg,
+    ));
+    eprintln!("\n==== robustness sweep (--sweep {plans}) ====");
+    for line in report.render().lines() {
+        eprintln!("  {line}");
+    }
+    for rec in report.to_records("faults.sweep") {
+        sink_of(trace).record(rec);
+    }
+
+    // The adversarial search vs. its random control on the same topology.
+    let adv_cfg = AdversaryConfig {
+        candidate_pool: 8,
+        search_iters: 32,
+        ..AdversaryConfig::new(FaultBudget::links(1))
+    };
+    let outcome = adversarial_search(&sim, || LeaderElection::new(n), &adv_cfg);
+    let random = random_placements(&sim, || LeaderElection::new(n), &adv_cfg, 16);
+    let random_best = random.iter().max().copied();
+    eprintln!(
+        "  adversary (budget: 1 link, {} evals): forced_failure = {}, attempts = {}, rounds = {} \
+         (baseline {} rounds)",
+        outcome.evals,
+        outcome.score.forced_failure,
+        outcome.score.attempts,
+        outcome.score.rounds,
+        outcome.baseline.rounds
+    );
+    if let Some(rb) = random_best {
+        eprintln!(
+            "  best of 16 random placements: forced_failure = {}, attempts = {}, rounds = {}",
+            rb.forced_failure, rb.attempts, rb.rounds
+        );
+    }
+    for rec in outcome.plan.to_records() {
+        sink_of(trace).record(rec);
     }
 }
 
@@ -356,6 +448,7 @@ fn main() {
         faults_seed,
         profile,
         sim_jobs,
+        sweep_plans,
     } = parse_args();
     let mut out: Box<dyn Write> = match &out_path {
         Some(p) => Box::new(BufWriter::new(
@@ -408,6 +501,9 @@ fn main() {
     }
     if let Some(seed) = faults_seed {
         run_fault_demo(seed, &mut trace);
+    }
+    if let Some(plans) = sweep_plans {
+        run_robustness_sweep(plans, jobs, &mut trace);
     }
     if let Some(sink) = trace {
         let written = sink.written();
