@@ -14,20 +14,82 @@
 //! at n ∈ {1k, 10k} × {1, 2, 4, 8} workers and min-ID flooding at
 //! n ∈ {100k, 1M} × {1, 8}, three samples per point. The wall-time
 //! columns of that grid are the engine's scaling curve.
+//!
+//! Every point is measured on both wire paths — `"engine": "boxed"` (the
+//! `Vec`-of-tuples arenas) and `"engine": "packed"` (the word-packed
+//! `MsgSlab` arenas) — so the JSON carries a packed-vs-boxed axis
+//! (`benchdiff --engines` renders it as a table). A counting global
+//! allocator additionally measures steady-state allocations-per-round on
+//! the `learn_graph` n=1000 single-worker points: two identically seeded
+//! runs capped inside the drain phase differ only by a window of rounds,
+//! so the allocation-count delta divided by the round delta is the
+//! per-round steady state, with all warm-up growth cancelled exactly.
 
 use congest_graph::generators;
 use congest_sim::algorithms::{LeaderElection, LearnGraph, LocalCutSolver, SampledMaxCut};
 use congest_sim::{
     CongestAlgorithm, NodeContext, NoopRoundObserver, PerfectLink, PhaseProfile, RoundOutcome,
-    ShardableAlgorithm, SimStats, Simulator,
+    SendBuf, ShardableAlgorithm, SimStats, Simulator, WireCodec,
 };
 use criterion::black_box;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 const SAMPLES: usize = 7;
+
+/// Pass-through allocator counting every allocation event (fresh
+/// allocations and reallocations; frees are not events). The counter is
+/// what the steady-state gate reads: a warm packed-path round performs
+/// zero of them.
+struct CountingAlloc;
+
+static ALLOC_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: defers to `System` verbatim; the count is observational.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static COUNTING_ALLOC: CountingAlloc = CountingAlloc;
+
+fn alloc_events() -> u64 {
+    ALLOC_EVENTS.load(Ordering::Relaxed)
+}
+
+/// The wire path a point was measured on: part of the entry identity.
+#[derive(Clone, Copy, PartialEq)]
+enum Engine {
+    Boxed,
+    Packed,
+}
+
+impl Engine {
+    const ALL: [Engine; 2] = [Engine::Boxed, Engine::Packed];
+
+    fn name(self) -> &'static str {
+        match self {
+            Engine::Boxed => "boxed",
+            Engine::Packed => "packed",
+        }
+    }
+}
 
 /// Transparent wrapper recording the largest inbox any node received in
 /// a single round — the quantity the inbox arenas are sized by.
@@ -65,6 +127,18 @@ impl<A: CongestAlgorithm> CongestAlgorithm for PeakInbox<A> {
         self.inner.round(node, ctx, round, inbox)
     }
 
+    fn round_into(
+        &mut self,
+        node: usize,
+        ctx: &NodeContext<'_>,
+        round: usize,
+        inbox: &[(usize, A::Msg)],
+        out: &mut SendBuf<A::Msg>,
+    ) -> RoundOutcome {
+        self.peak = self.peak.max(inbox.len());
+        self.inner.round_into(node, ctx, round, inbox, out)
+    }
+
     fn output(&self, node: usize) -> Option<A::Output> {
         self.inner.output(node)
     }
@@ -90,6 +164,7 @@ impl<A: ShardableAlgorithm> ShardableAlgorithm for PeakInbox<A> {
 
 struct Entry {
     alg: &'static str,
+    engine: Engine,
     n: usize,
     edges: usize,
     /// Worker count of a sharded-engine point; `None` for the serial engine.
@@ -97,25 +172,39 @@ struct Entry {
     wall: Duration,
     stats: SimStats,
     peak_inbox: usize,
+    /// Steady-state allocations-per-round, where measured (see
+    /// [`steady_allocs_per_round`]); gated exactly by the regression gate.
+    allocs_per_round: Option<u64>,
 }
 
 /// Median wall time of `SAMPLES` runs, each on a fresh identically-seeded
 /// algorithm instance; the executed work is identical across samples.
-fn measure<A: CongestAlgorithm, F: Fn() -> A>(
+fn measure<A, F>(
     alg: &'static str,
+    engine: Engine,
     g: &congest_graph::Graph,
     bandwidth: u64,
     quiescence: bool,
     max_rounds: u64,
     fresh: F,
-) -> Entry {
+) -> Entry
+where
+    A: CongestAlgorithm,
+    A::Msg: WireCodec,
+    F: Fn() -> A,
+{
     let mut times = Vec::with_capacity(SAMPLES);
     let mut last: Option<(SimStats, usize)> = None;
     for _ in 0..SAMPLES {
         let sim = Simulator::with_bandwidth(g, bandwidth).stop_on_quiescence(quiescence);
         let mut wrapped = PeakInbox::new(fresh());
         let start = Instant::now();
-        let stats = sim.run(&mut wrapped, max_rounds);
+        let stats = match engine {
+            Engine::Boxed => sim.run(&mut wrapped, max_rounds),
+            Engine::Packed => sim
+                .try_run_packed(&mut wrapped, max_rounds)
+                .expect("bench workloads are CONGEST-legal"),
+        };
         times.push(start.elapsed());
         black_box(&stats);
         last = Some((stats, wrapped.peak));
@@ -125,8 +214,9 @@ fn measure<A: CongestAlgorithm, F: Fn() -> A>(
     let (stats, peak_inbox) = last.expect("SAMPLES > 0");
     let secs = wall.as_secs_f64().max(1e-9);
     println!(
-        "sim_round/{alg}/n={n:<4} rounds: {rounds:>6}  bits: {bits:>9}  wall: {wall:>10.3?}  \
+        "sim_round/{alg}/{eng}/n={n:<4} rounds: {rounds:>6}  bits: {bits:>9}  wall: {wall:>10.3?}  \
          rounds/s: {rps:>12.0}  bits/s: {bps:>14.0}  peak inbox: {peak_inbox}",
+        eng = engine.name(),
         n = g.num_nodes(),
         rounds = stats.rounds,
         bits = stats.total_bits,
@@ -135,12 +225,14 @@ fn measure<A: CongestAlgorithm, F: Fn() -> A>(
     );
     Entry {
         alg,
+        engine,
         n: g.num_nodes(),
         edges: g.num_edges(),
         threads: None,
         wall,
         stats,
         peak_inbox,
+        allocs_per_round: None,
     }
 }
 
@@ -151,6 +243,7 @@ fn measure<A: CongestAlgorithm, F: Fn() -> A>(
 #[allow(clippy::too_many_arguments)]
 fn measure_sharded<A: ShardableAlgorithm, F: Fn() -> A>(
     alg: &'static str,
+    engine: Engine,
     g: &congest_graph::Graph,
     bandwidth: u64,
     quiescence: bool,
@@ -160,7 +253,7 @@ fn measure_sharded<A: ShardableAlgorithm, F: Fn() -> A>(
     fresh: F,
 ) -> Entry
 where
-    A::Msg: Send,
+    A::Msg: WireCodec + Send,
 {
     let mut times = Vec::with_capacity(samples);
     let mut last: Option<(SimStats, usize)> = None;
@@ -170,9 +263,11 @@ where
             .with_jobs(threads);
         let mut wrapped = PeakInbox::new(fresh());
         let start = Instant::now();
-        let stats = sim
-            .try_run_sharded(&mut wrapped, max_rounds)
-            .expect("bench workloads are CONGEST-legal");
+        let stats = match engine {
+            Engine::Boxed => sim.try_run_sharded(&mut wrapped, max_rounds),
+            Engine::Packed => sim.try_run_sharded_packed(&mut wrapped, max_rounds),
+        }
+        .expect("bench workloads are CONGEST-legal");
         times.push(start.elapsed());
         black_box(&stats);
         last = Some((stats, wrapped.peak));
@@ -182,8 +277,9 @@ where
     let (stats, peak_inbox) = last.expect("samples > 0");
     let secs = wall.as_secs_f64().max(1e-9);
     println!(
-        "sim_round/{alg}/n={n:<7}/threads={threads} rounds: {rounds:>6}  bits: {bits:>10}  \
+        "sim_round/{alg}/{eng}/n={n:<7}/threads={threads} rounds: {rounds:>6}  bits: {bits:>10}  \
          wall: {wall:>10.3?}  rounds/s: {rps:>10.0}  peak inbox: {peak_inbox}",
+        eng = engine.name(),
         n = g.num_nodes(),
         rounds = stats.rounds,
         bits = stats.total_bits,
@@ -191,13 +287,57 @@ where
     );
     Entry {
         alg,
+        engine,
         n: g.num_nodes(),
         edges: g.num_edges(),
         threads: Some(threads),
         wall,
         stats,
         peak_inbox,
+        allocs_per_round: None,
     }
+}
+
+/// Steady-state allocations-per-round of a single-worker sharded
+/// `learn_graph` run, by the two-cap delta method: one run capped at
+/// `hi` rounds and one at `hi - WINDOW` execute byte-identical work up
+/// to the lower cap (same seeds, same engine), so subtracting their
+/// allocation counts cancels every warm-up allocation — thread spawns,
+/// arena growth, algorithm state doublings — exactly. What remains is
+/// the allocation traffic of `WINDOW` steady-state rounds. Both caps sit
+/// at ~3/4 of the run, inside the drain phase: edge discovery is long
+/// finished (no interning, no bitset growth) while every queue still has
+/// backlog, so all n nodes are still exercising the full wire path.
+fn steady_allocs_per_round(g: &congest_graph::Graph, engine: Engine) -> u64 {
+    const WINDOW: u64 = 64;
+    let n = g.num_nodes();
+    let run = |cap: u64| -> (u64, u64) {
+        let sim = Simulator::with_bandwidth(g, 64)
+            .stop_on_quiescence(true)
+            .with_jobs(1);
+        let mut alg = LearnGraph::new(n);
+        let before = alloc_events();
+        let stats = match engine {
+            Engine::Boxed => sim.try_run_sharded(&mut alg, cap),
+            Engine::Packed => sim.try_run_sharded_packed(&mut alg, cap),
+        }
+        .expect("bench workloads are CONGEST-legal");
+        (alloc_events() - before, stats.rounds)
+    };
+    // Find the quiescence round, then place the measurement window at
+    // three quarters of the run.
+    let (_, total_rounds) = run(1_000_000);
+    let hi = (total_rounds * 3 / 4).max(WINDOW + 1);
+    let (allocs_lo, rounds_lo) = run(hi - WINDOW);
+    let (allocs_hi, rounds_hi) = run(hi);
+    assert_eq!(
+        rounds_hi - rounds_lo,
+        WINDOW,
+        "measurement window collapsed: the run quiesced before the caps"
+    );
+    // Ceiling division: even a single allocation anywhere in the window
+    // must not round down to a clean zero.
+    allocs_hi.saturating_sub(allocs_lo).div_ceil(WINDOW)
 }
 
 /// Median sampled-profiling overhead on the heaviest `learn_graph`
@@ -302,6 +442,9 @@ fn write_json(path: &str, entries: &[Entry], overhead: &ProfileOverhead) -> std:
         let secs = e.wall.as_secs_f64().max(1e-9);
         writeln!(f, "    {{")?;
         writeln!(f, "      \"alg\": \"{}\",", e.alg)?;
+        // Part of the entry identity: the same workload on the boxed and
+        // the packed wire path is a comparison axis, not one entry.
+        writeln!(f, "      \"engine\": \"{}\",", e.engine.name())?;
         writeln!(f, "      \"n\": {},", e.n)?;
         if let Some(t) = e.threads {
             // Part of the entry identity: the same workload at different
@@ -328,6 +471,11 @@ fn write_json(path: &str, entries: &[Entry], overhead: &ProfileOverhead) -> std:
             "      \"messages_per_sec\": {:.1},",
             e.stats.messages as f64 / secs
         )?;
+        if let Some(a) = e.allocs_per_round {
+            // Gated exactly: the packed path's steady state is
+            // allocation-free and must stay that way.
+            writeln!(f, "      \"allocs_per_round\": {a},")?;
+        }
         writeln!(f, "      \"peak_inbox\": {}", e.peak_inbox)?;
         writeln!(f, "    }}{}", if i + 1 < entries.len() { "," } else { "" })?;
     }
@@ -360,9 +508,17 @@ fn main() {
         let mut rng = StdRng::seed_from_u64(1000 + i as u64);
         let p = 6.0 / (n as f64 - 1.0);
         let g = generators::connected_gnp(n, p, &mut rng);
-        entries.push(measure("learn_graph", &g, 64, true, 1_000_000, || {
-            LearnGraph::new(n)
-        }));
+        for engine in Engine::ALL {
+            entries.push(measure(
+                "learn_graph",
+                engine,
+                &g,
+                64,
+                true,
+                1_000_000,
+                || LearnGraph::new(n),
+            ));
+        }
     }
 
     // Theorem 2.9 sampled max-cut (local-search root solver so larger n
@@ -371,31 +527,65 @@ fn main() {
         let mut rng = StdRng::seed_from_u64(2000 + i as u64);
         let p = 6.0 / (n as f64 - 1.0);
         let g = generators::connected_gnp(n, p, &mut rng);
-        entries.push(measure("maxcut_sampling", &g, 96, false, 1_000_000, || {
-            SampledMaxCut::new(n, 0.5, LocalCutSolver::LocalSearch, 42)
-        }));
+        for engine in Engine::ALL {
+            entries.push(measure(
+                "maxcut_sampling",
+                engine,
+                &g,
+                96,
+                false,
+                1_000_000,
+                || SampledMaxCut::new(n, 0.5, LocalCutSolver::LocalSearch, 42),
+            ));
+        }
     }
 
     // Sharded-engine scaling: the same seeded workload replayed across a
-    // threads axis. Counters are byte-identical across worker counts (the
-    // equivalence pinned by tests/sharded_trace.rs), so only wall time
-    // moves along the curve. Rounds are capped — the curve measures
-    // steady-state round throughput, not time-to-convergence.
+    // threads axis. Counters are byte-identical across worker counts and
+    // engines (the equivalence pinned by tests/sharded_trace.rs and
+    // tests/packed_equivalence.rs), so only wall time moves along the
+    // curve. Rounds are capped — the curve measures steady-state round
+    // throughput, not time-to-convergence.
     for (i, n) in [1_000usize, 10_000].into_iter().enumerate() {
         let mut rng = StdRng::seed_from_u64(3000 + i as u64);
         let p = 6.0 / (n as f64 - 1.0);
         let g = generators::connected_gnp(n, p, &mut rng);
         for threads in [1usize, 2, 4, 8] {
-            entries.push(measure_sharded(
-                "learn_graph",
-                &g,
-                64,
-                true,
-                64,
-                threads,
-                3,
-                || LearnGraph::new(n),
-            ));
+            for engine in Engine::ALL {
+                entries.push(measure_sharded(
+                    "learn_graph",
+                    engine,
+                    &g,
+                    64,
+                    true,
+                    64,
+                    threads,
+                    3,
+                    || LearnGraph::new(n),
+                ));
+            }
+        }
+        // Steady-state allocations-per-round on the single-worker point,
+        // both engines (the n=10k twin would take minutes per cap run
+        // for the same per-round answer).
+        if n == 1_000 {
+            for engine in Engine::ALL {
+                let allocs = steady_allocs_per_round(&g, engine);
+                println!(
+                    "sim_round/learn_graph/{eng}/n={n}/threads=1 steady-state allocs/round: {allocs}",
+                    eng = engine.name(),
+                );
+                let entry = entries
+                    .iter_mut()
+                    .find(|e| {
+                        e.alg == "learn_graph"
+                            && e.engine == engine
+                            && e.n == n
+                            && e.threads == Some(1)
+                    })
+                    .expect("grid entry exists");
+                entry.allocs_per_round = Some(allocs);
+            }
         }
     }
 
@@ -406,16 +596,19 @@ fn main() {
         let g = generators::cycle_plus_diameters(n);
         let cap = if n >= 1_000_000 { 8 } else { 32 };
         for threads in [1usize, 8] {
-            entries.push(measure_sharded(
-                "leader",
-                &g,
-                24,
-                true,
-                cap,
-                threads,
-                3,
-                || LeaderElection::new(n),
-            ));
+            for engine in Engine::ALL {
+                entries.push(measure_sharded(
+                    "leader",
+                    engine,
+                    &g,
+                    24,
+                    true,
+                    cap,
+                    threads,
+                    3,
+                    || LeaderElection::new(n),
+                ));
+            }
         }
     }
 

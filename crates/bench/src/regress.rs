@@ -68,7 +68,11 @@ const EXCLUDED_COUNTERS: &[&str] = &["jobs", "memo_hits", "memo_misses", "availa
 /// counts forms a scaling curve of distinct entries. Likewise
 /// `adversary` (`BENCH_faults.json`): the same `(alg, n)` point under
 /// the i.i.d. sweep and under the worst-case search are two workloads.
-const ID_FIELDS: &[&str] = &["n", "k_input", "threads", "adversary"];
+/// `engine` (`BENCH_sim_round.json`, string-valued in practice and then
+/// already identity) keys the packed-vs-boxed wire-path axis — crucially
+/// it keeps the packed entries' exactly-gated `allocs_per_round` from
+/// ever being compared against a boxed twin.
+const ID_FIELDS: &[&str] = &["n", "k_input", "threads", "adversary", "engine"];
 
 fn is_wall_field(name: &str) -> bool {
     name.ends_with("_micros")
@@ -308,6 +312,78 @@ pub fn compare(baseline: &BenchDoc, fresh: &BenchDoc, noise_band: f64) -> Regres
     }
 }
 
+/// Renders the packed-vs-boxed wire-path comparison from one bench
+/// document: every entry pair whose identities differ only in the
+/// `engine` segment becomes one row of boxed wall time, packed wall
+/// time, and the boxed/packed speedup. Returns `None` when the document
+/// has no such pairs (it has no engine axis).
+pub fn engine_comparison(doc: &BenchDoc) -> Option<String> {
+    let swap_engine = |id: &str| -> Option<String> {
+        let mut swapped = false;
+        let parts: Vec<&str> = id
+            .split('/')
+            .map(|seg| {
+                if seg == "packed" {
+                    swapped = true;
+                    "boxed"
+                } else {
+                    seg
+                }
+            })
+            .collect();
+        swapped.then(|| parts.join("/"))
+    };
+    let by_id: BTreeMap<&str, &BenchEntry> =
+        doc.entries.iter().map(|e| (e.id.as_str(), e)).collect();
+    let mut out = String::new();
+    let mut rows = 0usize;
+    for packed in &doc.entries {
+        let Some(boxed) = swap_engine(&packed.id).and_then(|id| by_id.get(id.as_str()).copied())
+        else {
+            continue;
+        };
+        let workload = packed.id.replace("/packed", "");
+        for (key, p) in &packed.walls {
+            let Some(b) = boxed.walls.get(key) else {
+                continue;
+            };
+            if rows == 0 {
+                let _ = writeln!(
+                    out,
+                    "bench {}: packed vs boxed wire path (speedup = boxed/packed)",
+                    doc.name
+                );
+                let _ = writeln!(
+                    out,
+                    "  {:<44} {:>14} {:>14} {:>9}",
+                    "workload", "boxed µs", "packed µs", "speedup"
+                );
+            }
+            let _ = writeln!(
+                out,
+                "  {workload:<44} {b:>14.0} {p:>14.0} {speedup:>8.2}x",
+                speedup = b / p.max(1.0),
+            );
+            rows += 1;
+        }
+        let (pa, ba) = (
+            packed.counters.get("allocs_per_round"),
+            boxed.counters.get("allocs_per_round"),
+        );
+        if pa.is_some() || ba.is_some() {
+            let fmt = |v: Option<&u64>| v.map_or_else(|| "-".to_string(), u64::to_string);
+            let _ = writeln!(
+                out,
+                "  {:<44} {:>14} {:>14}",
+                format!("{workload} (steady allocs/round)"),
+                fmt(ba),
+                fmt(pa),
+            );
+        }
+    }
+    (rows > 0).then_some(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -368,6 +444,71 @@ mod tests {
         assert!(!doc.entries[0].counters.contains_key("threads"));
         let report = compare(&doc, &doc, DEFAULT_NOISE_BAND);
         assert!(!report.is_regression(), "{}", report.render());
+    }
+
+    #[test]
+    fn engine_is_identity_and_allocs_per_round_is_gated_exactly() {
+        let text = r#"{
+            "bench": "sim_round",
+            "entries": [
+                {"alg": "learn_graph", "engine": "boxed", "n": 1000, "threads": 1,
+                 "rounds": 64, "allocs_per_round": 7, "wall_micros": 84000},
+                {"alg": "learn_graph", "engine": "packed", "n": 1000, "threads": 1,
+                 "rounds": 64, "allocs_per_round": 0, "wall_micros": 21000}
+            ]
+        }"#;
+        let doc = BenchDoc::parse(text).expect("parses");
+        // The same workload on the two wire paths must stay two entries.
+        assert_eq!(doc.entries[0].id, "learn_graph/boxed/n=1000/threads=1");
+        assert_eq!(doc.entries[1].id, "learn_graph/packed/n=1000/threads=1");
+        assert_eq!(doc.entries[1].counters.get("allocs_per_round"), Some(&0));
+        let report = compare(&doc, &doc, DEFAULT_NOISE_BAND);
+        assert!(!report.is_regression(), "{}", report.render());
+
+        // A packed path that starts allocating in steady state is a hard
+        // failure, however fast it still is.
+        let mut fresh = doc.clone();
+        fresh.entries[1]
+            .counters
+            .insert("allocs_per_round".to_string(), 2);
+        let report = compare(&doc, &fresh, DEFAULT_NOISE_BAND);
+        assert!(report.is_regression());
+        assert!(
+            report
+                .failures
+                .iter()
+                .any(|f| f.contains("packed") && f.contains("allocs_per_round")),
+            "{:?}",
+            report.failures
+        );
+    }
+
+    #[test]
+    fn engine_comparison_pairs_entries_across_the_engine_segment() {
+        let text = r#"{
+            "bench": "sim_round",
+            "entries": [
+                {"alg": "learn_graph", "engine": "boxed", "n": 1000, "threads": 1,
+                 "rounds": 64, "allocs_per_round": 7, "wall_micros": 84000},
+                {"alg": "learn_graph", "engine": "packed", "n": 1000, "threads": 1,
+                 "rounds": 64, "allocs_per_round": 0, "wall_micros": 21000},
+                {"alg": "maxcut_sampling", "engine": "boxed", "n": 32,
+                 "rounds": 83, "wall_micros": 150}
+            ]
+        }"#;
+        let doc = BenchDoc::parse(text).expect("parses");
+        let table = engine_comparison(&doc).expect("has an engine axis");
+        // One paired workload; the unpaired boxed-only entry is skipped.
+        assert!(table.contains("learn_graph/n=1000/threads=1"), "{table}");
+        assert!(table.contains("4.00x"), "{table}");
+        assert!(!table.contains("maxcut_sampling"), "{table}");
+
+        // No engine axis at all -> no table.
+        let plain = BenchDoc::parse(
+            r#"{"bench": "x", "entries": [{"alg": "a", "n": 1, "wall_micros": 10}]}"#,
+        )
+        .expect("parses");
+        assert_eq!(engine_comparison(&plain), None);
     }
 
     #[test]

@@ -11,7 +11,9 @@
 
 use congest_graph::{NodeId, Weight};
 
-use crate::{CongestAlgorithm, NodeContext, RoundOutcome, ShardableAlgorithm};
+use crate::bits::{mag_bits, value_bits};
+use crate::slab::{SlabReader, SlabWriter, WireCodec};
+use crate::{CongestAlgorithm, NodeContext, RoundOutcome, SendBuf, ShardableAlgorithm};
 
 /// Messages of the aggregation algorithm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,6 +26,62 @@ pub enum AggMsg {
     Partial(Weight),
     /// The final total, broadcast down the tree.
     Total(Weight),
+}
+
+/// Wire layout: the two-bit variant tag rides in `aux` (0 = depth,
+/// 1 = child, 2 = partial, 3 = total); depth payloads are `d` in the
+/// metered width minus the tag, value payloads are a sign bit plus the
+/// magnitude (the sign is simulator framing — the model prices
+/// magnitudes, see [`crate::bits::value_bits`]).
+impl WireCodec for AggMsg {
+    fn width_bits(&self) -> u64 {
+        match *self {
+            AggMsg::Depth(d) => 2 + mag_bits(d as u64),
+            AggMsg::Child => 2,
+            AggMsg::Partial(w) | AggMsg::Total(w) => value_bits(w),
+        }
+    }
+
+    fn encode_into(&self, w: &mut SlabWriter<'_>) -> u16 {
+        match *self {
+            AggMsg::Depth(d) => {
+                w.put(d as u64, mag_bits(d as u64) as u32);
+                0
+            }
+            AggMsg::Child => 1,
+            AggMsg::Partial(v) | AggMsg::Total(v) => {
+                let mag = v.unsigned_abs();
+                w.put(u64::from(v < 0), 1);
+                w.put(mag, mag_bits(mag) as u32);
+                if matches!(self, AggMsg::Partial(_)) {
+                    2
+                } else {
+                    3
+                }
+            }
+        }
+    }
+
+    fn decode(r: &mut SlabReader<'_>, width: u64, aux: u16) -> Self {
+        match aux {
+            0 => AggMsg::Depth(r.take(width as u32 - 2) as usize),
+            1 => AggMsg::Child,
+            tag => {
+                let neg = r.take(1) == 1;
+                let mag = r.take(width as u32 - 2);
+                let v = if neg {
+                    (mag as Weight).wrapping_neg()
+                } else {
+                    mag as Weight
+                };
+                if tag == 2 {
+                    AggMsg::Partial(v)
+                } else {
+                    AggMsg::Total(v)
+                }
+            }
+        }
+    }
 }
 
 #[derive(Debug, Clone, Default)]
@@ -83,20 +141,12 @@ impl AggregateSum {
     }
 }
 
-fn value_bits(w: Weight) -> u64 {
-    2 + (64 - w.unsigned_abs().leading_zeros() as u64).max(1)
-}
-
 impl CongestAlgorithm for AggregateSum {
     type Msg = AggMsg;
     type Output = Weight;
 
     fn message_bits(msg: &AggMsg) -> u64 {
-        match *msg {
-            AggMsg::Depth(d) => 2 + (64 - (d as u64).leading_zeros() as u64).max(1),
-            AggMsg::Child => 2,
-            AggMsg::Partial(w) | AggMsg::Total(w) => value_bits(w),
-        }
+        msg.width_bits()
     }
 
     fn init(&mut self, node: NodeId, ctx: &NodeContext<'_>) -> Vec<(NodeId, AggMsg)> {
@@ -119,17 +169,33 @@ impl CongestAlgorithm for AggregateSum {
         round: usize,
         inbox: &[(NodeId, AggMsg)],
     ) -> (Vec<(NodeId, AggMsg)>, RoundOutcome) {
-        let mut out = Vec::new();
+        let mut buf = SendBuf::new();
+        let outcome = self.round_into(node, ctx, round, inbox, &mut buf);
+        (
+            buf.items.into_iter().map(|(to, m, _)| (to, m)).collect(),
+            outcome,
+        )
+    }
+
+    fn round_into(
+        &mut self,
+        node: NodeId,
+        ctx: &NodeContext<'_>,
+        round: usize,
+        inbox: &[(NodeId, AggMsg)],
+        out: &mut SendBuf<AggMsg>,
+    ) -> RoundOutcome {
         for &(from, msg) in inbox {
             match msg {
                 AggMsg::Depth(d) => {
                     if self.states[node].depth.is_none() {
                         self.states[node].depth = Some(d + 1);
                         self.states[node].parent = Some(from);
-                        out.push((from, AggMsg::Child));
+                        out.push_metered(from, AggMsg::Child, 2);
+                        let bits = 2 + mag_bits(d as u64 + 1);
                         for &u in ctx.neighbors(node) {
                             if u != from {
-                                out.push((u, AggMsg::Depth(d + 1)));
+                                out.push_metered(u, AggMsg::Depth(d + 1), bits);
                             }
                         }
                     }
@@ -145,7 +211,7 @@ impl CongestAlgorithm for AggregateSum {
             }
         }
         if round < self.barrier() {
-            return (out, RoundOutcome::Continue);
+            return RoundOutcome::Continue;
         }
         let st = &mut self.states[node];
         // Upward phase: report once all children have.
@@ -153,7 +219,7 @@ impl CongestAlgorithm for AggregateSum {
             match st.parent {
                 Some(p) => {
                     st.sent_up = true;
-                    out.push((p, AggMsg::Partial(st.acc)));
+                    out.push(p, AggMsg::Partial(st.acc));
                 }
                 None => {
                     // Root (or unreachable node): the total is its acc.
@@ -168,20 +234,17 @@ impl CongestAlgorithm for AggregateSum {
         if let Some(total) = st.total {
             if !st.announced {
                 st.announced = true;
-                for &c in st.children.clone().iter() {
-                    out.push((c, AggMsg::Total(total)));
+                let bits = value_bits(total);
+                for &c in st.children.iter() {
+                    out.push_metered(c, AggMsg::Total(total), bits);
                 }
             }
         }
-        let done = self.states[node].announced && out.is_empty();
-        (
-            out,
-            if done {
-                RoundOutcome::Halt
-            } else {
-                RoundOutcome::Continue
-            },
-        )
+        if self.states[node].announced && out.is_empty() {
+            RoundOutcome::Halt
+        } else {
+            RoundOutcome::Continue
+        }
     }
 
     fn output(&self, node: NodeId) -> Option<Weight> {

@@ -6,7 +6,9 @@
 
 use congest_graph::NodeId;
 
-use crate::{CongestAlgorithm, NodeContext, RoundOutcome, ShardableAlgorithm};
+use crate::bits::mag_bits;
+use crate::slab::{SlabReader, SlabWriter, WireCodec};
+use crate::{CongestAlgorithm, NodeContext, RoundOutcome, SendBuf, ShardableAlgorithm};
 
 /// BFS-tree construction from a designated root. After the run each node
 /// knows its parent, depth and children.
@@ -26,6 +28,36 @@ pub enum BfsMsg {
     Depth(usize),
     /// "You are my parent."
     Child,
+}
+
+/// Wire layout: the variant tag rides in `aux` (0 = depth, 1 = child);
+/// a depth announcement's payload is `d` in its metered width minus the
+/// one-bit tag, a child notice has no payload.
+impl WireCodec for BfsMsg {
+    fn width_bits(&self) -> u64 {
+        match self {
+            BfsMsg::Depth(d) => 1 + mag_bits(*d as u64),
+            BfsMsg::Child => 1,
+        }
+    }
+
+    fn encode_into(&self, w: &mut SlabWriter<'_>) -> u16 {
+        match self {
+            BfsMsg::Depth(d) => {
+                w.put(*d as u64, mag_bits(*d as u64) as u32);
+                0
+            }
+            BfsMsg::Child => 1,
+        }
+    }
+
+    fn decode(r: &mut SlabReader<'_>, width: u64, aux: u16) -> Self {
+        if aux == 1 {
+            BfsMsg::Child
+        } else {
+            BfsMsg::Depth(r.take(width as u32 - 1) as usize)
+        }
+    }
 }
 
 impl BfsTree {
@@ -66,10 +98,7 @@ impl CongestAlgorithm for BfsTree {
     type Output = (Option<NodeId>, usize);
 
     fn message_bits(msg: &BfsMsg) -> u64 {
-        match msg {
-            BfsMsg::Depth(d) => 1 + (64 - (*d as u64).leading_zeros() as u64).max(1),
-            BfsMsg::Child => 1,
-        }
+        msg.width_bits()
     }
 
     fn init(&mut self, node: NodeId, ctx: &NodeContext<'_>) -> Vec<(NodeId, BfsMsg)> {
@@ -89,20 +118,38 @@ impl CongestAlgorithm for BfsTree {
         &mut self,
         node: NodeId,
         ctx: &NodeContext<'_>,
-        _round: usize,
+        round: usize,
         inbox: &[(NodeId, BfsMsg)],
     ) -> (Vec<(NodeId, BfsMsg)>, RoundOutcome) {
-        let mut out = Vec::new();
+        let mut buf = SendBuf::new();
+        let outcome = self.round_into(node, ctx, round, inbox, &mut buf);
+        (
+            buf.items.into_iter().map(|(to, m, _)| (to, m)).collect(),
+            outcome,
+        )
+    }
+
+    fn round_into(
+        &mut self,
+        node: NodeId,
+        ctx: &NodeContext<'_>,
+        _round: usize,
+        inbox: &[(NodeId, BfsMsg)],
+        out: &mut SendBuf<BfsMsg>,
+    ) -> RoundOutcome {
         for &(from, msg) in inbox {
             match msg {
                 BfsMsg::Depth(d) => {
                     if self.depth[node].is_none() {
                         self.depth[node] = Some(d + 1);
                         self.parent[node] = Some(from);
-                        out.push((from, BfsMsg::Child));
+                        out.push_metered(from, BfsMsg::Child, 1);
+                        // The announcement is the same for every neighbor:
+                        // one width computation for the whole fan-out.
+                        let bits = 1 + mag_bits(d as u64 + 1);
                         for &u in ctx.neighbors(node) {
                             if u != from {
-                                out.push((u, BfsMsg::Depth(d + 1)));
+                                out.push_metered(u, BfsMsg::Depth(d + 1), bits);
                             }
                         }
                         self.announced[node] = true;
@@ -113,7 +160,7 @@ impl CongestAlgorithm for BfsTree {
                 }
             }
         }
-        (out, RoundOutcome::Continue)
+        RoundOutcome::Continue
     }
 
     fn output(&self, node: NodeId) -> Option<(Option<NodeId>, usize)> {

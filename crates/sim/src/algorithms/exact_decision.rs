@@ -10,7 +10,7 @@
 use congest_graph::{Graph, NodeId};
 
 use crate::algorithms::learn_graph::{EdgeMsg, LearnGraph};
-use crate::{CongestAlgorithm, NodeContext, RoundOutcome, ShardableAlgorithm};
+use crate::{CongestAlgorithm, NodeContext, RoundOutcome, SendBuf, ShardableAlgorithm};
 
 /// Learns the whole graph and applies `decide` locally at every node.
 ///
@@ -66,22 +66,34 @@ impl<F: Fn(&Graph) -> bool> CongestAlgorithm for GenericExactDecision<F> {
         round: usize,
         inbox: &[(NodeId, EdgeMsg)],
     ) -> (Vec<(NodeId, EdgeMsg)>, RoundOutcome) {
-        let (out, _) = self.learner.round(node, ctx, round, inbox);
-        if self.verdict[node].is_none() && self.learner.known_edges(node).len() == self.m {
+        let mut buf = SendBuf::new();
+        let outcome = self.round_into(node, ctx, round, inbox, &mut buf);
+        (
+            buf.items.into_iter().map(|(to, m, _)| (to, m)).collect(),
+            outcome,
+        )
+    }
+
+    fn round_into(
+        &mut self,
+        node: NodeId,
+        ctx: &NodeContext<'_>,
+        round: usize,
+        inbox: &[(NodeId, EdgeMsg)],
+        out: &mut SendBuf<EdgeMsg>,
+    ) -> RoundOutcome {
+        self.learner.round_into(node, ctx, round, inbox, out);
+        if self.verdict[node].is_none() && self.learner.known_count(node) == self.m {
             // Unbounded local computation, as the model allows.
             self.verdict[node] = Some((self.decide)(&self.learner.learned_graph(node)));
         }
         // Keep forwarding until the whole network is informed; halting is
         // by quiescence (all queues eventually drain).
-        let done = self.verdict[node].is_some() && out.is_empty();
-        (
-            out,
-            if done {
-                RoundOutcome::Halt
-            } else {
-                RoundOutcome::Continue
-            },
-        )
+        if self.verdict[node].is_some() && out.is_empty() {
+            RoundOutcome::Halt
+        } else {
+            RoundOutcome::Continue
+        }
     }
 
     fn output(&self, node: NodeId) -> Option<bool> {

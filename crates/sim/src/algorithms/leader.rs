@@ -5,7 +5,8 @@
 
 use congest_graph::NodeId;
 
-use crate::{CongestAlgorithm, NodeContext, RoundOutcome, ShardableAlgorithm};
+use crate::bits::id_bits;
+use crate::{CongestAlgorithm, NodeContext, RoundOutcome, SendBuf, ShardableAlgorithm};
 
 /// Min-ID flooding. Every node outputs the minimum identifier in its
 /// connected component.
@@ -35,8 +36,7 @@ impl CongestAlgorithm for LeaderElection {
     type Output = NodeId;
 
     fn message_bits(msg: &NodeId) -> u64 {
-        let v = *msg as u64;
-        (64 - v.leading_zeros() as u64).max(1)
+        id_bits(*msg as u64)
     }
 
     fn init(&mut self, node: NodeId, ctx: &NodeContext<'_>) -> Vec<(NodeId, NodeId)> {
@@ -48,9 +48,25 @@ impl CongestAlgorithm for LeaderElection {
         &mut self,
         node: NodeId,
         ctx: &NodeContext<'_>,
-        _round: usize,
+        round: usize,
         inbox: &[(NodeId, NodeId)],
     ) -> (Vec<(NodeId, NodeId)>, RoundOutcome) {
+        let mut buf = SendBuf::new();
+        let outcome = self.round_into(node, ctx, round, inbox, &mut buf);
+        (
+            buf.items.into_iter().map(|(to, m, _)| (to, m)).collect(),
+            outcome,
+        )
+    }
+
+    fn round_into(
+        &mut self,
+        node: NodeId,
+        ctx: &NodeContext<'_>,
+        _round: usize,
+        inbox: &[(NodeId, NodeId)],
+        out: &mut SendBuf<NodeId>,
+    ) -> RoundOutcome {
         let mut improved = false;
         for &(_, id) in inbox {
             if id < self.best[node] {
@@ -59,16 +75,16 @@ impl CongestAlgorithm for LeaderElection {
             }
         }
         if improved && self.last_sent[node] != Some(self.best[node]) {
-            self.last_sent[node] = Some(self.best[node]);
-            let out = ctx
-                .neighbors(node)
-                .iter()
-                .map(|&u| (u, self.best[node]))
-                .collect();
-            (out, RoundOutcome::Continue)
-        } else {
-            (Vec::new(), RoundOutcome::Continue)
+            let best = self.best[node];
+            self.last_sent[node] = Some(best);
+            // The flooded value is identical for every neighbor; compute
+            // its width once and hand it to the engine as a hint.
+            let bits = id_bits(best as u64);
+            for &u in ctx.neighbors(node) {
+                out.push_metered(u, best, bits);
+            }
         }
+        RoundOutcome::Continue
     }
 
     fn output(&self, node: NodeId) -> Option<NodeId> {

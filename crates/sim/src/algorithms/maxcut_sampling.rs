@@ -18,7 +18,9 @@ use congest_graph::{Graph, NodeId, Weight};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::{CongestAlgorithm, NodeContext, RoundOutcome};
+use crate::bits::{id_bits, mag_bits};
+use crate::slab::{SlabReader, SlabWriter, WireCodec};
+use crate::{CongestAlgorithm, NodeContext, RoundOutcome, SendBuf};
 
 /// How the root solves max-cut on the sampled subgraph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,8 +48,93 @@ pub enum McMsg {
     CutValue(Weight),
 }
 
-fn id_bits(v: u64) -> u64 {
-    (64 - v.leading_zeros() as u64).max(1)
+/// Wire layout: `aux` carries a three-bit variant tag (0 = depth,
+/// 1 = child, 2 = edge, 3 = up-done, 4 = assign, 5 = cut-value) and, for
+/// edge upcasts, the two endpoint widths (6 bits each, values
+/// `width - 1`). Payloads use the metered widths; weight sign bits are
+/// simulator framing on top of the metered magnitude, never charged.
+impl WireCodec for McMsg {
+    fn width_bits(&self) -> u64 {
+        3 + match *self {
+            McMsg::Depth(d) => id_bits(d as u64),
+            McMsg::Child => 0,
+            McMsg::Edge(u, v, w) => {
+                id_bits(u as u64) + id_bits(v as u64) + id_bits(w.unsigned_abs())
+            }
+            McMsg::UpDone => 0,
+            McMsg::Assign(v, _) => id_bits(v as u64) + 1,
+            McMsg::CutValue(c) => id_bits(c.unsigned_abs()),
+        }
+    }
+
+    fn encode_into(&self, w: &mut SlabWriter<'_>) -> u16 {
+        match *self {
+            McMsg::Depth(d) => {
+                w.put(d as u64, mag_bits(d as u64) as u32);
+                0
+            }
+            McMsg::Child => 1,
+            McMsg::Edge(u, v, wt) => {
+                let wu = id_bits(u as u64) as u32;
+                let wv = id_bits(v as u64) as u32;
+                let mag = wt.unsigned_abs();
+                w.put(u as u64, wu);
+                w.put(v as u64, wv);
+                w.put(u64::from(wt < 0), 1);
+                w.put(mag, mag_bits(mag) as u32);
+                (2 | ((wu - 1) << 3) | ((wv - 1) << 9)) as u16
+            }
+            McMsg::UpDone => 3,
+            McMsg::Assign(v, side) => {
+                w.put(v as u64, id_bits(v as u64) as u32);
+                w.put(u64::from(side), 1);
+                4
+            }
+            McMsg::CutValue(c) => {
+                let mag = c.unsigned_abs();
+                w.put(u64::from(c < 0), 1);
+                w.put(mag, mag_bits(mag) as u32);
+                5
+            }
+        }
+    }
+
+    fn decode(r: &mut SlabReader<'_>, width: u64, aux: u16) -> Self {
+        let payload = width as u32 - 3;
+        match aux & 7 {
+            0 => McMsg::Depth(r.take(payload) as usize),
+            1 => McMsg::Child,
+            2 => {
+                let wu = u32::from((aux >> 3) & 63) + 1;
+                let wv = u32::from((aux >> 9) & 63) + 1;
+                let u = r.take(wu) as NodeId;
+                let v = r.take(wv) as NodeId;
+                let neg = r.take(1) == 1;
+                let mag = r.take(payload - wu - wv);
+                let w = if neg {
+                    (mag as Weight).wrapping_neg()
+                } else {
+                    mag as Weight
+                };
+                McMsg::Edge(u, v, w)
+            }
+            3 => McMsg::UpDone,
+            4 => {
+                let v = r.take(payload - 1) as NodeId;
+                McMsg::Assign(v, r.take(1) == 1)
+            }
+            _ => {
+                let neg = r.take(1) == 1;
+                let mag = r.take(payload);
+                let c = if neg {
+                    (mag as Weight).wrapping_neg()
+                } else {
+                    mag as Weight
+                };
+                McMsg::CutValue(c)
+            }
+        }
+    }
 }
 
 #[derive(Debug, Clone, Default)]
@@ -160,16 +247,7 @@ impl CongestAlgorithm for SampledMaxCut {
     type Output = (bool, f64);
 
     fn message_bits(msg: &McMsg) -> u64 {
-        3 + match *msg {
-            McMsg::Depth(d) => id_bits(d as u64),
-            McMsg::Child => 0,
-            McMsg::Edge(u, v, w) => {
-                id_bits(u as u64) + id_bits(v as u64) + id_bits(w.unsigned_abs())
-            }
-            McMsg::UpDone => 0,
-            McMsg::Assign(v, _) => id_bits(v as u64) + 1,
-            McMsg::CutValue(c) => id_bits(c.unsigned_abs()),
-        }
+        msg.width_bits()
     }
 
     fn init(&mut self, node: NodeId, ctx: &NodeContext<'_>) -> Vec<(NodeId, McMsg)> {
@@ -199,17 +277,33 @@ impl CongestAlgorithm for SampledMaxCut {
         round: usize,
         inbox: &[(NodeId, McMsg)],
     ) -> (Vec<(NodeId, McMsg)>, RoundOutcome) {
-        let mut out = Vec::new();
+        let mut buf = SendBuf::new();
+        let outcome = self.round_into(node, ctx, round, inbox, &mut buf);
+        (
+            buf.items.into_iter().map(|(to, m, _)| (to, m)).collect(),
+            outcome,
+        )
+    }
+
+    fn round_into(
+        &mut self,
+        node: NodeId,
+        ctx: &NodeContext<'_>,
+        round: usize,
+        inbox: &[(NodeId, McMsg)],
+        out: &mut SendBuf<McMsg>,
+    ) -> RoundOutcome {
         for &(from, msg) in inbox {
             match msg {
                 McMsg::Depth(d) => {
                     if self.states[node].depth.is_none() {
                         self.states[node].depth = Some(d + 1);
                         self.states[node].parent = Some(from);
-                        out.push((from, McMsg::Child));
+                        out.push_metered(from, McMsg::Child, 3);
+                        let bits = 3 + mag_bits(d as u64 + 1);
                         for &u in ctx.neighbors(node) {
                             if u != from {
-                                out.push((u, McMsg::Depth(d + 1)));
+                                out.push_metered(u, McMsg::Depth(d + 1), bits);
                             }
                         }
                     }
@@ -243,7 +337,7 @@ impl CongestAlgorithm for SampledMaxCut {
         }
         if round < self.barrier() {
             // Still in the BFS phase.
-            return (out, RoundOutcome::Continue);
+            return RoundOutcome::Continue;
         }
         if round == self.barrier() {
             // The tree is final: allocate downcast queues.
@@ -266,12 +360,12 @@ impl CongestAlgorithm for SampledMaxCut {
                 }
             } else if let Some(parent) = self.states[node].parent {
                 if let Some(e) = self.states[node].up_queue.pop() {
-                    out.push((parent, McMsg::Edge(e.0, e.1, e.2)));
+                    out.push(parent, McMsg::Edge(e.0, e.1, e.2));
                 } else if self.states[node].children_done == self.states[node].children.len()
                     && !self.states[node].up_done_sent
                 {
                     self.states[node].up_done_sent = true;
-                    out.push((parent, McMsg::UpDone));
+                    out.push_metered(parent, McMsg::UpDone, 3);
                 }
             }
         }
@@ -285,7 +379,7 @@ impl CongestAlgorithm for SampledMaxCut {
         } = &mut self.states[node];
         for (i, &c) in children.iter().enumerate() {
             if let Some(m) = down_queues[i].pop() {
-                out.push((c, m));
+                out.push(c, m);
             }
         }
         // Halt when fully informed, all queues flushed, and silent.
@@ -297,14 +391,11 @@ impl CongestAlgorithm for SampledMaxCut {
             && st.up_queue.is_empty()
             && round > self.barrier()
             && out.is_empty();
-        (
-            out,
-            if done {
-                RoundOutcome::Halt
-            } else {
-                RoundOutcome::Continue
-            },
-        )
+        if done {
+            RoundOutcome::Halt
+        } else {
+            RoundOutcome::Continue
+        }
     }
 
     fn output(&self, node: NodeId) -> Option<(bool, f64)> {

@@ -9,8 +9,8 @@ pub(crate) mod learn_graph;
 mod maxcut_sampling;
 
 pub use aggregate::{AggMsg, AggregateSum};
-pub use bfs::BfsTree;
+pub use bfs::{BfsMsg, BfsTree};
 pub use exact_decision::GenericExactDecision;
 pub use leader::LeaderElection;
-pub use learn_graph::LearnGraph;
-pub use maxcut_sampling::{LocalCutSolver, SampledMaxCut};
+pub use learn_graph::{EdgeMsg, LearnGraph};
+pub use maxcut_sampling::{LocalCutSolver, McMsg, SampledMaxCut};

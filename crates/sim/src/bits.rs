@@ -1,0 +1,83 @@
+//! Shared bit-width helpers for CONGEST message accounting.
+//!
+//! Every algorithm prices its messages in "minimal binary width" units:
+//! a value `v` costs the number of bits up to and including its highest
+//! set bit, with zero still costing one bit (you must transmit
+//! *something*). These helpers were copy-pasted across `learn_graph`,
+//! `maxcut_sampling`, and `aggregate` before being deduped here; the
+//! unit tests below pin the widths byte-for-byte so the metered bit
+//! counts — and with them every committed bench baseline and golden
+//! trace — cannot drift.
+
+use congest_graph::Weight;
+
+/// Minimal binary width of an unsigned magnitude: `⌈log₂(m+1)⌉`,
+/// clamped to at least one bit (zero still occupies a slot on the wire).
+#[inline]
+pub fn mag_bits(m: u64) -> u64 {
+    (64 - m.leading_zeros() as u64).max(1)
+}
+
+/// Width of a node identifier. Ids are raw indices, so this is just the
+/// magnitude width of the index value.
+#[inline]
+pub fn id_bits(v: u64) -> u64 {
+    mag_bits(v)
+}
+
+/// Width of a signed aggregate value with a two-bit variant tag, as used
+/// by the convergecast messages: `2 + mag_bits(|w|)`. The sign rides on
+/// the magnitude width (the model prices magnitudes; simulator-side
+/// encodings carry the sign out of band).
+#[inline]
+pub fn value_bits(w: Weight) -> u64 {
+    2 + mag_bits(w.unsigned_abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mag_bits_pins_minimal_widths() {
+        // Byte-for-byte pins: these exact values are baked into every
+        // committed bench counter and golden trace.
+        let pins: &[(u64, u64)] = &[
+            (0, 1),
+            (1, 1),
+            (2, 2),
+            (3, 2),
+            (4, 3),
+            (7, 3),
+            (8, 4),
+            (255, 8),
+            (256, 9),
+            (1023, 10),
+            (1024, 11),
+            (u64::MAX, 64),
+        ];
+        for &(v, w) in pins {
+            assert_eq!(mag_bits(v), w, "mag_bits({v})");
+        }
+    }
+
+    #[test]
+    fn id_bits_matches_the_historic_inline_helper() {
+        // The helper formerly inlined in learn_graph/maxcut_sampling.
+        let old = |v: usize| (64 - (v as u64).leading_zeros() as u64).max(1);
+        for v in (0..2048).chain([usize::MAX / 2, usize::MAX]) {
+            assert_eq!(id_bits(v as u64), old(v), "id_bits({v})");
+        }
+    }
+
+    #[test]
+    fn value_bits_matches_the_historic_aggregate_helper() {
+        let old = |w: Weight| 2 + (64 - w.unsigned_abs().leading_zeros() as u64).max(1);
+        for w in (-1024..=1024).chain([Weight::MIN, Weight::MAX]) {
+            assert_eq!(value_bits(w), old(w), "value_bits({w})");
+        }
+        assert_eq!(value_bits(0), 3);
+        assert_eq!(value_bits(-1), 3);
+        assert_eq!(value_bits(5), 5);
+    }
+}

@@ -284,8 +284,9 @@ impl SelfCertify for LearnGraph {
                 .filter(|&(a, _, _)| comp[a] == comp[v])
                 .map(|(a, b, w)| (a.min(b), a.max(b), w))
                 .collect();
-            let known = self.known_edges(v);
-            let missing = expected.difference(known).count();
+            let known: crate::fxhash::FxHashSet<(NodeId, NodeId, Weight)> =
+                self.known_edges(v).into_iter().collect();
+            let missing = expected.difference(&known).count();
             let spurious = known.difference(&expected).count();
             if missing > 0 || spurious > 0 {
                 return Err(ProtocolFailure::GraphMismatch {

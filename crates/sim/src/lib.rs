@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod algorithms;
+pub mod bits;
 pub mod certify;
 mod error;
 pub mod fxhash;
@@ -37,17 +38,19 @@ mod model;
 pub mod observer;
 pub mod profile;
 mod shard;
+pub mod slab;
 
 pub use certify::{ProtocolFailure, SelfCertify};
 pub use error::{HostingError, SimError};
 pub use link::{FaultCounters, FaultEvent, FaultKind, LinkFate, LinkLayer, PerfectLink};
 pub use model::{
     default_bandwidth, CongestAlgorithm, NodeContext, RoundOutcome, RoundTraffic, RunOutcome,
-    SimStats, Simulator,
+    SendBuf, SimStats, Simulator,
 };
 pub use observer::{NoopRoundObserver, RoundDelta, RoundObserver, TraceObserver};
 pub use profile::{Phase, PhaseProfile};
 pub use shard::{ShardSafeLink, ShardableAlgorithm};
+pub use slab::{MsgSlab, SlabEntry, SlabReader, SlabWriter, WireCodec};
 
 // Re-exported so sharded-run callers can consume the returned worker
 // utilization without depending on `congest-par` directly.

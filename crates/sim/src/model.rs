@@ -7,6 +7,7 @@ use crate::error::SimError;
 use crate::link::{FaultCounters, FaultEvent, FaultKind, LinkFate, LinkLayer, PerfectLink};
 use crate::observer::{RoundDelta, RoundObserver};
 use crate::profile::{Phase, PhaseProfile};
+use crate::slab::{PackedArena, WireCodec};
 
 /// The default CONGEST bandwidth: `2·⌈log₂ n⌉ + 16` bits per edge per
 /// round — enough for a constant number of identifiers plus tags, the
@@ -167,6 +168,30 @@ pub trait CongestAlgorithm {
         inbox: &[(NodeId, Self::Msg)],
     ) -> (Vec<(NodeId, Self::Msg)>, RoundOutcome);
 
+    /// Allocation-free twin of [`CongestAlgorithm::round`]: append this
+    /// round's sends to `out` (a buffer the engine reuses across rounds)
+    /// instead of returning a fresh `Vec`. The engine always drives
+    /// rounds through this hook; the default implementation delegates to
+    /// [`CongestAlgorithm::round`], so existing algorithms keep working
+    /// unchanged. Hot algorithms override it — and may use
+    /// [`SendBuf::push_metered`] to hand the engine a precomputed
+    /// metered width, skipping the per-message `message_bits` call
+    /// (widths are cross-checked in debug builds).
+    fn round_into(
+        &mut self,
+        node: NodeId,
+        ctx: &NodeContext<'_>,
+        round: usize,
+        inbox: &[(NodeId, Self::Msg)],
+        out: &mut SendBuf<Self::Msg>,
+    ) -> RoundOutcome {
+        let (sends, outcome) = self.round(node, ctx, round, inbox);
+        for (to, msg) in sends {
+            out.push(to, msg);
+        }
+        outcome
+    }
+
     /// The node's final output, if it has decided one.
     fn output(&self, node: NodeId) -> Option<Self::Output>;
 
@@ -180,6 +205,160 @@ pub trait CongestAlgorithm {
     fn corrupt(msg: &Self::Msg, bit: u32) -> Option<Self::Msg> {
         let _ = (msg, bit);
         None
+    }
+}
+
+/// Reusable per-node send buffer filled by
+/// [`CongestAlgorithm::round_into`].
+///
+/// Each entry carries an optional metered-width hint: `0` means "engine,
+/// compute [`CongestAlgorithm::message_bits`] yourself" (what
+/// [`SendBuf::push`] records), a non-zero hint is trusted as the metered
+/// width (what [`SendBuf::push_metered`] records; debug builds assert it
+/// equals `message_bits`). Message widths are at least one bit, so `0`
+/// is never a valid width and needs no `Option` wrapper on the hot path.
+#[derive(Debug)]
+pub struct SendBuf<M> {
+    pub(crate) items: Vec<(NodeId, M, u64)>,
+}
+
+impl<M> SendBuf<M> {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        SendBuf { items: Vec::new() }
+    }
+
+    /// Queues a message; the engine computes its metered width.
+    #[inline]
+    pub fn push(&mut self, to: NodeId, msg: M) {
+        self.items.push((to, msg, 0));
+    }
+
+    /// Queues a message with a precomputed metered width (must equal
+    /// [`CongestAlgorithm::message_bits`]; asserted in debug builds).
+    #[inline]
+    pub fn push_metered(&mut self, to: NodeId, msg: M, bits: u64) {
+        self.items.push((to, msg, bits));
+    }
+
+    /// Number of queued sends.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when no sends are queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+impl<M> Default for SendBuf<M> {
+    fn default() -> Self {
+        SendBuf::new()
+    }
+}
+
+/// The engine's in-flight/delivery buffer abstraction: the boxed arena
+/// ([`BoxedArena`], per-destination `Vec<(NodeId, Msg)>` buffers — the
+/// historical representation) and the word-packed slab arena
+/// ([`crate::slab::PackedArena`]) implement the same staging protocol,
+/// so one generic engine drives both byte-identically.
+///
+/// Protocol per dispatched message: `stage` appends the message and
+/// returns its metered width; the caller then meters and asks the link
+/// layer for a fate, and on a non-delivery fate rolls the entry back
+/// with `unstage` (always the most recently staged entry). `push`
+/// appends without width accounting (matured delays, sharded round-
+/// barrier handoff). `begin_delivery` runs once per round after the
+/// in-flight/delivery swap, before any `inbox` call.
+pub(crate) trait MsgArena<A: CongestAlgorithm> {
+    /// An empty arena for `n` nodes.
+    fn with_nodes(n: usize) -> Self;
+
+    /// Appends a message and returns its metered width. `hint` is the
+    /// [`SendBuf`] width hint (`0` = unknown, compute it).
+    fn stage(&mut self, to: NodeId, from: NodeId, msg: A::Msg, hint: u64) -> u64;
+
+    /// Removes and returns the most recently staged message (fault-path
+    /// rollback for drops, delays, and corruption rewrites).
+    fn unstage(&mut self, to: NodeId) -> A::Msg;
+
+    /// Appends a message without metering bookkeeping.
+    fn push(&mut self, to: NodeId, from: NodeId, msg: A::Msg);
+
+    /// True when no messages are buffered.
+    fn all_empty(&self) -> bool;
+
+    /// Round-barrier hook run after this arena becomes the delivery
+    /// arena, before the first `inbox` call (the packed arena's
+    /// counting sort into per-destination runs; no-op for boxed).
+    fn begin_delivery(&mut self) {}
+
+    /// Node `v`'s inbox in arrival order. `scratch` is a reusable
+    /// decode buffer; the boxed arena ignores it and returns its own
+    /// slice zero-copy.
+    fn inbox<'s>(
+        &'s self,
+        v: NodeId,
+        scratch: &'s mut Vec<(NodeId, A::Msg)>,
+    ) -> &'s [(NodeId, A::Msg)];
+
+    /// Empties the arena, keeping capacity.
+    fn clear(&mut self);
+}
+
+/// The historical typed in-flight representation: one `Vec` of
+/// `(sender, message)` tuples per destination.
+pub(crate) struct BoxedArena<A: CongestAlgorithm> {
+    bufs: Vec<Vec<(NodeId, A::Msg)>>,
+}
+
+impl<A: CongestAlgorithm> MsgArena<A> for BoxedArena<A> {
+    fn with_nodes(n: usize) -> Self {
+        BoxedArena {
+            bufs: vec![Vec::new(); n],
+        }
+    }
+
+    #[inline]
+    fn stage(&mut self, to: NodeId, from: NodeId, msg: A::Msg, hint: u64) -> u64 {
+        let bits = if hint != 0 {
+            debug_assert_eq!(hint, A::message_bits(&msg), "bad SendBuf width hint");
+            hint
+        } else {
+            A::message_bits(&msg)
+        };
+        self.bufs[to].push((from, msg));
+        bits
+    }
+
+    #[inline]
+    fn unstage(&mut self, to: NodeId) -> A::Msg {
+        self.bufs[to].pop().expect("unstage from empty buffer").1
+    }
+
+    #[inline]
+    fn push(&mut self, to: NodeId, from: NodeId, msg: A::Msg) {
+        self.bufs[to].push((from, msg));
+    }
+
+    fn all_empty(&self) -> bool {
+        self.bufs.iter().all(Vec::is_empty)
+    }
+
+    #[inline]
+    fn inbox<'s>(
+        &'s self,
+        v: NodeId,
+        _scratch: &'s mut Vec<(NodeId, A::Msg)>,
+    ) -> &'s [(NodeId, A::Msg)] {
+        &self.bufs[v]
+    }
+
+    fn clear(&mut self) {
+        for b in &mut self.bufs {
+            b.clear();
+        }
     }
 }
 
@@ -313,10 +492,13 @@ impl RoundEdges {
 /// `bits_per_edge` map is rebuilt once at finalization), inbox arenas are
 /// swapped rather than reallocated, and duplicate-send detection is an
 /// epoch-stamped array instead of a per-dispatch scan.
-struct Engine<'a, A: CongestAlgorithm, O, L> {
-    /// `in_flight[v]` = messages to deliver to `v` next round. Swapped
+struct Engine<'a, A: CongestAlgorithm, O, L, B> {
+    /// Messages to deliver next round, staged per destination. Swapped
     /// with the caller's delivery arena each round; capacities persist.
-    in_flight: Vec<Vec<(NodeId, A::Msg)>>,
+    /// Either a [`BoxedArena`] (typed tuples) or a
+    /// [`crate::slab::PackedArena`] (word-packed slab) — the engine is
+    /// generic over the representation and byte-identical across both.
+    in_flight: B,
     /// Delayed messages as `(rounds_remaining, to, from, msg)`; matured
     /// into `in_flight` after each delivery swap.
     delayed: Vec<(u64, NodeId, NodeId, A::Msg)>,
@@ -346,7 +528,7 @@ struct Engine<'a, A: CongestAlgorithm, O, L> {
     prof: Option<&'a mut PhaseProfile>,
 }
 
-impl<A: CongestAlgorithm, O: RoundObserver, L: LinkLayer> Engine<'_, A, O, L> {
+impl<A: CongestAlgorithm, O: RoundObserver, L: LinkLayer, B: MsgArena<A>> Engine<'_, A, O, L, B> {
     /// Whether the profiler is attached *and* sampling the current round.
     #[inline]
     fn prof_sampling(&self) -> bool {
@@ -437,7 +619,7 @@ impl<A: CongestAlgorithm, O: RoundObserver, L: LinkLayer> Engine<'_, A, O, L> {
         debug_assert!(self.delayed_spare.is_empty());
         for (remaining, to, from, msg) in self.delayed.drain(..) {
             if remaining <= 1 {
-                self.in_flight[to].push((from, msg));
+                self.in_flight.push(to, from, msg);
             } else {
                 self.delayed_spare.push((remaining - 1, to, from, msg));
             }
@@ -616,7 +798,86 @@ impl<'g> Simulator<'g> {
         observer: &mut O,
         link: &mut L,
     ) -> Result<SimStats, SimError> {
-        self.try_run_inner(alg, max_rounds, observer, link, None)
+        self.try_run_inner::<A, O, L, BoxedArena<A>>(alg, max_rounds, observer, link, None)
+    }
+
+    /// Runs `alg` on the word-packed slab engine (see [`crate::slab`]):
+    /// in-flight messages live in a flat word-aligned arena instead of
+    /// per-destination `Vec`s of typed tuples, metered widths come from
+    /// the [`WireCodec`] encoding, and steady-state rounds allocate
+    /// nothing. `SimStats`, traces, errors, and budget outcomes are
+    /// byte-identical to [`Simulator::try_run`].
+    pub fn try_run_packed<A>(&self, alg: &mut A, max_rounds: u64) -> Result<SimStats, SimError>
+    where
+        A: CongestAlgorithm,
+        A::Msg: WireCodec,
+    {
+        self.try_run_packed_with(
+            alg,
+            max_rounds,
+            &mut crate::observer::NoopRoundObserver,
+            &mut PerfectLink,
+        )
+    }
+
+    /// Packed twin of [`Simulator::try_run_observed`]. The observer sees
+    /// the same callbacks as on the boxed path; per-round edge deltas are
+    /// accumulated from the slab's metering, no per-message decode.
+    pub fn try_run_packed_observed<A, O>(
+        &self,
+        alg: &mut A,
+        max_rounds: u64,
+        observer: &mut O,
+    ) -> Result<SimStats, SimError>
+    where
+        A: CongestAlgorithm,
+        A::Msg: WireCodec,
+        O: RoundObserver,
+    {
+        self.try_run_packed_with(alg, max_rounds, observer, &mut PerfectLink)
+    }
+
+    /// Packed twin of [`Simulator::try_run_with`]: full engine on the
+    /// slab wire path, with fault fates applied to slab entries in place
+    /// (metered before the fate, exactly like the boxed path).
+    pub fn try_run_packed_with<A, O, L>(
+        &self,
+        alg: &mut A,
+        max_rounds: u64,
+        observer: &mut O,
+        link: &mut L,
+    ) -> Result<SimStats, SimError>
+    where
+        A: CongestAlgorithm,
+        A::Msg: WireCodec,
+        O: RoundObserver,
+        L: LinkLayer,
+    {
+        self.try_run_inner::<A, O, L, PackedArena<A::Msg>>(alg, max_rounds, observer, link, None)
+    }
+
+    /// Packed twin of [`Simulator::try_run_profiled`].
+    pub fn try_run_packed_profiled<A, O, L>(
+        &self,
+        alg: &mut A,
+        max_rounds: u64,
+        observer: &mut O,
+        link: &mut L,
+        profile: &mut PhaseProfile,
+    ) -> Result<SimStats, SimError>
+    where
+        A: CongestAlgorithm,
+        A::Msg: WireCodec,
+        O: RoundObserver,
+        L: LinkLayer,
+    {
+        self.try_run_inner::<A, O, L, PackedArena<A::Msg>>(
+            alg,
+            max_rounds,
+            observer,
+            link,
+            Some(profile),
+        )
     }
 
     /// Like [`Simulator::try_run_with`], with phase-level profiling: wall
@@ -633,10 +894,10 @@ impl<'g> Simulator<'g> {
         link: &mut L,
         profile: &mut PhaseProfile,
     ) -> Result<SimStats, SimError> {
-        self.try_run_inner(alg, max_rounds, observer, link, Some(profile))
+        self.try_run_inner::<A, O, L, BoxedArena<A>>(alg, max_rounds, observer, link, Some(profile))
     }
 
-    fn try_run_inner<A: CongestAlgorithm, O: RoundObserver, L: LinkLayer>(
+    fn try_run_inner<A: CongestAlgorithm, O: RoundObserver, L: LinkLayer, B: MsgArena<A>>(
         &self,
         alg: &mut A,
         max_rounds: u64,
@@ -655,8 +916,8 @@ impl<'g> Simulator<'g> {
         let mut halted = vec![false; n];
         link.on_run_start(n);
         let round_edges = observer.wants_edge_traffic().then(|| RoundEdges::new(m));
-        let mut eng: Engine<'_, A, O, L> = Engine {
-            in_flight: vec![Vec::new(); n],
+        let mut eng: Engine<'_, A, O, L, B> = Engine {
+            in_flight: B::with_nodes(n),
             delayed: Vec::new(),
             delayed_spare: Vec::new(),
             stats: SimStats::default(),
@@ -675,7 +936,11 @@ impl<'g> Simulator<'g> {
         // delivery step, read as this round's inboxes, then cleared (the
         // per-node capacities survive, so steady-state rounds allocate
         // nothing).
-        let mut deliveries: Vec<Vec<(NodeId, A::Msg)>> = vec![Vec::new(); n];
+        let mut deliveries: B = B::with_nodes(n);
+        // Reusable send buffer filled by `round_into` and drained by
+        // `dispatch`, plus the packed arena's inbox decode buffer.
+        let mut sendbuf: SendBuf<A::Msg> = SendBuf::new();
+        let mut scratch: Vec<(NodeId, A::Msg)> = Vec::new();
         let mut outcome: Option<RunOutcome> = None;
         // The init burst is profiled as round 0: `init` calls count as
         // compute, their dispatches as meter/link-fate.
@@ -688,7 +953,11 @@ impl<'g> Simulator<'g> {
             let t0 = init_sampled.then(Instant::now);
             let out = alg.init(v, &ctx);
             eng.prof_add(Phase::Compute, t0);
-            self.dispatch::<A, O, L>(&mut eng, v, out, 0)?;
+            debug_assert!(sendbuf.is_empty());
+            for (to, msg) in out {
+                sendbuf.push(to, msg);
+            }
+            self.dispatch::<A, O, L, B>(&mut eng, v, &mut sendbuf, 0)?;
         }
         let ep_t0 = init_sampled.then(Instant::now);
         eng.flush_round(0);
@@ -729,7 +998,7 @@ impl<'g> Simulator<'g> {
                 outcome = Some(RunOutcome::Halted);
                 break;
             }
-            let was_quiet = eng.in_flight.iter().all(Vec::is_empty) && eng.delayed.is_empty();
+            let was_quiet = eng.in_flight.all_empty() && eng.delayed.is_empty();
             if was_quiet && self.stop_on_quiescence && round > 0 {
                 // One final activation; stop if it produces nothing.
                 let mut any = false;
@@ -738,11 +1007,11 @@ impl<'g> Simulator<'g> {
                         continue;
                     }
                     let t0 = sampled.then(Instant::now);
-                    let (out, action) = alg.round(v, &ctx, round, &[]);
+                    let action = alg.round_into(v, &ctx, round, &[], &mut sendbuf);
                     eng.prof_add(Phase::Compute, t0);
-                    any |= !out.is_empty();
+                    any |= !sendbuf.is_empty();
                     let event_round = eng.stats.rounds + 1;
-                    self.dispatch::<A, O, L>(&mut eng, v, out, event_round)?;
+                    self.dispatch::<A, O, L, B>(&mut eng, v, &mut sendbuf, event_round)?;
                     match action {
                         RoundOutcome::Halt => halted[v] = true,
                         RoundOutcome::Aborted => {
@@ -755,10 +1024,7 @@ impl<'g> Simulator<'g> {
                 let t0 = sampled.then(Instant::now);
                 outcome = self.round_epilogue(&mut eng, &mut round, node_abort);
                 eng.prof_add(Phase::Epilogue, t0);
-                if outcome.is_none()
-                    && !any
-                    && eng.in_flight.iter().all(Vec::is_empty)
-                    && eng.delayed.is_empty()
+                if outcome.is_none() && !any && eng.in_flight.all_empty() && eng.delayed.is_empty()
                 {
                     outcome = Some(RunOutcome::Quiescent);
                 }
@@ -769,19 +1035,21 @@ impl<'g> Simulator<'g> {
             }
             let t0 = sampled.then(Instant::now);
             std::mem::swap(&mut eng.in_flight, &mut deliveries);
+            deliveries.begin_delivery();
             eng.mature_delays();
             eng.prof_add(Phase::Deliver, t0);
-            for (v, inbox) in deliveries.iter().enumerate() {
+            for v in 0..n {
                 if halted[v] {
                     // Pending inbound messages to halted (or crash-stopped)
                     // nodes are dropped; the sender already paid the bits.
                     continue;
                 }
                 let t0 = sampled.then(Instant::now);
-                let (out, action) = alg.round(v, &ctx, round, inbox);
+                let inbox = deliveries.inbox(v, &mut scratch);
+                let action = alg.round_into(v, &ctx, round, inbox, &mut sendbuf);
                 eng.prof_add(Phase::Compute, t0);
                 let event_round = eng.stats.rounds + 1;
-                self.dispatch::<A, O, L>(&mut eng, v, out, event_round)?;
+                self.dispatch::<A, O, L, B>(&mut eng, v, &mut sendbuf, event_round)?;
                 match action {
                     RoundOutcome::Halt => halted[v] = true,
                     RoundOutcome::Aborted => {
@@ -792,9 +1060,7 @@ impl<'g> Simulator<'g> {
                 }
             }
             let t0 = sampled.then(Instant::now);
-            for inbox in &mut deliveries {
-                inbox.clear();
-            }
+            deliveries.clear();
             eng.prof_add(Phase::Deliver, t0);
             let t0 = sampled.then(Instant::now);
             outcome = self.round_epilogue(&mut eng, &mut round, node_abort);
@@ -826,9 +1092,9 @@ impl<'g> Simulator<'g> {
     /// bit budget ends the run. Both delivery paths (ordinary and
     /// quiescence-probe) funnel through here so the invariants live in one
     /// place.
-    fn round_epilogue<A: CongestAlgorithm, O: RoundObserver, L: LinkLayer>(
+    fn round_epilogue<A: CongestAlgorithm, O: RoundObserver, L: LinkLayer, B: MsgArena<A>>(
         &self,
-        eng: &mut Engine<'_, A, O, L>,
+        eng: &mut Engine<'_, A, O, L, B>,
         round: &mut usize,
         node_abort: Option<NodeId>,
     ) -> Option<RunOutcome> {
@@ -850,14 +1116,23 @@ impl<'g> Simulator<'g> {
     }
 
     /// Validates, meters, and routes one node's outgoing messages through
-    /// the link layer. Model checks run before the link hook and traffic is
-    /// metered before the fate applies: faults never mask a CONGEST
-    /// violation and a lost message still cost its sender the bits.
-    fn dispatch<A: CongestAlgorithm, O: RoundObserver, L: LinkLayer>(
+    /// the link layer, draining `out`. Model checks run before the link
+    /// hook and traffic is metered before the fate applies: faults never
+    /// mask a CONGEST violation and a lost message still cost its sender
+    /// the bits.
+    ///
+    /// Each message is *staged* into the in-flight arena first (on the
+    /// packed path this is the slab encode, and where the metered width
+    /// comes from); fates are then applied to the staged entry in place —
+    /// delivery keeps it, drops/delays/corruption roll it back with
+    /// `unstage` (corruption re-stages the perturbed payload), duplication
+    /// stages a second copy. The observable ordering — model checks,
+    /// meter, fate — is unchanged from the historical per-`Vec` path.
+    fn dispatch<A: CongestAlgorithm, O: RoundObserver, L: LinkLayer, B: MsgArena<A>>(
         &self,
-        eng: &mut Engine<'_, A, O, L>,
+        eng: &mut Engine<'_, A, O, L, B>,
         from: NodeId,
-        out: Vec<(NodeId, A::Msg)>,
+        out: &mut SendBuf<A::Msg>,
         round: u64,
     ) -> Result<(), SimError> {
         // Duplicate-send detection via epoch-stamped per-node marks: one
@@ -875,7 +1150,7 @@ impl<'g> Simulator<'g> {
         let mut fate_nanos = 0u64;
         let mut timed_msgs = 0u64;
         let mut prev = sampling.then(Instant::now);
-        for (to, msg) in out {
+        for (to, msg, hint) in out.items.drain(..) {
             let Some(eid) = self.csr.edge_id(from, to) else {
                 return Err(SimError::NonNeighborSend { from, to, round });
             };
@@ -883,7 +1158,7 @@ impl<'g> Simulator<'g> {
                 return Err(SimError::DuplicateSend { from, to, round });
             }
             eng.seen[to] = epoch;
-            let bits = A::message_bits(&msg);
+            let bits = eng.in_flight.stage(to, from, msg, hint);
             if bits > self.bandwidth {
                 return Err(SimError::BandwidthExceeded {
                     from,
@@ -896,10 +1171,9 @@ impl<'g> Simulator<'g> {
             eng.meter(eid, bits);
             let t_meter = prev.is_some().then(Instant::now);
             match eng.link.fate(round, from, to, bits) {
-                LinkFate::Deliver | LinkFate::Delay { rounds: 0 } => {
-                    eng.in_flight[to].push((from, msg));
-                }
+                LinkFate::Deliver | LinkFate::Delay { rounds: 0 } => {}
                 LinkFate::Drop => {
+                    eng.in_flight.unstage(to);
                     eng.fault(FaultEvent {
                         round,
                         kind: FaultKind::Drop,
@@ -910,6 +1184,7 @@ impl<'g> Simulator<'g> {
                     });
                 }
                 LinkFate::Throttle => {
+                    eng.in_flight.unstage(to);
                     eng.fault(FaultEvent {
                         round,
                         kind: FaultKind::Throttle,
@@ -920,6 +1195,7 @@ impl<'g> Simulator<'g> {
                     });
                 }
                 LinkFate::Omission => {
+                    eng.in_flight.unstage(to);
                     eng.fault(FaultEvent {
                         round,
                         kind: FaultKind::Omission,
@@ -930,6 +1206,7 @@ impl<'g> Simulator<'g> {
                     });
                 }
                 LinkFate::Partition => {
+                    eng.in_flight.unstage(to);
                     eng.fault(FaultEvent {
                         round,
                         kind: FaultKind::Partition,
@@ -949,9 +1226,13 @@ impl<'g> Simulator<'g> {
                         detail: u64::from(bit),
                     });
                     // Corruption-opaque message types lose the message
-                    // instead of delivering a forged payload.
+                    // instead of delivering a forged payload. The staged
+                    // entry is rewritten in place: rolled back and, when
+                    // the type supports perturbation, re-staged with the
+                    // flipped payload (metered width already charged).
+                    let msg = eng.in_flight.unstage(to);
                     if let Some(corrupted) = A::corrupt(&msg, bit) {
-                        eng.in_flight[to].push((from, corrupted));
+                        eng.in_flight.stage(to, from, corrupted, 0);
                     }
                 }
                 LinkFate::Duplicate => {
@@ -963,10 +1244,12 @@ impl<'g> Simulator<'g> {
                         bits,
                         detail: 0,
                     });
-                    // The extra copy is real traffic on the wire.
+                    // The extra copy is real traffic on the wire: metered
+                    // a second time and staged behind the original.
                     eng.meter(eid, bits);
-                    eng.in_flight[to].push((from, msg.clone()));
-                    eng.in_flight[to].push((from, msg));
+                    let msg = eng.in_flight.unstage(to);
+                    eng.in_flight.stage(to, from, msg.clone(), bits);
+                    eng.in_flight.stage(to, from, msg, bits);
                 }
                 LinkFate::Delay { rounds } => {
                     eng.fault(FaultEvent {
@@ -977,6 +1260,7 @@ impl<'g> Simulator<'g> {
                         bits,
                         detail: rounds,
                     });
+                    let msg = eng.in_flight.unstage(to);
                     eng.delayed.push((rounds, to, from, msg));
                 }
             }

@@ -60,11 +60,12 @@ use congest_par::{resolve_jobs, with_shards, PoolStats, ShardHandle};
 use crate::error::SimError;
 use crate::link::{FaultEvent, FaultKind, LinkFate, LinkLayer, PerfectLink};
 use crate::model::{
-    CongestAlgorithm, NodeContext, RoundEdges, RoundOutcome, RoundTraffic, RunOutcome, SimStats,
-    Simulator,
+    BoxedArena, CongestAlgorithm, MsgArena, NodeContext, RoundEdges, RoundOutcome, RoundTraffic,
+    RunOutcome, SendBuf, SimStats, Simulator,
 };
 use crate::observer::{NoopRoundObserver, RoundDelta, RoundObserver};
 use crate::profile::{Phase, PhaseProfile};
+use crate::slab::{MsgSlab, PackedArena, WireCodec};
 
 /// A [`CongestAlgorithm`] whose all-nodes state can be split into
 /// contiguous node-range shards and merged back.
@@ -122,20 +123,102 @@ enum ShardTask {
 /// A batch of staged sends `(from, to, msg)` bound for one shard.
 type SendBatch<M> = Vec<(NodeId, NodeId, M)>;
 
+/// Ties a sharded engine variant to its wire representation: the inbox
+/// arena behind each shard's double buffer, and the cross-shard staging
+/// batch handed over at the round barrier. The boxed wire stages typed
+/// tuples and installs them one by one; the packed wire stages into a
+/// [`MsgSlab`] and installs it with one bulk entry block copy
+/// ([`MsgSlab::append_from`]) — no decode at the barrier.
+pub(crate) trait ShardWire<A: CongestAlgorithm> {
+    /// Per-shard inbox arena (globally indexed, like the serial engine).
+    type Arena: MsgArena<A> + Send;
+    /// Per-`(src-shard, dst-shard)` staging batch.
+    type Batch: Default + Send;
+
+    /// Appends one fated send to a staging batch. `width` is the
+    /// metered width when the dispatch loop already computed it, `0`
+    /// when unknown (corruption rewrites); the boxed wire ignores it.
+    fn batch_push(batch: &mut Self::Batch, from: NodeId, to: NodeId, msg: A::Msg, width: u64);
+
+    /// Number of sends staged in a batch.
+    fn batch_len(batch: &Self::Batch) -> usize;
+
+    /// Moves a batch into the arena in staging order, keeping the
+    /// batch's capacity for reuse.
+    fn batch_install(batch: &mut Self::Batch, arena: &mut Self::Arena);
+}
+
+/// The boxed (typed-tuple) sharded wire — the historical representation.
+pub(crate) struct BoxedWire;
+
+impl<A: CongestAlgorithm> ShardWire<A> for BoxedWire
+where
+    A::Msg: Send,
+{
+    type Arena = BoxedArena<A>;
+    type Batch = SendBatch<A::Msg>;
+
+    #[inline]
+    fn batch_push(batch: &mut Self::Batch, from: NodeId, to: NodeId, msg: A::Msg, _width: u64) {
+        batch.push((from, to, msg));
+    }
+
+    fn batch_len(batch: &Self::Batch) -> usize {
+        batch.len()
+    }
+
+    fn batch_install(batch: &mut Self::Batch, arena: &mut Self::Arena) {
+        for (from, to, msg) in batch.drain(..) {
+            arena.push(to, from, msg);
+        }
+    }
+}
+
+/// The word-packed sharded wire: slab staging batches, bulk slab
+/// handoff at the barrier, slab-backed inbox arenas.
+pub(crate) struct PackedWire;
+
+impl<A: CongestAlgorithm> ShardWire<A> for PackedWire
+where
+    A::Msg: WireCodec + Send,
+{
+    type Arena = PackedArena<A::Msg>;
+    type Batch = MsgSlab;
+
+    #[inline]
+    fn batch_push(batch: &mut Self::Batch, from: NodeId, to: NodeId, msg: A::Msg, width: u64) {
+        batch.push_hinted(from, to, &msg, width);
+    }
+
+    fn batch_len(batch: &Self::Batch) -> usize {
+        batch.len()
+    }
+
+    fn batch_install(batch: &mut Self::Batch, arena: &mut Self::Arena) {
+        arena.absorb_slab(batch);
+        batch.clear();
+    }
+}
+
 /// All state owned by one shard: its node range, its slice of the
 /// algorithm, a link clone, double-buffered inbox arenas for its own
-/// nodes, staging vecs toward every shard, and shard-local meters.
-struct ShardState<A: CongestAlgorithm, L> {
+/// nodes, staging batches toward every shard, and shard-local meters.
+struct ShardState<A: CongestAlgorithm, L, W: ShardWire<A>> {
     lo: NodeId,
     hi: NodeId,
     alg: A,
     link: L,
     task: ShardTask,
-    /// Inbox arena for the *next* delivery, indexed `v - lo`. Swapped
+    /// Inbox arena for the *next* delivery, globally indexed. Swapped
     /// with `deliveries` each round; capacities persist.
-    in_flight: Vec<Vec<(NodeId, A::Msg)>>,
+    in_flight: W::Arena,
     /// This round's inboxes after the swap, cleared at step end.
-    deliveries: Vec<Vec<(NodeId, A::Msg)>>,
+    deliveries: W::Arena,
+    /// Reusable per-shard send buffer handed to `round_into`.
+    sendbuf: SendBuf<A::Msg>,
+    /// Reusable inbox decode buffer (packed arenas decode into it; the
+    /// boxed arena hands out its own slices and ignores it).
+    scratch: Vec<(NodeId, A::Msg)>,
     /// Matured delayed messages `(to, from, msg)` for this shard's nodes,
     /// installed by the coordinator, merged ahead of all staged sends
     /// (the serial engine matures delays into `in_flight` before the
@@ -143,10 +226,10 @@ struct ShardState<A: CongestAlgorithm, L> {
     matured_in: Vec<(NodeId, NodeId, A::Msg)>,
     /// Staged inbound sends, one batch per source shard, installed by
     /// the coordinator at the previous barrier.
-    stage_in: Vec<SendBatch<A::Msg>>,
+    stage_in: Vec<W::Batch>,
     /// Staged outbound sends, one batch per destination shard, collected
     /// by the coordinator at the barrier.
-    stage_out: Vec<SendBatch<A::Msg>>,
+    stage_out: Vec<W::Batch>,
     /// Sends the link delayed: `(rounds, to, from, msg)`, appended to the
     /// coordinator's global delay queue at the barrier.
     stage_delay: Vec<(u64, NodeId, NodeId, A::Msg)>,
@@ -190,7 +273,7 @@ struct SharedCtx<'a> {
     bandwidth: u64,
 }
 
-impl<A: ShardableAlgorithm, L: ShardSafeLink> ShardState<A, L> {
+impl<A: ShardableAlgorithm, L: ShardSafeLink, W: ShardWire<A>> ShardState<A, L, W> {
     #[allow(clippy::too_many_arguments)]
     fn new(
         lo: NodeId,
@@ -209,11 +292,13 @@ impl<A: ShardableAlgorithm, L: ShardSafeLink> ShardState<A, L> {
             alg,
             link,
             task: ShardTask::Idle,
-            in_flight: vec![Vec::new(); len],
-            deliveries: vec![Vec::new(); len],
+            in_flight: W::Arena::with_nodes(n),
+            deliveries: W::Arena::with_nodes(n),
+            sendbuf: SendBuf::new(),
+            scratch: Vec::new(),
             matured_in: Vec::new(),
-            stage_in: vec![Vec::new(); k],
-            stage_out: vec![Vec::new(); k],
+            stage_in: std::iter::repeat_with(W::Batch::default).take(k).collect(),
+            stage_out: std::iter::repeat_with(W::Batch::default).take(k).collect(),
             stage_delay: Vec::new(),
             faults: Vec::new(),
             newly_halted: 0,
@@ -241,13 +326,17 @@ impl<A: ShardableAlgorithm, L: ShardSafeLink> ShardState<A, L> {
     }
 
     fn run_init(&mut self, shared: &SharedCtx<'_>) {
+        let mut sendbuf = std::mem::take(&mut self.sendbuf);
         for v in self.lo..self.hi {
-            let out = self.alg.init(v, &shared.ctx);
-            if let Err(e) = self.dispatch(shared, v, out, 0) {
+            for (to, msg) in self.alg.init(v, &shared.ctx) {
+                sendbuf.push(to, msg);
+            }
+            if let Err(e) = self.dispatch(shared, v, &mut sendbuf, 0) {
                 self.error = Some(e);
-                return;
+                break;
             }
         }
+        self.sendbuf = sendbuf;
     }
 
     fn run_round(&mut self, shared: &SharedCtx<'_>, round: usize, event_round: u64) {
@@ -256,17 +345,18 @@ impl<A: ShardableAlgorithm, L: ShardSafeLink> ShardState<A, L> {
         // together, exactly the serial engine's per-inbox ordering.
         let lo = self.lo;
         for (to, from, msg) in self.matured_in.drain(..) {
-            self.in_flight[to - lo].push((from, msg));
+            self.in_flight.push(to, from, msg);
         }
         for src in 0..self.stage_in.len() {
             // Split borrow: staged messages move from one field into another.
             let mut staged = std::mem::take(&mut self.stage_in[src]);
-            for (from, to, msg) in staged.drain(..) {
-                self.in_flight[to - lo].push((from, msg));
-            }
+            W::batch_install(&mut staged, &mut self.in_flight);
             self.stage_in[src] = staged;
         }
         std::mem::swap(&mut self.in_flight, &mut self.deliveries);
+        self.deliveries.begin_delivery();
+        let mut sendbuf = std::mem::take(&mut self.sendbuf);
+        let mut scratch = std::mem::take(&mut self.scratch);
         for v in self.lo..self.hi {
             let i = v - lo;
             if self.halted[i] {
@@ -274,11 +364,13 @@ impl<A: ShardableAlgorithm, L: ShardSafeLink> ShardState<A, L> {
                 // nodes are dropped; the sender already paid the bits.
                 continue;
             }
-            let inbox = std::mem::take(&mut self.deliveries[i]);
-            let (out, action) = self.alg.round(v, &shared.ctx, round, &inbox);
-            self.deliveries[i] = inbox;
-            self.any_out |= !out.is_empty();
-            if let Err(e) = self.dispatch(shared, v, out, event_round) {
+            let action = {
+                let inbox = self.deliveries.inbox(v, &mut scratch);
+                self.alg
+                    .round_into(v, &shared.ctx, round, inbox, &mut sendbuf)
+            };
+            self.any_out |= !sendbuf.is_empty();
+            if let Err(e) = self.dispatch(shared, v, &mut sendbuf, event_round) {
                 self.error = Some(e);
                 break;
             }
@@ -295,24 +387,25 @@ impl<A: ShardableAlgorithm, L: ShardSafeLink> ShardState<A, L> {
                 RoundOutcome::Continue => {}
             }
         }
-        for inbox in &mut self.deliveries {
-            inbox.clear();
-        }
+        self.sendbuf = sendbuf;
+        self.scratch = scratch;
+        self.deliveries.clear();
     }
 
     /// Shard-local twin of the serial engine's dispatch: model checks,
     /// then meter, then the link fate — with delivery replaced by
-    /// staging toward the destination shard.
+    /// staging toward the destination shard. Drains `out` completely
+    /// (even on an early model-violation return).
     fn dispatch(
         &mut self,
         shared: &SharedCtx<'_>,
         from: NodeId,
-        out: Vec<(NodeId, A::Msg)>,
+        out: &mut SendBuf<A::Msg>,
         round: u64,
     ) -> Result<(), SimError> {
         self.seen_epoch += 1;
         let epoch = self.seen_epoch;
-        for (to, msg) in out {
+        for (to, msg, hint) in out.items.drain(..) {
             let Some(eid) = shared.csr.edge_id(from, to) else {
                 return Err(SimError::NonNeighborSend { from, to, round });
             };
@@ -320,7 +413,12 @@ impl<A: ShardableAlgorithm, L: ShardSafeLink> ShardState<A, L> {
                 return Err(SimError::DuplicateSend { from, to, round });
             }
             self.seen[to] = epoch;
-            let bits = A::message_bits(&msg);
+            let bits = if hint != 0 {
+                debug_assert_eq!(hint, A::message_bits(&msg), "bad SendBuf width hint");
+                hint
+            } else {
+                A::message_bits(&msg)
+            };
             if bits > shared.bandwidth {
                 return Err(SimError::BandwidthExceeded {
                     from,
@@ -334,7 +432,7 @@ impl<A: ShardableAlgorithm, L: ShardSafeLink> ShardState<A, L> {
             let dst = shared.part.shard_of(to);
             match self.link.fate(round, from, to, bits) {
                 LinkFate::Deliver | LinkFate::Delay { rounds: 0 } => {
-                    self.stage_out[dst].push((from, to, msg));
+                    W::batch_push(&mut self.stage_out[dst], from, to, msg, bits);
                 }
                 LinkFate::Drop => {
                     self.faults.push(FaultEvent {
@@ -386,7 +484,7 @@ impl<A: ShardableAlgorithm, L: ShardSafeLink> ShardState<A, L> {
                         detail: u64::from(bit),
                     });
                     if let Some(corrupted) = A::corrupt(&msg, bit) {
-                        self.stage_out[dst].push((from, to, corrupted));
+                        W::batch_push(&mut self.stage_out[dst], from, to, corrupted, 0);
                     }
                 }
                 LinkFate::Duplicate => {
@@ -400,8 +498,8 @@ impl<A: ShardableAlgorithm, L: ShardSafeLink> ShardState<A, L> {
                     });
                     // The extra copy is real traffic on the wire.
                     self.meter(eid, bits);
-                    self.stage_out[dst].push((from, to, msg.clone()));
-                    self.stage_out[dst].push((from, to, msg));
+                    W::batch_push(&mut self.stage_out[dst], from, to, msg.clone(), bits);
+                    W::batch_push(&mut self.stage_out[dst], from, to, msg, bits);
                 }
                 LinkFate::Delay { rounds } => {
                     self.faults.push(FaultEvent {
@@ -435,7 +533,7 @@ impl<A: ShardableAlgorithm, L: ShardSafeLink> ShardState<A, L> {
 /// under construction, cross-shard staging in transit, and the
 /// observer/link/profiler hooks. Lives on the driver thread; touches
 /// shard state only under the pool's per-shard locks, between steps.
-struct Coordinator<'a, 'g, A: CongestAlgorithm, O, L> {
+struct Coordinator<'a, 'g, A: CongestAlgorithm, O, L, W: ShardWire<A>> {
     sim: &'a Simulator<'g>,
     shared: &'a SharedCtx<'a>,
     observer: &'a mut O,
@@ -453,8 +551,8 @@ struct Coordinator<'a, 'g, A: CongestAlgorithm, O, L> {
     /// Matured delays per destination shard, in transit to `matured_in`.
     matured: Vec<Vec<(NodeId, NodeId, A::Msg)>>,
     matured_total: usize,
-    /// Collected `stage_out` vecs, `pending[src][dst]`, in transit.
-    pending: Vec<Vec<SendBatch<A::Msg>>>,
+    /// Collected `stage_out` batches, `pending[src][dst]`, in transit.
+    pending: Vec<Vec<W::Batch>>,
     pending_total: usize,
     /// Messages currently staged in shard `stage_in`/`matured_in` —
     /// the sharded equivalent of "`in_flight` is non-empty".
@@ -467,12 +565,13 @@ struct Coordinator<'a, 'g, A: CongestAlgorithm, O, L> {
     round_map: HashMap<(NodeId, NodeId), u64>,
 }
 
-impl<'a, 'g, A, O, L> Coordinator<'a, 'g, A, O, L>
+impl<'a, 'g, A, O, L, W> Coordinator<'a, 'g, A, O, L, W>
 where
     A: ShardableAlgorithm,
     A::Msg: Send,
     O: RoundObserver,
     L: ShardSafeLink,
+    W: ShardWire<A>,
 {
     fn begin_round(&mut self, round: u64) -> bool {
         match self.prof.as_deref_mut() {
@@ -500,7 +599,7 @@ where
     }
 
     /// The full run loop, executed as the pool driver.
-    fn run(&mut self, handle: &mut ShardHandle<'_, ShardState<A, L>>) -> RunResult {
+    fn run(&mut self, handle: &mut ShardHandle<'_, ShardState<A, L, W>>) -> RunResult {
         // Init burst, profiled as round 0. Sharded profiling is coarser
         // than serial: the whole parallel step is attributed to `compute`
         // (per-message meter/link_fate segments are not separable across
@@ -579,7 +678,7 @@ where
     /// Crash-stops scheduled nodes, exactly like the serial engine:
     /// driven on the coordinator's link instance in round order, fault
     /// events emitted before any of the round's dispatch faults.
-    fn apply_crashes(&mut self, handle: &mut ShardHandle<'_, ShardState<A, L>>, round: u64) {
+    fn apply_crashes(&mut self, handle: &mut ShardHandle<'_, ShardState<A, L, W>>, round: u64) {
         for v in self.link.crashes_at(round) {
             if v >= self.n {
                 continue;
@@ -614,7 +713,7 @@ where
     /// lowest shard's error.
     fn collect_barrier(
         &mut self,
-        handle: &mut ShardHandle<'_, ShardState<A, L>>,
+        handle: &mut ShardHandle<'_, ShardState<A, L, W>>,
     ) -> Result<bool, SimError> {
         let mut err: Option<(usize, SimError)> = None;
         for s in 0..self.k {
@@ -671,7 +770,7 @@ where
         }
         for row in &self.pending {
             for cell in row {
-                pending_total += cell.len();
+                pending_total += W::batch_len(cell);
             }
         }
         self.stats.messages += messages;
@@ -702,13 +801,13 @@ where
 
     /// Hands the collected staging over to the destination shards for
     /// the next round's merge.
-    fn install(&mut self, handle: &mut ShardHandle<'_, ShardState<A, L>>) {
+    fn install(&mut self, handle: &mut ShardHandle<'_, ShardState<A, L, W>>) {
         for t in 0..self.k {
             let mut sh = handle.lock(t);
             debug_assert!(sh.matured_in.is_empty());
             std::mem::swap(&mut sh.matured_in, &mut self.matured[t]);
             for s in 0..self.k {
-                debug_assert!(sh.stage_in[s].is_empty());
+                debug_assert_eq!(W::batch_len(&sh.stage_in[s]), 0);
                 std::mem::swap(&mut sh.stage_in[s], &mut self.pending[s][t]);
             }
         }
@@ -800,7 +899,7 @@ impl<'g> Simulator<'g> {
         O: RoundObserver,
         L: ShardSafeLink,
     {
-        self.try_run_sharded_inner(alg, max_rounds, observer, link, None)
+        self.try_run_sharded_inner::<A, O, L, BoxedWire>(alg, max_rounds, observer, link, None)
     }
 
     /// Sharded twin of [`Simulator::try_run_profiled`]. Attribution is
@@ -822,10 +921,90 @@ impl<'g> Simulator<'g> {
         O: RoundObserver,
         L: ShardSafeLink,
     {
-        self.try_run_sharded_inner(alg, max_rounds, observer, link, Some(profile))
+        self.try_run_sharded_inner::<A, O, L, BoxedWire>(
+            alg,
+            max_rounds,
+            observer,
+            link,
+            Some(profile),
+        )
     }
 
-    fn try_run_sharded_inner<A, O, L>(
+    /// Packed sharded twin of [`Simulator::try_run_sharded`]: per-shard
+    /// word-packed slab arenas with bulk slab handoff at the round
+    /// barrier. Byte-identical to both the boxed sharded and the serial
+    /// engines at every worker count.
+    pub fn try_run_sharded_packed<A>(
+        &self,
+        alg: &mut A,
+        max_rounds: u64,
+    ) -> Result<SimStats, SimError>
+    where
+        A: ShardableAlgorithm,
+        A::Msg: WireCodec + Send,
+    {
+        self.try_run_sharded_packed_with(alg, max_rounds, &mut NoopRoundObserver, &mut PerfectLink)
+            .map(|(stats, _)| stats)
+    }
+
+    /// Packed sharded twin of [`Simulator::try_run_sharded_observed`].
+    pub fn try_run_sharded_packed_observed<A, O>(
+        &self,
+        alg: &mut A,
+        max_rounds: u64,
+        observer: &mut O,
+    ) -> Result<SimStats, SimError>
+    where
+        A: ShardableAlgorithm,
+        A::Msg: WireCodec + Send,
+        O: RoundObserver,
+    {
+        self.try_run_sharded_packed_with(alg, max_rounds, observer, &mut PerfectLink)
+            .map(|(stats, _)| stats)
+    }
+
+    /// Packed sharded twin of [`Simulator::try_run_sharded_with`].
+    pub fn try_run_sharded_packed_with<A, O, L>(
+        &self,
+        alg: &mut A,
+        max_rounds: u64,
+        observer: &mut O,
+        link: &mut L,
+    ) -> Result<(SimStats, PoolStats), SimError>
+    where
+        A: ShardableAlgorithm,
+        A::Msg: WireCodec + Send,
+        O: RoundObserver,
+        L: ShardSafeLink,
+    {
+        self.try_run_sharded_inner::<A, O, L, PackedWire>(alg, max_rounds, observer, link, None)
+    }
+
+    /// Packed sharded twin of [`Simulator::try_run_sharded_profiled`].
+    pub fn try_run_sharded_packed_profiled<A, O, L>(
+        &self,
+        alg: &mut A,
+        max_rounds: u64,
+        observer: &mut O,
+        link: &mut L,
+        profile: &mut PhaseProfile,
+    ) -> Result<(SimStats, PoolStats), SimError>
+    where
+        A: ShardableAlgorithm,
+        A::Msg: WireCodec + Send,
+        O: RoundObserver,
+        L: ShardSafeLink,
+    {
+        self.try_run_sharded_inner::<A, O, L, PackedWire>(
+            alg,
+            max_rounds,
+            observer,
+            link,
+            Some(profile),
+        )
+    }
+
+    fn try_run_sharded_inner<A, O, L, W>(
         &self,
         alg: &mut A,
         max_rounds: u64,
@@ -838,6 +1017,7 @@ impl<'g> Simulator<'g> {
         A::Msg: Send,
         O: RoundObserver,
         L: ShardSafeLink,
+        W: ShardWire<A>,
     {
         let run_t0 = prof.is_some().then(Instant::now);
         let n = self.graph.num_nodes();
@@ -846,7 +1026,7 @@ impl<'g> Simulator<'g> {
         let part = self.csr.partition(k);
         link.on_run_start(n);
         let wants_edges = observer.wants_edge_traffic();
-        let shards: Vec<ShardState<A, L>> = (0..k)
+        let shards: Vec<ShardState<A, L, W>> = (0..k)
             .map(|s| {
                 let r = part.range(s);
                 ShardState::new(
@@ -871,7 +1051,7 @@ impl<'g> Simulator<'g> {
             },
             bandwidth: self.bandwidth,
         };
-        let mut coord: Coordinator<'_, 'g, A, O, L> = Coordinator {
+        let mut coord: Coordinator<'_, 'g, A, O, L, W> = Coordinator {
             sim: self,
             shared: &shared,
             observer,
@@ -886,7 +1066,9 @@ impl<'g> Simulator<'g> {
             delayed_spare: Vec::new(),
             matured: vec![Vec::new(); k],
             matured_total: 0,
-            pending: vec![vec![Vec::new(); k]; k],
+            pending: (0..k)
+                .map(|_| std::iter::repeat_with(W::Batch::default).take(k).collect())
+                .collect(),
             pending_total: 0,
             staged_total: 0,
             node_abort: None,
@@ -897,7 +1079,7 @@ impl<'g> Simulator<'g> {
         let (run_res, shards_back, pool) = with_shards(
             k,
             shards,
-            |_s, shard: &mut ShardState<A, L>| shard.run_step(&shared),
+            |_s, shard: &mut ShardState<A, L, W>| shard.run_step(&shared),
             |handle| coord.run(handle),
         );
         let outcome_opt = match run_res {

@@ -1,0 +1,612 @@
+//! Word-packed message slabs: the zero-copy wire path of the simulator.
+//!
+//! The boxed engine stores every in-flight message as a typed
+//! `(NodeId, Msg)` tuple in a per-destination `Vec` — ~32 bytes and a
+//! pointer chase per message. This module packs messages into a flat
+//! word-aligned arena instead:
+//!
+//! * [`WireCodec`] — a fixed-point wire encoding per message type. The
+//!   *metered* cost ([`WireCodec::width_bits`]) is exactly
+//!   [`crate::CongestAlgorithm::message_bits`] (pinned by proptests);
+//!   the *physical* layout may spend a few extra bits per message on
+//!   simulator-side framing (sign bits, variant tags, sub-field widths)
+//!   so that `decode(encode(m)) == m` for every message, including
+//!   corrupted ones. Physical bits are never metered.
+//! * [`MsgSlab`] — an append-only arena of 24-byte [`SlabEntry`]s, one
+//!   per message. A payload of at most one word — every message under a
+//!   CONGEST bandwidth of ≲ 64 bits — is packed *inline* in its entry
+//!   (bitset packing in the style of `solvers/bitset.rs`, LSB-first);
+//!   wider payloads spill, word-aligned, into a shared overflow word
+//!   array. Moving a message between slabs is a plain block copy of the
+//!   entries (plus the rare overflow words) — no decode.
+//! * [`PackedArena`] — the slab-backed in-flight/delivery buffer behind
+//!   the `try_run_packed*` entry points. Sends append to one arrival
+//!   slab; at the delivery barrier a stable counting sort regroups the
+//!   round's traffic into per-destination runs (the per-`(edge, round)`
+//!   slab runs) by scattering 4-byte arrival indices — payloads never
+//!   move — and runs are decoded into a single reused scratch inbox.
+//!   Steady-state rounds allocate nothing: every buffer keeps its
+//!   capacity across rounds.
+//!
+//! The engine's dispatch order is unchanged on this path: model checks
+//! run first, the message is staged into the slab, traffic is metered,
+//! and only then does the link layer decide a fate — applied *in place*
+//! on the staged slab entry (kept, re-staged corrupted, duplicated, or
+//! rolled back for drops and delays). Faults can therefore never mask a
+//! CONGEST violation, and a lost message still costs its sender the
+//! bits, exactly like the boxed path.
+
+use std::marker::PhantomData;
+
+use congest_graph::NodeId;
+
+use crate::model::{CongestAlgorithm, MsgArena};
+
+/// Bit-level writer appending one message's payload to a slab's word
+/// array. Created by [`MsgSlab::push`]; the final partial word is
+/// flushed on entry completion, so every entry is word-aligned.
+///
+/// The first word accumulates in registers (`cur`/`fill`) and only
+/// spills to the vector when the payload crosses 64 bits — the common
+/// single-word CONGEST message never touches memory until the caller
+/// commits it inline into a [`SlabEntry`].
+pub struct SlabWriter<'a> {
+    words: &'a mut Vec<u64>,
+    /// Vector length at writer creation, so the committer can tell an
+    /// inline payload (nothing spilled) from a multi-word one.
+    base: usize,
+    cur: u64,
+    fill: u32,
+}
+
+impl<'a> SlabWriter<'a> {
+    fn new(words: &'a mut Vec<u64>) -> Self {
+        let base = words.len();
+        SlabWriter {
+            words,
+            base,
+            cur: 0,
+            fill: 0,
+        }
+    }
+
+    /// Appends the low `bits` bits of `value` (LSB-first packing).
+    #[inline]
+    pub fn put(&mut self, value: u64, bits: u32) {
+        debug_assert!(bits <= 64, "put of {bits} bits");
+        debug_assert!(bits == 64 || value >> bits == 0, "value wider than field");
+        if bits == 0 {
+            return;
+        }
+        self.cur |= value.wrapping_shl(self.fill);
+        let total = self.fill + bits;
+        if total >= 64 {
+            self.words.push(self.cur);
+            let consumed = 64 - self.fill;
+            self.cur = if consumed == 64 { 0 } else { value >> consumed };
+            self.fill = total - 64;
+        } else {
+            self.fill = total;
+        }
+    }
+
+    /// Completes the entry: `Ok(word)` when the whole payload fit in a
+    /// single word — the vector untouched, the payload still in
+    /// registers — or `Err(word_count)` when it spilled, with the final
+    /// partial word flushed so the entry stays word-aligned.
+    #[inline]
+    fn finish_inline(self) -> Result<u64, u32> {
+        if self.words.len() == self.base {
+            return Ok(self.cur);
+        }
+        // An exactly-64-bit payload was pushed by `put`; reclaim it.
+        if self.fill == 0 && self.words.len() == self.base + 1 {
+            return Ok(self.words.pop().expect("just checked"));
+        }
+        if self.fill > 0 {
+            self.words.push(self.cur);
+        }
+        Err((self.words.len() - self.base) as u32)
+    }
+}
+
+/// Bit-level reader over one entry's word-aligned payload.
+pub struct SlabReader<'a> {
+    words: &'a [u64],
+    bitpos: usize,
+}
+
+impl<'a> SlabReader<'a> {
+    /// A reader positioned at the start of an entry's payload words.
+    pub fn new(words: &'a [u64]) -> Self {
+        SlabReader { words, bitpos: 0 }
+    }
+
+    /// Reads the next `bits` bits (LSB-first, mirroring [`SlabWriter::put`]).
+    #[inline]
+    pub fn take(&mut self, bits: u32) -> u64 {
+        debug_assert!(bits <= 64, "take of {bits} bits");
+        if bits == 0 {
+            return 0;
+        }
+        let w = self.bitpos / 64;
+        let off = (self.bitpos % 64) as u32;
+        let mut v = self.words[w] >> off;
+        if off + bits > 64 {
+            v |= self.words[w + 1].wrapping_shl(64 - off);
+        }
+        self.bitpos += bits as usize;
+        if bits < 64 {
+            v & ((1u64 << bits) - 1)
+        } else {
+            v
+        }
+    }
+}
+
+/// Fixed-point wire encoding for a message type.
+///
+/// `width_bits` is the metered CONGEST cost and must equal
+/// [`crate::CongestAlgorithm::message_bits`] byte-for-byte (the
+/// `wire_codec` proptests pin this for every algorithm message type,
+/// corrupted messages included). `encode_into`/`decode` define the
+/// physical slab layout; the only contract is exact round-tripping. The
+/// returned `aux` value rides in the [`SlabEntry`] (simulator framing,
+/// not wire traffic) and is handed back to `decode`.
+pub trait WireCodec: Sized {
+    /// Metered size in bits; must equal `message_bits` exactly.
+    fn width_bits(&self) -> u64;
+
+    /// Packs the payload; returns the entry's `aux` framing value.
+    fn encode_into(&self, w: &mut SlabWriter<'_>) -> u16;
+
+    /// Reconstructs the message from its payload, metered width and
+    /// `aux` framing.
+    fn decode(r: &mut SlabReader<'_>, width: u64, aux: u16) -> Self;
+}
+
+/// Bare node-identifier messages (leader election): the id in exactly
+/// its metered width, no framing.
+impl WireCodec for NodeId {
+    fn width_bits(&self) -> u64 {
+        crate::bits::id_bits(*self as u64)
+    }
+
+    fn encode_into(&self, w: &mut SlabWriter<'_>) -> u16 {
+        w.put(*self as u64, self.width_bits() as u32);
+        0
+    }
+
+    fn decode(r: &mut SlabReader<'_>, width: u64, _aux: u16) -> Self {
+        r.take(width as u32) as NodeId
+    }
+}
+
+/// Edge-announcement messages `(u, v, weight)` (graph learning): both
+/// endpoint widths ride in `aux` (6 bits each, values `width - 1`), the
+/// payload is `u`, `v`, a sign bit, then the weight magnitude in the
+/// remaining metered bits. The sign bit is simulator framing, not
+/// metered traffic (the model prices magnitudes).
+impl WireCodec for (NodeId, NodeId, congest_graph::Weight) {
+    fn width_bits(&self) -> u64 {
+        crate::bits::id_bits(self.0 as u64)
+            + crate::bits::id_bits(self.1 as u64)
+            + crate::bits::mag_bits(self.2.unsigned_abs())
+    }
+
+    fn encode_into(&self, w: &mut SlabWriter<'_>) -> u16 {
+        let wu = crate::bits::id_bits(self.0 as u64) as u32;
+        let wv = crate::bits::id_bits(self.1 as u64) as u32;
+        let mag = self.2.unsigned_abs();
+        w.put(self.0 as u64, wu);
+        w.put(self.1 as u64, wv);
+        w.put(u64::from(self.2 < 0), 1);
+        w.put(mag, crate::bits::mag_bits(mag) as u32);
+        ((wu - 1) | ((wv - 1) << 6)) as u16
+    }
+
+    fn decode(r: &mut SlabReader<'_>, width: u64, aux: u16) -> Self {
+        let wu = u32::from(aux & 63) + 1;
+        let wv = u32::from((aux >> 6) & 63) + 1;
+        let wm = width as u32 - wu - wv;
+        let u = r.take(wu) as NodeId;
+        let v = r.take(wv) as NodeId;
+        let neg = r.take(1) == 1;
+        let mag = r.take(wm);
+        let w = if neg {
+            (mag as congest_graph::Weight).wrapping_neg()
+        } else {
+            mag as congest_graph::Weight
+        };
+        (u, v, w)
+    }
+}
+
+/// Per-message metadata in a [`MsgSlab`]: sender, destination, the
+/// payload (inline or an overflow-array reference), the metered width,
+/// and codec framing. 24 bytes, and for the overwhelmingly common case —
+/// a physical payload of at most one word, which every message under a
+/// CONGEST bandwidth of ≲ 64 bits is — the entry *is* the whole message:
+/// no second array, no extra cache line, and the delivery sort moves one
+/// plain struct per message.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SlabEntry {
+    /// Inline payload word when `overflow_words == 0`; otherwise the
+    /// word offset of the payload in the slab's overflow array.
+    pub word: u64,
+    /// Sending node.
+    pub from: u32,
+    /// Destination node.
+    pub to: u32,
+    /// Physical word count in the overflow array; `0` means the payload
+    /// is inline in `word`.
+    pub overflow_words: u32,
+    /// Metered width in bits (saturated at `u16::MAX`; the bandwidth
+    /// check uses the unsaturated value and fires long before that).
+    pub width: u16,
+    /// Codec framing returned by [`WireCodec::encode_into`].
+    pub aux: u16,
+}
+
+impl SlabEntry {
+    /// The payload words this entry references within `overflow`.
+    #[inline]
+    fn payload<'a>(&'a self, overflow: &'a [u64]) -> &'a [u64] {
+        if self.overflow_words == 0 {
+            std::slice::from_ref(&self.word)
+        } else {
+            &overflow[self.word as usize..self.word as usize + self.overflow_words as usize]
+        }
+    }
+}
+
+/// An append-only arena of word-aligned packed messages.
+#[derive(Debug, Default)]
+pub struct MsgSlab {
+    entries: Vec<SlabEntry>,
+    /// Payload words of multi-word messages only (rare: a physical
+    /// payload wider than 64 bits).
+    overflow: Vec<u64>,
+}
+
+impl MsgSlab {
+    /// Encodes `msg` at the tail; returns its metered width in bits.
+    #[inline]
+    pub fn push<M: WireCodec>(&mut self, from: NodeId, to: NodeId, msg: &M) -> u64 {
+        let width = msg.width_bits();
+        self.push_encoded(from, to, msg, width);
+        width
+    }
+
+    /// [`MsgSlab::push`] with the metered width already known (`0`
+    /// means "compute it") — the engine's send paths carry precomputed
+    /// widths from [`crate::SendBuf::push_metered`] hints, skipping the
+    /// per-message `width_bits` call.
+    #[inline]
+    pub(crate) fn push_hinted<M: WireCodec>(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        msg: &M,
+        hint: u64,
+    ) -> u64 {
+        debug_assert!(
+            hint == 0 || hint == msg.width_bits(),
+            "metered-width hint {hint} != codec width {}",
+            msg.width_bits()
+        );
+        let width = if hint != 0 { hint } else { msg.width_bits() };
+        self.push_encoded(from, to, msg, width);
+        width
+    }
+
+    #[inline]
+    fn push_encoded<M: WireCodec>(&mut self, from: NodeId, to: NodeId, msg: &M, width: u64) {
+        let mut w = SlabWriter::new(&mut self.overflow);
+        let aux = msg.encode_into(&mut w);
+        let (word, overflow_words) = match w.finish_inline() {
+            Ok(one) => (one, 0),
+            Err(nw) => ((self.overflow.len() - nw as usize) as u64, nw),
+        };
+        self.entries.push(SlabEntry {
+            word,
+            from: from as u32,
+            to: to as u32,
+            overflow_words,
+            width: width.min(u16::MAX as u64) as u16,
+            aux,
+        });
+    }
+
+    /// Removes and decodes the most recently pushed message (the fault
+    /// path's in-place rollback: drops, delays and corruption rewrites
+    /// unstage the tail entry they just staged).
+    pub fn pop<M: WireCodec>(&mut self) -> M {
+        let e = self.entries.pop().expect("pop from empty slab");
+        let mut r = SlabReader::new(e.payload(&self.overflow));
+        let msg = M::decode(&mut r, e.width as u64, e.aux);
+        if e.overflow_words > 0 {
+            self.overflow.truncate(e.word as usize);
+        }
+        msg
+    }
+
+    /// The entry list, in append order.
+    pub fn entries(&self) -> &[SlabEntry] {
+        &self.entries
+    }
+
+    /// The overflow payload word array (multi-word messages only).
+    pub fn words(&self) -> &[u64] {
+        &self.overflow
+    }
+
+    /// Number of packed messages.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no messages are packed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Decodes entry `i`.
+    pub fn decode_at<M: WireCodec>(&self, i: usize) -> M {
+        let e = self.entries[i];
+        let mut r = SlabReader::new(e.payload(&self.overflow));
+        M::decode(&mut r, e.width as u64, e.aux)
+    }
+
+    /// Bulk append of another slab (the sharded round-barrier handoff):
+    /// block-copies the entries — and, for the rare multi-word payloads,
+    /// the overflow words with rebased offsets — no per-message decode.
+    pub fn append_from(&mut self, other: &MsgSlab) {
+        if other.overflow.is_empty() {
+            self.entries.extend_from_slice(&other.entries);
+            return;
+        }
+        let base = self.overflow.len() as u64;
+        self.overflow.extend_from_slice(&other.overflow);
+        self.entries.reserve(other.entries.len());
+        for e in &other.entries {
+            let mut e = *e;
+            if e.overflow_words > 0 {
+                e.word += base;
+            }
+            self.entries.push(e);
+        }
+    }
+
+    /// Empties the slab, keeping capacity.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.overflow.clear();
+    }
+}
+
+/// Slab-backed in-flight/delivery arena: the packed twin of the boxed
+/// `Vec<Vec<(NodeId, Msg)>>` buffers, behind the `try_run_packed*` and
+/// `try_run_sharded_packed*` entry points.
+#[derive(Debug)]
+pub struct PackedArena<M> {
+    n: usize,
+    /// Arrival-order slab the dispatch path stages into.
+    slab: MsgSlab,
+    /// Per-destination entry runs, rebuilt by a stable counting sort at
+    /// the delivery barrier. Nothing but 4-byte arrival indices moves:
+    /// entries and payloads stay put in the arrival slab, which the
+    /// sorted runs keep referencing until [`MsgArena::clear`].
+    sorted: Vec<u32>,
+    /// Entry-range prefix per destination into `sorted` (`n + 1` ranks).
+    starts: Vec<u32>,
+    /// Counting-sort scratch: per-destination entry cursor.
+    cursor: Vec<u32>,
+    _msg: PhantomData<M>,
+}
+
+impl<M: WireCodec> PackedArena<M> {
+    pub(crate) fn new(n: usize) -> Self {
+        PackedArena {
+            n,
+            slab: MsgSlab::default(),
+            sorted: Vec::new(),
+            starts: vec![0; n + 1],
+            cursor: Vec::new(),
+            _msg: PhantomData,
+        }
+    }
+
+    /// Bulk block-copy of a staged slab into the arrival slab — the
+    /// sharded round-barrier handoff (no per-message decode).
+    pub(crate) fn absorb_slab(&mut self, other: &MsgSlab) {
+        self.slab.append_from(other);
+    }
+
+    /// Stable counting sort of the arrival slab into per-destination
+    /// runs. Two `O(n + msgs)` passes, all buffers reused, and only
+    /// 4-byte arrival indices are scattered — entries and payloads are
+    /// never moved.
+    fn sort_runs(&mut self) {
+        let n = self.n;
+        self.cursor.clear();
+        self.cursor.resize(n + 1, 0);
+        for e in &self.slab.entries {
+            self.cursor[e.to as usize + 1] += 1;
+        }
+        for v in 0..n {
+            self.cursor[v + 1] += self.cursor[v];
+        }
+        self.starts.copy_from_slice(&self.cursor);
+        self.sorted.resize(self.slab.entries.len(), 0);
+        for (i, e) in self.slab.entries.iter().enumerate() {
+            let k = self.cursor[e.to as usize];
+            self.cursor[e.to as usize] = k + 1;
+            self.sorted[k as usize] = i as u32;
+        }
+    }
+}
+
+impl<A> MsgArena<A> for PackedArena<A::Msg>
+where
+    A: CongestAlgorithm,
+    A::Msg: WireCodec,
+{
+    fn with_nodes(n: usize) -> Self {
+        PackedArena::new(n)
+    }
+
+    #[inline]
+    fn stage(&mut self, to: NodeId, from: NodeId, msg: A::Msg, hint: u64) -> u64 {
+        debug_assert_eq!(
+            msg.width_bits(),
+            A::message_bits(&msg),
+            "WireCodec::width_bits disagrees with message_bits"
+        );
+        self.slab.push_hinted(from, to, &msg, hint)
+    }
+
+    #[inline]
+    fn unstage(&mut self, to: NodeId) -> A::Msg {
+        debug_assert_eq!(
+            self.slab.entries.last().map(|e| e.to as usize),
+            Some(to),
+            "unstage of a non-tail destination"
+        );
+        self.slab.pop()
+    }
+
+    #[inline]
+    fn push(&mut self, to: NodeId, from: NodeId, msg: A::Msg) {
+        self.slab.push(from, to, &msg);
+    }
+
+    fn all_empty(&self) -> bool {
+        self.slab.is_empty()
+    }
+
+    fn begin_delivery(&mut self) {
+        self.sort_runs();
+    }
+
+    #[inline]
+    fn inbox<'s>(
+        &'s self,
+        v: NodeId,
+        scratch: &'s mut Vec<(NodeId, A::Msg)>,
+    ) -> &'s [(NodeId, A::Msg)] {
+        scratch.clear();
+        let lo = self.starts[v] as usize;
+        let hi = self.starts[v + 1] as usize;
+        for &i in &self.sorted[lo..hi] {
+            let e = &self.slab.entries[i as usize];
+            let mut r = SlabReader::new(e.payload(&self.slab.overflow));
+            scratch.push((
+                e.from as usize,
+                A::Msg::decode(&mut r, e.width as u64, e.aux),
+            ));
+        }
+        &scratch[..]
+    }
+
+    fn clear(&mut self) {
+        self.slab.clear();
+        self.sorted.clear();
+        self.starts.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_reader_round_trip_across_word_boundaries() {
+        let mut words = Vec::new();
+        let mut w = SlabWriter::new(&mut words);
+        w.put(0b101, 3);
+        w.put(u64::MAX, 64);
+        w.put(0, 1);
+        w.put(0x1234_5678_9abc, 48);
+        assert_eq!(w.finish_inline(), Err(2), "116 bits span two words");
+        let mut r = SlabReader::new(&words);
+        assert_eq!(r.take(3), 0b101);
+        assert_eq!(r.take(64), u64::MAX);
+        assert_eq!(r.take(1), 0);
+        assert_eq!(r.take(48), 0x1234_5678_9abc);
+    }
+
+    #[test]
+    fn single_word_payloads_are_stored_inline() {
+        let mut slab = MsgSlab::default();
+        slab.push(1, 2, &3usize); // 2 bits -> inline
+        slab.push(4, 5, &usize::MAX); // 64 bits -> still inline
+        assert_eq!(slab.entries()[0].overflow_words, 0);
+        assert_eq!(slab.entries()[1].overflow_words, 0);
+        assert!(slab.words().is_empty(), "no overflow for 1-word payloads");
+        assert_eq!(slab.decode_at::<usize>(0), 3);
+        assert_eq!(slab.decode_at::<usize>(1), usize::MAX);
+    }
+
+    #[test]
+    fn pop_rolls_back_entries() {
+        let mut slab = MsgSlab::default();
+        slab.push(0, 1, &7usize);
+        slab.push(2, 3, &9usize);
+        assert_eq!(slab.pop::<usize>(), 9);
+        assert_eq!(slab.len(), 1);
+        assert_eq!(slab.decode_at::<usize>(0), 7);
+    }
+
+    #[test]
+    fn append_from_rebases_offsets() {
+        let mut a = MsgSlab::default();
+        a.push(0, 1, &100usize);
+        let mut b = MsgSlab::default();
+        b.push(2, 3, &200usize);
+        b.push(4, 5, &300usize);
+        a.append_from(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.decode_at::<usize>(0), 100);
+        assert_eq!(a.decode_at::<usize>(1), 200);
+        assert_eq!(a.decode_at::<usize>(2), 300);
+    }
+
+    /// A deliberately wide test codec: physical width 96 bits, so every
+    /// value exercises the multi-word overflow path.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    struct Wide(u64, u32);
+
+    impl WireCodec for Wide {
+        fn width_bits(&self) -> u64 {
+            96
+        }
+        fn encode_into(&self, w: &mut SlabWriter<'_>) -> u16 {
+            w.put(self.0, 64);
+            w.put(self.1 as u64, 32);
+            0
+        }
+        fn decode(r: &mut SlabReader<'_>, _width: u64, _aux: u16) -> Self {
+            Wide(r.take(64), r.take(32) as u32)
+        }
+    }
+
+    #[test]
+    fn multi_word_payloads_spill_to_overflow_and_roll_back() {
+        let mut slab = MsgSlab::default();
+        slab.push(0, 1, &5usize);
+        slab.push(2, 3, &Wide(u64::MAX, 0xAB));
+        slab.push(4, 5, &Wide(17, 0xCD));
+        assert_eq!(slab.entries()[1].overflow_words, 2);
+        assert_eq!(slab.words().len(), 4);
+        assert_eq!(slab.decode_at::<Wide>(1), Wide(u64::MAX, 0xAB));
+        assert_eq!(slab.pop::<Wide>(), Wide(17, 0xCD));
+        assert_eq!(slab.words().len(), 2, "pop truncates its overflow words");
+
+        let mut other = MsgSlab::default();
+        other.push(6, 7, &Wide(99, 1));
+        slab.append_from(&other);
+        assert_eq!(slab.decode_at::<Wide>(2), Wide(99, 1));
+        assert_eq!(slab.decode_at::<Wide>(1), Wide(u64::MAX, 0xAB));
+    }
+}

@@ -1,0 +1,267 @@
+//! Packed-engine equivalence pin: the word-packed slab wire path must be
+//! *observationally indistinguishable* from the boxed engine — same
+//! `SimStats` (timeline, per-edge bits, fault counters, outcome), a
+//! byte-identical observer trace, the same outputs, and the same typed
+//! errors — serially and sharded at every worker count.
+//!
+//! Each case runs the boxed serial engine (`try_run_with`) as the
+//! reference, then replays it through `try_run_packed_with` and through
+//! `try_run_sharded_packed_with` at jobs ∈ {1, 2, 4, 8}, across the
+//! algorithm zoo and fault plans covering every fate class.
+
+use congest_hardness::faults::FaultPlan;
+use congest_hardness::graph::{generators, Graph};
+use congest_hardness::obs::{Record, Recorder};
+use congest_hardness::sim::algorithms::{
+    AggregateSum, BfsTree, GenericExactDecision, LeaderElection, LearnGraph, LocalCutSolver,
+    SampledMaxCut,
+};
+use congest_hardness::sim::{
+    CongestAlgorithm, ShardSafeLink, ShardableAlgorithm, SimStats, Simulator, TraceObserver,
+    WireCodec,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const JOBS: &[usize] = &[1, 2, 4, 8];
+
+/// Serializes records without wall-clock timestamps so two traces of the
+/// same execution are byte-identical.
+#[derive(Default)]
+struct RawRecorder {
+    lines: Vec<String>,
+}
+
+impl Recorder for RawRecorder {
+    fn record(&mut self, rec: Record) {
+        self.lines.push(rec.to_json());
+    }
+}
+
+fn test_graph(n: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    generators::connected_gnp(n, 0.25, &mut rng)
+}
+
+/// A plan exercising every fate class the link layer can hand back.
+fn all_fates_plan() -> FaultPlan {
+    FaultPlan::seeded(0xC0DEC)
+        .with_drop_prob(0.08)
+        .with_corrupt_prob(0.05)
+        .with_duplicate_prob(0.05)
+        .with_delay_prob(0.08, 3)
+        .with_crash(2, 6)
+}
+
+/// Boxed serial reference run vs the packed serial engine; returns the
+/// reference stats + trace for further comparisons.
+fn check_packed_serial<'g, A, L>(
+    label: &str,
+    sim_base: &impl Fn() -> Simulator<'g>,
+    make_alg: &impl Fn() -> A,
+    link: &L,
+    max_rounds: u64,
+) -> (SimStats, Vec<String>)
+where
+    A: CongestAlgorithm,
+    A::Msg: WireCodec,
+    L: ShardSafeLink,
+{
+    let sim = sim_base();
+    let mut alg = make_alg();
+    let mut obs = TraceObserver::new(RawRecorder::default());
+    let mut boxed_link = link.clone();
+    let boxed_stats = sim
+        .try_run_with(&mut alg, max_rounds, &mut obs, &mut boxed_link)
+        .unwrap_or_else(|e| panic!("{label}: boxed run failed: {e}"));
+    let boxed_trace = obs.into_recorder().lines;
+
+    let sim = sim_base();
+    let mut packed_alg = make_alg();
+    let mut obs = TraceObserver::new(RawRecorder::default());
+    let mut packed_link = link.clone();
+    let packed_stats = sim
+        .try_run_packed_with(&mut packed_alg, max_rounds, &mut obs, &mut packed_link)
+        .unwrap_or_else(|e| panic!("{label}: packed run failed: {e}"));
+    assert_eq!(
+        boxed_stats, packed_stats,
+        "{label}: packed SimStats diverged"
+    );
+    let packed_trace = obs.into_recorder().lines;
+    assert_eq!(boxed_trace, packed_trace, "{label}: packed trace diverged");
+    (boxed_stats, boxed_trace)
+}
+
+/// Boxed serial run (the reference), then packed serial and packed
+/// sharded runs at every worker count; asserts identical stats and
+/// byte-identical traces everywhere.
+fn check_packed_equivalence<'g, A, L>(
+    label: &str,
+    sim_base: impl Fn() -> Simulator<'g>,
+    make_alg: impl Fn() -> A,
+    link: &L,
+    max_rounds: u64,
+) -> SimStats
+where
+    A: ShardableAlgorithm,
+    A::Msg: WireCodec + Send,
+    L: ShardSafeLink,
+{
+    let (boxed_stats, boxed_trace) =
+        check_packed_serial(label, &sim_base, &make_alg, link, max_rounds);
+
+    for &jobs in JOBS {
+        let sim = sim_base().with_jobs(jobs);
+        let mut alg = make_alg();
+        let mut obs = TraceObserver::new(RawRecorder::default());
+        let mut sharded_link = link.clone();
+        let (stats, _pool) = sim
+            .try_run_sharded_packed_with(&mut alg, max_rounds, &mut obs, &mut sharded_link)
+            .unwrap_or_else(|e| panic!("{label} jobs={jobs}: packed sharded run failed: {e}"));
+        assert_eq!(
+            boxed_stats, stats,
+            "{label} jobs={jobs}: packed sharded SimStats diverged"
+        );
+        let trace = obs.into_recorder().lines;
+        assert_eq!(
+            boxed_trace, trace,
+            "{label} jobs={jobs}: packed sharded trace diverged"
+        );
+    }
+    boxed_stats
+}
+
+#[test]
+fn perfect_link_packed_matches_boxed_for_every_algorithm() {
+    let g = test_graph(24, 5);
+    let n = g.num_nodes();
+    let m = g.num_edges();
+    let stats = check_packed_equivalence(
+        "learn_graph",
+        || Simulator::with_bandwidth(&g, 96),
+        || LearnGraph::new(n),
+        &FaultPlan::empty(),
+        10_000,
+    );
+    assert!(stats.total_bits > 0, "degenerate learn_graph scenario");
+    check_packed_equivalence(
+        "leader",
+        || Simulator::with_bandwidth(&g, 96).stop_on_quiescence(true),
+        || LeaderElection::new(n),
+        &FaultPlan::empty(),
+        10_000,
+    );
+    check_packed_equivalence(
+        "bfs",
+        || Simulator::with_bandwidth(&g, 96).stop_on_quiescence(true),
+        || BfsTree::new(n, 0),
+        &FaultPlan::empty(),
+        10_000,
+    );
+    check_packed_equivalence(
+        "aggregate",
+        || Simulator::with_bandwidth(&g, 96).stop_on_quiescence(false),
+        || AggregateSum::new(n, (0..n as i64).collect()),
+        &FaultPlan::empty(),
+        10_000,
+    );
+    // SampledMaxCut is not shardable; pin the serial packed path only.
+    check_packed_serial(
+        "maxcut",
+        &|| Simulator::with_bandwidth(&g, 96).stop_on_quiescence(false),
+        &|| SampledMaxCut::new(n, 0.5, LocalCutSolver::LocalSearch, 11),
+        &FaultPlan::empty(),
+        10_000,
+    );
+    check_packed_equivalence(
+        "exact_decision",
+        || Simulator::with_bandwidth(&g, 96),
+        || GenericExactDecision::new(n, m, |h: &Graph| h.num_edges() > 3),
+        &FaultPlan::empty(),
+        100_000,
+    );
+}
+
+#[test]
+fn faulty_link_packed_matches_boxed() {
+    let g = test_graph(20, 9);
+    let n = g.num_nodes();
+    let stats = check_packed_equivalence(
+        "learn_graph+faults",
+        || Simulator::with_bandwidth(&g, 96),
+        || LearnGraph::new(n),
+        &all_fates_plan(),
+        400,
+    );
+    let fired: u64 = stats.faults.total();
+    assert!(fired > 0, "fault plan never fired — scenario degenerate");
+    check_packed_equivalence(
+        "leader+faults",
+        || Simulator::with_bandwidth(&g, 96).stop_on_quiescence(true),
+        || LeaderElection::new(n),
+        &all_fates_plan(),
+        400,
+    );
+    check_packed_equivalence(
+        "aggregate+faults",
+        || Simulator::with_bandwidth(&g, 96).stop_on_quiescence(false),
+        || AggregateSum::new(n, vec![3; n]),
+        &all_fates_plan(),
+        400,
+    );
+}
+
+#[test]
+fn packed_outputs_match_boxed_outputs() {
+    let g = test_graph(18, 21);
+    let n = g.num_nodes();
+    let sim = Simulator::with_bandwidth(&g, 96);
+    let mut boxed_alg = LearnGraph::new(n);
+    sim.try_run(&mut boxed_alg, 10_000).expect("boxed run");
+    let mut packed_alg = LearnGraph::new(n);
+    sim.try_run_packed(&mut packed_alg, 10_000)
+        .expect("packed run");
+    for v in 0..n {
+        assert_eq!(
+            boxed_alg.known_edges(v),
+            packed_alg.known_edges(v),
+            "node {v}"
+        );
+        assert_eq!(boxed_alg.known_count(v), packed_alg.known_count(v));
+    }
+    // Sharded packed run, reassembled state.
+    let mut sharded_alg = LearnGraph::new(n);
+    Simulator::with_bandwidth(&g, 96)
+        .with_jobs(4)
+        .try_run_sharded_packed(&mut sharded_alg, 10_000)
+        .expect("sharded packed run");
+    for v in 0..n {
+        assert_eq!(
+            boxed_alg.known_edges(v),
+            sharded_alg.known_edges(v),
+            "node {v}"
+        );
+    }
+}
+
+#[test]
+fn packed_bandwidth_violation_matches_boxed_error() {
+    // Bandwidth 2 rejects any 3-bit leader id: the packed path must
+    // surface the identical typed error, serially and sharded.
+    let g = generators::path(12);
+    let sim = Simulator::with_bandwidth(&g, 2);
+    let boxed_err = sim
+        .try_run(&mut LeaderElection::new(12), 100)
+        .expect_err("boxed run must reject");
+    let packed_err = sim
+        .try_run_packed(&mut LeaderElection::new(12), 100)
+        .expect_err("packed run must reject");
+    assert_eq!(boxed_err, packed_err);
+    for &jobs in JOBS {
+        let err = Simulator::with_bandwidth(&g, 2)
+            .with_jobs(jobs)
+            .try_run_sharded_packed(&mut LeaderElection::new(12), 100)
+            .expect_err("sharded packed run must reject");
+        assert_eq!(boxed_err, err, "jobs={jobs}");
+    }
+}

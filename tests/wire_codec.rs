@@ -1,0 +1,154 @@
+//! Property: every algorithm message type's [`WireCodec`] is a faithful
+//! wire format.
+//!
+//! Two invariants, pinned for arbitrary messages *including corrupted
+//! ones* (fault layers rewrite payloads, and corrupted messages travel
+//! the same slabs):
+//!
+//! * **Round trip** — `decode(encode(m)) == m`, exactly.
+//! * **Metered width** — `WireCodec::width_bits(m)` equals the
+//!   algorithm's `CongestAlgorithm::message_bits(m)` bit-for-bit, so the
+//!   packed engine meters identically to the boxed one.
+
+use congest_hardness::graph::NodeId;
+use congest_hardness::sim::algorithms::{
+    AggMsg, AggregateSum, BfsMsg, BfsTree, LeaderElection, LearnGraph, McMsg, SampledMaxCut,
+};
+use congest_hardness::sim::hosting::{HostedAlgorithm, HostedMsg};
+use congest_hardness::sim::{CongestAlgorithm, MsgSlab, WireCodec};
+use proptest::prelude::*;
+
+/// Pushes `msg` through a slab and checks both invariants; then corrupts
+/// it with `bit` and, if the type supports payload corruption, checks
+/// the corrupted message too.
+fn check_codec<A>(msg: A::Msg, bit: u32)
+where
+    A: CongestAlgorithm,
+    A::Msg: WireCodec + Clone + PartialEq + std::fmt::Debug,
+{
+    let mut slab = MsgSlab::default();
+    let width = slab.push(3, 7, &msg);
+    assert_eq!(width, A::message_bits(&msg), "metered width of {msg:?}");
+    assert_eq!(slab.decode_at::<A::Msg>(0), msg, "round trip of {msg:?}");
+    assert_eq!(slab.pop::<A::Msg>(), msg, "pop round trip of {msg:?}");
+    assert!(slab.is_empty());
+    if let Some(corrupted) = A::corrupt(&msg, bit) {
+        let width = slab.push(3, 7, &corrupted);
+        assert_eq!(
+            width,
+            A::message_bits(&corrupted),
+            "metered width of corrupted {corrupted:?}"
+        );
+        assert_eq!(
+            slab.decode_at::<A::Msg>(0),
+            corrupted,
+            "round trip of corrupted {corrupted:?}"
+        );
+    }
+}
+
+fn arb_bfs() -> impl Strategy<Value = BfsMsg> {
+    (any::<u8>(), any::<usize>()).prop_map(|(sel, d)| match sel % 2 {
+        0 => BfsMsg::Depth(d),
+        _ => BfsMsg::Child,
+    })
+}
+
+fn arb_agg() -> impl Strategy<Value = AggMsg> {
+    (any::<u8>(), any::<usize>(), any::<i64>()).prop_map(|(sel, d, w)| match sel % 4 {
+        0 => AggMsg::Depth(d),
+        1 => AggMsg::Child,
+        2 => AggMsg::Partial(w),
+        _ => AggMsg::Total(w),
+    })
+}
+
+fn arb_mc() -> impl Strategy<Value = McMsg> {
+    (
+        any::<u8>(),
+        any::<usize>(),
+        any::<usize>(),
+        any::<i64>(),
+        any::<bool>(),
+    )
+        .prop_map(|(sel, u, v, w, side)| match sel % 6 {
+            0 => McMsg::Depth(u),
+            1 => McMsg::Child,
+            2 => McMsg::Edge(u, v, w),
+            3 => McMsg::UpDone,
+            4 => McMsg::Assign(v, side),
+            _ => McMsg::CutValue(w),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Leader election: bare `NodeId` floods.
+    #[test]
+    fn leader_ids_round_trip(id in any::<NodeId>(), bit in any::<u32>()) {
+        check_codec::<LeaderElection>(id, bit);
+    }
+
+    /// BFS construction: depth announcements and child notices.
+    #[test]
+    fn bfs_msgs_round_trip(msg in arb_bfs(), bit in any::<u32>()) {
+        check_codec::<BfsTree>(msg, bit);
+    }
+
+    /// Aggregation: depths, child notices, signed partials and totals
+    /// (including `i64::MIN`, which survives via wrapping negation).
+    #[test]
+    fn agg_msgs_round_trip(msg in arb_agg(), bit in any::<u32>()) {
+        check_codec::<AggregateSum>(msg, bit);
+    }
+
+    /// Graph learning: `(u, v, weight)` edge announcements with
+    /// arbitrary endpoint magnitudes and signed weights.
+    #[test]
+    fn edge_msgs_round_trip(
+        u in any::<usize>(),
+        v in any::<usize>(),
+        w in any::<i64>(),
+        bit in any::<u32>(),
+    ) {
+        check_codec::<LearnGraph>((u, v, w), bit);
+    }
+
+    /// Sampled max-cut: all six variants, including edge upcasts with
+    /// two independent endpoint widths in the aux framing.
+    #[test]
+    fn mc_msgs_round_trip(msg in arb_mc(), bit in any::<u32>()) {
+        check_codec::<SampledMaxCut>(msg, bit);
+    }
+
+    /// Hosted execution: routing header plus an inner payload, decoded
+    /// through the inner codec with the residual width.
+    #[test]
+    fn hosted_msgs_round_trip(
+        from in any::<usize>(),
+        to in any::<usize>(),
+        inner in any::<NodeId>(),
+        bit in any::<u32>(),
+    ) {
+        let msg = HostedMsg { from, to, inner };
+        check_codec::<HostedAlgorithm<LeaderElection>>(msg, bit);
+    }
+}
+
+/// Width formulas at the boundaries the proptest generator is unlikely
+/// to hit by name: zero, one, powers of two, and extreme magnitudes.
+#[test]
+fn width_pins_at_boundaries() {
+    for &(id, bits) in &[(0usize, 1u64), (1, 1), (2, 2), (255, 8), (256, 9)] {
+        assert_eq!(LeaderElection::message_bits(&id), bits);
+        check_codec::<LeaderElection>(id, 0);
+    }
+    // EdgeMsg width = id_bits(u) + id_bits(v) + mag_bits(|w|).
+    assert_eq!(LearnGraph::message_bits(&(0, 1, 1)), 3);
+    assert_eq!(LearnGraph::message_bits(&(1, 2, -1)), 4);
+    assert_eq!(LearnGraph::message_bits(&(3, 5, 0)), 6);
+    check_codec::<LearnGraph>((usize::MAX, usize::MAX, i64::MIN), 0);
+    check_codec::<AggregateSum>(AggMsg::Partial(i64::MIN), 0);
+    check_codec::<SampledMaxCut>(McMsg::Edge(usize::MAX, 0, i64::MIN), 0);
+}
