@@ -21,6 +21,17 @@
 //!   them differs from the group reference there too. The fixed-cut
 //!   condition is derived once per group (a difference confined to
 //!   `G[V_A]` cannot move the cut), not once per build.
+//! * **Delta builds**: families that expose [`LowerBoundFamily::base_graph`]
+//!   and [`LowerBoundFamily::delta_edges`] are verified incrementally. The
+//!   input-independent base is built and canonicalized *once*; per-pair
+//!   work shrinks to the gadget edge delta. The predicate memo keys on a
+//!   64-bit structural hash of the sorted delta (collisions are caught by
+//!   comparing the stored delta), a memo hit skips the full build
+//!   entirely, and the side-dependence scan diffs deltas directly — the
+//!   base cancels in every symmetric difference. Every canonical form
+//!   that *is* fully built is cross-checked against `base + delta`; any
+//!   mismatch silently falls back to the legacy full-build engine, so a
+//!   family with an inconsistent delta loses speed, never soundness.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -30,6 +41,7 @@ use congest_comm::bounds::theorem_1_1_round_bound;
 use congest_comm::BitString;
 use congest_graph::{DiGraph, Graph, NodeId, Weight};
 use congest_obs::Record;
+use congest_solvers::SearchStats;
 use rand::Rng;
 
 /// Graphs (directed or undirected) that can expose a canonical edge list,
@@ -112,6 +124,43 @@ pub trait LowerBoundFamily {
     /// node weights): the verifier memoizes it per canonical form and may
     /// evaluate it from worker threads.
     fn predicate(&self, g: &Self::GraphType) -> bool;
+
+    /// [`LowerBoundFamily::predicate`] plus the exact solver's search
+    /// counters, aggregated into [`VerifyStats::solver`] by the verifier.
+    /// The default wraps `predicate` and reports no counters.
+    fn predicate_with_stats(&self, g: &Self::GraphType) -> (bool, Option<SearchStats>) {
+        (self.predicate(g), None)
+    }
+
+    /// The input-independent base graph, enabling the incremental
+    /// delta-build verification path. `None` (the default) keeps the
+    /// legacy full-build engine.
+    ///
+    /// Contract for implementers (the *delta-build contract*): for every
+    /// input pair, `build(x, y)` must equal the base graph plus exactly
+    /// the edges of `delta_edges(x, y)` — same canonical orientation as
+    /// [`EdgeListGraph::edge_list`], no overlap with base edge slots —
+    /// and node weights must not depend on the inputs. The verifier
+    /// cross-checks this equation on every canonical form it fully
+    /// builds and silently falls back to the legacy engine on any
+    /// mismatch; *purity* (equal deltas ⇒ equal graphs) is what makes
+    /// the delta a sound memo key for the pairs that are never rebuilt.
+    /// As a backstop against an impure implementation that evades the
+    /// miss-time cross-check, the delta engine never reports a violation
+    /// itself: any suspected violation reruns the legacy engine, whose
+    /// verdict is what the caller sees.
+    fn base_graph(&self) -> Option<Self::GraphType> {
+        None
+    }
+
+    /// The input-dependent edges of `G_{x,y}`: what `build(x, y)` adds on
+    /// top of [`LowerBoundFamily::base_graph`]. Only meaningful when
+    /// `base_graph` returns `Some`; the default (empty) pairs with the
+    /// default `base_graph` of `None`.
+    fn delta_edges(&self, x: &BitString, y: &BitString) -> Vec<(NodeId, NodeId, Weight)> {
+        let _ = (x, y);
+        Vec::new()
+    }
 
     /// The reference function: `TRUE` iff the inputs intersect
     /// (`¬DISJ`). Kept overridable for families over other functions.
@@ -266,6 +315,17 @@ pub struct VerifyStats {
     pub dependence_groups: u64,
     /// Reference diffs performed by the grouped side-dependence scan.
     pub dependence_comparisons: u64,
+    /// Full graph constructions (legacy engine: one per pair; delta
+    /// engine: one per memo miss).
+    pub full_builds: u64,
+    /// Pairs resolved through the incremental delta path (zero when the
+    /// family has no base graph or fell back to the legacy engine).
+    pub delta_builds: u64,
+    /// Delta-hash collisions caught by the stored-delta comparison.
+    pub memo_collisions: u64,
+    /// Aggregate exact-solver counters from every predicate evaluation
+    /// that reported them (see [`LowerBoundFamily::predicate_with_stats`]).
+    pub solver: SearchStats,
     /// Per-worker item counters from the pool (empty for serial runs).
     pub pool: Option<congest_par::PoolStats>,
 }
@@ -282,7 +342,18 @@ impl VerifyStats {
             .with("memo_misses", self.memo_misses)
             .with("cut_computations", self.cut_computations)
             .with("dependence_groups", self.dependence_groups)
-            .with("dependence_comparisons", self.dependence_comparisons)];
+            .with("dependence_comparisons", self.dependence_comparisons)
+            .with("full_builds", self.full_builds)
+            .with("delta_builds", self.delta_builds)
+            .with("memo_collisions", self.memo_collisions)
+            .with("solver_nodes", self.solver.nodes)
+            .with("solver_prunes", self.solver.prunes)
+            .with("solver_backtracks", self.solver.backtracks)
+            .with("solver_incumbents", self.solver.incumbents)
+            .with("solver_bound_cutoffs", self.solver.bound_cutoffs)
+            .with("solver_forced_moves", self.solver.forced_moves)
+            .with("solver_components", self.solver.components)
+            .with("solver_micros", self.solver.elapsed_micros)];
         if let Some(pool) = &self.pool {
             recs.extend(pool.to_records(target));
         }
@@ -291,15 +362,21 @@ impl VerifyStats {
 }
 
 /// One built instance's record during verification: canonical edge list,
-/// node weights, predicate value, function value, input rendering.
-/// Extracted by [`build_record`], the single helper shared by the serial
-/// and parallel sweeps.
+/// node weights, predicate value, function value. Extracted by
+/// [`build_record`], the single helper shared by the serial and parallel
+/// sweeps. Violation descriptors are rendered lazily from the input pair
+/// (see [`pair_desc`]) so the hot path allocates no strings.
 struct BuildRecord {
     edges: Vec<(NodeId, NodeId, Weight)>,
     node_weights: Vec<Weight>,
     p: bool,
     f: bool,
-    desc: String,
+}
+
+/// Renders the offending `(x, y)` pair for a violation report. Called
+/// only on the error path.
+fn pair_desc((x, y): &(BitString, BitString)) -> String {
+    format!("(x={x}, y={y})")
 }
 
 /// Canonical graph form: the memo key for predicate deduplication.
@@ -314,6 +391,7 @@ struct PredicateMemo {
     hits: AtomicU64,
     misses: AtomicU64,
     calls: AtomicU64,
+    solver: Mutex<SearchStats>,
 }
 
 impl PredicateMemo {
@@ -324,6 +402,13 @@ impl PredicateMemo {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             calls: AtomicU64::new(0),
+            solver: Mutex::new(SearchStats::default()),
+        }
+    }
+
+    fn meter(&self, stats: Option<SearchStats>) {
+        if let Some(s) = stats {
+            self.solver.lock().expect("solver meter lock").absorb(&s);
         }
     }
 
@@ -331,18 +416,21 @@ impl PredicateMemo {
         &self,
         edges: &[(NodeId, NodeId, Weight)],
         node_weights: &[Weight],
-        compute: impl FnOnce() -> bool,
+        compute: impl FnOnce() -> (bool, Option<SearchStats>),
     ) -> bool {
         if !self.enabled {
             self.calls.fetch_add(1, Ordering::Relaxed);
-            return compute();
+            let (p, solver) = compute();
+            self.meter(solver);
+            return p;
         }
         let key: CanonicalForm = (edges.to_vec(), node_weights.to_vec());
         if let Some(&p) = self.map.lock().expect("memo lock").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return p;
         }
-        let p = compute();
+        let (p, solver) = compute();
+        self.meter(solver);
         self.calls.fetch_add(1, Ordering::Relaxed);
         self.misses.fetch_add(1, Ordering::Relaxed);
         self.map.lock().expect("memo lock").insert(key, p);
@@ -368,14 +456,13 @@ fn build_record<F: LowerBoundFamily>(
     }
     let edges = g.edge_list();
     let node_weights = g.node_weight_list();
-    let p = memo.lookup_or(&edges, &node_weights, || family.predicate(&g));
+    let p = memo.lookup_or(&edges, &node_weights, || family.predicate_with_stats(&g));
     let f = family.f(x, y);
     Ok(BuildRecord {
         edges,
         node_weights,
         p,
         f,
-        desc: format!("(x={x}, y={y})"),
     })
 }
 
@@ -451,12 +538,12 @@ fn check_records<F: LowerBoundFamily>(
     stats: &mut VerifyStats,
 ) -> Result<FamilyReport, FamilyViolation> {
     // Condition 4.
-    for b in builds {
+    for (i, b) in builds.iter().enumerate() {
         if b.p != b.f {
             return Err(FamilyViolation::PredicateMismatch {
                 f_value: b.f,
                 p_value: b.p,
-                inputs: b.desc.clone(),
+                inputs: pair_desc(&inputs[i]),
             });
         }
     }
@@ -479,7 +566,7 @@ fn check_records<F: LowerBoundFamily>(
         let cut = undirected_cut(&builds[r].edges, in_a);
         stats.cut_computations += 1;
         if cut != cut0 {
-            return Err(FamilyViolation::CutChanged(builds[r].desc.clone()));
+            return Err(FamilyViolation::CutChanged(pair_desc(&inputs[r])));
         }
     }
 
@@ -567,8 +654,25 @@ pub fn verify_family<F: LowerBoundFamily>(
 }
 
 /// The serial engine: shared by [`verify_family`] (which needs no `Sync`
-/// bound) and by [`verify_family_with`] at `jobs = 1`.
+/// bound) and by [`verify_family_with`] at `jobs = 1`. Dispatches to the
+/// incremental delta engine when the family exposes a base graph, with
+/// silent fallback to the legacy full-build sweep on a contract breach.
 fn verify_serial<F: LowerBoundFamily>(
+    family: &F,
+    inputs: &[(BitString, BitString)],
+    opts: &VerifyOptions,
+) -> (Result<FamilyReport, FamilyViolation>, VerifyStats) {
+    if let Some(base) = family.base_graph() {
+        if let Some(out) = verify_delta_serial(family, inputs, opts, &base) {
+            return out;
+        }
+    }
+    verify_serial_legacy(family, inputs, opts)
+}
+
+/// The legacy full-build serial sweep: builds and canonicalizes every
+/// pair, memoizing the predicate per canonical form.
+fn verify_serial_legacy<F: LowerBoundFamily>(
     family: &F,
     inputs: &[(BitString, BitString)],
     opts: &VerifyOptions,
@@ -588,11 +692,13 @@ fn verify_serial<F: LowerBoundFamily>(
             Ok(b) => builds.push(b),
             Err(v) => {
                 finish_memo_stats(&memo, &mut stats);
+                stats.full_builds = builds.len() as u64 + 1;
                 return (Err(v), stats);
             }
         }
     }
     finish_memo_stats(&memo, &mut stats);
+    stats.full_builds = builds.len() as u64;
     let res = check_records(family, inputs, &builds, &in_a, n, &mut stats);
     (res, stats)
 }
@@ -601,6 +707,382 @@ fn finish_memo_stats(memo: &PredicateMemo, stats: &mut VerifyStats) {
     stats.memo_hits = memo.hits.load(Ordering::Relaxed);
     stats.memo_misses = memo.misses.load(Ordering::Relaxed);
     stats.predicate_calls = memo.calls.load(Ordering::Relaxed);
+    stats.solver = *memo.solver.lock().expect("solver meter lock");
+}
+
+/// The canonicalized input-independent base graph of a delta-capable
+/// family: sorted edge list plus node weights, computed once per
+/// verification run.
+struct BaseForm {
+    edges: Vec<(NodeId, NodeId, Weight)>,
+    node_weights: Vec<Weight>,
+}
+
+/// The per-pair record of the delta engine: the sorted input-dependent
+/// edge delta plus predicate/function values. The pair's full edge list
+/// is `base ∪ delta` and is never materialized.
+struct DeltaRecord {
+    delta: Vec<(NodeId, NodeId, Weight)>,
+    p: bool,
+    f: bool,
+}
+
+/// Signal that the delta path cannot (or should not) produce the final
+/// answer: the verification silently restarts on the legacy full-build
+/// engine. Raised on a delta-build contract breach, and also on *any*
+/// suspected violation — the delta engine only ever reports success
+/// itself, so every violation the caller sees comes from the legacy
+/// engine and is exactly what the seed verifier would have said.
+struct LegacyRerun;
+
+/// 64-bit structural hash of a sorted edge delta (FNV-1a over the edge
+/// triples). The memo key; collisions are caught by comparing the stored
+/// delta itself.
+fn delta_hash(delta: &[(NodeId, NodeId, Weight)]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &(u, v, w) in delta {
+        for val in [u as u64, v as u64, w as u64] {
+            h ^= val;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Checks that `full` (a canonical edge list) is exactly the disjoint
+/// union of the sorted `base` and `delta` lists — the delta-build
+/// contract for one fully built instance. Overlapping edge slots or
+/// diverging weights make the merge walk (or the length check) fail.
+fn delta_composes(
+    base: &[(NodeId, NodeId, Weight)],
+    delta: &[(NodeId, NodeId, Weight)],
+    full: &[(NodeId, NodeId, Weight)],
+) -> bool {
+    if base.len() + delta.len() != full.len() {
+        return false;
+    }
+    let (mut i, mut j) = (0, 0);
+    for &e in full {
+        if i < base.len() && base[i] == e {
+            i += 1;
+        } else if j < delta.len() && delta[j] == e {
+            j += 1;
+        } else {
+            return false;
+        }
+    }
+    i == base.len() && j == delta.len()
+}
+
+/// The delta-keyed predicate memo: entries bucket by the 64-bit delta
+/// hash and store the full delta, so a hash collision degrades to an
+/// extra comparison, never to a wrong predicate value.
+struct DeltaMemo {
+    enabled: bool,
+    #[allow(clippy::type_complexity)]
+    map: Mutex<HashMap<u64, Vec<(Vec<(NodeId, NodeId, Weight)>, bool)>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    calls: AtomicU64,
+    collisions: AtomicU64,
+    full_builds: AtomicU64,
+    solver: Mutex<SearchStats>,
+    /// Test hook: collapse every hash into one bucket so the collision
+    /// path is exercised without manufacturing real FNV collisions.
+    #[cfg(test)]
+    collide_all: bool,
+}
+
+impl DeltaMemo {
+    fn new(enabled: bool) -> Self {
+        DeltaMemo {
+            enabled,
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            calls: AtomicU64::new(0),
+            collisions: AtomicU64::new(0),
+            full_builds: AtomicU64::new(0),
+            solver: Mutex::new(SearchStats::default()),
+            #[cfg(test)]
+            collide_all: false,
+        }
+    }
+
+    fn hash(&self, delta: &[(NodeId, NodeId, Weight)]) -> u64 {
+        #[cfg(test)]
+        if self.collide_all {
+            return 0;
+        }
+        delta_hash(delta)
+    }
+
+    fn meter(&self, stats: Option<SearchStats>) {
+        if let Some(s) = stats {
+            self.solver.lock().expect("solver meter lock").absorb(&s);
+        }
+    }
+}
+
+/// Builds `G_{x,y}` in full, validates the vertex count and the
+/// delta-build contract against the base form, and runs the predicate.
+fn build_and_check<F: LowerBoundFamily>(
+    family: &F,
+    x: &BitString,
+    y: &BitString,
+    n: usize,
+    base: &BaseForm,
+    delta: &[(NodeId, NodeId, Weight)],
+    memo: &DeltaMemo,
+) -> Result<bool, LegacyRerun> {
+    let g = family.build(x, y);
+    memo.full_builds.fetch_add(1, Ordering::Relaxed);
+    if g.num_nodes() != n
+        || !delta_composes(&base.edges, delta, &g.edge_list())
+        || g.node_weight_list() != base.node_weights
+    {
+        return Err(LegacyRerun);
+    }
+    let (p, solver) = family.predicate_with_stats(&g);
+    memo.calls.fetch_add(1, Ordering::Relaxed);
+    memo.meter(solver);
+    Ok(p)
+}
+
+/// Resolves one input pair on the delta path: sort the delta, consult the
+/// memo, and only on a miss (or with the memo disabled) build the graph
+/// in full.
+fn delta_record<F: LowerBoundFamily>(
+    family: &F,
+    x: &BitString,
+    y: &BitString,
+    n: usize,
+    base: &BaseForm,
+    memo: &DeltaMemo,
+) -> Result<DeltaRecord, LegacyRerun> {
+    let mut delta = family.delta_edges(x, y);
+    delta.sort_unstable();
+    let p = if !memo.enabled {
+        build_and_check(family, x, y, n, base, &delta, memo)?
+    } else {
+        let h = memo.hash(&delta);
+        let cached = {
+            let map = memo.map.lock().expect("delta memo lock");
+            map.get(&h).and_then(|bucket| {
+                let hit = bucket.iter().find(|(d, _)| *d == delta).map(|&(_, p)| p);
+                if hit.is_none() && !bucket.is_empty() {
+                    memo.collisions.fetch_add(1, Ordering::Relaxed);
+                }
+                hit
+            })
+        };
+        match cached {
+            Some(p) => {
+                memo.hits.fetch_add(1, Ordering::Relaxed);
+                p
+            }
+            None => {
+                let p = build_and_check(family, x, y, n, base, &delta, memo)?;
+                memo.misses.fetch_add(1, Ordering::Relaxed);
+                memo.map
+                    .lock()
+                    .expect("delta memo lock")
+                    .entry(h)
+                    .or_default()
+                    .push((delta.clone(), p));
+                p
+            }
+        }
+    };
+    let f = family.f(x, y);
+    Ok(DeltaRecord { delta, p, f })
+}
+
+/// Conditions 1–4 on delta records. Mirrors [`check_records`] with every
+/// per-pair edge list replaced by its delta: the cut of `base ∪ delta`
+/// is the base cut united with the delta's crossing edges, and the base
+/// cancels from every side-dependence symmetric difference (the two edge
+/// sets are disjoint by the verified contract). Node weights were checked
+/// input-independent on every full build.
+fn check_delta_records<F: LowerBoundFamily>(
+    family: &F,
+    inputs: &[(BitString, BitString)],
+    records: &[DeltaRecord],
+    base: &BaseForm,
+    in_a: &[bool],
+    n: usize,
+    stats: &mut VerifyStats,
+) -> Result<FamilyReport, FamilyViolation> {
+    // Condition 4.
+    for (i, r) in records.iter().enumerate() {
+        if r.p != r.f {
+            return Err(FamilyViolation::PredicateMismatch {
+                f_value: r.f,
+                p_value: r.p,
+                inputs: pair_desc(&inputs[i]),
+            });
+        }
+    }
+
+    let y_groups = group_indices(inputs, |(_, y)| y);
+    let x_groups = group_indices(inputs, |(x, _)| x);
+    stats.dependence_groups = (y_groups.len() + x_groups.len()) as u64;
+
+    let base_cut = undirected_cut(&base.edges, in_a);
+    let cut_of = |delta: &[(NodeId, NodeId, Weight)]| {
+        let mut cut = base_cut.clone();
+        cut.extend(
+            delta
+                .iter()
+                .filter(|&&(u, v, _)| in_a[u] != in_a[v])
+                .map(|&(u, v, _)| (u.min(v), u.max(v))),
+        );
+        cut
+    };
+    let cut0 = cut_of(&records[0].delta);
+    stats.cut_computations = 1;
+    for g in &y_groups {
+        let r = g[0];
+        if r == 0 {
+            continue;
+        }
+        let cut = cut_of(&records[r].delta);
+        stats.cut_computations += 1;
+        if cut != cut0 {
+            return Err(FamilyViolation::CutChanged(pair_desc(&inputs[r])));
+        }
+    }
+
+    for (groups, alice_side) in [(&y_groups, true), (&x_groups, false)] {
+        for g in groups {
+            let i = g[0];
+            for &j in &g[1..] {
+                stats.dependence_comparisons += 1;
+                for (u, v, w) in sorted_edge_diff(&records[i].delta, &records[j].delta) {
+                    let inside_a = in_a[u] && in_a[v];
+                    let inside_b = !in_a[u] && !in_a[v];
+                    if alice_side && !inside_a {
+                        return Err(FamilyViolation::AliceLeak(format!(
+                            "edge ({u},{v},{w}) differs between builds {i} and {j}"
+                        )));
+                    }
+                    if !alice_side && !inside_b {
+                        return Err(FamilyViolation::BobLeak(format!(
+                            "edge ({u},{v},{w}) differs between builds {i} and {j}"
+                        )));
+                    }
+                }
+            }
+        }
+    }
+
+    let k = family.input_len();
+    let cut_edges: Vec<(NodeId, NodeId)> = cut0.into_iter().collect();
+    let implied = theorem_1_1_round_bound(k as u64 + 1, cut_edges.len() as u64, n as u64);
+    Ok(FamilyReport {
+        name: family.name(),
+        n,
+        k_input: k,
+        cut_edges,
+        pairs_checked: inputs.len(),
+        implied_round_bound: implied,
+    })
+}
+
+fn finish_delta_stats(memo: &DeltaMemo, stats: &mut VerifyStats) {
+    stats.memo_hits = memo.hits.load(Ordering::Relaxed);
+    stats.memo_misses = memo.misses.load(Ordering::Relaxed);
+    stats.predicate_calls = memo.calls.load(Ordering::Relaxed);
+    stats.memo_collisions = memo.collisions.load(Ordering::Relaxed);
+    stats.full_builds = memo.full_builds.load(Ordering::Relaxed);
+    stats.solver = *memo.solver.lock().expect("solver meter lock");
+}
+
+/// The incremental serial engine. Returns `None` whenever the delta path
+/// cannot vouch for a *success* answer: on a delta-build contract breach,
+/// and on any suspected Definition 1.1 violation. The caller then
+/// silently reruns the legacy full-build engine, so every violation ever
+/// reported is the legacy engine's own (a lying `delta_edges` can hide a
+/// built graph behind a stale memo entry, which would otherwise turn a
+/// valid family into a spurious violation).
+fn verify_delta_serial<F: LowerBoundFamily>(
+    family: &F,
+    inputs: &[(BitString, BitString)],
+    opts: &VerifyOptions,
+    base_graph: &F::GraphType,
+) -> Option<(Result<FamilyReport, FamilyViolation>, VerifyStats)> {
+    assert!(!inputs.is_empty(), "need at least one input pair");
+    let n = family.num_vertices();
+    if base_graph.num_nodes() != n {
+        return None;
+    }
+    let base = BaseForm {
+        edges: base_graph.edge_list(),
+        node_weights: base_graph.node_weight_list(),
+    };
+    let in_a = alice_mask(family, n);
+    let memo = DeltaMemo::new(opts.memoize);
+    let mut stats = VerifyStats {
+        jobs: 1,
+        pairs: inputs.len(),
+        delta_builds: inputs.len() as u64,
+        ..VerifyStats::default()
+    };
+    let mut records: Vec<DeltaRecord> = Vec::with_capacity(inputs.len());
+    for (x, y) in inputs {
+        match delta_record(family, x, y, n, &base, &memo) {
+            Ok(r) => records.push(r),
+            Err(LegacyRerun) => return None,
+        }
+    }
+    finish_delta_stats(&memo, &mut stats);
+    match check_delta_records(family, inputs, &records, &base, &in_a, n, &mut stats) {
+        Ok(report) => Some((Ok(report), stats)),
+        Err(_) => None,
+    }
+}
+
+/// The incremental parallel engine; same fallback protocol as
+/// [`verify_delta_serial`]. The pool reports the lowest-index failure
+/// deterministically, so the legacy rerun decision stays deterministic.
+fn verify_delta_parallel<F: LowerBoundFamily + Sync>(
+    family: &F,
+    inputs: &[(BitString, BitString)],
+    opts: &VerifyOptions,
+    base_graph: &F::GraphType,
+    jobs: usize,
+) -> Option<(Result<FamilyReport, FamilyViolation>, VerifyStats)> {
+    assert!(!inputs.is_empty(), "need at least one input pair");
+    let n = family.num_vertices();
+    if base_graph.num_nodes() != n {
+        return None;
+    }
+    let base = BaseForm {
+        edges: base_graph.edge_list(),
+        node_weights: base_graph.node_weight_list(),
+    };
+    let in_a = alice_mask(family, n);
+    let memo = DeltaMemo::new(opts.memoize);
+    let mut stats = VerifyStats {
+        jobs,
+        pairs: inputs.len(),
+        delta_builds: inputs.len() as u64,
+        ..VerifyStats::default()
+    };
+    let (res, pool) = congest_par::par_try_map_stats(jobs, inputs, |_, (x, y)| {
+        delta_record(family, x, y, n, &base, &memo)
+    });
+    finish_delta_stats(&memo, &mut stats);
+    stats.pool = Some(pool);
+    match res {
+        Err((_, LegacyRerun)) => None,
+        Ok(records) => {
+            match check_delta_records(family, inputs, &records, &base, &in_a, n, &mut stats) {
+                Ok(report) => Some((Ok(report), stats)),
+                Err(_) => None,
+            }
+        }
+    }
 }
 
 /// [`verify_family`] with explicit [`VerifyOptions`], returning operation
@@ -629,6 +1111,11 @@ pub fn verify_family_with<F: LowerBoundFamily + Sync>(
     if jobs <= 1 {
         return verify_serial(family, inputs, opts);
     }
+    if let Some(base) = family.base_graph() {
+        if let Some(out) = verify_delta_parallel(family, inputs, opts, &base, jobs) {
+            return out;
+        }
+    }
     assert!(!inputs.is_empty(), "need at least one input pair");
     let n = family.num_vertices();
     let in_a = alice_mask(family, n);
@@ -646,6 +1133,7 @@ pub fn verify_family_with<F: LowerBoundFamily + Sync>(
     match res {
         Err((_, violation)) => (Err(violation), stats),
         Ok(builds) => {
+            stats.full_builds = builds.len() as u64;
             let res = check_records(family, inputs, &builds, &in_a, n, &mut stats);
             (res, stats)
         }
@@ -900,6 +1388,171 @@ mod tests {
         assert_eq!(stats.cut_computations, 2);
         let recs = stats.to_records("core.verify");
         assert_eq!(recs[0].u64_field("dependence_comparisons"), Some(4));
+    }
+
+    /// [`Toy`] with the delta-build contract implemented: same graphs,
+    /// same name, so reports must match the legacy engine exactly.
+    struct DeltaToy;
+
+    impl LowerBoundFamily for DeltaToy {
+        type GraphType = Graph;
+        fn name(&self) -> String {
+            "toy".into()
+        }
+        fn input_len(&self) -> usize {
+            1
+        }
+        fn num_vertices(&self) -> usize {
+            4
+        }
+        fn alice_vertices(&self) -> Vec<NodeId> {
+            vec![0, 1]
+        }
+        fn build(&self, x: &BitString, y: &BitString) -> Graph {
+            Toy.build(x, y)
+        }
+        fn predicate(&self, g: &Graph) -> bool {
+            g.num_edges() >= 3
+        }
+        fn base_graph(&self) -> Option<Graph> {
+            let mut g = Graph::new(4);
+            g.add_edge(1, 2);
+            Some(g)
+        }
+        fn delta_edges(&self, x: &BitString, y: &BitString) -> Vec<(NodeId, NodeId, Weight)> {
+            let mut d = Vec::new();
+            if x.get(0) {
+                d.push((0, 1, 1));
+            }
+            if y.get(0) {
+                d.push((2, 3, 1));
+            }
+            d
+        }
+    }
+
+    /// A family whose `delta_edges` lies (always empty) while `build`
+    /// still adds input edges. The lie evades the miss-time cross-check —
+    /// the first pair legitimately equals the base, and every later pair
+    /// memo-hits the cached empty delta without being built — so the
+    /// check phase sees a spurious predicate mismatch. The engine must
+    /// treat that as grounds for a legacy rerun, not report it.
+    struct BrokenDelta;
+
+    impl LowerBoundFamily for BrokenDelta {
+        type GraphType = Graph;
+        fn name(&self) -> String {
+            "toy".into()
+        }
+        fn input_len(&self) -> usize {
+            1
+        }
+        fn num_vertices(&self) -> usize {
+            4
+        }
+        fn alice_vertices(&self) -> Vec<NodeId> {
+            vec![0, 1]
+        }
+        fn build(&self, x: &BitString, y: &BitString) -> Graph {
+            Toy.build(x, y)
+        }
+        fn predicate(&self, g: &Graph) -> bool {
+            g.num_edges() >= 3
+        }
+        fn base_graph(&self) -> Option<Graph> {
+            let mut g = Graph::new(4);
+            g.add_edge(1, 2);
+            Some(g)
+        }
+        fn delta_edges(&self, _: &BitString, _: &BitString) -> Vec<(NodeId, NodeId, Weight)> {
+            Vec::new()
+        }
+    }
+
+    #[test]
+    fn delta_engine_report_matches_legacy() {
+        let inputs = all_inputs(1);
+        let legacy = verify_family(&Toy, &inputs).expect("valid family");
+        let (res, stats) = verify_family_with(&DeltaToy, &inputs, &VerifyOptions::serial());
+        assert_eq!(res.expect("valid family"), legacy);
+        assert_eq!(stats.delta_builds, inputs.len() as u64);
+        assert_eq!(stats.full_builds, 4, "all four deltas are distinct");
+        // Same structural counters as the legacy scan.
+        assert_eq!(stats.dependence_groups, 4);
+        assert_eq!(stats.dependence_comparisons, 4);
+        assert_eq!(stats.cut_computations, 2);
+    }
+
+    #[test]
+    fn delta_parallel_report_matches_serial() {
+        let inputs = all_inputs(1);
+        let serial = verify_family(&DeltaToy, &inputs).expect("valid family");
+        for jobs in [2usize, 4] {
+            let (res, stats) =
+                verify_family_with(&DeltaToy, &inputs, &VerifyOptions::with_jobs(jobs));
+            assert_eq!(res.expect("valid family"), serial, "jobs = {jobs}");
+            assert_eq!(stats.jobs, jobs);
+            assert_eq!(stats.delta_builds, inputs.len() as u64);
+        }
+    }
+
+    #[test]
+    fn delta_memo_hits_skip_the_full_build() {
+        let mut inputs = all_inputs(1);
+        inputs.extend(all_inputs(1)); // every pair twice
+        let (res, stats) = verify_family_with(&DeltaToy, &inputs, &VerifyOptions::serial());
+        res.expect("valid family");
+        assert_eq!(stats.memo_misses, 4);
+        assert_eq!(stats.memo_hits, 4);
+        assert_eq!(stats.full_builds, 4, "a memo hit must not rebuild");
+        assert_eq!(stats.predicate_calls, 4);
+        assert_eq!(stats.memo_collisions, 0);
+    }
+
+    #[test]
+    fn broken_delta_contract_falls_back_to_legacy() {
+        let inputs = all_inputs(1);
+        let legacy = verify_family(&Toy, &inputs).expect("valid family");
+        let (res, stats) = verify_family_with(&BrokenDelta, &inputs, &VerifyOptions::serial());
+        assert_eq!(res.expect("fallback still verifies"), legacy);
+        assert_eq!(
+            stats.delta_builds, 0,
+            "contract breach disables the delta path"
+        );
+        assert_eq!(stats.full_builds, inputs.len() as u64);
+    }
+
+    #[test]
+    fn delta_memo_survives_hash_collisions() {
+        let fam = DeltaToy;
+        let base_g = fam.base_graph().expect("delta-capable");
+        let base = BaseForm {
+            edges: base_g.edge_list(),
+            node_weights: base_g.node_weight_list(),
+        };
+        let memo = DeltaMemo {
+            collide_all: true,
+            ..DeltaMemo::new(true)
+        };
+        let inputs = all_inputs(1);
+        for (x, y) in &inputs {
+            assert!(delta_record(&fam, x, y, 4, &base, &memo).is_ok());
+        }
+        // Four distinct deltas share the degenerate hash: every miss
+        // after the first sees a nonempty bucket — a caught collision.
+        assert_eq!(memo.misses.load(Ordering::Relaxed), 4);
+        assert_eq!(memo.hits.load(Ordering::Relaxed), 0);
+        assert_eq!(memo.collisions.load(Ordering::Relaxed), 3);
+        // The same pairs now hit despite the colliding hash, and the
+        // cached predicate values stay correct per delta.
+        for (x, y) in &inputs {
+            let r = delta_record(&fam, x, y, 4, &base, &memo)
+                .ok()
+                .expect("cached");
+            assert_eq!(r.p, x.get(0) && y.get(0));
+        }
+        assert_eq!(memo.hits.load(Ordering::Relaxed), 4);
+        assert_eq!(memo.misses.load(Ordering::Relaxed), 4);
     }
 
     /// A family whose graph (and overridden `f`) ignore bit 1, so four

@@ -22,8 +22,12 @@
 //! paper).
 
 use congest_comm::BitString;
-use congest_graph::{DiGraph, Graph, NodeId};
-use congest_solvers::hamilton::{has_directed_ham_cycle, has_directed_ham_path};
+use congest_graph::{DiGraph, Graph, NodeId, Weight};
+use congest_solvers::hamilton::{
+    decide_directed_ham_cycle_with_stats, decide_directed_ham_path_with_stats,
+    has_directed_ham_cycle, has_directed_ham_path,
+};
+use congest_solvers::SearchStats;
 
 use crate::LowerBoundFamily;
 
@@ -397,6 +401,30 @@ impl LowerBoundFamily for HamPathFamily {
     fn predicate(&self, g: &DiGraph) -> bool {
         has_directed_ham_path(g)
     }
+
+    fn predicate_with_stats(&self, g: &DiGraph) -> (bool, Option<SearchStats>) {
+        let (p, s) = decide_directed_ham_path_with_stats(g);
+        (p, Some(s))
+    }
+
+    fn base_graph(&self) -> Option<DiGraph> {
+        Some(self.fixed_graph())
+    }
+
+    fn delta_edges(&self, x: &BitString, y: &BitString) -> Vec<(NodeId, NodeId, Weight)> {
+        let mut d = Vec::new();
+        for i in 0..self.k {
+            for j in 0..self.k {
+                if x.pair(self.k, i, j) {
+                    d.push((self.a1(i), self.a2(j), 1));
+                }
+                if y.pair(self.k, i, j) {
+                    d.push((self.b1(i), self.b2(j), 1));
+                }
+            }
+        }
+        d
+    }
 }
 
 /// The directed Hamiltonian *cycle* family (Claim 2.6): the path family
@@ -467,6 +495,26 @@ impl LowerBoundFamily for HamCycleFamily {
 
     fn predicate(&self, g: &DiGraph) -> bool {
         has_directed_ham_cycle(g)
+    }
+
+    fn predicate_with_stats(&self, g: &DiGraph) -> (bool, Option<SearchStats>) {
+        let (p, s) = decide_directed_ham_cycle_with_stats(g);
+        (p, Some(s))
+    }
+
+    fn base_graph(&self) -> Option<DiGraph> {
+        let base = self.inner.fixed_graph();
+        let mut g = DiGraph::new(self.num_vertices());
+        for (u, v, w) in base.edges() {
+            g.add_weighted_edge(u, v, w);
+        }
+        g.add_edge(self.middle(), self.inner.start());
+        g.add_edge(self.inner.end(), self.middle());
+        Some(g)
+    }
+
+    fn delta_edges(&self, x: &BitString, y: &BitString) -> Vec<(NodeId, NodeId, Weight)> {
+        self.inner.delta_edges(x, y)
     }
 }
 

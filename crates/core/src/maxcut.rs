@@ -19,7 +19,8 @@
 
 use congest_comm::BitString;
 use congest_graph::{Graph, NodeId, Weight};
-use congest_solvers::maxcut::has_cut_of_weight;
+use congest_solvers::maxcut::{has_cut_of_weight, has_cut_of_weight_with_stats};
+use congest_solvers::SearchStats;
 
 use crate::LowerBoundFamily;
 
@@ -286,6 +287,14 @@ impl LowerBoundFamily for StructuralMaxCutFamily {
         }
         self.0.structural_max_cut(&x, &y) >= self.0.target_weight()
     }
+
+    fn base_graph(&self) -> Option<Graph> {
+        self.0.base_graph()
+    }
+
+    fn delta_edges(&self, x: &BitString, y: &BitString) -> Vec<(NodeId, NodeId, Weight)> {
+        maxcut_delta_edges(&self.0, x, y)
+    }
 }
 
 impl LowerBoundFamily for MaxCutFamily {
@@ -353,6 +362,53 @@ impl LowerBoundFamily for MaxCutFamily {
     fn predicate(&self, g: &Graph) -> bool {
         has_cut_of_weight(g, self.target_weight())
     }
+
+    fn predicate_with_stats(&self, g: &Graph) -> (bool, Option<SearchStats>) {
+        let (p, s) = has_cut_of_weight_with_stats(g, self.target_weight());
+        (p, Some(s))
+    }
+
+    fn base_graph(&self) -> Option<Graph> {
+        Some(self.fixed_graph())
+    }
+
+    fn delta_edges(&self, x: &BitString, y: &BitString) -> Vec<(NodeId, NodeId, Weight)> {
+        maxcut_delta_edges(self, x, y)
+    }
+}
+
+/// The input-dependent edges of the Figure 3 construction: the weight-1
+/// blocking edges (present where the input bit is **0**) plus the
+/// `N_A`/`N_B` balancing edges, whose weights are the input row/column
+/// sums (weight-0 edges included — `build` registers them too).
+fn maxcut_delta_edges(
+    fam: &MaxCutFamily,
+    x: &BitString,
+    y: &BitString,
+) -> Vec<(NodeId, NodeId, Weight)> {
+    let k = fam.k;
+    let mut d = Vec::new();
+    for i in 0..k {
+        for j in 0..k {
+            if !x.pair(k, i, j) {
+                d.push((fam.row(CutRow::A1, i), fam.row(CutRow::A2, j), 1));
+            }
+            if !y.pair(k, i, j) {
+                d.push((fam.row(CutRow::B1, i), fam.row(CutRow::B2, j), 1));
+            }
+        }
+    }
+    for i in 0..k {
+        let row_x: Weight = (0..k).map(|j| Weight::from(x.pair(k, i, j))).sum();
+        let col_x: Weight = (0..k).map(|j| Weight::from(x.pair(k, j, i))).sum();
+        let row_y: Weight = (0..k).map(|j| Weight::from(y.pair(k, i, j))).sum();
+        let col_y: Weight = (0..k).map(|j| Weight::from(y.pair(k, j, i))).sum();
+        d.push((fam.row(CutRow::A1, i), fam.na(), row_x));
+        d.push((fam.row(CutRow::A2, i), fam.na(), col_x));
+        d.push((fam.row(CutRow::B1, i), fam.nb(), row_y));
+        d.push((fam.row(CutRow::B2, i), fam.nb(), col_y));
+    }
+    d
 }
 
 #[cfg(test)]

@@ -16,8 +16,9 @@
 //! Theorem 1.1.
 
 use congest_comm::BitString;
-use congest_graph::{Graph, NodeId};
-use congest_solvers::mds::has_dominating_set_of_size;
+use congest_graph::{Graph, NodeId, Weight};
+use congest_solvers::mds::{has_dominating_set_of_size, has_dominating_set_of_size_with_stats};
+use congest_solvers::SearchStats;
 
 use crate::LowerBoundFamily;
 
@@ -225,6 +226,30 @@ impl LowerBoundFamily for MdsFamily {
 
     fn predicate(&self, g: &Graph) -> bool {
         has_dominating_set_of_size(g, self.target_size())
+    }
+
+    fn predicate_with_stats(&self, g: &Graph) -> (bool, Option<SearchStats>) {
+        let (p, s) = has_dominating_set_of_size_with_stats(g, self.target_size());
+        (p, Some(s))
+    }
+
+    fn base_graph(&self) -> Option<Graph> {
+        Some(self.fixed_graph())
+    }
+
+    fn delta_edges(&self, x: &BitString, y: &BitString) -> Vec<(NodeId, NodeId, Weight)> {
+        let mut d = Vec::new();
+        for i in 0..self.k {
+            for j in 0..self.k {
+                if x.pair(self.k, i, j) {
+                    d.push((self.row(RowSet::A1, i), self.row(RowSet::A2, j), 1));
+                }
+                if y.pair(self.k, i, j) {
+                    d.push((self.row(RowSet::B1, i), self.row(RowSet::B2, j), 1));
+                }
+            }
+        }
+        d
     }
 }
 

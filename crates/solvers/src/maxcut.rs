@@ -58,7 +58,8 @@ pub fn max_cut_with_stats(g: &Graph) -> (CutSolution, SearchStats) {
     }
     timed(|| {
         let mut stats = SearchStats::default();
-        // delta[v] when flipping v: recompute from neighbors each flip.
+        let adj = flat_adjacency(g);
+        // delta[v] when flipping v: walk the precomputed neighbor array.
         let mut side = vec![false; n];
         let mut cur: Weight = 0;
         let mut best = 0;
@@ -70,19 +71,9 @@ pub fn max_cut_with_stats(g: &Graph) -> (CutSolution, SearchStats) {
             stats.nodes += 1;
             // Gray code: bit to flip.
             let v = i.trailing_zeros() as usize;
-            // Weight change: edges to same side become cut, cut edges close.
-            let mut delta: Weight = 0;
-            for &u in g.neighbors(v) {
-                let w = g.edge_weight(u, v).expect("adjacent");
-                if side[u] == side[v] {
-                    delta += w;
-                } else {
-                    delta -= w;
-                }
-            }
             side[v] = !side[v];
             mask ^= 1 << v;
-            cur += delta;
+            cur += flip_delta(&adj[v], &side, side[v]);
             if cur > best {
                 best = cur;
                 best_mask = mask;
@@ -99,9 +90,75 @@ pub fn max_cut_with_stats(g: &Graph) -> (CutSolution, SearchStats) {
     })
 }
 
+/// Per-vertex `(neighbor, weight)` arrays: the gray-code walk touches one
+/// vertex's neighborhood per step, and an indexed array walk is far
+/// cheaper than per-edge hash-map weight lookups.
+fn flat_adjacency(g: &Graph) -> Vec<Vec<(usize, Weight)>> {
+    let n = g.num_nodes();
+    let mut adj: Vec<Vec<(usize, Weight)>> = vec![Vec::new(); n];
+    for (u, v, w) in g.edges() {
+        adj[u].push((v, w));
+        adj[v].push((u, w));
+    }
+    adj
+}
+
+/// Cut-weight change from having just flipped a vertex with neighborhood
+/// `nbrs` to side `new_side` (`side` already reflects the flip): edges to
+/// the old side open, edges to the new side close.
+#[inline]
+fn flip_delta(nbrs: &[(usize, Weight)], side: &[bool], new_side: bool) -> Weight {
+    let mut delta: Weight = 0;
+    for &(u, w) in nbrs {
+        if side[u] == new_side {
+            delta -= w;
+        } else {
+            delta += w;
+        }
+    }
+    delta
+}
+
 /// Decision variant: does a cut of weight ≥ `target` exist?
 pub fn has_cut_of_weight(g: &Graph, target: Weight) -> bool {
-    max_cut(g).weight >= target
+    has_cut_of_weight_with_stats(g, target).0
+}
+
+/// [`has_cut_of_weight`] plus enumeration counters. Unlike the full
+/// optimization, the decision walk stops as soon as the target is
+/// reached, so `nodes` counts only the gray-code steps actually taken.
+///
+/// # Panics
+///
+/// Panics if the graph has more than 28 vertices.
+pub fn has_cut_of_weight_with_stats(g: &Graph, target: Weight) -> (bool, SearchStats) {
+    let n = g.num_nodes();
+    assert!(n <= 28, "exact max-cut limited to 28 vertices");
+    if n == 0 {
+        return (target <= 0, SearchStats::default());
+    }
+    timed(|| {
+        let mut stats = SearchStats::default();
+        let adj = flat_adjacency(g);
+        let mut side = vec![false; n];
+        let mut cur: Weight = 0;
+        if cur >= target {
+            stats.incumbents = 1;
+            return (true, stats);
+        }
+        let steps = 1u64 << (n - 1);
+        for i in 1..steps {
+            stats.nodes += 1;
+            let v = i.trailing_zeros() as usize;
+            side[v] = !side[v];
+            cur += flip_delta(&adj[v], &side, side[v]);
+            if cur >= target {
+                stats.incumbents = 1;
+                return (true, stats);
+            }
+        }
+        (false, stats)
+    })
 }
 
 /// Random assignment: each vertex picks a side uniformly. In expectation a
@@ -213,6 +270,18 @@ mod tests {
         assert_eq!(stats.nodes, (1 << 6) - 1, "every gray-code step visited");
         assert!(stats.incumbents >= 1);
         assert_eq!(stats.prunes, 0, "the enumeration never prunes");
+    }
+
+    #[test]
+    fn decision_walk_stops_early_on_yes_instances() {
+        let kb = generators::complete_bipartite(3, 4);
+        let (_, full) = max_cut_with_stats(&kb);
+        let (yes, stats) = has_cut_of_weight_with_stats(&kb, 12);
+        assert!(yes);
+        assert!(stats.nodes < full.nodes, "YES walk must stop early");
+        let (no, nstats) = has_cut_of_weight_with_stats(&kb, 13);
+        assert!(!no);
+        assert_eq!(nstats.nodes, full.nodes, "a refutation walks everything");
     }
 
     #[test]

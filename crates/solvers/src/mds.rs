@@ -13,7 +13,7 @@
 
 use congest_graph::{Graph, Weight};
 
-use crate::bitset::{adjacency_masks, full_mask, iter_bits, mask_to_vec};
+use crate::bitset::{adjacency_masks, components_u128, full_mask, iter_bits, mask_to_vec};
 use crate::mis::SetSolution;
 use crate::stats::{timed, SearchStats};
 
@@ -70,6 +70,7 @@ impl Mds<'_> {
         }
         if cost + self.lower_bound(undominated) >= self.best.min(self.cap) {
             self.stats.prunes += 1;
+            self.stats.bound_cutoffs += 1;
             return;
         }
         // Branch vertex: undominated vertex with fewest candidate dominators.
@@ -106,7 +107,8 @@ fn solve(g: &Graph, cap: Weight) -> (Option<SetSolution>, SearchStats) {
             SearchStats::default(),
         );
     }
-    let closed = closed_neighborhoods(g);
+    let adj = adjacency_masks(g);
+    let closed: Vec<u128> = (0..n).map(|v| adj[v] | (1u128 << v)).collect();
     let w: Vec<Weight> = (0..n).map(|v| g.node_weight(v)).collect();
     assert!(w.iter().all(|&x| x >= 0), "weights must be nonnegative");
     // Take zero-weight vertices for free — but only those that dominate
@@ -114,31 +116,55 @@ fn solve(g: &Graph, cap: Weight) -> (Option<SetSolution>, SearchStats) {
     // solution set (callers may re-weigh the returned vertices).
     let mut chosen = 0u128;
     let mut dominated = 0u128;
+    let mut stats = SearchStats::default();
     for v in 0..n {
         if w[v] == 0 && closed[v] & !dominated != 0 {
             chosen |= 1 << v;
             dominated |= closed[v];
+            stats.forced_moves += 1;
         }
     }
-    let mut s = Mds {
-        closed: &closed,
-        w: &w,
-        n,
-        best: Weight::MAX,
-        best_set: 0,
-        cap,
-        stats: SearchStats::default(),
-    };
-    s.branch(chosen, 0, dominated);
-    let sol = if s.best == Weight::MAX {
-        None
-    } else {
+    // Domination never crosses a connected component, so each component
+    // is an independent subproblem; the budget that remains after one
+    // component caps the next.
+    let comps = components_u128(&adj);
+    if comps.len() > 1 {
+        stats.components += comps.len() as u64;
+    }
+    let full = full_mask(n);
+    let mut total_cost: Weight = 0;
+    for comp in comps {
+        if comp & !dominated == 0 {
+            continue;
+        }
+        let remaining = cap.saturating_sub(total_cost);
+        let mut s = Mds {
+            closed: &closed,
+            w: &w,
+            n,
+            best: Weight::MAX,
+            best_set: 0,
+            cap: remaining,
+            stats: SearchStats::default(),
+        };
+        s.branch(0, 0, dominated | (full & !comp));
+        stats.absorb(&s.stats);
+        if s.best == Weight::MAX {
+            return (None, stats);
+        }
+        total_cost += s.best;
+        chosen |= s.best_set;
+    }
+    if total_cost >= cap {
+        return (None, stats);
+    }
+    (
         Some(SetSolution {
-            weight: s.best,
-            vertices: mask_to_vec(s.best_set),
-        })
-    };
-    (sol, s.stats)
+            weight: total_cost,
+            vertices: mask_to_vec(chosen),
+        }),
+        stats,
+    )
 }
 
 /// Exact minimum weight dominating set under the graph's node weights.

@@ -80,6 +80,7 @@ impl Search<'_> {
             if r_weight + bounds[i] <= self.best {
                 // Every remaining candidate is bounded away.
                 self.stats.prunes += 1;
+                self.stats.bound_cutoffs += 1;
                 return;
             }
             let v = order[i];
@@ -165,14 +166,37 @@ pub fn max_weight_independent_set_with_stats(g: &Graph) -> (SetSolution, SearchS
     let full = full_mask(n);
     let comp: Vec<u128> = (0..n).map(|v| full & !adj[v] & !(1u128 << v)).collect();
     let w: Vec<Weight> = (0..n).map(|v| g.node_weight(v)).collect();
-    let (weight, set, stats) = max_weight_clique_masks_with_stats(&comp, &w);
-    (
-        SetSolution {
-            weight,
-            vertices: mask_to_vec(set),
-        },
-        stats,
-    )
+    assert!(w.iter().all(|&x| x >= 0), "weights must be nonnegative");
+    // Independence decomposes over connected components of `g`: run the
+    // complement-clique search per component (the candidate set stays
+    // inside the component because every future candidate set is an
+    // intersection with it).
+    let components = crate::bitset::components_u128(&adj);
+    timed(|| {
+        let mut total = SetSolution {
+            weight: 0,
+            vertices: Vec::new(),
+        };
+        let mut stats = SearchStats::default();
+        if components.len() > 1 {
+            stats.components += components.len() as u64;
+        }
+        for c in &components {
+            let mut s = Search {
+                adj: &comp,
+                w: &w,
+                best: 0,
+                best_set: 0,
+                stats: SearchStats::default(),
+            };
+            s.expand(0, 0, *c);
+            stats.absorb(&s.stats);
+            total.weight += s.best;
+            total.vertices.extend(mask_to_vec(s.best_set));
+        }
+        total.vertices.sort_unstable();
+        (total, stats)
+    })
 }
 
 struct Search256<'a> {
@@ -231,6 +255,7 @@ impl Search256<'_> {
         for i in (0..order.len()).rev() {
             if r_weight + bounds[i] <= self.best {
                 self.stats.prunes += 1;
+                self.stats.bound_cutoffs += 1;
                 return;
             }
             let v = order[i];

@@ -18,6 +18,17 @@ pub struct SearchStats {
     pub backtracks: u64,
     /// Incumbent improvements (or accepted leaves, for deciders).
     pub incumbents: u64,
+    /// Subtrees cut off specifically by a lower/upper *bound* (packing
+    /// bound, coloring bound, cost cap) — a subset of the work `prunes`
+    /// counts feasibility tests for.
+    pub bound_cutoffs: u64,
+    /// Branches taken without search: forced successors on a partial
+    /// Hamiltonian path, zero-cost "free grab" vertices in the dominating
+    /// set search.
+    pub forced_moves: u64,
+    /// Connected components solved independently after decomposition
+    /// (0 when the search never decomposed).
+    pub components: u64,
     /// Wall-clock time of the search in microseconds.
     pub elapsed_micros: u64,
 }
@@ -31,7 +42,23 @@ impl SearchStats {
             .with("prunes", self.prunes)
             .with("backtracks", self.backtracks)
             .with("incumbents", self.incumbents)
+            .with("bound_cutoffs", self.bound_cutoffs)
+            .with("forced_moves", self.forced_moves)
+            .with("components", self.components)
             .with("elapsed_micros", self.elapsed_micros)
+    }
+
+    /// Accumulates another search's counters into this one (wall times
+    /// add; all counters add).
+    pub fn absorb(&mut self, o: &SearchStats) {
+        self.nodes += o.nodes;
+        self.prunes += o.prunes;
+        self.backtracks += o.backtracks;
+        self.incumbents += o.incumbents;
+        self.bound_cutoffs += o.bound_cutoffs;
+        self.forced_moves += o.forced_moves;
+        self.components += o.components;
+        self.elapsed_micros += o.elapsed_micros;
     }
 }
 
@@ -54,6 +81,9 @@ mod tests {
             prunes: 4,
             backtracks: 3,
             incumbents: 2,
+            bound_cutoffs: 6,
+            forced_moves: 5,
+            components: 1,
             elapsed_micros: 55,
         };
         let rec = s.to_record("solver.mds");
@@ -63,7 +93,38 @@ mod tests {
         assert_eq!(rec.u64_field("prunes"), Some(4));
         assert_eq!(rec.u64_field("backtracks"), Some(3));
         assert_eq!(rec.u64_field("incumbents"), Some(2));
+        assert_eq!(rec.u64_field("bound_cutoffs"), Some(6));
+        assert_eq!(rec.u64_field("forced_moves"), Some(5));
+        assert_eq!(rec.u64_field("components"), Some(1));
         assert_eq!(rec.u64_field("elapsed_micros"), Some(55));
+    }
+
+    #[test]
+    fn absorb_sums_every_counter() {
+        let mut a = SearchStats {
+            nodes: 1,
+            prunes: 2,
+            backtracks: 3,
+            incumbents: 4,
+            bound_cutoffs: 5,
+            forced_moves: 6,
+            components: 7,
+            elapsed_micros: 8,
+        };
+        a.absorb(&a.clone());
+        assert_eq!(
+            a,
+            SearchStats {
+                nodes: 2,
+                prunes: 4,
+                backtracks: 6,
+                incumbents: 8,
+                bound_cutoffs: 10,
+                forced_moves: 12,
+                components: 14,
+                elapsed_micros: 16,
+            }
+        );
     }
 
     #[test]

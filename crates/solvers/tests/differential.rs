@@ -1,0 +1,277 @@
+//! Differential tests for the rewritten exact-solver kernels.
+//!
+//! Each branch-and-bound / DP kernel is pitted against an independent
+//! reference on random instances with n ≤ 12: the crate's brute-force
+//! oracles where they exist, naive enumeration written here otherwise.
+//! The Hamiltonian backtracker, the Held–Karp DP, and a permutation
+//! sweep must agree three ways — two independent rewrites cross-check
+//! each other against ground truth.
+//!
+//! The pinned op-count tests at the bottom freeze the pruning counters
+//! of [`congest_solvers::SearchStats`] on fixed instances, so a
+//! regression that silently disables a bound (search still correct,
+//! just exponentially slower) fails loudly here.
+
+use congest_graph::{generators, DiGraph, Graph, Weight};
+use congest_solvers::hamilton::{
+    decide_directed_ham_cycle_with_stats, decide_directed_ham_path_with_stats,
+    held_karp_directed_ham_cycle, held_karp_directed_ham_path,
+};
+use congest_solvers::maxcut::{has_cut_of_weight, max_cut_with_stats};
+use congest_solvers::mds::{
+    has_dominating_set_of_size_with_stats, min_weight_dominating_set_brute,
+    min_weight_dominating_set_with_stats,
+};
+use congest_solvers::mis::{
+    max_weight_independent_set_brute, max_weight_independent_set_with_stats,
+};
+use proptest::prelude::*;
+use proptest::rand::rngs::StdRng;
+use proptest::rand::{Rng, SeedableRng};
+
+/// A seeded G(n, p) with random node weights in `1..=5`.
+fn weighted_gnp(n: usize, p: f64, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = generators::gnp(n, p, &mut rng);
+    for v in 0..n {
+        g.set_node_weight(v, rng.gen_range(1..=5));
+    }
+    g
+}
+
+/// A seeded random digraph: each ordered arc present with probability `p`.
+fn random_digraph(n: usize, p: f64, seed: u64) -> DiGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = DiGraph::new(n);
+    for u in 0..n {
+        for v in 0..n {
+            if u != v && rng.gen_bool(p) {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// Max-cut ground truth: enumerate all bipartitions with vertex `n-1`
+/// pinned to one side.
+fn brute_max_cut(g: &Graph) -> Weight {
+    let n = g.num_nodes();
+    let edges: Vec<_> = g.edges().collect();
+    let mut best = 0;
+    for mask in 0u32..1 << (n - 1) {
+        let side = |v: usize| v + 1 < n && mask >> v & 1 == 1;
+        let w = edges
+            .iter()
+            .filter(|&&(u, v, _)| side(u) != side(v))
+            .map(|&(_, _, w)| w)
+            .sum();
+        best = best.max(w);
+    }
+    best
+}
+
+/// Hamiltonian-path ground truth: try every vertex permutation.
+fn brute_ham_path(g: &DiGraph) -> bool {
+    fn extend(g: &DiGraph, used: &mut Vec<bool>, last: Option<usize>, placed: usize) -> bool {
+        if placed == used.len() {
+            return true;
+        }
+        for v in 0..used.len() {
+            if !used[v] && last.is_none_or(|u| g.has_edge(u, v)) {
+                used[v] = true;
+                if extend(g, used, Some(v), placed + 1) {
+                    return true;
+                }
+                used[v] = false;
+            }
+        }
+        false
+    }
+    extend(g, &mut vec![false; g.num_nodes()], None, 0)
+}
+
+/// Hamiltonian-cycle ground truth: a path from a fixed root that closes.
+fn brute_ham_cycle(g: &DiGraph) -> bool {
+    fn extend(g: &DiGraph, used: &mut Vec<bool>, last: usize, placed: usize) -> bool {
+        if placed == used.len() {
+            return g.has_edge(last, 0);
+        }
+        for v in 1..used.len() {
+            if !used[v] && g.has_edge(last, v) {
+                used[v] = true;
+                if extend(g, used, v, placed + 1) {
+                    return true;
+                }
+                used[v] = false;
+            }
+        }
+        false
+    }
+    let n = g.num_nodes();
+    if n == 1 {
+        return false;
+    }
+    let mut used = vec![false; n];
+    used[0] = true;
+    extend(g, &mut used, 0, 1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The dominating-set B&B agrees with brute force on the optimum and
+    /// on every decision threshold `0..=n`.
+    #[test]
+    fn mds_kernel_matches_brute_force(n in 2usize..=12, seed in any::<u64>()) {
+        let g = weighted_gnp(n, 0.35, seed);
+        let (sol, stats) = min_weight_dominating_set_with_stats(&g);
+        prop_assert_eq!(sol.weight, min_weight_dominating_set_brute(&g));
+        prop_assert!(stats.nodes > 0);
+
+        let mut unit = g.clone();
+        for v in 0..n {
+            unit.set_node_weight(v, 1);
+        }
+        let min_size = min_weight_dominating_set_brute(&unit);
+        for s in 0..=n {
+            let (has, _) = has_dominating_set_of_size_with_stats(&unit, s);
+            prop_assert_eq!(has, s as Weight >= min_size, "threshold {}", s);
+        }
+    }
+
+    /// The weighted-MIS B&B (coloring bound, component split) agrees
+    /// with subset enumeration.
+    #[test]
+    fn mis_kernel_matches_brute_force(n in 2usize..=12, seed in any::<u64>()) {
+        let g = weighted_gnp(n, 0.3, seed);
+        let (sol, stats) = max_weight_independent_set_with_stats(&g);
+        prop_assert!(g.is_independent_set(&sol.vertices));
+        prop_assert_eq!(sol.weight, max_weight_independent_set_brute(&g));
+        prop_assert!(stats.nodes > 0);
+    }
+
+    /// The max-cut kernel agrees with bipartition enumeration, and the
+    /// decision wrapper is exactly "target ≤ optimum".
+    #[test]
+    fn maxcut_kernel_matches_brute_force(n in 2usize..=12, seed in any::<u64>()) {
+        let mut g = weighted_gnp(n, 0.4, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xc0ffee);
+        let edges: Vec<_> = g.edges().map(|(u, v, _)| (u, v)).collect();
+        for (u, v) in edges {
+            // Re-inserting an existing edge overwrites its weight.
+            g.add_weighted_edge(u, v, rng.gen_range(1..=4));
+        }
+        let best = brute_max_cut(&g);
+        let (sol, _) = max_cut_with_stats(&g);
+        prop_assert_eq!(sol.weight, best);
+        for t in [0, best.saturating_sub(1), best, best + 1] {
+            prop_assert_eq!(has_cut_of_weight(&g, t), t <= best, "target {}", t);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Backtracker, Held–Karp, and permutation sweep agree on
+    /// Hamiltonian path and cycle, across sparse-to-dense digraphs.
+    #[test]
+    fn hamilton_kernels_agree_with_enumeration(
+        n in 2usize..=7,
+        seed in any::<u64>(),
+        dense in any::<bool>(),
+    ) {
+        let p = if dense { 0.6 } else { 0.25 };
+        let g = random_digraph(n, p, seed);
+
+        let truth = brute_ham_path(&g);
+        let (bt, stats) = decide_directed_ham_path_with_stats(&g);
+        prop_assert_eq!(bt, truth, "backtracker vs enumeration");
+        prop_assert_eq!(held_karp_directed_ham_path(&g), truth, "Held-Karp vs enumeration");
+        prop_assert!(stats.nodes > 0);
+
+        let truth = brute_ham_cycle(&g);
+        let (bt, _) = decide_directed_ham_cycle_with_stats(&g);
+        prop_assert_eq!(bt, truth, "backtracker vs enumeration (cycle)");
+        prop_assert_eq!(held_karp_directed_ham_cycle(&g), truth, "Held-Karp vs enumeration (cycle)");
+    }
+}
+
+/// `stats` with its wall-clock field zeroed, so exact comparisons pin
+/// only the deterministic counters.
+fn counters(mut stats: congest_solvers::SearchStats) -> congest_solvers::SearchStats {
+    stats.elapsed_micros = 0;
+    stats
+}
+
+fn pinned(
+    nodes: u64,
+    prunes: u64,
+    backtracks: u64,
+    incumbents: u64,
+    bound_cutoffs: u64,
+    forced_moves: u64,
+    components: u64,
+) -> congest_solvers::SearchStats {
+    congest_solvers::SearchStats {
+        nodes,
+        prunes,
+        backtracks,
+        incumbents,
+        bound_cutoffs,
+        forced_moves,
+        components,
+        elapsed_micros: 0,
+    }
+}
+
+/// The dominating-set B&B resolves `star(8)` after expanding three
+/// nodes: the greedy incumbent is optimal and the root bound closes the
+/// search. More work here means a bound regressed.
+#[test]
+fn mds_op_counts_are_pinned_on_the_star() {
+    let star = generators::star(8);
+    let (sol, stats) = min_weight_dominating_set_with_stats(&star);
+    assert_eq!(sol.weight, 1);
+    assert_eq!(counters(stats), pinned(3, 1, 1, 1, 0, 0, 0));
+    let (has, stats) = has_dominating_set_of_size_with_stats(&star, 1);
+    assert!(has);
+    assert_eq!(counters(stats), pinned(3, 1, 1, 1, 0, 0, 0));
+}
+
+/// On the directed 8-cycle the path search has one in-degree-1 start
+/// choice per root and no branching (64 = 8 roots × 8 forced steps);
+/// the cycle search anchors at vertex 0 and walks 8 forced steps.
+#[test]
+fn hamilton_op_counts_are_pinned_on_the_directed_cycle() {
+    let mut cyc = DiGraph::new(8);
+    for v in 0..8 {
+        cyc.add_edge(v, (v + 1) % 8);
+    }
+    let (has, stats) = decide_directed_ham_path_with_stats(&cyc);
+    assert!(has);
+    assert_eq!(counters(stats), pinned(64, 0, 0, 1, 0, 0, 0));
+    let (has, stats) = decide_directed_ham_cycle_with_stats(&cyc);
+    assert!(has);
+    assert_eq!(counters(stats), pinned(8, 0, 0, 1, 0, 0, 0));
+}
+
+/// A triangle, a path, and three isolated vertices decompose into
+/// independently solved components; the component counter must see the
+/// split and the coloring bound must cut both searches.
+#[test]
+fn component_decomposition_op_counts_are_pinned() {
+    let mut g = Graph::new(8);
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    g.add_edge(2, 0);
+    g.add_edge(4, 5);
+    g.add_edge(5, 6);
+    let (sol, stats) = max_weight_independent_set_with_stats(&g);
+    assert_eq!(sol.weight, 5); // isolated 3,7 + one of the triangle + path ends
+    assert_eq!(counters(stats), pinned(9, 2, 3, 4, 2, 0, 4));
+    let (sol, stats) = min_weight_dominating_set_with_stats(&g);
+    assert_eq!(sol.weight, 4);
+    assert_eq!(counters(stats), pinned(11, 3, 4, 4, 0, 0, 4));
+}

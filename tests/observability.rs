@@ -5,6 +5,8 @@
 
 use congest_comm::protocols::trivial_full_exchange;
 use congest_comm::{BitString, Disjointness, TracedChannel};
+use congest_core::mds::MdsFamily;
+use congest_core::{all_inputs, verify_family_with, VerifyOptions};
 use congest_graph::generators;
 use congest_obs::json::parse_jsonl;
 use congest_obs::{JsonlSink, Record, Recorder, Value};
@@ -36,6 +38,15 @@ fn trace_round_trips_through_jsonl_parser() {
     // Layer 3: an exact solver oracle's search counters.
     let (sol, search) = min_weight_dominating_set_with_stats(&generators::cycle(9));
     sink.record(search.to_record("solver.mds"));
+
+    // Layer 4: a family verification's counters, including the solver
+    // work aggregated across every predicate call of the sweep.
+    let fam = MdsFamily::new(2);
+    let (res, vstats) = verify_family_with(&fam, &all_inputs(4), &VerifyOptions::serial());
+    res.expect("Lemma 2.1");
+    for rec in vstats.to_records("core.verify") {
+        sink.record(rec);
+    }
 
     assert_eq!(sink.errors(), 0);
     let text = String::from_utf8(sink.into_inner()).expect("utf8 trace");
@@ -87,8 +98,30 @@ fn trace_round_trips_through_jsonl_parser() {
         .find(|r| r.target == "solver.mds" && r.event == "search")
         .expect("solver record");
     assert_eq!(solver.u64_field("nodes"), Some(search.nodes));
+    assert_eq!(solver.u64_field("prunes"), Some(search.prunes));
+    assert_eq!(
+        solver.u64_field("bound_cutoffs"),
+        Some(search.bound_cutoffs)
+    );
+    assert_eq!(solver.u64_field("components"), Some(search.components));
     assert!(search.nodes >= 1);
     assert!(sol.weight > 0, "C9 needs a non-empty dominating set");
+
+    // The verification record reconciles with the sweep's stats: build
+    // accounting and the aggregated solver counters.
+    let verify = records
+        .iter()
+        .find(|r| r.target == "core.verify" && r.event == "verify")
+        .expect("verify record");
+    assert_eq!(verify.u64_field("delta_builds"), Some(vstats.delta_builds));
+    assert_eq!(verify.u64_field("full_builds"), Some(vstats.full_builds));
+    assert_eq!(verify.u64_field("solver_nodes"), Some(vstats.solver.nodes));
+    assert_eq!(
+        verify.u64_field("solver_prunes"),
+        Some(vstats.solver.prunes)
+    );
+    assert!(vstats.solver.nodes >= 1, "the MDS oracle explored nodes");
+    assert!(vstats.delta_builds >= 1, "MDS verifies on the delta path");
 
     // Timestamps are monotone within the shared sink.
     let ts: Vec<u64> = records.iter().map(|r| r.ts).collect();

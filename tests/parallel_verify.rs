@@ -41,6 +41,37 @@ impl<F: LowerBoundFamily> LowerBoundFamily for NegatedF<F> {
     }
 }
 
+/// Delegating wrapper that hides `base_graph`, forcing the legacy
+/// full-build engine. Pitting a family against its `LegacyOnly` twin
+/// checks that the incremental delta engine is report-identical to the
+/// seed verifier.
+struct LegacyOnly<F>(F);
+
+impl<F: LowerBoundFamily> LowerBoundFamily for LegacyOnly<F> {
+    type GraphType = F::GraphType;
+    fn name(&self) -> String {
+        self.0.name()
+    }
+    fn input_len(&self) -> usize {
+        self.0.input_len()
+    }
+    fn num_vertices(&self) -> usize {
+        self.0.num_vertices()
+    }
+    fn alice_vertices(&self) -> Vec<NodeId> {
+        self.0.alice_vertices()
+    }
+    fn build(&self, x: &BitString, y: &BitString) -> Self::GraphType {
+        self.0.build(x, y)
+    }
+    fn predicate(&self, g: &Self::GraphType) -> bool {
+        self.0.predicate(g)
+    }
+    fn f(&self, x: &BitString, y: &BitString) -> bool {
+        self.0.f(x, y)
+    }
+}
+
 /// Delegating wrapper whose predicate panics: a worker thread must not
 /// swallow the panic or hang the pool.
 struct ExplodingPredicate<F>(F);
@@ -136,6 +167,57 @@ fn memoization_accounts_for_every_predicate_call() {
     res.expect("Lemma 2.1");
     assert_eq!(stats.predicate_calls, inputs.len() as u64);
     assert_eq!(stats.memo_hits, 0);
+}
+
+/// The incremental delta engine must produce the byte-identical
+/// `FamilyReport` the legacy full-build engine (the seed verifier)
+/// produces, on both paper families and at every worker count.
+#[test]
+fn delta_engine_reports_match_the_legacy_engine() {
+    let inputs = all_inputs(4);
+
+    let mds = MdsFamily::new(2);
+    let legacy = verify_family(&LegacyOnly(MdsFamily::new(2)), &inputs).expect("Lemma 2.1");
+    for jobs in [1, 2, 4] {
+        let (res, stats) = verify_family_with(&mds, &inputs, &VerifyOptions::with_jobs(jobs));
+        assert_eq!(res.expect("Lemma 2.1"), legacy, "jobs = {jobs}");
+        assert_eq!(
+            stats.delta_builds,
+            inputs.len() as u64,
+            "delta path engaged"
+        );
+    }
+
+    let ham = HamPathFamily::new(2);
+    let legacy = verify_family(&LegacyOnly(HamPathFamily::new(2)), &inputs).expect("Theorem 2.2");
+    for jobs in [1, 4] {
+        let (res, stats) = verify_family_with(&ham, &inputs, &VerifyOptions::with_jobs(jobs));
+        assert_eq!(res.expect("Theorem 2.2"), legacy, "jobs = {jobs}");
+        assert_eq!(
+            stats.delta_builds,
+            inputs.len() as u64,
+            "delta path engaged"
+        );
+    }
+}
+
+/// The exact-solver kernels report their search effort through
+/// `VerifyStats::solver`; a full sweep must do real search work and one
+/// full build per memo miss (hits skip the build entirely).
+#[test]
+fn delta_engine_meters_solver_work_and_skips_hit_builds() {
+    let fam = HamPathFamily::new(2);
+    let inputs = all_inputs(4);
+    let (res, stats) = verify_family_with(&fam, &inputs, &VerifyOptions::serial());
+    res.expect("Theorem 2.2");
+    assert!(stats.solver.nodes > 0, "the kernel explored search nodes");
+    assert_eq!(
+        stats.full_builds, stats.memo_misses,
+        "hits must not rebuild"
+    );
+    assert_eq!(stats.predicate_calls, stats.memo_misses);
+    let recs = stats.to_records("core.verify");
+    assert_eq!(recs[0].u64_field("solver_nodes"), Some(stats.solver.nodes));
 }
 
 /// A condition-4 violation on every pair must still be reported at input
